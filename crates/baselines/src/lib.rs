@@ -1,0 +1,34 @@
+//! Comparator estimators from the ISLA evaluation (paper Section VIII).
+//!
+//! Every baseline the paper compares against, behind one [`Estimator`]
+//! trait so the benchmark harness can sweep them uniformly:
+//!
+//! * [`UniformSampling`] (US) — plain mean of uniform samples;
+//! * [`StratifiedSampling`] (STS) — per-block means combined by block
+//!   size, with proportional or Neyman allocation;
+//! * [`MeasureBiasedValues`] (MV) — the sample+seek-style measure-biased
+//!   re-weighting `Pr(a) ∝ a` applied to AVG (paper Eq. 4);
+//! * [`MeasureBiasedBoundaries`] (MVB) — MV combined with ISLA's data
+//!   boundaries: each region's probability mass is proportional to its
+//!   sample count, distributed within the region proportionally to value;
+//! * [`Slev`] — classical algorithmic leveraging (Ma et al.), which
+//!   computes exact leverage scores over the *full* data and draws biased
+//!   samples; the expensive comparator ISLA's related-work section
+//!   contrasts against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod isla_adapter;
+pub mod measure_biased;
+pub mod slev;
+pub mod stratified;
+pub mod traits;
+pub mod uniform;
+
+pub use isla_adapter::IslaEstimator;
+pub use measure_biased::{MeasureBiasedBoundaries, MeasureBiasedValues};
+pub use slev::Slev;
+pub use stratified::{Allocation, StratifiedSampling};
+pub use traits::Estimator;
+pub use uniform::UniformSampling;

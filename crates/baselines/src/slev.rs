@@ -1,0 +1,185 @@
+//! SLEV: classical algorithmic leveraging (Ma, Mahoney & Yu), the
+//! full-data leverage-sampling technique ISLA's related-work section
+//! contrasts against.
+//!
+//! SLEV computes the exact leverage score of *every* row —
+//! `hᵢ = aᵢ²/Σa²` over the full dataset — blends it with the uniform
+//! probability, `πᵢ = λ·hᵢ·(n/Σh)/n + (1−λ)/n` (here simply
+//! `πᵢ = λ·hᵢ + (1−λ)/n` since `Σh = 1`), draws biased samples, and
+//! corrects with inverse-probability (Horvitz–Thompson) weights:
+//! `(1/m)·Σ aᵢ/(n·πᵢ)` — an unbiased estimator of the mean.
+//!
+//! The point of including it: it needs **two full scans** of the data
+//! (one for `Σa²`, one to draw from the biased distribution), which is
+//! exactly the "requires recording all the data" drawback that motivates
+//! ISLA. The efficiency bench makes that cost visible.
+
+use rand::Rng;
+use rand::RngCore;
+
+use isla_core::IslaError;
+use isla_storage::{BlockSet, StorageError};
+
+use crate::traits::{check_inputs, Estimator};
+
+/// Full-data algorithmic leveraging with blend factor `λ ∈ (0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Slev {
+    /// Leverage/uniform blend: 1.0 is pure leverage sampling (LEV),
+    /// 0.9 is the SLEV setting recommended by Ma et al.
+    pub lambda: f64,
+}
+
+impl Default for Slev {
+    fn default() -> Self {
+        Self { lambda: 0.9 }
+    }
+}
+
+impl Slev {
+    /// Creates a SLEV estimator with the given blend factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `λ ∈ (0, 1]`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "SLEV blend must be in (0,1], got {lambda}"
+        );
+        Self { lambda }
+    }
+}
+
+impl Estimator for Slev {
+    fn name(&self) -> &'static str {
+        "SLEV"
+    }
+
+    fn estimate(
+        &self,
+        data: &BlockSet,
+        sample_budget: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, IslaError> {
+        check_inputs(data, sample_budget)?;
+        // Scan 1: materialize values and Σa² (the storage cost ISLA avoids).
+        let mut values = Vec::with_capacity(data.total_len() as usize);
+        let mut sum_sq = 0.0f64;
+        data.scan_all(&mut |v| {
+            values.push(v);
+            sum_sq += v * v;
+        })
+        .map_err(IslaError::from)?;
+        let n = values.len();
+        if n == 0 {
+            return Err(IslaError::Storage(StorageError::Empty));
+        }
+        if sum_sq == 0.0 {
+            // All-zero data: the mean is exactly zero.
+            return Ok(0.0);
+        }
+
+        // Build the cumulative biased distribution πᵢ = λhᵢ + (1−λ)/n.
+        let nf = n as f64;
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for &v in &values {
+            let h = v * v / sum_sq;
+            acc += self.lambda * h + (1.0 - self.lambda) / nf;
+            cumulative.push(acc);
+        }
+        let total = acc; // ≈ 1, up to rounding
+
+        // Scan 2 (sampling): m biased draws with HT correction.
+        let mut estimate = isla_stats::NeumaierSum::new();
+        for _ in 0..sample_budget {
+            let u: f64 = rng.random_range(0.0..total);
+            let idx = match cumulative
+                .binary_search_by(|c| c.partial_cmp(&u).expect("finite cumulative weights"))
+            {
+                Ok(i) => (i + 1).min(n - 1),
+                Err(i) => i.min(n - 1),
+            };
+            let v = values[idx];
+            let h = v * v / sum_sq;
+            let pi = self.lambda * h + (1.0 - self.lambda) / nf;
+            estimate.add(v / (nf * pi));
+        }
+        Ok(estimate.value() / sample_budget as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_datagen::normal_dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unbiased_on_normal_data() {
+        let ds = normal_dataset(100.0, 20.0, 50_000, 5, 30);
+        let mut total = 0.0;
+        let runs = 10;
+        for seed in 0..runs {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total += Slev::default()
+                .estimate(&ds.blocks, 20_000, &mut rng)
+                .unwrap();
+        }
+        let mean = total / runs as f64;
+        assert!(
+            (mean - ds.true_mean).abs() < 0.3,
+            "mean of SLEV estimates {mean} vs truth {}",
+            ds.true_mean
+        );
+        assert_eq!(Slev::default().name(), "SLEV");
+    }
+
+    #[test]
+    fn pure_leverage_sampling_also_works() {
+        // λ = 1 (LEV): heavier variance on near-zero values but still
+        // unbiased; all values here are far from zero.
+        let ds = normal_dataset(100.0, 20.0, 20_000, 4, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let est = Slev::new(1.0).estimate(&ds.blocks, 20_000, &mut rng).unwrap();
+        assert!((est - ds.true_mean).abs() < 1.0, "estimate {est}");
+    }
+
+    #[test]
+    fn all_zero_data_short_circuits() {
+        let data = BlockSet::from_values(vec![0.0; 500], 2);
+        let mut rng = StdRng::seed_from_u64(33);
+        assert_eq!(
+            Slev::default().estimate(&data, 100, &mut rng).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "SLEV blend must be in (0,1]")]
+    fn rejects_zero_lambda() {
+        let _ = Slev::new(0.0);
+    }
+
+    #[test]
+    fn refuses_unscannable_virtual_data() {
+        use isla_stats::distributions::Normal;
+        use isla_storage::GeneratorBlock;
+        use std::sync::Arc;
+        // SLEV needs full scans; a trillion-row virtual block must error,
+        // not silently mis-estimate.
+        let block = GeneratorBlock::new(
+            Arc::new(Normal::new(100.0, 20.0)),
+            1_000_000_000_000,
+            1,
+        );
+        let data = BlockSet::single(block);
+        let mut rng = StdRng::seed_from_u64(34);
+        assert!(matches!(
+            Slev::default().estimate(&data, 100, &mut rng),
+            Err(IslaError::Storage(StorageError::ScanUnsupported { .. }))
+        ));
+    }
+}

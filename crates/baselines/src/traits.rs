@@ -1,0 +1,44 @@
+//! The common estimator interface for baseline sweeps.
+
+use rand::RngCore;
+
+use isla_core::IslaError;
+use isla_storage::BlockSet;
+
+/// An approximate-AVG estimator with an explicit sample budget.
+///
+/// `sample_budget` is the number of value draws the estimator may spend
+/// (pilot phases included, so comparisons across estimators are fair).
+pub trait Estimator {
+    /// Short display name (matches the paper's abbreviations: US, STS,
+    /// MV, MVB, …).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the AVG of `data` within the sample budget.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures, or [`IslaError::InsufficientData`] for an empty
+    /// dataset / zero budget.
+    fn estimate(
+        &self,
+        data: &BlockSet,
+        sample_budget: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, IslaError>;
+}
+
+/// Validates the common preconditions shared by every baseline.
+pub(crate) fn check_inputs(data: &BlockSet, sample_budget: u64) -> Result<(), IslaError> {
+    if data.total_len() == 0 {
+        return Err(IslaError::InsufficientData(
+            "dataset holds no rows".to_string(),
+        ));
+    }
+    if sample_budget == 0 {
+        return Err(IslaError::InsufficientData(
+            "sample budget must be positive".to_string(),
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! A1 — ablation of the leverage-allocating parameter `q` (§IV-A.4).
+//!
+//! The paper introduces `q` to "detect and reduce the obvious deviation
+//! of sketch0". This ablation forces a deviated sketch (boundaries built
+//! around µ + δ) and compares the per-block answers with the paper's
+//! q-tiers against `q` pinned to 1. The sketch-interval clamp is
+//! disabled in both arms to isolate the leverage-allocation effect.
+
+use isla_bench::{fmt, mean_abs_error, Report};
+use isla_core::{execute_block, DataBoundaries, IslaConfig};
+use isla_datagen::normal_values;
+use isla_storage::MemBlock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MU: f64 = 100.0;
+const SIGMA: f64 = 20.0;
+const SAMPLES: u64 = 15_000;
+const SEEDS: u64 = 40;
+
+fn run_arm(config: &IslaConfig, delta: f64, block: &MemBlock) -> Vec<f64> {
+    let sketch0 = MU + delta;
+    let boundaries = DataBoundaries::new(sketch0, SIGMA, config.p1, config.p2);
+    (0..SEEDS)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            execute_block(block, 0, SAMPLES, boundaries, sketch0, 0.0, config, &mut rng)
+                .expect("block execution succeeds")
+                .answer
+        })
+        .collect()
+}
+
+fn main() {
+    println!("A1: q-tier ablation under forced sketch deviation δ (clamp off)");
+    let with_q = IslaConfig::builder()
+        .precision(0.1)
+        .clamp_to_sketch_interval(false)
+        .build()
+        .unwrap();
+    let without_q = IslaConfig::builder()
+        .precision(0.1)
+        .clamp_to_sketch_interval(false)
+        .q_moderate(1.0)
+        .q_strong(1.0)
+        .build()
+        .unwrap();
+    let block = MemBlock::new(normal_values(MU, SIGMA, 400_000, 1900));
+
+    let mut report = Report::new(
+        "exp_ablation_q",
+        &["delta", "dev regime", "mean |err| q-tiers", "mean |err| q=1"],
+    );
+    for &delta in &[0.0, 0.3, 0.6, 1.2] {
+        // dev ≈ 1 + 2.085·δ/σ: 0.3 → neutral, 0.6 → moderate, 1.2 → strong.
+        let regime = match delta {
+            d if d < 0.3 => "balanced",
+            d if d < 0.6 => "neutral/moderate",
+            d if d < 1.2 => "moderate",
+            _ => "strong",
+        };
+        let tiered = run_arm(&with_q, delta, &block);
+        let pinned = run_arm(&without_q, delta, &block);
+        report.row(vec![
+            fmt(delta, 2),
+            regime.to_string(),
+            fmt(mean_abs_error(&tiered, MU), 4),
+            fmt(mean_abs_error(&pinned, MU), 4),
+        ]);
+    }
+    report.finish();
+    println!(
+        "note: the iteration's final answer is invariant to k's magnitude \
+         (DESIGN.md reparametrization property), so q acts only through \
+         degenerate-k edge cases — this ablation documents that finding."
+    );
+}

@@ -1,0 +1,57 @@
+//! E5 — Fig. 6(d) "Varying data boundaries": p1 ∈ {0.25 … 1.5} with
+//! p2 = 2. The paper's finding: p1 = 0.5/0.75 work best; large p1
+//! (1.25, 1.5) diverges because the S/L windows stop representing the
+//! distribution and fewer samples participate.
+
+use isla_bench::{fmt, mean_abs_error, Report};
+use isla_core::{IslaAggregator, IslaConfig};
+use isla_datagen::synthetic::virtual_normal_dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E5 (Fig. 6d): varying p1 (p2=2), 5 datasets, e=0.1, N(100,20²)");
+    let p1_values = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5];
+    let datasets: Vec<_> = (0..5)
+        .map(|i| virtual_normal_dataset(100.0, 20.0, 10_000_000, 10, 900 + i))
+        .collect();
+
+    let mut report = Report::new(
+        "exp_fig6d_boundaries",
+        &["p1", "ds1", "ds2", "ds3", "ds4", "ds5", "mean |err|"],
+    );
+    let mut errors = Vec::new();
+    for &p1 in &p1_values {
+        let config = IslaConfig::builder()
+            .precision(0.1)
+            .p1(p1)
+            .build()
+            .unwrap();
+        let aggregator = IslaAggregator::new(config).unwrap();
+        let estimates: Vec<f64> = datasets
+            .iter()
+            .enumerate()
+            .map(|(i, ds)| {
+                let mut rng = StdRng::seed_from_u64(4000 + i as u64);
+                aggregator.aggregate(&ds.blocks, &mut rng).unwrap().estimate
+            })
+            .collect();
+        let err = mean_abs_error(&estimates, 100.0);
+        errors.push((p1, err));
+        let mut row = vec![fmt(p1, 2)];
+        row.extend(estimates.iter().map(|&v| fmt(v, 4)));
+        row.push(fmt(err, 4));
+        report.row(row);
+    }
+    report.finish();
+    // Shape: the recommended p1 ∈ {0.5, 0.75} must not lose to the
+    // extreme settings.
+    let err_at = |p: f64| errors.iter().find(|(q, _)| *q == p).unwrap().1;
+    let recommended = err_at(0.5).min(err_at(0.75));
+    let extreme = err_at(1.25).max(err_at(1.5));
+    assert!(
+        recommended <= extreme + 0.02,
+        "recommended p1 should not lose: rec {recommended:.4} vs extreme {extreme:.4}"
+    );
+    println!("shape check: p1 = 0.5/0.75 at least as good as 1.25/1.5 (Fig. 6d).");
+}

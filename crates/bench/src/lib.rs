@@ -1,0 +1,217 @@
+//! Support library for the ISLA experiment harness.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper's evaluation (Section VIII) — see the per-experiment index
+//! in `DESIGN.md`. This crate holds the shared plumbing: aligned console
+//! tables that double as CSV writers (under `target/experiments/`),
+//! error-statistics helpers, and the paper's published numbers for
+//! side-by-side comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiments");
+    fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// An aligned console table that is simultaneously captured as CSV.
+pub struct Report {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report named after the experiment id (e.g. `table3`).
+    pub fn new(name: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: adds a row of displayable cells.
+    pub fn row_of(&mut self, cells: &[&dyn Display]) {
+        self.row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Prints the aligned table and writes `target/experiments/<name>.csv`.
+    pub fn finish(self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", line.join("  "));
+        };
+        println!();
+        print_row(&self.headers);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            print_row(row);
+        }
+        println!();
+
+        let path = experiments_dir().join(format!("{}.csv", self.name));
+        let mut file = std::io::BufWriter::new(
+            fs::File::create(&path).expect("create experiment csv"),
+        );
+        writeln!(file, "{}", self.headers.join(",")).expect("write csv header");
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(",")).expect("write csv row");
+        }
+        file.flush().expect("flush csv");
+        println!("  [written {}]", path.display());
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Mean absolute error of a set of estimates against a truth.
+pub fn mean_abs_error(estimates: &[f64], truth: f64) -> f64 {
+    estimates.iter().map(|e| (e - truth).abs()).sum::<f64>() / estimates.len() as f64
+}
+
+/// Fraction of estimates within ±e of the truth.
+pub fn within_fraction(estimates: &[f64], truth: f64, e: f64) -> f64 {
+    estimates.iter().filter(|&&x| (x - truth).abs() <= e).count() as f64
+        / estimates.len() as f64
+}
+
+/// Published numbers from the paper, for side-by-side reporting.
+pub mod paper {
+    /// Table III averages over 10 datasets (e = 0.1, truth 100).
+    pub const TABLE3_ISLA_AVG: f64 = 100.0296;
+    /// Table III MV average.
+    pub const TABLE3_MV_AVG: f64 = 104.0036;
+    /// Table III MVB average.
+    pub const TABLE3_MVB_AVG: f64 = 100.515;
+    /// Table IV: sketch0 of the modulation-ability experiment.
+    pub const TABLE4_SKETCH0: f64 = 99.676;
+    /// Table IV per-block averages (ISLA / MV / MVB).
+    pub const TABLE4_AVGS: (f64, f64, f64) = (100.003, 104.049, 100.558);
+    /// Table V ISLA answers (e = 0.5, rate r/3).
+    pub const TABLE5_ISLA: [f64; 5] = [100.158, 99.8936, 100.136, 99.8917, 100.178];
+    /// Table V US answers (rate r).
+    pub const TABLE5_US: [f64; 5] = [99.6591, 99.8918, 99.8675, 99.7068, 99.8371];
+    /// Table V STS answers (rate r).
+    pub const TABLE5_STS: [f64; 5] = [99.7996, 100.084, 100.261, 99.7332, 99.1607];
+    /// Table VI: (γ, accurate, ISLA, MV, MVB).
+    pub const TABLE6: [(f64, f64, f64, f64, f64); 4] = [
+        (0.05, 20.0, 19.8713, 39.7174, 21.8042),
+        (0.10, 10.0, 9.53488, 20.2711, 11.0635),
+        (0.15, 6.67, 6.32677, 13.2486, 7.30495),
+        (0.20, 5.0, 4.60377, 10.3369, 5.49333),
+    ];
+    /// Table VII ranges: ISLA ≈ 99.5–99.85, MV ≈ 132, MVB ≈ 92.8–95.4.
+    pub const TABLE7_MV_CENTER: f64 = 132.0;
+    /// §VIII-F run times (ms, 20 runs, 600M rows): ISLA, MV, MVB, US, STS.
+    pub const EFFICIENCY_MS: [(&str, f64); 5] = [
+        ("ISLA", 31_979.0),
+        ("MV", 61_718.0),
+        ("MVB", 70_584.0),
+        ("US", 25_989.0),
+        ("STS", 84_294.0),
+    ];
+    /// §VIII-G salary: truth and per-method answers (ISLA at half budget).
+    pub const SALARY: (f64, [(&str, f64); 5]) = (
+        1740.38,
+        [
+            ("ISLA", 1731.48),
+            ("MV", 2326.78),
+            ("MVB", 1798.78),
+            ("US", 1742.79),
+            ("STS", 1740.37),
+        ],
+    );
+    /// §VIII-G TLC trip distance ×1000: truth and per-method answers.
+    pub const TLC: (f64, [(&str, f64); 5]) = (
+        4648.2,
+        [
+            ("ISLA", 4515.73),
+            ("MV", 7426.37),
+            ("MVB", 3298.09),
+            ("US", 2908.53),
+            ("STS", 4289.08),
+        ],
+    );
+    /// §VIII-A data-size sweep answers for 10⁸…10¹² rows.
+    pub const DATA_SIZE: [(f64, f64); 5] = [
+        (1e8, 99.9927),
+        (1e9, 99.9999),
+        (1e10, 100.0119),
+        (1e11, 100.0035),
+        (1e12, 100.0004),
+    ];
+    /// §VIII-D non-i.i.d. answers (truth 100, e = 0.5).
+    pub const NONIID: [f64; 5] = [99.8538, 100.066, 100.194, 100.321, 99.8333];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_helpers() {
+        let est = [99.0, 101.0, 100.2];
+        assert!((mean_abs_error(&est, 100.0) - (1.0 + 1.0 + 0.2) / 3.0).abs() < 1e-12);
+        assert!((within_fraction(&est, 100.0, 0.5) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn report_writes_csv() {
+        let mut r = Report::new("unit_test_report", &["a", "b"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row_of(&[&3.5, &"x"]);
+        r.finish();
+        let path = experiments_dir().join("unit_test_report.csv");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("a,b\n1,2\n3.5,x"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn report_rejects_ragged_rows() {
+        let mut r = Report::new("ragged", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Calibration scratch: error distribution of ISLA across seeds for
+//! different λ / modulation styles. Not part of the public surface.
+
+use isla_core::{IslaAggregator, IslaConfig, ModulationStyle};
+use isla_datagen::normal_dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(label: &str, e: f64, lambda: f64, style: ModulationStyle, clamp: bool, runs: u64) {
+    let ds = normal_dataset(100.0, 20.0, 600_000, 10, 42);
+    let config = IslaConfig::builder()
+        .precision(e)
+        .lambda(lambda)
+        .modulation_style(style)
+        .clamp_to_sketch_interval(clamp)
+        .build()
+        .unwrap();
+    let agg = IslaAggregator::new(config).unwrap();
+    let mut errs = Vec::new();
+    for seed in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = agg.aggregate(&ds.blocks, &mut rng).unwrap();
+        errs.push((r.estimate - ds.true_mean).abs());
+    }
+    errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+    let within = errs.iter().filter(|&&x| x <= e).count();
+    println!(
+        "{label::<40} e={e} mean|err|={mean:.4} p50={:.4} p95={:.4} max={:.4} within-e {}/{}",
+        errs[errs.len() / 2],
+        errs[(errs.len() * 95) / 100],
+        errs[errs.len() - 1],
+        within,
+        errs.len()
+    );
+}
+
+fn main() {
+    let runs = 40;
+    for e in [0.5, 0.1] {
+        run("λ=0.8 fig clamp", e, 0.8, ModulationStyle::FigureConsistent, true, runs);
+        run("λ=0.8 fig noclamp", e, 0.8, ModulationStyle::FigureConsistent, false, runs);
+        run("λ=0.8 literal clamp", e, 0.8, ModulationStyle::PaperLiteral, true, runs);
+        run("λ=0.24 fig clamp", e, 0.24, ModulationStyle::FigureConsistent, true, runs);
+        run("λ=0.5 fig clamp", e, 0.5, ModulationStyle::FigureConsistent, true, runs);
+        println!();
+    }
+}

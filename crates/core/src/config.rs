@@ -1,0 +1,394 @@
+//! ISLA configuration: every tunable of the paper with its §VIII default.
+
+use crate::error::IslaError;
+
+/// How the modulation steps treat Cases 2 and 3 (see `DESIGN.md` and
+/// [`crate::modulation`]).
+///
+/// The paper's Fig. 1 prescribes that when the accurate value lies between
+/// the two estimators they are moved *toward each other*; the prose of
+/// Case 3 (Section V-C) instead says both estimators increase. The two
+/// readings disagree (the prose version extrapolates past the l-estimator
+/// and amplifies its sampling noise by `λ/(1−λ)`), so both are available
+/// and the figure-consistent one is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModulationStyle {
+    /// Cases 2/3 move the estimators toward each other (consistent with
+    /// Fig. 1 and Theorem 1). Default.
+    #[default]
+    FigureConsistent,
+    /// Cases 2/3 move both estimators in the same direction, exactly as
+    /// the prose of Section V-C reads.
+    PaperLiteral,
+}
+
+/// How negative data is handled.
+///
+/// The leverage scores `hᵢ = aᵢ²/Σa²` are only monotone in the value for
+/// positive data; the paper's footnote 1 translates the data "along the x
+/// axis by the distance of d to make all the data positive" and shifts the
+/// answer back. Only S/L-region values enter the computation, so a shift
+/// is required exactly when the lower S boundary is non-positive.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ShiftPolicy {
+    /// Shift automatically when the S region reaches non-positive values.
+    #[default]
+    Auto,
+    /// Never shift (caller guarantees positive S/L regions).
+    None,
+    /// Always shift by the given amount.
+    Fixed(f64),
+}
+
+/// Full ISLA configuration. Build with [`IslaConfig::builder`]; defaults
+/// are the paper's Section VIII experiment parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslaConfig {
+    /// Desired precision `e` (confidence-interval half width). Default 0.1.
+    pub precision: f64,
+    /// Confidence `β ∈ (0,1)`. Default 0.95.
+    pub confidence: f64,
+    /// Inner data-boundary parameter `p1`. Default 0.5.
+    pub p1: f64,
+    /// Outer data-boundary parameter `p2`. Default 2.0.
+    pub p2: f64,
+    /// Step-length factor `λ ∈ (0,1)`. Default 0.8.
+    pub lambda: f64,
+    /// Convergence speed `η ∈ (0,1)`: `D` shrinks to `η·D` per iteration.
+    /// Default 0.5.
+    pub eta: f64,
+    /// Iteration threshold `thr`: the loop halts when `|D| ≤ thr`.
+    /// Default `precision / 1000` (set automatically when not overridden).
+    pub threshold: f64,
+    /// Relaxed-precision factor `tₑ ≥ 1` for the sketch estimator
+    /// (`sketch0` is computed to precision `tₑ·e`). Default 2.0.
+    pub relaxation: f64,
+    /// Size of the pilot sample used to estimate `σ`. Default 1000.
+    pub sigma_pilot_size: u64,
+    /// `dev = |S|/|L|` band treated as balanced (Case 5): `(lo, hi)`
+    /// around 1. Default (0.99, 1.01).
+    pub balance_band: (f64, f64),
+    /// `dev` band (symmetric, expressed by its upper bound `hi > 1`)
+    /// within which `q = 1`. Default 1.03 (i.e. dev ∈ (1/1.03, 1.03)).
+    pub q_neutral_hi: f64,
+    /// `dev` band upper bound within which the moderate `q′` applies.
+    /// Default 1.06 (dev ∈ (1/1.06, 1.06) \ neutral band).
+    pub q_moderate_hi: f64,
+    /// Moderate leverage-allocation parameter `q′`. Default 5.
+    pub q_moderate: f64,
+    /// Strong leverage-allocation parameter `q′` for `dev` beyond the
+    /// moderate band. Default 10.
+    pub q_strong: f64,
+    /// Hard cap on modulation iterations (safety net over the closed-form
+    /// bound `⌈log(|D₀|/thr)/log(1/η)⌉`). Default 64.
+    pub max_iterations: u32,
+    /// Case 2/3 interpretation. Default [`ModulationStyle::FigureConsistent`].
+    pub modulation_style: ModulationStyle,
+    /// Clamp per-block answers to the sketch estimator's relaxed
+    /// confidence interval (`sketch0 ± tₑ·e`), the modulation boundary the
+    /// paper proposes in Section VII-B. Default true.
+    pub clamp_to_sketch_interval: bool,
+    /// Negative-data handling. Default [`ShiftPolicy::Auto`].
+    pub shift_policy: ShiftPolicy,
+    /// Known standard deviation: when set, the σ-estimation pilot is
+    /// skipped. Default `None`.
+    pub known_sigma: Option<f64>,
+    /// Record per-iteration traces in block outcomes (diagnostics).
+    /// Default false.
+    pub record_trace: bool,
+}
+
+impl Default for IslaConfig {
+    fn default() -> Self {
+        Self {
+            precision: 0.1,
+            confidence: 0.95,
+            p1: 0.5,
+            p2: 2.0,
+            lambda: 0.8,
+            eta: 0.5,
+            threshold: 0.1 / 1000.0,
+            relaxation: 2.0,
+            sigma_pilot_size: 1000,
+            balance_band: (0.99, 1.01),
+            q_neutral_hi: 1.03,
+            q_moderate_hi: 1.06,
+            q_moderate: 5.0,
+            q_strong: 10.0,
+            max_iterations: 64,
+            modulation_style: ModulationStyle::FigureConsistent,
+            clamp_to_sketch_interval: true,
+            shift_policy: ShiftPolicy::Auto,
+            known_sigma: None,
+            record_trace: false,
+        }
+    }
+}
+
+impl IslaConfig {
+    /// Starts a builder with the paper's defaults.
+    pub fn builder() -> IslaConfigBuilder {
+        IslaConfigBuilder::default()
+    }
+
+    /// Validates every parameter's domain.
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), IslaError> {
+        let fail = |msg: String| Err(IslaError::InvalidConfig(msg));
+        if !(self.precision > 0.0 && self.precision.is_finite()) {
+            return fail(format!("precision must be positive, got {}", self.precision));
+        }
+        if !(self.confidence > 0.0 && self.confidence < 1.0) {
+            return fail(format!(
+                "confidence must be in (0,1), got {}",
+                self.confidence
+            ));
+        }
+        if !(self.p1 > 0.0 && self.p1 < self.p2 && self.p2.is_finite()) {
+            return fail(format!(
+                "boundaries must satisfy 0 < p1 < p2, got p1={}, p2={}",
+                self.p1, self.p2
+            ));
+        }
+        if !(self.lambda > 0.0 && self.lambda < 1.0) {
+            return fail(format!("lambda must be in (0,1), got {}", self.lambda));
+        }
+        if !(self.eta > 0.0 && self.eta < 1.0) {
+            return fail(format!("eta must be in (0,1), got {}", self.eta));
+        }
+        if !(self.threshold > 0.0 && self.threshold.is_finite()) {
+            return fail(format!("threshold must be positive, got {}", self.threshold));
+        }
+        if !(self.relaxation >= 1.0 && self.relaxation.is_finite()) {
+            return fail(format!(
+                "relaxation factor must be >= 1, got {}",
+                self.relaxation
+            ));
+        }
+        if self.sigma_pilot_size < 2 {
+            return fail(format!(
+                "sigma pilot needs at least 2 samples, got {}",
+                self.sigma_pilot_size
+            ));
+        }
+        let (lo, hi) = self.balance_band;
+        if !(lo > 0.0 && lo < 1.0 && hi > 1.0 && hi.is_finite()) {
+            return fail(format!("balance band must straddle 1, got ({lo}, {hi})"));
+        }
+        if !(self.q_neutral_hi > hi && self.q_moderate_hi > self.q_neutral_hi) {
+            return fail(format!(
+                "q bands must satisfy balance_hi < q_neutral_hi < q_moderate_hi, got {} < {} < {}",
+                hi, self.q_neutral_hi, self.q_moderate_hi
+            ));
+        }
+        if !(self.q_moderate >= 1.0 && self.q_strong >= self.q_moderate) {
+            return fail(format!(
+                "q' tiers must satisfy 1 <= moderate <= strong, got {} and {}",
+                self.q_moderate, self.q_strong
+            ));
+        }
+        if self.max_iterations == 0 {
+            return fail("max_iterations must be positive".to_string());
+        }
+        if let ShiftPolicy::Fixed(d) = self.shift_policy {
+            if !d.is_finite() {
+                return fail(format!("fixed shift must be finite, got {d}"));
+            }
+        }
+        if let Some(s) = self.known_sigma {
+            if !(s >= 0.0 && s.is_finite()) {
+                return fail(format!("known sigma must be non-negative, got {s}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`IslaConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct IslaConfigBuilder {
+    config: IslaConfig,
+    threshold_overridden: bool,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.config.$name = value;
+            self
+        }
+    };
+}
+
+impl IslaConfigBuilder {
+    /// Sets the desired precision `e` (also rescales the default iteration
+    /// threshold to `e/1000` unless explicitly overridden).
+    pub fn precision(mut self, e: f64) -> Self {
+        self.config.precision = e;
+        if !self.threshold_overridden {
+            self.config.threshold = e / 1000.0;
+        }
+        self
+    }
+
+    /// Sets the iteration threshold `thr` explicitly.
+    pub fn threshold(mut self, thr: f64) -> Self {
+        self.config.threshold = thr;
+        self.threshold_overridden = true;
+        self
+    }
+
+    setter!(
+        /// Sets the confidence `β`.
+        confidence: f64
+    );
+    setter!(
+        /// Sets the inner boundary parameter `p1`.
+        p1: f64
+    );
+    setter!(
+        /// Sets the outer boundary parameter `p2`.
+        p2: f64
+    );
+    setter!(
+        /// Sets the step-length factor `λ`.
+        lambda: f64
+    );
+    setter!(
+        /// Sets the convergence speed `η`.
+        eta: f64
+    );
+    setter!(
+        /// Sets the sketch relaxation factor `tₑ`.
+        relaxation: f64
+    );
+    setter!(
+        /// Sets the σ-pilot sample size.
+        sigma_pilot_size: u64
+    );
+    setter!(
+        /// Sets the balanced `dev` band (Case 5).
+        balance_band: (f64, f64)
+    );
+    setter!(
+        /// Sets the `q = 1` band upper bound.
+        q_neutral_hi: f64
+    );
+    setter!(
+        /// Sets the moderate-`q′` band upper bound.
+        q_moderate_hi: f64
+    );
+    setter!(
+        /// Sets the moderate `q′`.
+        q_moderate: f64
+    );
+    setter!(
+        /// Sets the strong `q′`.
+        q_strong: f64
+    );
+    setter!(
+        /// Sets the iteration safety cap.
+        max_iterations: u32
+    );
+    setter!(
+        /// Sets the Case 2/3 interpretation.
+        modulation_style: ModulationStyle
+    );
+    setter!(
+        /// Enables or disables clamping block answers to the sketch
+        /// estimator's relaxed confidence interval (paper §VII-B).
+        clamp_to_sketch_interval: bool
+    );
+    setter!(
+        /// Sets the negative-data shift policy.
+        shift_policy: ShiftPolicy
+    );
+    setter!(
+        /// Supplies a known σ, skipping the σ-estimation pilot.
+        known_sigma: Option<f64>
+    );
+    setter!(
+        /// Enables per-iteration trace recording.
+        record_trace: bool
+    );
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InvalidConfig`] naming the offending parameter.
+    pub fn build(self) -> Result<IslaConfig, IslaError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_viii() {
+        let c = IslaConfig::default();
+        assert_eq!(c.precision, 0.1);
+        assert_eq!(c.confidence, 0.95);
+        assert_eq!(c.p1, 0.5);
+        assert_eq!(c.p2, 2.0);
+        assert_eq!(c.lambda, 0.8);
+        assert_eq!(c.eta, 0.5);
+        assert_eq!(c.q_moderate, 5.0);
+        assert_eq!(c.q_strong, 10.0);
+        assert_eq!(c.balance_band, (0.99, 1.01));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_rescales_threshold_with_precision() {
+        let c = IslaConfig::builder().precision(0.5).build().unwrap();
+        assert_eq!(c.threshold, 0.5 / 1000.0);
+        let c = IslaConfig::builder()
+            .threshold(1e-6)
+            .precision(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.threshold, 1e-6, "explicit threshold survives");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let cases: Vec<(IslaConfigBuilder, &str)> = vec![
+            (IslaConfig::builder().precision(0.0), "precision"),
+            (IslaConfig::builder().confidence(1.0), "confidence"),
+            (IslaConfig::builder().p1(2.5), "p1 < p2"),
+            (IslaConfig::builder().lambda(1.0), "lambda"),
+            (IslaConfig::builder().eta(0.0), "eta"),
+            (IslaConfig::builder().relaxation(0.5), "relaxation"),
+            (IslaConfig::builder().sigma_pilot_size(1), "pilot"),
+            (IslaConfig::builder().balance_band((1.01, 0.99)), "balance band"),
+            (IslaConfig::builder().q_neutral_hi(1.0), "q bands"),
+            (IslaConfig::builder().q_moderate(0.5), "q' tiers"),
+            (IslaConfig::builder().max_iterations(0), "max_iterations"),
+            (
+                IslaConfig::builder().shift_policy(ShiftPolicy::Fixed(f64::NAN)),
+                "fixed shift",
+            ),
+            (IslaConfig::builder().known_sigma(Some(-1.0)), "known sigma"),
+        ];
+        for (builder, what) in cases {
+            assert!(
+                matches!(builder.build(), Err(IslaError::InvalidConfig(_))),
+                "expected {what} to be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_must_be_positive_even_after_precision() {
+        let r = IslaConfig::builder().threshold(0.0).build();
+        assert!(matches!(r, Err(IslaError::InvalidConfig(_))));
+    }
+}

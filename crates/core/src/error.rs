@@ -1,0 +1,59 @@
+//! Error type for the ISLA core.
+
+use std::fmt;
+
+use isla_storage::StorageError;
+
+/// Errors raised by ISLA aggregation.
+#[derive(Debug)]
+pub enum IslaError {
+    /// A configuration parameter is out of its valid domain.
+    InvalidConfig(String),
+    /// The underlying storage failed.
+    Storage(StorageError),
+    /// The data (or pilot sample) cannot support the computation,
+    /// e.g. fewer than two pilot samples to estimate σ.
+    InsufficientData(String),
+}
+
+impl fmt::Display for IslaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IslaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            IslaError::Storage(e) => write!(f, "storage error: {e}"),
+            IslaError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IslaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IslaError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for IslaError {
+    fn from(e: StorageError) -> Self {
+        IslaError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = IslaError::InvalidConfig("precision must be positive".into());
+        assert!(e.to_string().contains("invalid configuration"));
+        let s: IslaError = StorageError::Empty.into();
+        assert!(s.to_string().contains("storage error"));
+        assert!(std::error::Error::source(&s).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+        let i = IslaError::InsufficientData("pilot too small".into());
+        assert!(i.to_string().contains("pilot too small"));
+    }
+}

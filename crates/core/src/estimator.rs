@@ -1,0 +1,184 @@
+//! The l-estimator as a closed-form linear function of `α`
+//! (paper Theorem 3).
+//!
+//! Accumulating value × probability over the S/L samples with the
+//! normalized leverages gives
+//!
+//! ```text
+//! μ̂ = f(α) = k·α + c
+//!
+//! c = (Σx + Σy) / (u + v)
+//! k = (T₂·Σx − Σx³) / [(1 + v/(q·u)) · (u·T₂ − Σx²)]
+//!   + v·Σy³ / [(q·u + v) · Σy²]
+//!   − c                                  with T₂ = Σx² + Σy²
+//! ```
+//!
+//! Both coefficients are functions of the power sums alone, which is what
+//! frees ISLA from storing samples and from sampling-order sensitivity.
+//! At `α = 0` the estimator reduces to `c`, the plain uniform mean of the
+//! participating samples.
+
+use isla_stats::PowerSums;
+
+/// The l-estimator `μ̂(α) = k·α + c` for one block's S/L samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearEstimator {
+    /// Slope: how strongly the leverage degree `α` modulates the answer.
+    pub k: f64,
+    /// Intercept: the uniform (leverage-free) mean of the S∪L samples.
+    pub c: f64,
+}
+
+impl LinearEstimator {
+    /// Derives `k` and `c` from the region power sums and the allocation
+    /// parameter `q` (Theorem 3).
+    ///
+    /// Returns `None` under the same conditions as
+    /// [`crate::leverage::LeverageAllocation::new`]: an empty region,
+    /// non-positive square sums, or non-positive `q`. The caller falls
+    /// back to the sketch estimator in that case.
+    // `!(x > 0.0)` deliberately treats NaN as invalid; `x <= 0.0` would not.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn from_moments(param_s: &PowerSums, param_l: &PowerSums, q: f64) -> Option<Self> {
+        let (u, v) = (param_s.count(), param_l.count());
+        if u == 0 || v == 0 || !(q > 0.0) {
+            return None;
+        }
+        let (uf, vf) = (u as f64, v as f64);
+        let (sx, sx2, sx3) = (param_s.sum(), param_s.sum_sq(), param_s.sum_cube());
+        let (sy, sy2, sy3) = (param_l.sum(), param_l.sum_sq(), param_l.sum_cube());
+        let t2 = sx2 + sy2;
+        if !(t2 > 0.0) || !(sy2 > 0.0) {
+            return None;
+        }
+        let c = (sx + sy) / (uf + vf);
+        let denom_s = (1.0 + vf / (q * uf)) * (uf * t2 - sx2);
+        if !(denom_s > 0.0) {
+            // Only possible when u = 1 and Σy² ≈ 0, excluded above — but
+            // guard against degenerate float inputs.
+            return None;
+        }
+        let s_term = (t2 * sx - sx3) / denom_s;
+        let l_term = vf * sy3 / ((q * uf + vf) * sy2);
+        let k = s_term + l_term - c;
+        (k.is_finite() && c.is_finite()).then_some(Self { k, c })
+    }
+
+    /// Evaluates `μ̂(α) = k·α + c`.
+    #[inline]
+    pub fn evaluate(&self, alpha: f64) -> f64 {
+        self.k * alpha + self.c
+    }
+
+    /// Whether the slope is too small for `α` to move the estimator
+    /// (the modulation then falls back to sketch-only movement).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        // Relative to the intercept's scale so the check is unit-free.
+        self.k.abs() <= f64::EPSILON * self.c.abs().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundaries::{DataBoundaries, Region};
+    use crate::leverage::LeverageAllocation;
+
+    fn paper_example_params() -> (PowerSums, PowerSums) {
+        // Paper §IV-B Example 1: S = {4, 5}, L = {8}.
+        (
+            [4.0, 5.0].into_iter().collect(),
+            [8.0].into_iter().collect(),
+        )
+    }
+
+    #[test]
+    fn paper_example_coefficients() {
+        let (s, l) = paper_example_params();
+        let est = LinearEstimator::from_moments(&s, &l, 1.0).unwrap();
+        // c = 17/3; k = 756/253.5 + 512/192 − 17/3 (hand-derived from
+        // Theorem 3 with T₂=105, Σx=9, Σx³=189, Σy³=512).
+        assert!((est.c - 17.0 / 3.0).abs() < 1e-12);
+        let want_k = 756.0 / 253.5 + 512.0 / 192.0 - 17.0 / 3.0;
+        assert!((est.k - want_k).abs() < 1e-12, "k = {}, want {want_k}", est.k);
+        // μ̂(0.1) = 5.66489…, which the paper prints rounded as 5.67.
+        assert!((est.evaluate(0.1) - 5.664891518737672).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform_mean() {
+        let (s, l) = paper_example_params();
+        let est = LinearEstimator::from_moments(&s, &l, 1.0).unwrap();
+        assert_eq!(est.evaluate(0.0), est.c);
+        assert!((est.c - (4.0 + 5.0 + 8.0) / 3.0).abs() < 1e-12);
+    }
+
+    /// Theorem 3 must agree exactly with the explicit per-sample
+    /// probability accumulation it was derived from.
+    #[test]
+    fn closed_form_matches_per_sample_accumulation() {
+        let boundaries = DataBoundaries::new(100.0, 20.0, 0.5, 2.0);
+        // Hand-built S/L sample lists inside the regions.
+        let s_vals = [62.0, 70.5, 75.0, 81.0, 88.0, 89.9];
+        let l_vals = [110.5, 117.0, 123.0, 131.0, 139.9];
+        let param_s: PowerSums = s_vals.iter().copied().collect();
+        let param_l: PowerSums = l_vals.iter().copied().collect();
+        for q in [1.0, 0.2, 5.0] {
+            let est = LinearEstimator::from_moments(&param_s, &param_l, q).unwrap();
+            let alloc = LeverageAllocation::new(&param_s, &param_l, q).unwrap();
+            for alpha in [-0.3, 0.0, 0.05, 0.4, 1.0] {
+                let mut direct = 0.0;
+                for &x in &s_vals {
+                    assert_eq!(boundaries.classify(x), Region::Small);
+                    direct += x * alloc.probability(x, Region::Small, alpha);
+                }
+                for &y in &l_vals {
+                    assert_eq!(boundaries.classify(y), Region::Large);
+                    direct += y * alloc.probability(y, Region::Large, alpha);
+                }
+                let closed = est.evaluate(alpha);
+                assert!(
+                    (closed - direct).abs() < 1e-9,
+                    "q={q} α={alpha}: closed {closed} direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undefined_for_empty_regions_or_bad_q() {
+        let (s, l) = paper_example_params();
+        let empty = PowerSums::new();
+        assert!(LinearEstimator::from_moments(&empty, &l, 1.0).is_none());
+        assert!(LinearEstimator::from_moments(&s, &empty, 1.0).is_none());
+        assert!(LinearEstimator::from_moments(&s, &l, 0.0).is_none());
+        let zeros: PowerSums = [0.0].into_iter().collect();
+        assert!(LinearEstimator::from_moments(&s, &zeros, 1.0).is_none());
+    }
+
+    #[test]
+    fn degeneracy_detection() {
+        let good = LinearEstimator { k: 0.5, c: 100.0 };
+        assert!(!good.is_degenerate());
+        let flat = LinearEstimator { k: 0.0, c: 100.0 };
+        assert!(flat.is_degenerate());
+        let tiny = LinearEstimator { k: 1e-18, c: 100.0 };
+        assert!(tiny.is_degenerate());
+    }
+
+    /// Order-insensitivity at the estimator level: permuting samples
+    /// leaves (k, c) unchanged because only power sums enter.
+    #[test]
+    fn permutation_invariance() {
+        let mut s_vals = [62.0, 70.5, 75.0, 81.0, 88.0];
+        let l_vals = [111.0, 119.0, 127.0];
+        let forward: PowerSums = s_vals.iter().copied().collect();
+        s_vals.reverse();
+        let backward: PowerSums = s_vals.iter().copied().collect();
+        let pl: PowerSums = l_vals.iter().copied().collect();
+        let a = LinearEstimator::from_moments(&forward, &pl, 1.0).unwrap();
+        let b = LinearEstimator::from_moments(&backward, &pl, 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+}

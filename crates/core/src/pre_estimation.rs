@@ -1,0 +1,226 @@
+//! The Pre-estimation module (paper Section III): sampling rate and the
+//! sketch estimator.
+//!
+//! Two pilot passes over the block set:
+//!
+//! 1. a fixed-size uniform pilot (proportional across blocks) estimates
+//!    the standard deviation `σ`, from which the main sampling rate
+//!    `r = z²σ²/(M·e²)` follows (Eq. 1). The paper notes σ "is subject to
+//!    error … [but] hardly has any effect on the answers" since it only
+//!    sizes the sample and the boundaries;
+//! 2. a second pilot sized for the *relaxed* precision `tₑ·e` produces
+//!    `sketch0` with the relaxed confidence interval
+//!    `(sketch0 − tₑ·e, sketch0 + tₑ·e)` — the precision assurance that
+//!    later bounds the modulation (Section VII-B).
+
+use rand::RngCore;
+
+use isla_stats::{required_sample_size, sampling_rate, ConfidenceInterval, WelfordMoments};
+use isla_storage::{sample_proportional, BlockSet};
+
+use crate::config::IslaConfig;
+use crate::error::IslaError;
+
+/// Output of the Pre-estimation module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreEstimate {
+    /// Estimated (or configured) standard deviation `σ`.
+    pub sigma: f64,
+    /// The sketch estimator's initial value `sketch0`.
+    pub sketch0: f64,
+    /// Main sampling rate `r = m/M`, clamped to `(0, 1]`.
+    pub rate: f64,
+    /// Required total sample size `m = ⌈z²σ²/e²⌉`.
+    pub required_samples: u64,
+    /// Samples consumed by the σ pilot (0 when σ was known).
+    pub sigma_pilot_used: u64,
+    /// Samples consumed by the sketch pilot.
+    pub sketch_pilot_used: u64,
+    /// The relaxed confidence interval of `sketch0`
+    /// (`± tₑ·e` at confidence `β`).
+    pub sketch_interval: ConfidenceInterval,
+}
+
+/// Runs pre-estimation over a block set.
+///
+/// # Errors
+///
+/// * [`IslaError::InsufficientData`] when the data cannot support the
+///   pilots (empty data, or fewer than 2 σ-pilot samples);
+/// * [`IslaError::Storage`] on block access failures.
+pub fn pre_estimate(
+    data: &BlockSet,
+    config: &IslaConfig,
+    rng: &mut dyn RngCore,
+) -> Result<PreEstimate, IslaError> {
+    let data_size = data.total_len();
+    if data_size == 0 {
+        return Err(IslaError::InsufficientData(
+            "block set holds no rows".to_string(),
+        ));
+    }
+
+    // Pilot 1: estimate σ (skipped when configured).
+    let (sigma, sigma_pilot_used) = match config.known_sigma {
+        Some(s) => (s, 0),
+        None => {
+            let pilot_size = config.sigma_pilot_size.min(data_size);
+            if pilot_size < 2 {
+                return Err(IslaError::InsufficientData(format!(
+                    "σ pilot needs at least 2 samples, data has {data_size} rows"
+                )));
+            }
+            let pilot = sample_proportional(data, pilot_size, rng)?;
+            let moments: WelfordMoments = pilot.into_iter().collect();
+            let sigma = moments
+                .std_dev_sample()
+                .expect("pilot size >= 2 guarantees a sample std-dev");
+            (sigma, pilot_size)
+        }
+    };
+
+    // Degenerate data (σ = 0): one sample pins the answer exactly; the
+    // caller is expected to shortcut on `sigma == 0`.
+    if sigma == 0.0 {
+        let value = sample_proportional(data, 1, rng)?[0];
+        return Ok(PreEstimate {
+            sigma,
+            sketch0: value,
+            rate: 1.0 / data_size as f64,
+            required_samples: 1,
+            sigma_pilot_used,
+            sketch_pilot_used: 1,
+            sketch_interval: ConfidenceInterval {
+                center: value,
+                half_width: 0.0,
+                confidence: config.confidence,
+            },
+        });
+    }
+
+    // Pilot 2: sketch0 at relaxed precision tₑ·e.
+    let relaxed_e = config.relaxation * config.precision;
+    let sketch_pilot = required_sample_size(sigma, relaxed_e, config.confidence).min(data_size);
+    let samples = sample_proportional(data, sketch_pilot, rng)?;
+    let moments: WelfordMoments = samples.into_iter().collect();
+    let sketch0 = moments.mean().expect("sketch pilot is non-empty");
+
+    let required_samples = required_sample_size(sigma, config.precision, config.confidence);
+    let rate = sampling_rate(sigma, config.precision, config.confidence, data_size);
+
+    Ok(PreEstimate {
+        sigma,
+        sketch0,
+        rate,
+        required_samples,
+        sigma_pilot_used,
+        sketch_pilot_used: sketch_pilot,
+        sketch_interval: ConfidenceInterval {
+            center: sketch0,
+            half_width: relaxed_e,
+            confidence: config.confidence,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_datagen::normal_values;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(e: f64) -> IslaConfig {
+        IslaConfig::builder().precision(e).build().unwrap()
+    }
+
+    #[test]
+    fn estimates_sigma_and_sketch_on_normal_data() {
+        let data = BlockSet::from_values(normal_values(100.0, 20.0, 400_000, 1), 10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pre = pre_estimate(&data, &config(0.5), &mut rng).unwrap();
+        assert!((pre.sigma - 20.0).abs() < 2.0, "σ̂ = {}", pre.sigma);
+        // sketch0 within the relaxed interval of the truth (w.h.p.).
+        assert!((pre.sketch0 - 100.0).abs() < 2.0 * 0.5 * 3.0, "sketch0 {}", pre.sketch0);
+        assert_eq!(pre.sigma_pilot_used, 1000);
+        // m = (1.96·σ̂/0.5)², r = m/M.
+        let want_m = isla_stats::required_sample_size(pre.sigma, 0.5, 0.95);
+        assert_eq!(pre.required_samples, want_m);
+        assert!((pre.rate - want_m as f64 / 400_000.0).abs() < 1e-12);
+        assert_eq!(pre.sketch_interval.half_width, 1.0); // tₑ·e = 2·0.5
+        assert_eq!(pre.sketch_interval.center, pre.sketch0);
+    }
+
+    #[test]
+    fn known_sigma_skips_first_pilot() {
+        let data = BlockSet::from_values(normal_values(100.0, 20.0, 50_000, 3), 5);
+        let cfg = IslaConfig::builder()
+            .precision(0.5)
+            .known_sigma(Some(20.0))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pre = pre_estimate(&data, &cfg, &mut rng).unwrap();
+        assert_eq!(pre.sigma, 20.0);
+        assert_eq!(pre.sigma_pilot_used, 0);
+    }
+
+    #[test]
+    fn rate_saturates_on_tiny_data() {
+        let data = BlockSet::from_values(normal_values(100.0, 20.0, 50, 2), 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let pre = pre_estimate(&data, &config(0.5), &mut rng).unwrap();
+        assert_eq!(pre.rate, 1.0, "required m exceeds M → full scan rate");
+        assert_eq!(pre.sigma_pilot_used, 50);
+    }
+
+    #[test]
+    fn degenerate_constant_data_short_circuits() {
+        let data = BlockSet::from_values(vec![7.5; 1000], 4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let pre = pre_estimate(&data, &config(0.1), &mut rng).unwrap();
+        assert_eq!(pre.sigma, 0.0);
+        assert_eq!(pre.sketch0, 7.5);
+        assert_eq!(pre.required_samples, 1);
+        assert_eq!(pre.sketch_interval.half_width, 0.0);
+    }
+
+    #[test]
+    fn empty_data_is_rejected() {
+        let data = BlockSet::single(isla_storage::MemBlock::new(vec![]));
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(matches!(
+            pre_estimate(&data, &config(0.1), &mut rng),
+            Err(IslaError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn single_row_cannot_estimate_sigma() {
+        let data = BlockSet::from_values(vec![3.0], 1);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(matches!(
+            pre_estimate(&data, &config(0.1), &mut rng),
+            Err(IslaError::InsufficientData(_))
+        ));
+        // …unless σ is known.
+        let cfg = IslaConfig::builder()
+            .precision(0.1)
+            .known_sigma(Some(1.0))
+            .build()
+            .unwrap();
+        let pre = pre_estimate(&data, &cfg, &mut rng).unwrap();
+        assert_eq!(pre.rate, 1.0);
+    }
+
+    #[test]
+    fn tighter_precision_needs_more_samples() {
+        let data = BlockSet::from_values(normal_values(100.0, 20.0, 200_000, 9), 10);
+        let mut rng = StdRng::seed_from_u64(10);
+        let loose = pre_estimate(&data, &config(0.5), &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let tight = pre_estimate(&data, &config(0.1), &mut rng).unwrap();
+        assert!(tight.required_samples > loose.required_samples * 20);
+        assert!(tight.sketch_pilot_used > loose.sketch_pilot_used);
+    }
+}

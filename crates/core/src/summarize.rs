@@ -1,0 +1,75 @@
+//! The Summarization module (paper Section II-C): size-weighted
+//! combination of per-block partial answers.
+//!
+//! "The final answer is calculated as Σ avgⱼ·|Bⱼ|/M" — a convex
+//! combination of the partial answers with weights proportional to block
+//! sizes, so blocks with more data contribute more.
+
+use crate::error::IslaError;
+
+/// Combines `(partial_answer, block_rows)` pairs into the final answer.
+///
+/// Zero-row blocks are ignored (they carry no weight).
+///
+/// # Errors
+///
+/// [`IslaError::InsufficientData`] when no rows exist at all.
+pub fn combine_partials(partials: &[(f64, u64)]) -> Result<f64, IslaError> {
+    let total_rows: u64 = partials.iter().map(|&(_, rows)| rows).sum();
+    if total_rows == 0 {
+        return Err(IslaError::InsufficientData(
+            "no rows across blocks to summarize".to_string(),
+        ));
+    }
+    let mut acc = isla_stats::NeumaierSum::new();
+    for &(answer, rows) in partials {
+        if rows > 0 {
+            acc.add(answer * (rows as f64 / total_rows as f64));
+        }
+    }
+    Ok(acc.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_blocks_average_evenly() {
+        let partials = [(10.0, 100), (20.0, 100), (30.0, 100)];
+        assert!((combine_partials(&partials).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_follow_block_sizes() {
+        // The paper's formula with |B₁|=900, |B₂|=100.
+        let partials = [(10.0, 900), (110.0, 100)];
+        assert!((combine_partials(&partials).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_row_blocks_are_ignored() {
+        let partials = [(1e18, 0), (42.0, 10)];
+        assert_eq!(combine_partials(&partials).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn all_empty_is_an_error() {
+        assert!(matches!(
+            combine_partials(&[(1.0, 0), (2.0, 0)]),
+            Err(IslaError::InsufficientData(_))
+        ));
+        assert!(matches!(
+            combine_partials(&[]),
+            Err(IslaError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn result_is_a_convex_combination() {
+        // The combined answer always lies inside [min, max] of partials.
+        let partials = [(99.2, 123), (100.5, 77), (100.1, 999), (99.9, 5)];
+        let combined = combine_partials(&partials).unwrap();
+        assert!((99.2..=100.5).contains(&combined));
+    }
+}

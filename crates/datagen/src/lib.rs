@@ -1,0 +1,33 @@
+//! Workload generators for the ISLA evaluation (paper Section VIII).
+//!
+//! Every dataset in the paper's experiments is reproduced here from a
+//! seed:
+//!
+//! * [`synthetic`] — the normal / exponential / uniform datasets of
+//!   Sections VIII-A through VIII-E ("we generated data in normal
+//!   distribution N(µ, σ²) … we set µ to 100 and σ to 20");
+//! * [`tpch`] — a TPC-H-like `lineitem` generator standing in for dbgen
+//!   in the Section VIII-F efficiency experiment;
+//! * [`salary`] — a right-skewed mixture calibrated to the Census-Income
+//!   (KDD) salary column of Section VIII-G (n = 299,285, µ = 1740.38);
+//! * [`tlc`] — a clustered bimodal mixture calibrated to the NYC TLC
+//!   trip-distance column of Section VIII-G (n = 10,906,858, µ = 4648.2,
+//!   "the too big values and the too small values are highly clustered").
+//!
+//! The substitutions for the two real datasets and for dbgen are recorded
+//! in `DESIGN.md`; the calibration targets (size, mean, skew shape) are
+//! asserted by this crate's tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod salary;
+pub mod spec;
+pub mod synthetic;
+pub mod tlc;
+pub mod tpch;
+
+pub use spec::Dataset;
+pub use synthetic::{
+    exponential_dataset, mixture_dataset, normal_dataset, normal_values, uniform_dataset,
+};

@@ -1,0 +1,88 @@
+//! Dataset descriptors: data plus its ground truth.
+
+use isla_storage::BlockSet;
+
+/// A generated dataset: a block set together with the ground truth the
+/// evaluation compares estimates against.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name, e.g. `"normal(100,20) #3"`.
+    pub name: String,
+    /// The data, already partitioned into blocks.
+    pub blocks: BlockSet,
+    /// The exact average, either the distribution's closed-form mean (for
+    /// virtual data) or a full-scan mean (for materialized data).
+    pub true_mean: f64,
+    /// The exact (or closed-form) standard deviation when known. Some
+    /// experiments use it to skip the σ-estimation pilot.
+    pub true_std_dev: Option<f64>,
+}
+
+impl Dataset {
+    /// Builds a descriptor, computing the scan ground truth when `true_mean`
+    /// is not supplied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ground truth must be scanned but a block refuses
+    /// scanning.
+    pub fn materialized(name: impl Into<String>, blocks: BlockSet) -> Self {
+        let true_mean = blocks
+            .exact_mean()
+            .expect("materialized dataset must be scannable for its ground truth");
+        Self {
+            name: name.into(),
+            blocks,
+            true_mean,
+            true_std_dev: None,
+        }
+    }
+
+    /// Builds a descriptor with a known closed-form ground truth.
+    pub fn virtual_truth(
+        name: impl Into<String>,
+        blocks: BlockSet,
+        true_mean: f64,
+        true_std_dev: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            blocks,
+            true_mean,
+            true_std_dev: Some(true_std_dev),
+        }
+    }
+
+    /// Absolute error of an estimate against this dataset's ground truth.
+    pub fn abs_error(&self, estimate: f64) -> f64 {
+        (estimate - self.true_mean).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialized_computes_scan_truth() {
+        let ds = Dataset::materialized(
+            "tiny",
+            BlockSet::from_values(vec![1.0, 2.0, 3.0, 4.0], 2),
+        );
+        assert_eq!(ds.true_mean, 2.5);
+        assert_eq!(ds.abs_error(3.0), 0.5);
+        assert_eq!(ds.true_std_dev, None);
+    }
+
+    #[test]
+    fn virtual_truth_carries_parameters() {
+        let ds = Dataset::virtual_truth(
+            "v",
+            BlockSet::from_values(vec![0.0], 1),
+            100.0,
+            20.0,
+        );
+        assert_eq!(ds.true_mean, 100.0);
+        assert_eq!(ds.true_std_dev, Some(20.0));
+    }
+}

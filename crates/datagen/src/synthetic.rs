@@ -1,0 +1,224 @@
+//! Synthetic datasets for Sections VIII-A through VIII-E.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use isla_stats::distributions::{Distribution, Exponential, Mixture, Normal, UniformRange};
+use isla_storage::{BlockSet, GeneratorBlock};
+
+use crate::spec::Dataset;
+
+/// Generates `n` values from `N(mean, std_dev²)` with a fixed seed.
+pub fn normal_values(mean: f64, std_dev: f64, n: usize, seed: u64) -> Vec<f64> {
+    let dist = Normal::new(mean, std_dev);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| dist.sample(&mut rng)).collect()
+}
+
+/// A materialized normal dataset split into `blocks` blocks, with the
+/// *scan* mean as ground truth (matching the paper's synthetic-data
+/// methodology: the generated file is the population).
+pub fn normal_dataset(mean: f64, std_dev: f64, n: usize, blocks: usize, seed: u64) -> Dataset {
+    let values = normal_values(mean, std_dev, n, seed);
+    let mut ds = Dataset::materialized(
+        format!("normal({mean},{std_dev}) n={n} seed={seed}"),
+        BlockSet::from_values(values, blocks),
+    );
+    // The distributional σ is known; record it so experiments can skip the
+    // σ-estimation pilot when the paper's setup fixes σ.
+    ds.true_std_dev = Some(std_dev);
+    ds
+}
+
+/// A materialized exponential dataset (rate `γ`, mean `1/γ`) split into
+/// `blocks` blocks — the Table VI workload.
+pub fn exponential_dataset(rate: f64, n: usize, blocks: usize, seed: u64) -> Dataset {
+    let dist = Exponential::new(rate);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    let mut ds = Dataset::materialized(
+        format!("exponential(γ={rate}) n={n} seed={seed}"),
+        BlockSet::from_values(values, blocks),
+    );
+    ds.true_std_dev = Some(dist.std_dev());
+    ds
+}
+
+/// A materialized uniform dataset on `[low, high)` split into `blocks`
+/// blocks — the Table VII workload (`[1, 199]`).
+pub fn uniform_dataset(low: f64, high: f64, n: usize, blocks: usize, seed: u64) -> Dataset {
+    let dist = UniformRange::new(low, high);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    let mut ds = Dataset::materialized(
+        format!("uniform[{low},{high}) n={n} seed={seed}"),
+        BlockSet::from_values(values, blocks),
+    );
+    ds.true_std_dev = Some(dist.std_dev());
+    ds
+}
+
+/// A materialized mixture-of-normals dataset, for the "superimposed
+/// normal distributions" scenario of Section VII-B.
+pub fn mixture_dataset(
+    components: Vec<(f64, f64, f64)>, // (weight, mean, std_dev)
+    n: usize,
+    blocks: usize,
+    seed: u64,
+) -> Dataset {
+    let mixture = Mixture::new(
+        components
+            .iter()
+            .map(|&(w, m, s)| (w, Box::new(Normal::new(m, s)) as Box<dyn Distribution>))
+            .collect(),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n).map(|_| mixture.sample(&mut rng)).collect();
+    let mut ds = Dataset::materialized(
+        format!("mixture({} components) n={n} seed={seed}", components.len()),
+        BlockSet::from_values(values, blocks),
+    );
+    ds.true_std_dev = Some(mixture.std_dev());
+    ds
+}
+
+/// A *virtual* normal dataset of `rows` rows split evenly into `blocks`
+/// generator blocks — the substitution for the paper's 10⁸–10¹² row
+/// datasets (see `DESIGN.md`). Ground truth is the closed-form mean.
+pub fn virtual_normal_dataset(
+    mean: f64,
+    std_dev: f64,
+    rows: u64,
+    blocks: usize,
+    seed: u64,
+) -> Dataset {
+    assert!(blocks > 0, "block count must be positive");
+    let per_block = rows / blocks as u64;
+    let remainder = rows % blocks as u64;
+    let dist: Arc<dyn Distribution> = Arc::new(Normal::new(mean, std_dev));
+    let block_vec: Vec<Arc<dyn isla_storage::DataBlock>> = (0..blocks)
+        .map(|i| {
+            let len = per_block + u64::from((i as u64) < remainder);
+            Arc::new(GeneratorBlock::new(
+                Arc::clone(&dist),
+                len,
+                seed.wrapping_add(i as u64),
+            )) as Arc<dyn isla_storage::DataBlock>
+        })
+        .collect();
+    Dataset::virtual_truth(
+        format!("virtual-normal({mean},{std_dev}) rows={rows} seed={seed}"),
+        BlockSet::new(block_vec),
+        mean,
+        std_dev,
+    )
+}
+
+/// The paper's non-i.i.d. workload (Section VIII-D): five blocks from
+/// N(100,20²), N(50,10²), N(80,30²), N(150,60²), N(120,40²), each with
+/// `rows_per_block` virtual rows. Ground truth is the mean of the block
+/// means (all blocks are the same size).
+pub fn noniid_dataset(rows_per_block: u64, seed: u64) -> Dataset {
+    let params = [(100.0, 20.0), (50.0, 10.0), (80.0, 30.0), (150.0, 60.0), (120.0, 40.0)];
+    let blocks: Vec<Arc<dyn isla_storage::DataBlock>> = params
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, s))| {
+            Arc::new(GeneratorBlock::new(
+                Arc::new(Normal::new(m, s)) as Arc<dyn Distribution>,
+                rows_per_block,
+                seed.wrapping_add(i as u64),
+            )) as Arc<dyn isla_storage::DataBlock>
+        })
+        .collect();
+    let true_mean = params.iter().map(|&(m, _)| m).sum::<f64>() / params.len() as f64;
+    Dataset {
+        name: format!("non-iid 5 blocks × {rows_per_block} rows seed={seed}"),
+        blocks: BlockSet::new(blocks),
+        true_mean,
+        true_std_dev: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_stats::summary;
+
+    #[test]
+    fn normal_dataset_matches_parameters() {
+        let ds = normal_dataset(100.0, 20.0, 100_000, 10, 1);
+        assert_eq!(ds.blocks.block_count(), 10);
+        assert_eq!(ds.blocks.total_len(), 100_000);
+        assert!((ds.true_mean - 100.0).abs() < 0.3, "mean {}", ds.true_mean);
+        let mut all = Vec::new();
+        ds.blocks.scan_all(&mut |v| all.push(v)).unwrap();
+        let sd = summary::std_dev(&all).unwrap();
+        assert!((sd - 20.0).abs() < 0.3, "sd {sd}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = normal_values(100.0, 20.0, 1000, 7);
+        let b = normal_values(100.0, 20.0, 1000, 7);
+        let c = normal_values(100.0, 20.0, 1000, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn exponential_dataset_mean_tracks_inverse_rate() {
+        for rate in [0.05, 0.1, 0.2] {
+            let ds = exponential_dataset(rate, 200_000, 5, 3);
+            let want = 1.0 / rate;
+            assert!(
+                (ds.true_mean - want).abs() / want < 0.02,
+                "γ={rate}: mean {} want {want}",
+                ds.true_mean
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_dataset_covers_range() {
+        let ds = uniform_dataset(1.0, 199.0, 100_000, 5, 4);
+        assert!((ds.true_mean - 100.0).abs() < 1.0);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        ds.blocks
+            .scan_all(&mut |v| {
+                min = min.min(v);
+                max = max.max(v);
+            })
+            .unwrap();
+        assert!(min >= 1.0 && max < 199.0);
+        assert!(min < 3.0 && max > 197.0, "range poorly covered: [{min},{max}]");
+    }
+
+    #[test]
+    fn mixture_dataset_mean_is_weighted() {
+        let ds = mixture_dataset(vec![(0.5, 0.0, 1.0), (0.5, 10.0, 1.0)], 100_000, 4, 5);
+        assert!((ds.true_mean - 5.0).abs() < 0.1, "mean {}", ds.true_mean);
+    }
+
+    #[test]
+    fn virtual_dataset_is_cheap_at_any_size() {
+        let ds = virtual_normal_dataset(100.0, 20.0, 1_000_000_000_000, 10, 6);
+        assert_eq!(ds.blocks.total_len(), 1_000_000_000_000);
+        assert_eq!(ds.true_mean, 100.0);
+        assert_eq!(ds.true_std_dev, Some(20.0));
+        // Row remainder distributes across leading blocks.
+        let ds2 = virtual_normal_dataset(0.0, 1.0, 7, 3, 0);
+        let sizes: Vec<u64> = ds2.blocks.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn noniid_dataset_ground_truth() {
+        let ds = noniid_dataset(1_000, 7);
+        assert_eq!(ds.blocks.block_count(), 5);
+        assert_eq!(ds.true_mean, 100.0);
+    }
+}

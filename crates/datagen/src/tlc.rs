@@ -1,0 +1,123 @@
+//! TLC-trip-like clustered skewed dataset: the NYC yellow-cab stand-in.
+//!
+//! The paper's Section VIII-G aggregates the January 2016 yellow-cab
+//! `trip_distance` column multiplied by 1000: "The data size is 10906858,
+//! with an accurate average of 4648.2. … the data set is highly-skewed.
+//! The too big values and the too small values are highly clustered."
+//!
+//! The stand-in (substitution recorded in `DESIGN.md`) is a four-component
+//! mixture reproducing those features: a dense cluster of very short
+//! trips, a lognormal mid-range body, a tight cluster of long airport-run
+//! trips, and a sparse very-long-tail component. The component weights and
+//! the body mean are calibrated so the mixture mean equals the published
+//! 4648.2 exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use isla_stats::distributions::{Distribution, LogNormal, Mixture};
+use isla_storage::BlockSet;
+
+use crate::spec::Dataset;
+
+/// Published row count of the TLC experiment.
+pub const TLC_ROWS: usize = 10_906_858;
+
+/// Published exact average (trip distance × 1000).
+pub const TLC_MEAN: f64 = 4648.2;
+
+// Cluster weights: short / body / long / very long.
+const W_SHORT: f64 = 0.30;
+const W_BODY: f64 = 0.55;
+const W_LONG: f64 = 0.10;
+const W_XLONG: f64 = 0.05;
+
+// Cluster means (milli-miles). The body mean is derived from the others so
+// the mixture hits TLC_MEAN exactly.
+const SHORT_MEAN: f64 = 1_000.0;
+const LONG_MEAN: f64 = 15_000.0;
+const XLONG_MEAN: f64 = 30_000.0;
+
+/// Builds the TLC stand-in distribution with the published mean.
+pub fn tlc_distribution() -> Mixture {
+    let body_mean =
+        (TLC_MEAN - W_SHORT * SHORT_MEAN - W_LONG * LONG_MEAN - W_XLONG * XLONG_MEAN) / W_BODY;
+    assert!(body_mean > 0.0, "calibration produced non-positive body mean");
+    Mixture::new(vec![
+        // Tight short-trip cluster (cv 0.25 ⇒ clustered around 1 mile).
+        (W_SHORT, Box::new(LogNormal::with_mean_cv(SHORT_MEAN, 0.25)) as Box<dyn Distribution>),
+        // Mid-range body, moderately skewed.
+        (W_BODY, Box::new(LogNormal::with_mean_cv(body_mean, 0.90))),
+        // Tight long-trip (airport-run) cluster.
+        (W_LONG, Box::new(LogNormal::with_mean_cv(LONG_MEAN, 0.12))),
+        // Sparse very long trips.
+        (W_XLONG, Box::new(LogNormal::with_mean_cv(XLONG_MEAN, 0.50))),
+    ])
+}
+
+/// Materializes the TLC stand-in at the published size, split into
+/// `blocks` blocks.
+///
+/// At full size this allocates ~87 MB; use
+/// [`tlc_dataset_sized`] for cheaper variants in tests.
+pub fn tlc_dataset(blocks: usize, seed: u64) -> Dataset {
+    tlc_dataset_sized(TLC_ROWS, blocks, seed)
+}
+
+/// Materializes a TLC-like dataset of `n` rows.
+pub fn tlc_dataset_sized(n: usize, blocks: usize, seed: u64) -> Dataset {
+    let dist = tlc_distribution();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+    Dataset::materialized(
+        format!("tlc-like n={n} seed={seed}"),
+        BlockSet::from_values(values, blocks),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_stats::summary;
+
+    #[test]
+    fn distribution_mean_matches_published_value() {
+        let d = tlc_distribution();
+        assert!(
+            (d.mean() - TLC_MEAN).abs() < 1e-9,
+            "calibrated mean {} != {TLC_MEAN}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn dataset_reproduces_clustered_bimodality() {
+        let ds = tlc_dataset_sized(100_000, 10, 29);
+        let mut values = Vec::new();
+        ds.blocks.scan_all(&mut |v| values.push(v)).unwrap();
+        // Short trips: the 30% short cluster plus the lower body tail.
+        let short = values.iter().filter(|&&v| v < 1_600.0).count() as f64 / values.len() as f64;
+        assert!((0.25..0.65).contains(&short), "short-cluster mass {short}");
+        // Long clusters: ≈15% of trips above 12k.
+        let long = values.iter().filter(|&&v| v > 12_000.0).count() as f64 / values.len() as f64;
+        assert!((0.08..0.25).contains(&long), "long-cluster mass {long}");
+        // Right-skewed overall.
+        let skew = summary::skewness(&values).unwrap();
+        assert!(skew > 1.0, "skewness {skew}");
+        // The two extreme clusters are tight: density dips between body
+        // and long cluster (bimodality check at the 9-12k gap).
+        let gap = values.iter().filter(|&&v| (9_000.0..12_000.0).contains(&v)).count() as f64
+            / values.len() as f64;
+        assert!(gap < long, "gap mass {gap} should undercut long-cluster mass {long}");
+    }
+
+    #[test]
+    fn scan_mean_is_close_to_published() {
+        let ds = tlc_dataset_sized(200_000, 10, 31);
+        assert!(
+            (ds.true_mean - TLC_MEAN).abs() / TLC_MEAN < 0.03,
+            "scan mean {}",
+            ds.true_mean
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! A TPC-H-like `lineitem` generator (the dbgen stand-in of Section VIII-F).
+//!
+//! The paper's efficiency experiment runs AVG over a 600-million-row
+//! TPC-H `lineitem` column. We reproduce dbgen's column *shapes* with a
+//! seeded generator at configurable scale:
+//!
+//! * `l_quantity` — uniform integer in `[1, 50]` (dbgen: `random(1, 50)`);
+//! * `l_extendedprice` — `l_quantity × p_retailprice(partkey)`, with
+//!   dbgen's retail price formula
+//!   `(90000 + (partkey/10 mod 20001) + 100·(partkey mod 1000)) / 100`;
+//! * `l_discount` — uniform in `{0.00, 0.01, …, 0.10}`;
+//! * `l_tax` — uniform in `{0.00, …, 0.08}`.
+//!
+//! The efficiency comparison (run time of ISLA vs MV/MVB/US/STS over the
+//! same column) is scale-free, so a scaled-down row count preserves the
+//! experiment's shape; see `DESIGN.md`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use isla_storage::BlockSet;
+
+use crate::spec::Dataset;
+
+/// Rows per TPC-H scale factor unit (dbgen produces ~6M lineitem rows at
+/// SF 1).
+pub const ROWS_PER_SCALE_FACTOR: u64 = 6_000_000;
+
+/// One generated `lineitem` row (the columns relevant to aggregation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineitemRow {
+    /// Order key the row belongs to.
+    pub orderkey: u64,
+    /// Part key, drives the retail price.
+    pub partkey: u64,
+    /// `l_quantity` ∈ [1, 50].
+    pub quantity: f64,
+    /// `l_extendedprice` = quantity × retail price.
+    pub extendedprice: f64,
+    /// `l_discount` ∈ [0.00, 0.10].
+    pub discount: f64,
+    /// `l_tax` ∈ [0.00, 0.08].
+    pub tax: f64,
+}
+
+/// A numeric column of the generated `lineitem` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineitemColumn {
+    /// `l_quantity`.
+    Quantity,
+    /// `l_extendedprice`.
+    ExtendedPrice,
+    /// `l_discount`.
+    Discount,
+    /// `l_tax`.
+    Tax,
+}
+
+impl LineitemColumn {
+    /// Extracts this column from a row.
+    pub fn of(self, row: &LineitemRow) -> f64 {
+        match self {
+            LineitemColumn::Quantity => row.quantity,
+            LineitemColumn::ExtendedPrice => row.extendedprice,
+            LineitemColumn::Discount => row.discount,
+            LineitemColumn::Tax => row.tax,
+        }
+    }
+}
+
+/// dbgen's retail price formula for a part key.
+#[inline]
+fn retail_price(partkey: u64) -> f64 {
+    (90_000 + (partkey / 10) % 20_001 + 100 * (partkey % 1_000)) as f64 / 100.0
+}
+
+/// Seeded `lineitem` row generator.
+#[derive(Debug)]
+pub struct LineitemGenerator {
+    rng: StdRng,
+    next_orderkey: u64,
+    part_count: u64,
+}
+
+impl LineitemGenerator {
+    /// Creates a generator for roughly `scale_factor` × SF-1 data volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale_factor` is not positive and finite.
+    pub fn new(scale_factor: f64, seed: u64) -> Self {
+        assert!(
+            scale_factor.is_finite() && scale_factor > 0.0,
+            "scale factor must be positive, got {scale_factor}"
+        );
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            next_orderkey: 1,
+            // dbgen: 200k parts per scale factor.
+            part_count: ((200_000.0 * scale_factor) as u64).max(1),
+        }
+    }
+
+    /// Generates the next row.
+    pub fn next_row(&mut self) -> LineitemRow {
+        let orderkey = self.next_orderkey;
+        // dbgen emits 1-7 lineitems per order; advancing the order key with
+        // probability 1/4 approximates that multiplicity cheaply.
+        if self.rng.random_range(0..4u8) == 0 {
+            self.next_orderkey += 1;
+        }
+        let partkey = self.rng.random_range(1..=self.part_count);
+        let quantity = self.rng.random_range(1..=50u32) as f64;
+        let extendedprice = quantity * retail_price(partkey);
+        let discount = self.rng.random_range(0..=10u32) as f64 / 100.0;
+        let tax = self.rng.random_range(0..=8u32) as f64 / 100.0;
+        LineitemRow {
+            orderkey,
+            partkey,
+            quantity,
+            extendedprice,
+            discount,
+            tax,
+        }
+    }
+
+    /// Generates `n` rows.
+    pub fn rows(&mut self, n: usize) -> Vec<LineitemRow> {
+        (0..n).map(|_| self.next_row()).collect()
+    }
+}
+
+/// Materializes one `lineitem` column as a block-partitioned [`Dataset`].
+///
+/// `rows` defaults (in the efficiency bench) to a scaled-down count; the
+/// full paper setting is `100 GB ≈ SF 100 ≈ 600M rows`.
+pub fn lineitem_column_dataset(
+    column: LineitemColumn,
+    rows: usize,
+    blocks: usize,
+    seed: u64,
+) -> Dataset {
+    let scale_factor = (rows as f64 / ROWS_PER_SCALE_FACTOR as f64).max(0.01);
+    let mut generator = LineitemGenerator::new(scale_factor, seed);
+    let values: Vec<f64> = (0..rows).map(|_| column.of(&generator.next_row())).collect();
+    Dataset::materialized(
+        format!("tpch-lineitem {column:?} rows={rows} seed={seed}"),
+        BlockSet::from_values(values, blocks),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retail_price_matches_dbgen_formula_bounds() {
+        // Formula range: [900.00, 90000+20000+99900)/100 = [900, 2099.0].
+        for pk in [1u64, 10, 999, 1_000, 123_456, 199_999] {
+            let p = retail_price(pk);
+            assert!((900.0..=2099.0).contains(&p), "partkey {pk} price {p}");
+        }
+        assert_eq!(retail_price(10), (90_000 + 1 + 100 * 10) as f64 / 100.0);
+    }
+
+    #[test]
+    fn rows_respect_column_domains() {
+        let mut generator = LineitemGenerator::new(0.01, 11);
+        for _ in 0..10_000 {
+            let row = generator.next_row();
+            assert!((1.0..=50.0).contains(&row.quantity) && row.quantity.fract() == 0.0);
+            assert!((0.0..=0.10).contains(&row.discount));
+            assert!((0.0..=0.08).contains(&row.tax));
+            assert!(row.extendedprice >= 900.0 && row.extendedprice <= 50.0 * 2099.0);
+            assert!(row.partkey >= 1 && row.partkey <= 2_000);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = LineitemGenerator::new(0.01, 5).rows(100);
+        let b = LineitemGenerator::new(0.01, 5).rows(100);
+        assert_eq!(a, b);
+        let c = LineitemGenerator::new(0.01, 6).rows(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quantity_column_mean_is_centered() {
+        // E[quantity] = 25.5.
+        let ds = lineitem_column_dataset(LineitemColumn::Quantity, 100_000, 10, 13);
+        assert!(
+            (ds.true_mean - 25.5).abs() < 0.25,
+            "quantity mean {}",
+            ds.true_mean
+        );
+        assert_eq!(ds.blocks.block_count(), 10);
+    }
+
+    #[test]
+    fn extendedprice_column_mean_in_expected_band() {
+        // E[price] ≈ E[quantity]·E[retail] ≈ 25.5 · ~1499.5 ≈ 38k.
+        let ds = lineitem_column_dataset(LineitemColumn::ExtendedPrice, 100_000, 10, 17);
+        assert!(
+            (30_000.0..=46_000.0).contains(&ds.true_mean),
+            "extendedprice mean {}",
+            ds.true_mean
+        );
+    }
+
+    #[test]
+    fn orderkeys_are_nondecreasing() {
+        let mut generator = LineitemGenerator::new(0.01, 19);
+        let rows = generator.rows(1000);
+        for w in rows.windows(2) {
+            assert!(w[1].orderkey >= w[0].orderkey);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn rejects_bad_scale_factor() {
+        let _ = LineitemGenerator::new(0.0, 1);
+    }
+}

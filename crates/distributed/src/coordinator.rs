@@ -1,0 +1,338 @@
+//! The scatter/gather coordinator.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use isla_core::{
+    combine_partials, execute_block, pre_estimate, BlockOutcome, DataBoundaries, IslaConfig,
+    IslaError, PreEstimate,
+};
+use isla_storage::BlockSet;
+
+use crate::message::{BlockTask, WorkerReply};
+
+/// Per-worker execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Blocks this worker processed.
+    pub blocks_processed: u64,
+    /// Samples this worker drew.
+    pub samples_drawn: u64,
+}
+
+/// The result of a distributed aggregation.
+#[derive(Debug)]
+pub struct DistributedResult {
+    /// The approximate AVG.
+    pub estimate: f64,
+    /// The approximate SUM (`estimate × M`).
+    pub sum_estimate: f64,
+    /// Total rows `M`.
+    pub data_size: u64,
+    /// Pre-estimation output.
+    pub pre: PreEstimate,
+    /// Negative-data translation applied.
+    pub shift: f64,
+    /// Per-block outcomes, in block order.
+    pub blocks: Vec<BlockOutcome>,
+    /// Calculation-phase samples drawn.
+    pub total_samples: u64,
+    /// Per-worker statistics.
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+/// Runs ISLA with block tasks scattered across a worker-thread pool.
+///
+/// Pre-estimation runs on the coordinator (it needs a coherent global
+/// pilot); the per-block Calculation phase — the expensive part — fans
+/// out. Per-block seeds are fixed before scattering, so the distributed
+/// answer is bit-identical to [`isla_core::IslaAggregator`]'s sequential
+/// one for the same RNG stream.
+#[derive(Debug, Clone)]
+pub struct DistributedAggregator {
+    config: IslaConfig,
+    workers: usize,
+}
+
+impl DistributedAggregator {
+    /// Creates a coordinator with `workers` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InvalidConfig`] for invalid configs or zero workers.
+    pub fn new(config: IslaConfig, workers: usize) -> Result<Self, IslaError> {
+        config.validate()?;
+        if workers == 0 {
+            return Err(IslaError::InvalidConfig(
+                "worker count must be positive".to_string(),
+            ));
+        }
+        Ok(Self { config, workers })
+    }
+
+    /// Creates a coordinator sized to the machine's parallelism.
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InvalidConfig`] for invalid configs.
+    pub fn with_default_workers(config: IslaConfig) -> Result<Self, IslaError> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::new(config, workers)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs the distributed pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Pre-estimation failures, or the first block failure reported by a
+    /// worker.
+    pub fn aggregate(
+        &self,
+        data: &BlockSet,
+        rng: &mut dyn RngCore,
+    ) -> Result<DistributedResult, IslaError> {
+        let pre = pre_estimate(data, &self.config, rng)?;
+        let data_size = data.total_len();
+        if pre.sigma == 0.0 {
+            return Ok(DistributedResult {
+                estimate: pre.sketch0,
+                sum_estimate: pre.sketch0 * data_size as f64,
+                data_size,
+                pre,
+                shift: 0.0,
+                blocks: Vec::new(),
+                total_samples: 0,
+                worker_stats: vec![WorkerStats::default(); self.workers],
+            });
+        }
+
+        let shift = isla_core::shift::compute_shift(
+            self.config.shift_policy,
+            pre.sketch0,
+            pre.sigma,
+            self.config.p2,
+        );
+        let sketch0_shifted = pre.sketch0 + shift;
+        let boundaries = DataBoundaries::new(
+            sketch0_shifted,
+            pre.sigma,
+            self.config.p1,
+            self.config.p2,
+        );
+
+        // Seeds drawn up front, in block order, exactly as the sequential
+        // aggregator draws them.
+        let tasks: Vec<BlockTask> = data
+            .iter()
+            .enumerate()
+            .map(|(block_id, block)| BlockTask {
+                block_id,
+                sample_size: (pre.rate * block.len() as f64).round() as u64,
+                boundaries,
+                sketch0_shifted,
+                shift,
+                seed: rng.next_u64(),
+            })
+            .collect();
+
+        let (task_tx, task_rx) = channel::unbounded::<BlockTask>();
+        let (reply_tx, reply_rx) = channel::unbounded::<WorkerReply>();
+        for task in tasks {
+            task_tx.send(task).expect("receiver alive");
+        }
+        drop(task_tx); // workers drain the queue, then exit
+
+        let stats = Mutex::new(vec![WorkerStats::default(); self.workers]);
+        let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        let mut outcomes: Vec<Option<BlockOutcome>> = Vec::new();
+        outcomes.resize_with(data.block_count(), || None);
+
+        let config = &self.config;
+        let stats_ref = &stats;
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..self.workers {
+                let task_rx = task_rx.clone();
+                let reply_tx = reply_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(task) = task_rx.recv() {
+                        let block = data.block(task.block_id);
+                        let mut block_rng = StdRng::seed_from_u64(task.seed);
+                        let reply = match execute_block(
+                            block.as_ref(),
+                            task.block_id,
+                            task.sample_size,
+                            task.boundaries,
+                            task.sketch0_shifted,
+                            task.shift,
+                            config,
+                            &mut block_rng,
+                        ) {
+                            Ok(outcome) => {
+                                let mut s = stats_ref.lock();
+                                s[worker].blocks_processed += 1;
+                                s[worker].samples_drawn += outcome.samples_drawn;
+                                WorkerReply::Done {
+                                    worker,
+                                    outcome: Box::new(outcome),
+                                }
+                            }
+                            Err(e) => WorkerReply::Failed {
+                                worker,
+                                block_id: task.block_id,
+                                error: e.to_string(),
+                            },
+                        };
+                        let _ = reply_tx.send(reply);
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            // Gather on the coordinator thread.
+            for reply in reply_rx.iter() {
+                match reply {
+                    WorkerReply::Done { outcome, .. } => {
+                        let id = outcome.block_id;
+                        outcomes[id] = Some(*outcome);
+                    }
+                    WorkerReply::Failed {
+                        block_id, error, ..
+                    } => {
+                        first_failure.lock().get_or_insert((block_id, error));
+                    }
+                }
+            }
+        })
+        .expect("worker threads do not panic");
+
+        if let Some((block_id, error)) = first_failure.into_inner() {
+            return Err(IslaError::InsufficientData(format!(
+                "block {block_id} failed during distributed execution: {error}"
+            )));
+        }
+        let blocks: Vec<BlockOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every block either succeeded or reported failure"))
+            .collect();
+        let total_samples = blocks.iter().map(|b| b.samples_drawn).sum();
+        let partials: Vec<(f64, u64)> = blocks.iter().map(|b| (b.answer, b.rows)).collect();
+        let estimate = combine_partials(&partials)?;
+        Ok(DistributedResult {
+            estimate,
+            sum_estimate: estimate * data_size as f64,
+            data_size,
+            pre,
+            shift,
+            blocks,
+            total_samples,
+            worker_stats: stats.into_inner(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_core::IslaAggregator;
+    use isla_datagen::normal_dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(e: f64) -> IslaConfig {
+        IslaConfig::builder().precision(e).build().unwrap()
+    }
+
+    #[test]
+    fn matches_sequential_execution_exactly() {
+        let ds = normal_dataset(100.0, 20.0, 400_000, 16, 70);
+        let mut rng_seq = StdRng::seed_from_u64(1);
+        let sequential = IslaAggregator::new(config(0.5))
+            .unwrap()
+            .aggregate(&ds.blocks, &mut rng_seq)
+            .unwrap();
+        let mut rng_dist = StdRng::seed_from_u64(1);
+        let distributed = DistributedAggregator::new(config(0.5), 4)
+            .unwrap()
+            .aggregate(&ds.blocks, &mut rng_dist)
+            .unwrap();
+        assert_eq!(
+            sequential.estimate, distributed.estimate,
+            "scattering must not change the answer"
+        );
+        assert_eq!(sequential.total_samples, distributed.total_samples);
+        for (s, d) in sequential.blocks.iter().zip(&distributed.blocks) {
+            assert_eq!(s.block_id, d.block_id);
+            assert_eq!(s.answer, d.answer);
+            assert_eq!(s.u, d.u);
+            assert_eq!(s.v, d.v);
+        }
+    }
+
+    #[test]
+    fn work_is_actually_distributed() {
+        // Per-block work must be heavy enough (~20k samples each) that the
+        // queue is not drained before the other workers start.
+        let ds = normal_dataset(100.0, 20.0, 1_000_000, 32, 71);
+        let mut rng = StdRng::seed_from_u64(2);
+        let result = DistributedAggregator::new(config(0.05), 4)
+            .unwrap()
+            .aggregate(&ds.blocks, &mut rng)
+            .unwrap();
+        let total_blocks: u64 = result.worker_stats.iter().map(|s| s.blocks_processed).sum();
+        assert_eq!(total_blocks, 32);
+        let busy_workers = result
+            .worker_stats
+            .iter()
+            .filter(|s| s.blocks_processed > 0)
+            .count();
+        assert!(busy_workers >= 2, "expected >1 busy worker, got {busy_workers}");
+        let total_sampled: u64 = result.worker_stats.iter().map(|s| s.samples_drawn).sum();
+        assert_eq!(total_sampled, result.total_samples);
+    }
+
+    #[test]
+    fn single_worker_degrades_gracefully() {
+        let ds = normal_dataset(100.0, 20.0, 100_000, 8, 72);
+        let mut rng = StdRng::seed_from_u64(3);
+        let result = DistributedAggregator::new(config(0.5), 1)
+            .unwrap()
+            .aggregate(&ds.blocks, &mut rng)
+            .unwrap();
+        assert!((result.estimate - ds.true_mean).abs() < 1.0);
+        assert_eq!(result.worker_stats.len(), 1);
+        assert_eq!(result.worker_stats[0].blocks_processed, 8);
+    }
+
+    #[test]
+    fn constant_data_short_circuits() {
+        let data = BlockSet::from_values(vec![2.5; 10_000], 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let result = DistributedAggregator::new(config(0.1), 4)
+            .unwrap()
+            .aggregate(&data, &mut rng)
+            .unwrap();
+        assert_eq!(result.estimate, 2.5);
+        assert!(result.blocks.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(matches!(
+            DistributedAggregator::new(config(0.1), 0),
+            Err(IslaError::InvalidConfig(_))
+        ));
+        assert!(DistributedAggregator::with_default_workers(config(0.1))
+            .unwrap()
+            .workers()
+            > 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Messages exchanged between the coordinator and workers.
+
+use isla_core::{BlockOutcome, DataBoundaries};
+
+/// A unit of work: "run Algorithms 1+2 on block `block_id`".
+#[derive(Debug, Clone)]
+pub struct BlockTask {
+    /// Which block to process.
+    pub block_id: usize,
+    /// Samples to draw.
+    pub sample_size: u64,
+    /// Data boundaries (shifted domain).
+    pub boundaries: DataBoundaries,
+    /// Sketch value in the shifted domain.
+    pub sketch0_shifted: f64,
+    /// Negative-data translation in effect.
+    pub shift: f64,
+    /// Per-block RNG seed (fixed by the coordinator so scattering does
+    /// not change the answer).
+    pub seed: u64,
+}
+
+/// A worker's reply.
+#[derive(Debug)]
+pub enum WorkerReply {
+    /// The block's partial answer, tagged with the worker that ran it.
+    Done {
+        /// Worker index.
+        worker: usize,
+        /// The block outcome.
+        outcome: Box<BlockOutcome>,
+    },
+    /// The block failed (storage error rendered to a string so the reply
+    /// stays `Send` without threading non-`Send` error internals).
+    Failed {
+        /// Worker index.
+        worker: usize,
+        /// Which block failed.
+        block_id: usize,
+        /// Rendered error.
+        error: String,
+    },
+}

@@ -1,0 +1,192 @@
+//! Time-constrained aggregation (paper Section VII-F).
+//!
+//! "According to the workload, the relationship of the sample size and
+//! the run time could be obtained, based on which our system calculates
+//! the required sample size within the time constraint. The system then
+//! generates the precision assurance — the confidence interval — to
+//! ensure accuracy."
+//!
+//! [`aggregate_within`] calibrates per-sample cost with a timed probe,
+//! sizes the sample to the deadline, runs the (distributed) pipeline at
+//! that rate, and reports the *achieved* confidence interval for the
+//! sample it could afford.
+
+use std::time::{Duration, Instant};
+
+use rand::RngCore;
+
+use isla_core::{IslaConfig, IslaError};
+use isla_stats::ConfidenceInterval;
+use isla_storage::{sample_proportional, BlockSet};
+
+use crate::coordinator::{DistributedAggregator, DistributedResult};
+
+/// Samples used by the throughput calibration probe.
+const CALIBRATION_SAMPLES: u64 = 2_000;
+
+/// Fraction of the deadline budgeted for sampling (headroom for pilots,
+/// iteration and summarization).
+const SAFETY: f64 = 0.8;
+
+/// A deadline-bounded aggregation result.
+#[derive(Debug)]
+pub struct TimeConstrainedResult {
+    /// The underlying aggregation result.
+    pub result: DistributedResult,
+    /// Whether the deadline forced a smaller sample than the precision
+    /// target wanted.
+    pub time_limited: bool,
+    /// The confidence interval *achieved* by the affordable sample size
+    /// (equals the configured precision when not time-limited).
+    pub achieved_interval: ConfidenceInterval,
+    /// Wall-clock time actually spent.
+    pub elapsed: Duration,
+}
+
+/// Runs distributed ISLA within a wall-clock deadline.
+///
+/// # Errors
+///
+/// [`IslaError::InsufficientData`] when the deadline cannot cover any
+/// sampling at all; otherwise as
+/// [`DistributedAggregator::aggregate`].
+pub fn aggregate_within(
+    aggregator: &DistributedAggregator,
+    data: &BlockSet,
+    deadline: Duration,
+    config: &IslaConfig,
+    rng: &mut dyn RngCore,
+) -> Result<TimeConstrainedResult, IslaError> {
+    let start = Instant::now();
+
+    // Calibrate sampling throughput on this workload.
+    let probe = CALIBRATION_SAMPLES.min(data.total_len().max(1));
+    let probe_start = Instant::now();
+    let _ = sample_proportional(data, probe, rng)?;
+    let per_sample = probe_start.elapsed().as_secs_f64() / probe as f64;
+
+    let remaining = deadline.saturating_sub(start.elapsed()).as_secs_f64() * SAFETY;
+    let affordable = if per_sample > 0.0 {
+        (remaining / per_sample) as u64
+    } else {
+        u64::MAX
+    };
+    if affordable < 2 {
+        return Err(IslaError::InsufficientData(format!(
+            "deadline {deadline:?} affords fewer than 2 samples at ≈{:.2} µs/sample",
+            per_sample * 1e6
+        )));
+    }
+
+    // Run at the precision-derived rate; if that would overshoot the
+    // deadline, rerun capped at the affordable rate.
+    let result = aggregator.aggregate(data, rng)?;
+    let wanted = result.total_samples + result.pre.sigma_pilot_used + result.pre.sketch_pilot_used;
+    let (result, time_limited, effective_m) = if wanted <= affordable {
+        let m = result.total_samples.max(1);
+        (result, false, m)
+    } else {
+        // Sequential fallback at the affordable absolute rate — reuse the
+        // core aggregator via a fresh run with the capped rate.
+        let rate = (affordable as f64 / data.total_len() as f64).clamp(f64::MIN_POSITIVE, 1.0);
+        let capped = isla_core::IslaAggregator::new(config.clone())?
+            .aggregate_with_absolute_rate(data, rate, rng)?;
+        let m = capped.total_samples.max(1);
+        (
+            DistributedResult {
+                estimate: capped.estimate,
+                sum_estimate: capped.sum_estimate,
+                data_size: capped.data_size,
+                pre: capped.pre,
+                shift: capped.shift,
+                blocks: capped.blocks,
+                total_samples: capped.total_samples,
+                worker_stats: Vec::new(),
+            },
+            true,
+            m,
+        )
+    };
+
+    let achieved_interval = ConfidenceInterval::for_mean(
+        result.estimate,
+        result.pre.sigma,
+        effective_m,
+        config.confidence,
+    );
+    Ok(TimeConstrainedResult {
+        result,
+        time_limited,
+        achieved_interval,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_datagen::normal_dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(e: f64) -> IslaConfig {
+        IslaConfig::builder().precision(e).build().unwrap()
+    }
+
+    #[test]
+    fn generous_deadline_is_not_limiting() {
+        let ds = normal_dataset(100.0, 20.0, 200_000, 10, 80);
+        let cfg = config(0.5);
+        let agg = DistributedAggregator::new(cfg.clone(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = aggregate_within(
+            &agg,
+            &ds.blocks,
+            Duration::from_secs(120),
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!out.time_limited);
+        assert!((out.result.estimate - ds.true_mean).abs() < 1.0);
+        // Achieved interval equals the configured target (up to rounding
+        // of m): half-width ≈ e.
+        assert!(out.achieved_interval.half_width <= 0.6);
+    }
+
+    #[test]
+    fn tight_deadline_limits_and_widens_the_interval() {
+        // Very tight precision demands millions of samples; a short
+        // deadline must cap the sample and report a wider interval.
+        let ds = normal_dataset(100.0, 20.0, 400_000, 10, 81);
+        let cfg = config(0.01);
+        let agg = DistributedAggregator::new(cfg.clone(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = aggregate_within(
+            &agg,
+            &ds.blocks,
+            Duration::from_millis(120),
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.time_limited, "0.01 precision cannot fit in 120 ms here");
+        assert!(
+            out.achieved_interval.half_width > 0.01,
+            "achieved half-width {} should be wider than the target",
+            out.achieved_interval.half_width
+        );
+        // Still a sane estimate.
+        assert!((out.result.estimate - ds.true_mean).abs() < 3.0);
+    }
+
+    #[test]
+    fn impossible_deadline_errors() {
+        let ds = normal_dataset(100.0, 20.0, 100_000, 5, 82);
+        let cfg = config(0.5);
+        let agg = DistributedAggregator::new(cfg.clone(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = aggregate_within(&agg, &ds.blocks, Duration::ZERO, &cfg, &mut rng);
+        assert!(matches!(r, Err(IslaError::InsufficientData(_))));
+    }
+}

@@ -1,0 +1,167 @@
+//! The catalog: named tables whose columns are block sets.
+
+use std::collections::HashMap;
+
+use isla_storage::BlockSet;
+
+use crate::error::QueryError;
+
+/// A table: a set of named numeric columns of equal row count, each
+/// stored as a block-partitioned [`BlockSet`].
+#[derive(Debug, Clone)]
+pub struct Table {
+    columns: HashMap<String, BlockSet>,
+    rows: u64,
+}
+
+impl Table {
+    /// Builds a table from `(name, column)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given or the columns disagree on the row
+    /// count — schema construction errors are programming errors.
+    pub fn new(columns: Vec<(impl Into<String>, BlockSet)>) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        let mut map = HashMap::new();
+        let mut rows = None;
+        for (name, column) in columns {
+            let n = column.total_len();
+            match rows {
+                None => rows = Some(n),
+                Some(r) => assert_eq!(r, n, "columns must agree on the row count"),
+            }
+            map.insert(name.into(), column);
+        }
+        Self {
+            columns: map,
+            rows: rows.expect("at least one column"),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Looks up a column.
+    pub fn column(&self, name: &str) -> Option<&BlockSet> {
+        self.columns.get(name)
+    }
+
+    /// The column names, sorted (for stable display).
+    pub fn column_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.columns.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// A registry of named tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks a table up, with a query-friendly error.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownTable`].
+    pub fn table(&self, name: &str) -> Result<&Table, QueryError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+    }
+
+    /// Resolves `table.column`, with query-friendly errors.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownTable`] / [`QueryError::UnknownColumn`].
+    pub fn column(&self, table: &str, column: &str) -> Result<&BlockSet, QueryError> {
+        let t = self.table(table)?;
+        t.column(column).ok_or_else(|| QueryError::UnknownColumn {
+            table: table.to_string(),
+            column: column.to_string(),
+        })
+    }
+
+    /// The registered table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_set(values: Vec<f64>) -> BlockSet {
+        BlockSet::from_values(values, 2)
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "trips",
+            Table::new(vec![
+                ("distance", block_set(vec![1.0, 2.0, 3.0, 4.0])),
+                ("fare", block_set(vec![10.0, 20.0, 30.0, 40.0])),
+            ]),
+        );
+        assert_eq!(catalog.table("trips").unwrap().rows(), 4);
+        assert!(catalog.column("trips", "distance").is_ok());
+        assert_eq!(
+            catalog.table("trips").unwrap().column_names(),
+            vec!["distance", "fare"]
+        );
+        assert_eq!(catalog.table_names(), vec!["trips"]);
+    }
+
+    #[test]
+    fn missing_table_and_column_errors() {
+        let mut catalog = Catalog::new();
+        catalog.register(
+            "t",
+            Table::new(vec![("c", block_set(vec![1.0, 2.0]))]),
+        );
+        assert!(matches!(
+            catalog.table("nope"),
+            Err(QueryError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            catalog.column("t", "nope"),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns must agree on the row count")]
+    fn mismatched_row_counts_panic() {
+        let _ = Table::new(vec![
+            ("a", block_set(vec![1.0, 2.0])),
+            ("b", block_set(vec![1.0, 2.0, 3.0])),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_table_panics() {
+        let _ = Table::new(Vec::<(String, BlockSet)>::new());
+    }
+}

@@ -1,0 +1,103 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+use isla_core::IslaError;
+
+/// Errors raised by parsing or executing a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The input contains a character or literal the lexer cannot read.
+    Lex {
+        /// Byte offset of the problem.
+        position: usize,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// The token stream does not match the grammar.
+    Parse {
+        /// What the parser expected.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// The queried table is not registered in the catalog.
+    UnknownTable(String),
+    /// The queried column does not exist on the table.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A semantically invalid query (e.g. AVG without a precision and
+    /// without a sample budget).
+    Invalid(String),
+    /// The underlying aggregation failed.
+    Engine(IslaError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, detail } => {
+                write!(f, "lex error at byte {position}: {detail}")
+            }
+            QueryError::Parse { expected, found } => {
+                write!(f, "parse error: expected {expected}, found {found}")
+            }
+            QueryError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            QueryError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column:?} on table {table:?}")
+            }
+            QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            QueryError::Engine(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IslaError> for QueryError {
+    fn from(e: IslaError) -> Self {
+        QueryError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryError::Lex {
+            position: 3,
+            detail: "bad char".into()
+        }
+        .to_string()
+        .contains("byte 3"));
+        assert!(QueryError::Parse {
+            expected: "FROM".into(),
+            found: "WITH".into()
+        }
+        .to_string()
+        .contains("expected FROM"));
+        assert!(QueryError::UnknownTable("t".into()).to_string().contains("t"));
+        assert!(QueryError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into()
+        }
+        .to_string()
+        .contains("\"c\""));
+        let e: QueryError = IslaError::InsufficientData("x".into()).into();
+        assert!(e.to_string().contains("execution failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,461 @@
+//! Query execution: dispatches a parsed [`Query`] to ISLA or a baseline.
+
+use std::time::{Duration, Instant};
+
+use rand::RngCore;
+
+use isla_baselines::{
+    Estimator, IslaEstimator, MeasureBiasedBoundaries, MeasureBiasedValues, Slev,
+    StratifiedSampling, UniformSampling,
+};
+use isla_core::{IslaAggregator, IslaConfig, IslaError};
+use isla_stats::{required_sample_size, WelfordMoments};
+use isla_storage::{sample_proportional, BlockSet};
+
+use crate::ast::{AggFunc, Method, Query};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+
+/// Default confidence when the query omits `CONFIDENCE` (the paper's
+/// experimental default).
+pub const DEFAULT_CONFIDENCE: f64 = 0.95;
+
+/// Samples drawn to calibrate throughput for `WITHIN … MS` execution
+/// (paper §VII-F: "according to the workload, the relationship of the
+/// sample size and the run time could be obtained").
+const TIME_CALIBRATION_SAMPLES: u64 = 2_000;
+
+/// Fraction of the time budget the calibrated plan aims to use, leaving
+/// headroom for the iteration phase and summarization.
+const TIME_SAFETY: f64 = 0.8;
+
+/// The answer to a query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The aggregate value.
+    pub value: f64,
+    /// Which aggregate was computed.
+    pub agg: AggFunc,
+    /// Which method produced it.
+    pub method: Method,
+    /// Row count of the queried table.
+    pub rows: u64,
+    /// Samples spent (None for exact/COUNT paths).
+    pub samples_used: Option<u64>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// The precision the answer was computed for, when applicable.
+    pub precision: Option<f64>,
+    /// The confidence in effect.
+    pub confidence: f64,
+    /// True when a `WITHIN` clause forced a smaller sample than the
+    /// precision target wanted.
+    pub time_limited: bool,
+}
+
+/// Executes a parsed query against a catalog.
+///
+/// # Errors
+///
+/// Catalog resolution failures, invalid clause combinations, or engine
+/// errors — see [`QueryError`].
+pub fn execute(
+    query: &Query,
+    catalog: &Catalog,
+    rng: &mut dyn RngCore,
+) -> Result<QueryResult, QueryError> {
+    let start = Instant::now();
+    let confidence = query.confidence.unwrap_or(DEFAULT_CONFIDENCE);
+
+    // COUNT(*) is exact from metadata regardless of method.
+    if query.agg == AggFunc::Count {
+        let table = catalog.table(&query.table)?;
+        return Ok(QueryResult {
+            value: table.rows() as f64,
+            agg: AggFunc::Count,
+            method: Method::Exact,
+            rows: table.rows(),
+            samples_used: None,
+            elapsed: start.elapsed(),
+            precision: None,
+            confidence,
+            time_limited: false,
+        });
+    }
+
+    let data = catalog.column(&query.table, &query.column)?;
+    let rows = data.total_len();
+
+    // MAX/MIN go through the extreme-value extension (paper §VII-D):
+    // a leverage-guided sampled bound, or an exact scan under
+    // `METHOD EXACT`.
+    if matches!(query.agg, AggFunc::Max | AggFunc::Min) {
+        let kind = if query.agg == AggFunc::Max {
+            isla_core::ExtremeKind::Max
+        } else {
+            isla_core::ExtremeKind::Min
+        };
+        let (value, samples_used) = if query.method == Method::Exact {
+            let mut extreme = if kind == isla_core::ExtremeKind::Max {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+            data.scan_all(&mut |v| {
+                extreme = if kind == isla_core::ExtremeKind::Max {
+                    extreme.max(v)
+                } else {
+                    extreme.min(v)
+                };
+            })
+            .map_err(IslaError::from)?;
+            (extreme, None)
+        } else {
+            let config = match query.precision {
+                Some(_) => isla_config(query, confidence)?,
+                None => IslaConfig::builder()
+                    .confidence(confidence)
+                    .build()
+                    .map_err(QueryError::from)?,
+            };
+            let result = isla_core::ExtremeAggregator::new(config)?
+                .aggregate(data, kind, rng)?;
+            (result.estimate, Some(result.total_samples))
+        };
+        return Ok(QueryResult {
+            value,
+            agg: query.agg,
+            method: query.method,
+            rows,
+            samples_used,
+            elapsed: start.elapsed(),
+            precision: query.precision,
+            confidence,
+            time_limited: false,
+        });
+    }
+
+    let (avg, samples_used, time_limited) = match query.method {
+        Method::Exact => {
+            let mean = data.exact_mean().map_err(IslaError::from)?;
+            (mean, None, false)
+        }
+        Method::Isla => run_isla(query, data, confidence, rng)?,
+        baseline => {
+            let budget = baseline_budget(query, data, confidence, rng)?;
+            let value = match baseline {
+                Method::Us => UniformSampling.estimate(data, budget, rng)?,
+                Method::Sts => StratifiedSampling::proportional().estimate(data, budget, rng)?,
+                Method::Mv => MeasureBiasedValues.estimate(data, budget, rng)?,
+                Method::Mvb => {
+                    // MVB only uses the boundary parameters (p1, p2) and
+                    // budget-driven pilots; precision is not required.
+                    let config = match query.precision {
+                        Some(_) => isla_config(query, confidence)?,
+                        None => IslaConfig::builder()
+                            .confidence(confidence)
+                            .build()
+                            .map_err(QueryError::from)?,
+                    };
+                    MeasureBiasedBoundaries::new(config)?.estimate(data, budget, rng)?
+                }
+                Method::Slev => Slev::default().estimate(data, budget, rng)?,
+                Method::Isla | Method::Exact => unreachable!("handled above"),
+            };
+            (value, Some(budget), false)
+        }
+    };
+
+    let value = match query.agg {
+        AggFunc::Avg => avg,
+        AggFunc::Sum => avg * rows as f64,
+        AggFunc::Count | AggFunc::Max | AggFunc::Min => unreachable!("handled above"),
+    };
+
+    Ok(QueryResult {
+        value,
+        agg: query.agg,
+        method: query.method,
+        rows,
+        samples_used,
+        elapsed: start.elapsed(),
+        precision: query.precision,
+        confidence,
+        time_limited,
+    })
+}
+
+/// Builds the ISLA configuration a query implies.
+fn isla_config(query: &Query, confidence: f64) -> Result<IslaConfig, QueryError> {
+    let precision = query.precision.ok_or_else(|| {
+        QueryError::Invalid(format!(
+            "{:?} with METHOD {:?} needs WITH PRECISION (or SAMPLES for baselines)",
+            query.agg, query.method
+        ))
+    })?;
+    IslaConfig::builder()
+        .precision(precision)
+        .confidence(confidence)
+        .build()
+        .map_err(QueryError::from)
+}
+
+/// ISLA execution: precision-driven, budget-driven, or time-constrained.
+fn run_isla(
+    query: &Query,
+    data: &BlockSet,
+    confidence: f64,
+    rng: &mut dyn RngCore,
+) -> Result<(f64, Option<u64>, bool), QueryError> {
+    // Budget-driven (SAMPLES n, no precision): adapter path.
+    if query.precision.is_none() {
+        let budget = query.samples.ok_or_else(|| {
+            QueryError::Invalid(
+                "ISLA needs WITH PRECISION e, or SAMPLES n as an explicit budget".to_string(),
+            )
+        })?;
+        let config = IslaConfig::default();
+        let estimator = IslaEstimator::new(config)?;
+        let value = estimator.estimate(data, budget, rng)?;
+        return Ok((value, Some(budget), false));
+    }
+
+    let config = isla_config(query, confidence)?;
+    let aggregator = IslaAggregator::new(config)?;
+
+    // Time-constrained execution (paper §VII-F): calibrate throughput,
+    // cap the budget to what fits in the remaining time.
+    if let Some(ms) = query.within_ms {
+        let deadline = Duration::from_millis(ms);
+        let calib_start = Instant::now();
+        let probe = TIME_CALIBRATION_SAMPLES.min(data.total_len().max(1));
+        let _ = sample_proportional(data, probe, rng).map_err(IslaError::from)?;
+        let per_sample = calib_start.elapsed().as_secs_f64() / probe as f64;
+        let remaining = deadline
+            .saturating_sub(calib_start.elapsed())
+            .as_secs_f64()
+            * TIME_SAFETY;
+        let affordable = if per_sample > 0.0 {
+            (remaining / per_sample) as u64
+        } else {
+            u64::MAX
+        };
+        if affordable == 0 {
+            return Err(QueryError::Invalid(format!(
+                "time budget {ms} ms cannot cover any sampling (≈{:.1} µs/sample)",
+                per_sample * 1e6
+            )));
+        }
+        let result = aggregator.aggregate(data, rng)?;
+        if result.total_samples_with_pilots() <= affordable {
+            return Ok((result.estimate, Some(result.total_samples_with_pilots()), false));
+        }
+        // Too expensive: re-run the calculation phase at the affordable
+        // rate (pilots already spent are sunk cost, as in the paper's
+        // pre-computed-pilot reading).
+        let rate =
+            (affordable as f64 / data.total_len() as f64).clamp(f64::MIN_POSITIVE, 1.0);
+        let limited = aggregator.aggregate_with_absolute_rate(data, rate, rng)?;
+        return Ok((
+            limited.estimate,
+            Some(limited.total_samples_with_pilots()),
+            true,
+        ));
+    }
+
+    let result = aggregator.aggregate(data, rng)?;
+    Ok((
+        result.estimate,
+        Some(result.total_samples_with_pilots()),
+        false,
+    ))
+}
+
+/// Sample budget for a baseline: explicit `SAMPLES n`, or derived from
+/// the precision via Eq. 1 with a pilot σ estimate.
+fn baseline_budget(
+    query: &Query,
+    data: &BlockSet,
+    confidence: f64,
+    rng: &mut dyn RngCore,
+) -> Result<u64, QueryError> {
+    if let Some(n) = query.samples {
+        return Ok(n);
+    }
+    let precision = query.precision.ok_or_else(|| {
+        QueryError::Invalid(format!(
+            "METHOD {:?} needs SAMPLES n or WITH PRECISION e",
+            query.method
+        ))
+    })?;
+    let pilot_size = 1_000.min(data.total_len()).max(2);
+    let pilot = sample_proportional(data, pilot_size, rng).map_err(IslaError::from)?;
+    let moments: WelfordMoments = pilot.into_iter().collect();
+    let sigma = moments.std_dev_sample().unwrap_or(0.0);
+    if sigma == 0.0 {
+        return Ok(1);
+    }
+    Ok(required_sample_size(sigma, precision, confidence).min(data.total_len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Table;
+    use crate::parser::parse;
+    use isla_datagen::normal_values;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let values = normal_values(100.0, 20.0, 300_000, 1);
+        let doubled: Vec<f64> = values.iter().map(|v| v * 2.0).collect();
+        c.register(
+            "trips",
+            Table::new(vec![
+                ("distance", BlockSet::from_values(values, 10)),
+                ("fare", BlockSet::from_values(doubled, 10)),
+            ]),
+        );
+        c
+    }
+
+    fn run(sql: &str, seed: u64) -> Result<QueryResult, QueryError> {
+        let query = parse(sql).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        execute(&query, &catalog(), &mut rng)
+    }
+
+    #[test]
+    fn avg_with_precision_via_isla() {
+        let r = run("SELECT AVG(distance) FROM trips WITH PRECISION 0.5", 2).unwrap();
+        assert!((r.value - 100.0).abs() < 1.0, "value {}", r.value);
+        assert_eq!(r.method, Method::Isla);
+        assert_eq!(r.rows, 300_000);
+        assert!(r.samples_used.unwrap() > 0);
+        assert!(!r.time_limited);
+        assert_eq!(r.precision, Some(0.5));
+        assert_eq!(r.confidence, DEFAULT_CONFIDENCE);
+    }
+
+    #[test]
+    fn sum_is_avg_times_rows() {
+        let r = run("SELECT SUM(distance) FROM trips WITH PRECISION 0.5", 3).unwrap();
+        assert!((r.value / 300_000.0 - 100.0).abs() < 1.0);
+        assert_eq!(r.agg, AggFunc::Sum);
+    }
+
+    #[test]
+    fn count_star_is_exact() {
+        let r = run("SELECT COUNT(*) FROM trips", 4).unwrap();
+        assert_eq!(r.value, 300_000.0);
+        assert_eq!(r.method, Method::Exact);
+        assert!(r.samples_used.is_none());
+    }
+
+    #[test]
+    fn exact_method_scans() {
+        let r = run("SELECT AVG(distance) FROM trips METHOD EXACT", 5).unwrap();
+        // Full-scan truth of this seed's data.
+        assert!((r.value - 100.0).abs() < 0.2);
+        assert!(r.samples_used.is_none());
+    }
+
+    #[test]
+    fn baselines_with_explicit_budget() {
+        for (method, sql) in [
+            (Method::Us, "SELECT AVG(distance) FROM trips METHOD US SAMPLES 30000"),
+            (Method::Sts, "SELECT AVG(distance) FROM trips METHOD STS SAMPLES 30000"),
+            (Method::Mv, "SELECT AVG(distance) FROM trips METHOD MV SAMPLES 30000"),
+        ] {
+            let r = run(sql, 6).unwrap();
+            assert_eq!(r.method, method);
+            assert_eq!(r.samples_used, Some(30_000));
+            // MV is biased high by σ²/µ = 4; others are unbiased.
+            let tolerance = if method == Method::Mv { 6.0 } else { 1.0 };
+            assert!(
+                (r.value - 100.0).abs() < tolerance,
+                "{method:?} value {}",
+                r.value
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_budget_derived_from_precision() {
+        let r = run("SELECT AVG(distance) FROM trips METHOD US WITH PRECISION 0.5", 7)
+            .unwrap();
+        // m ≈ (1.96·20/0.5)² ≈ 6147.
+        let used = r.samples_used.unwrap();
+        assert!((5_000..8_000).contains(&used), "budget {used}");
+        assert!((r.value - 100.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn different_columns_resolve_independently() {
+        let d = run("SELECT AVG(distance) FROM trips WITH PRECISION 0.5", 8).unwrap();
+        let f = run("SELECT AVG(fare) FROM trips WITH PRECISION 1.0", 8).unwrap();
+        assert!((f.value / d.value - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn missing_table_column_and_clauses_error() {
+        assert!(matches!(
+            run("SELECT AVG(x) FROM nope WITH PRECISION 0.5", 9),
+            Err(QueryError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            run("SELECT AVG(nope) FROM trips WITH PRECISION 0.5", 10),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            run("SELECT AVG(distance) FROM trips", 11),
+            Err(QueryError::Invalid(_))
+        ));
+        assert!(matches!(
+            run("SELECT AVG(distance) FROM trips METHOD US", 12),
+            Err(QueryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn isla_with_explicit_budget_only() {
+        let r = run("SELECT AVG(distance) FROM trips METHOD ISLA SAMPLES 80000", 13)
+            .unwrap();
+        assert!((r.value - 100.0).abs() < 1.0, "value {}", r.value);
+        assert_eq!(r.samples_used, Some(80_000));
+    }
+
+    #[test]
+    fn max_and_min_via_the_extremes_extension() {
+        let exact_max = run("SELECT MAX(distance) FROM trips METHOD EXACT", 15).unwrap();
+        let approx_max = run("SELECT MAX(distance) FROM trips WITH PRECISION 0.5", 15).unwrap();
+        assert!(approx_max.value <= exact_max.value, "sampled max is a lower bound");
+        // The sample max sits near the Φ⁻¹(1−1/m) quantile; with m ≈ 2%
+        // of M the expected gap to the true max is ≈ 1σ (20) here.
+        assert!(
+            exact_max.value - approx_max.value < 35.0,
+            "sampled max {} too far below exact {}",
+            approx_max.value,
+            exact_max.value
+        );
+        assert!(approx_max.samples_used.unwrap() > 0);
+
+        let exact_min = run("SELECT MIN(distance) FROM trips METHOD EXACT", 16).unwrap();
+        let approx_min = run("SELECT MIN(distance) FROM trips", 16).unwrap();
+        assert!(approx_min.value >= exact_min.value, "sampled min is an upper bound");
+    }
+
+    #[test]
+    fn time_constrained_execution_reports_limiting() {
+        // A generous budget should not limit; the flag stays false.
+        let r = run(
+            "SELECT AVG(distance) FROM trips WITH PRECISION 1.0 WITHIN 60000 MS",
+            14,
+        )
+        .unwrap();
+        assert!(!r.time_limited);
+        assert!((r.value - 100.0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Tokenizer for the query surface.
+
+use crate::error::QueryError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `SELECT`
+    Select,
+    /// `AVG`
+    Avg,
+    /// `SUM`
+    Sum,
+    /// `COUNT`
+    Count,
+    /// `MAX`
+    Max,
+    /// `MIN`
+    Min,
+    /// `FROM`
+    From,
+    /// `WITH`
+    With,
+    /// `WHERE` (accepted as an alias of `WITH`, per the paper's phrasing)
+    Where,
+    /// `PRECISION`
+    Precision,
+    /// `CONFIDENCE`
+    Confidence,
+    /// `METHOD`
+    Method,
+    /// `SAMPLES`
+    Samples,
+    /// `WITHIN`
+    Within,
+    /// `MS`
+    Ms,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semicolon,
+    /// An identifier (table, column, or method name).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier {s:?}"),
+            Token::Number(n) => format!("number {n}"),
+            Token::Eof => "end of input".to_string(),
+            other => format!("{other:?}").to_uppercase(),
+        }
+    }
+}
+
+/// Tokenizes `input`, ending the stream with [`Token::Eof`].
+///
+/// # Errors
+///
+/// [`QueryError::Lex`] on unrecognized characters or malformed numbers.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' || c == '-' || c == '+' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == 'e'
+                        || d == 'E'
+                        || ((d == '-' || d == '+')
+                            && matches!(bytes[i - 1] as char, 'e' | 'E'))
+                    {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let value = text.parse::<f64>().map_err(|_| QueryError::Lex {
+                    position: start,
+                    detail: format!("malformed number {text:?}"),
+                })?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                tokens.push(keyword_or_ident(word));
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    position: i,
+                    detail: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+fn keyword_or_ident(word: &str) -> Token {
+    match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Token::Select,
+        "AVG" => Token::Avg,
+        "SUM" => Token::Sum,
+        "COUNT" => Token::Count,
+        "MAX" => Token::Max,
+        "MIN" => Token::Min,
+        "FROM" => Token::From,
+        "WITH" => Token::With,
+        "WHERE" => Token::Where,
+        "PRECISION" => Token::Precision,
+        "CONFIDENCE" => Token::Confidence,
+        "METHOD" => Token::Method,
+        "SAMPLES" => Token::Samples,
+        "WITHIN" => Token::Within,
+        "MS" => Token::Ms,
+        _ => Token::Ident(word.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_paper_query_form() {
+        let tokens =
+            tokenize("SELECT AVG(salary) FROM census WITH PRECISION 0.1").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Select,
+                Token::Avg,
+                Token::LParen,
+                Token::Ident("salary".into()),
+                Token::RParen,
+                Token::From,
+                Token::Ident("census".into()),
+                Token::With,
+                Token::Precision,
+                Token::Number(0.1),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let tokens = tokenize("select Avg(x) from T where precision 0.5;").unwrap();
+        assert_eq!(tokens[0], Token::Select);
+        assert_eq!(tokens[1], Token::Avg);
+        assert_eq!(tokens[5], Token::From);
+        assert_eq!(tokens[7], Token::Where);
+        assert!(tokens.contains(&Token::Semicolon));
+        // Identifiers keep their case.
+        assert_eq!(tokens[6], Token::Ident("T".into()));
+    }
+
+    #[test]
+    fn numbers_in_various_forms() {
+        let tokens = tokenize("0.5 100 1e-3 -2.5 +7").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Number(0.5),
+                Token::Number(100.0),
+                Token::Number(1e-3),
+                Token::Number(-2.5),
+                Token::Number(7.0),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star_and_within_ms() {
+        let tokens = tokenize("COUNT(*) WITHIN 500 MS").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Count,
+                Token::LParen,
+                Token::Star,
+                Token::RParen,
+                Token::Within,
+                Token::Number(500.0),
+                Token::Ms,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            tokenize("SELECT @"),
+            Err(QueryError::Lex { position: 7, .. })
+        ));
+        assert!(matches!(tokenize("1.2.3"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        assert_eq!(Token::From.describe(), "FROM");
+        assert_eq!(Token::Ident("x".into()).describe(), "identifier \"x\"");
+        assert_eq!(Token::Number(1.5).describe(), "number 1.5");
+        assert_eq!(Token::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,34 @@
+//! Query layer for ISLA: the paper's `SELECT AVG(column) FROM database
+//! WHERE desired precision` interface (Section II-C), grown into a small
+//! but complete SQL-ish surface:
+//!
+//! ```sql
+//! SELECT AVG(trip_distance) FROM trips WITH PRECISION 0.1 CONFIDENCE 0.95;
+//! SELECT SUM(amount) FROM sales WITH PRECISION 0.5 METHOD ISLA;
+//! SELECT AVG(salary) FROM census METHOD US SAMPLES 20000;
+//! SELECT AVG(x) FROM t WITH PRECISION 0.2 WITHIN 500 MS;  -- §VII-F
+//! SELECT COUNT(*) FROM trips;
+//! ```
+//!
+//! Keywords are case-insensitive; `WHERE PRECISION 0.1` is accepted as an
+//! alias for `WITH PRECISION 0.1` to match the paper's phrasing.
+//!
+//! The pipeline is [`lexer`] → [`parser`] → [`executor`] against a
+//! [`catalog::Catalog`] of named tables whose columns are
+//! [`isla_storage::BlockSet`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod executor;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AggFunc, Method, Query};
+pub use catalog::{Catalog, Table};
+pub use error::QueryError;
+pub use executor::{execute, QueryResult};
+pub use parser::parse;

@@ -1,0 +1,163 @@
+//! Confidence intervals and the sample-size calculation of paper §III-A.
+//!
+//! ISLA's precision contract is Neyman's confidence interval
+//! (paper Definition 1): for a sample of size `m` from `N(µ, σ²)` and
+//! confidence `β`, the interval `(z̄ − zσ/√m, z̄ + zσ/√m)` covers `µ` with
+//! probability `β`. Given a desired half-width `e` this inverts to the
+//! required sample size `m = z²σ²/e²` and sampling rate `r = m/M` (Eq. 1).
+
+use crate::normal::two_sided_z;
+
+/// A symmetric confidence interval `center ± half_width` at a given
+/// confidence level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate at the interval's center.
+    pub center: f64,
+    /// Half-width of the interval (the paper's precision `e`).
+    pub half_width: f64,
+    /// Confidence level `β ∈ (0, 1)`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds the interval for a sample mean: `center ± z·σ/√m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence ∉ (0,1)`, `sigma < 0`, or `m == 0`.
+    pub fn for_mean(center: f64, sigma: f64, m: u64, confidence: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+        assert!(m > 0, "sample size must be positive");
+        let z = two_sided_z(confidence);
+        Self {
+            center,
+            half_width: z * sigma / (m as f64).sqrt(),
+            confidence,
+        }
+    }
+
+    /// Lower endpoint.
+    #[inline]
+    pub fn low(&self) -> f64 {
+        self.center - self.half_width
+    }
+
+    /// Upper endpoint.
+    #[inline]
+    pub fn high(&self) -> f64 {
+        self.center + self.half_width
+    }
+
+    /// Whether `x` lies inside the closed interval.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.low() && x <= self.high()
+    }
+
+    /// Returns this interval widened by factor `t ≥ 1` (the paper's relaxed
+    /// precision `tₑ·e` used for the sketch estimator).
+    pub fn relaxed(&self, t: f64) -> Self {
+        assert!(t >= 1.0, "relaxation factor must be >= 1, got {t}");
+        Self {
+            half_width: self.half_width * t,
+            ..*self
+        }
+    }
+}
+
+/// Required sample size `m = ⌈z²σ²/e²⌉` for half-width `e` at confidence
+/// `β` (paper Eq. 1 numerator). Returns at least 1.
+///
+/// # Panics
+///
+/// Panics if `e <= 0`, `sigma < 0`, or `β ∉ (0,1)`.
+///
+/// ```
+/// use isla_stats::required_sample_size;
+/// // σ=20, e=0.1, β=0.95 → m = (1.96·20/0.1)² ≈ 153_658.
+/// let m = required_sample_size(20.0, 0.1, 0.95);
+/// assert!((153_000..154_500).contains(&m));
+/// ```
+pub fn required_sample_size(sigma: f64, e: f64, beta: f64) -> u64 {
+    assert!(e > 0.0, "precision must be positive, got {e}");
+    assert!(sigma >= 0.0, "sigma must be non-negative, got {sigma}");
+    let z = two_sided_z(beta);
+    let m = (z * sigma / e).powi(2);
+    (m.ceil() as u64).max(1)
+}
+
+/// Sampling rate `r = m/M` (paper Eq. 1), clamped to `(0, 1]`.
+///
+/// When the required sample size exceeds the population, the rate saturates
+/// at 1 (a full scan already achieves the precision).
+///
+/// # Panics
+///
+/// Panics on invalid `e`, `sigma`, `beta`, or `data_size == 0`.
+pub fn sampling_rate(sigma: f64, e: f64, beta: f64, data_size: u64) -> f64 {
+    assert!(data_size > 0, "data size must be positive");
+    let m = required_sample_size(sigma, e, beta);
+    (m as f64 / data_size as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_parameters() {
+        // Paper §VIII defaults: σ=20, e=0.1, β=0.95, M=10^10.
+        let m = required_sample_size(20.0, 0.1, 0.95);
+        let want = (1.959963984540054f64 * 20.0 / 0.1).powi(2);
+        assert_eq!(m, want.ceil() as u64);
+        let r = sampling_rate(20.0, 0.1, 0.95, 10_000_000_000);
+        assert!((r - m as f64 / 1e10).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rate_saturates_at_full_scan() {
+        assert_eq!(sampling_rate(20.0, 0.1, 0.95, 10), 1.0);
+    }
+
+    #[test]
+    fn sample_size_monotonicity() {
+        // Tighter precision, higher confidence and higher variance all
+        // require more samples.
+        let base = required_sample_size(20.0, 0.1, 0.95);
+        assert!(required_sample_size(20.0, 0.05, 0.95) > base);
+        assert!(required_sample_size(20.0, 0.1, 0.99) > base);
+        assert!(required_sample_size(40.0, 0.1, 0.95) > base);
+        assert!(required_sample_size(20.0, 0.2, 0.95) < base);
+    }
+
+    #[test]
+    fn zero_sigma_needs_one_sample() {
+        assert_eq!(required_sample_size(0.0, 0.1, 0.95), 1);
+    }
+
+    #[test]
+    fn interval_geometry() {
+        let ci = ConfidenceInterval::for_mean(100.0, 20.0, 1600, 0.95);
+        // Half-width = 1.96*20/40 = 0.98.
+        assert!((ci.half_width - 0.9799819922700269).abs() < 1e-12);
+        assert!(ci.contains(100.0));
+        assert!(ci.contains(ci.low()) && ci.contains(ci.high()));
+        assert!(!ci.contains(ci.high() + 1e-9));
+        let relaxed = ci.relaxed(2.0);
+        assert_eq!(relaxed.half_width, ci.half_width * 2.0);
+        assert_eq!(relaxed.center, ci.center);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be positive")]
+    fn rejects_nonpositive_precision() {
+        required_sample_size(20.0, 0.0, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "relaxation factor")]
+    fn rejects_shrinking_relaxation() {
+        ConfidenceInterval::for_mean(0.0, 1.0, 1, 0.95).relaxed(0.5);
+    }
+}

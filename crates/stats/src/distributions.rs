@@ -1,0 +1,528 @@
+//! Samplable continuous distributions for the evaluation workloads.
+//!
+//! The ISLA evaluation (paper Section VIII) draws data from normal,
+//! exponential and uniform distributions, plus skewed real-world-like
+//! mixtures. All generators are built on [`rand`]'s uniform source so that
+//! every dataset in the repository is reproducible from a seed.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::normal::normal_quantile;
+
+/// A continuous distribution that can report its true moments and produce
+/// i.i.d. samples.
+///
+/// The true mean is the "golden truth" the evaluation compares estimates
+/// against, exactly as the paper does ("we used synthetic data generated
+/// with a determined average µ as the golden truth").
+pub trait Distribution: Send + Sync {
+    /// The exact mean of the distribution.
+    fn mean(&self) -> f64;
+    /// The exact variance of the distribution.
+    fn variance(&self) -> f64;
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+    /// The exact standard deviation.
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl<T: Distribution + ?Sized> Distribution for &T {
+    fn mean(&self) -> f64 {
+        (**self).mean()
+    }
+    fn variance(&self) -> f64 {
+        (**self).variance()
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (**self).sample(rng)
+    }
+}
+
+impl Distribution for Box<dyn Distribution> {
+    fn mean(&self) -> f64 {
+        (**self).mean()
+    }
+    fn variance(&self) -> f64 {
+        (**self).variance()
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (**self).sample(rng)
+    }
+}
+
+impl Distribution for std::sync::Arc<dyn Distribution> {
+    fn mean(&self) -> f64 {
+        (**self).mean()
+    }
+    fn variance(&self) -> f64 {
+        (**self).variance()
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        (**self).sample(rng)
+    }
+}
+
+/// Degenerate distribution: every sample equals `value`.
+///
+/// Useful for failure-injection tests (σ = 0 breaks naive sampling-rate
+/// formulas; ISLA must handle it gracefully).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    /// The single value of the support.
+    pub value: f64,
+}
+
+impl Constant {
+    /// Creates the degenerate distribution at `value`.
+    pub fn new(value: f64) -> Self {
+        Self { value }
+    }
+}
+
+impl Distribution for Constant {
+    fn mean(&self) -> f64 {
+        self.value
+    }
+    fn variance(&self) -> f64 {
+        0.0
+    }
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+}
+
+/// The normal distribution `N(µ, σ²)`.
+///
+/// Sampling uses inversion through the high-precision quantile, which keeps
+/// the stream a pure function of the underlying uniform source (important
+/// for reproducibility across refactors, unlike rejection samplers whose
+/// draw count varies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or not finite, or `mean` not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean.is_finite(), "normal mean must be finite, got {mean}");
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "normal std-dev must be finite and non-negative, got {std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+}
+
+impl Distribution for Normal {
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // random() is in [0,1); reflect to (0,1) to avoid Φ⁻¹(0) = -∞.
+        let mut u: f64 = rng.random();
+        if u <= 0.0 {
+            u = f64::MIN_POSITIVE;
+        }
+        self.mean + self.std_dev * normal_quantile(u)
+    }
+}
+
+/// The exponential distribution with rate `γ` (density `γ·e^{−γx}`, mean
+/// `1/γ`), as used by the paper's Table VI experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate `γ > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive, got {rate}"
+        );
+        Self { rate }
+    }
+
+    /// The rate parameter `γ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.random();
+        // -ln(1-u)/γ; 1-u ∈ (0,1] so ln is finite.
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// The continuous uniform distribution on `[low, high)`, as used by the
+/// paper's Table VII experiment (`[1, 199]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    low: f64,
+    high: f64,
+}
+
+impl UniformRange {
+    /// Creates a uniform distribution on `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `low < high` and both are finite.
+    pub fn new(low: f64, high: f64) -> Self {
+        assert!(
+            low.is_finite() && high.is_finite() && low < high,
+            "uniform range must satisfy low < high, got [{low}, {high})"
+        );
+        Self { low, high }
+    }
+}
+
+impl Distribution for UniformRange {
+    fn mean(&self) -> f64 {
+        0.5 * (self.low + self.high)
+    }
+    fn variance(&self) -> f64 {
+        let w = self.high - self.low;
+        w * w / 12.0
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        rng.random_range(self.low..self.high)
+    }
+}
+
+/// The lognormal distribution: `exp(N(µ_log, σ_log²))`.
+///
+/// The building block of the skewed real-data stand-ins (salary, trip
+/// distance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu_log: f64,
+    sigma_log: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal with log-space mean `mu_log` and log-space
+    /// standard deviation `sigma_log`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are not finite or `sigma_log` is negative.
+    pub fn new(mu_log: f64, sigma_log: f64) -> Self {
+        assert!(mu_log.is_finite(), "lognormal mu_log must be finite");
+        assert!(
+            sigma_log.is_finite() && sigma_log >= 0.0,
+            "lognormal sigma_log must be finite and non-negative"
+        );
+        Self { mu_log, sigma_log }
+    }
+
+    /// Constructs a lognormal with a prescribed *linear-space* mean and
+    /// coefficient of variation `cv = σ/µ`.
+    ///
+    /// Solves `σ_log² = ln(1 + cv²)`, `µ_log = ln(mean) − σ_log²/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `cv >= 0`.
+    pub fn with_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0, "lognormal mean must be positive, got {mean}");
+        assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+        let sigma2 = (1.0 + cv * cv).ln();
+        Self::new(mean.ln() - sigma2 / 2.0, sigma2.sqrt())
+    }
+}
+
+impl Distribution for LogNormal {
+    fn mean(&self) -> f64 {
+        (self.mu_log + self.sigma_log * self.sigma_log / 2.0).exp()
+    }
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma_log * self.sigma_log;
+        (s2.exp() - 1.0) * (2.0 * self.mu_log + s2).exp()
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let mut u: f64 = rng.random();
+        if u <= 0.0 {
+            u = f64::MIN_POSITIVE;
+        }
+        (self.mu_log + self.sigma_log * normal_quantile(u)).exp()
+    }
+}
+
+/// The Pareto (power-law) distribution with scale `x_min` and shape `a`.
+///
+/// Used to inject heavy tails into the TLC-trip-like workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with scale `x_min > 0` and shape
+    /// `a > 2` (so that both mean and variance exist).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of range.
+    pub fn new(x_min: f64, shape: f64) -> Self {
+        assert!(x_min > 0.0, "pareto scale must be positive, got {x_min}");
+        assert!(
+            shape > 2.0,
+            "pareto shape must exceed 2 for finite variance, got {shape}"
+        );
+        Self { x_min, shape }
+    }
+}
+
+impl Distribution for Pareto {
+    fn mean(&self) -> f64 {
+        self.shape * self.x_min / (self.shape - 1.0)
+    }
+    fn variance(&self) -> f64 {
+        let a = self.shape;
+        self.x_min * self.x_min * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.random();
+        self.x_min / (1.0 - u).powf(1.0 / self.shape)
+    }
+}
+
+/// A finite mixture of distributions with normalized weights.
+///
+/// The paper motivates ISLA's robustness by noting real data "can be
+/// generated by superimposing several normal distributions"
+/// (Section VII-B); mixtures are also how the skewed real-data stand-ins
+/// are calibrated.
+pub struct Mixture {
+    components: Vec<(f64, Box<dyn Distribution>)>,
+    /// Cumulative weights for sampling, normalized to end at 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("component_count", &self.components.len())
+            .field("weights", &self.cumulative)
+            .finish()
+    }
+}
+
+impl Mixture {
+    /// Creates a mixture from `(weight, component)` pairs. Weights are
+    /// normalized to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, any weight is negative or non-finite,
+    /// or all weights are zero.
+    pub fn new(components: Vec<(f64, Box<dyn Distribution>)>) -> Self {
+        assert!(!components.is_empty(), "mixture needs at least one component");
+        let total: f64 = components
+            .iter()
+            .map(|(w, _)| {
+                assert!(w.is_finite() && *w >= 0.0, "mixture weight must be >= 0");
+                *w
+            })
+            .sum();
+        assert!(total > 0.0, "mixture weights must not all be zero");
+        let mut acc = 0.0;
+        let cumulative = components
+            .iter()
+            .map(|(w, _)| {
+                acc += w / total;
+                acc
+            })
+            .collect::<Vec<_>>();
+        let mut components = components;
+        for (w, _) in &mut components {
+            *w /= total;
+        }
+        Self {
+            components,
+            cumulative,
+        }
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl Distribution for Mixture {
+    fn mean(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|(w, d)| w * d.mean())
+            .sum::<f64>()
+    }
+
+    fn variance(&self) -> f64 {
+        // Law of total variance: Var = Σ wᵢ(σᵢ² + µᵢ²) − µ².
+        let mean = self.mean();
+        let second_moment: f64 = self
+            .components
+            .iter()
+            .map(|(w, d)| w * (d.variance() + d.mean() * d.mean()))
+            .sum();
+        (second_moment - mean * mean).max(0.0)
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.random();
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.components.len() - 1),
+            Err(i) => i.min(self.components.len() - 1),
+        };
+        self.components[idx].1.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean_var(d: &dyn Distribution, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        (mean, sum_sq / n as f64 - mean * mean)
+    }
+
+    #[test]
+    fn normal_sample_moments_match() {
+        let d = Normal::new(100.0, 20.0);
+        let (m, v) = sample_mean_var(&d, 200_000, 7);
+        assert!((m - 100.0).abs() < 0.2, "mean {m}");
+        assert!((v - 400.0).abs() < 8.0, "variance {v}");
+    }
+
+    #[test]
+    fn exponential_sample_moments_match() {
+        let d = Exponential::new(0.1);
+        assert_eq!(d.mean(), 10.0);
+        assert!((d.variance() - 100.0).abs() < 1e-10);
+        let (m, v) = sample_mean_var(&d, 200_000, 11);
+        assert!((m - 10.0).abs() < 0.12, "mean {m}");
+        assert!((v - 100.0).abs() < 3.5, "variance {v}");
+    }
+
+    #[test]
+    fn uniform_sample_moments_match() {
+        let d = UniformRange::new(1.0, 199.0);
+        assert_eq!(d.mean(), 100.0);
+        let want_var = 198.0_f64 * 198.0 / 12.0;
+        let (m, v) = sample_mean_var(&d, 200_000, 13);
+        assert!((m - 100.0).abs() < 0.5, "mean {m}");
+        assert!((v - want_var).abs() < 40.0, "variance {v}, want {want_var}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_cv_hits_prescribed_mean() {
+        let d = LogNormal::with_mean_cv(1740.38, 1.8);
+        assert!((d.mean() - 1740.38).abs() < 1e-9);
+        let (m, _) = sample_mean_var(&d, 400_000, 17);
+        assert!((m - 1740.38).abs() / 1740.38 < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_moments() {
+        let d = Pareto::new(1.0, 3.0);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        assert!((d.variance() - 0.75).abs() < 1e-12);
+        let (m, _) = sample_mean_var(&d, 400_000, 23);
+        assert!((m - 1.5).abs() < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn constant_is_degenerate() {
+        let d = Constant::new(42.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 42.0);
+        }
+        assert_eq!(d.variance(), 0.0);
+    }
+
+    #[test]
+    fn mixture_moments_and_sampling() {
+        let m = Mixture::new(vec![
+            (1.0, Box::new(Normal::new(0.0, 1.0)) as Box<dyn Distribution>),
+            (3.0, Box::new(Normal::new(10.0, 2.0))),
+        ]);
+        // Mean = 0.25*0 + 0.75*10 = 7.5.
+        assert!((m.mean() - 7.5).abs() < 1e-12);
+        // Var = 0.25*(1+0) + 0.75*(4+100) − 56.25 = 0.25 + 78 − 56.25 = 22.
+        assert!((m.variance() - 22.0).abs() < 1e-9);
+        let (sm, sv) = sample_mean_var(&m, 200_000, 31);
+        assert!((sm - 7.5).abs() < 0.05, "mean {sm}");
+        assert!((sv - 22.0).abs() < 0.6, "variance {sv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mixture needs at least one component")]
+    fn empty_mixture_panics() {
+        let _ = Mixture::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "low < high")]
+    fn uniform_rejects_inverted_range() {
+        let _ = UniformRange::new(5.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn box_and_arc_forwarding() {
+        let b: Box<dyn Distribution> = Box::new(Constant::new(3.0));
+        assert_eq!(b.mean(), 3.0);
+        let a: std::sync::Arc<dyn Distribution> = std::sync::Arc::new(Constant::new(4.0));
+        assert_eq!(a.mean(), 4.0);
+        assert_eq!(a.std_dev(), 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Statistics substrate for the ISLA approximate-aggregation engine.
+//!
+//! The ISLA paper (Han et al., ICDE 2019) relies on a handful of statistical
+//! primitives that are re-implemented here from scratch so that the workspace
+//! has no dependency on an external statistics library:
+//!
+//! * [`erf`]: double-precision error function (Cody's rational Chebyshev
+//!   approximations), the basis of the normal CDF;
+//! * [`normal`]: the normal distribution with CDF, quantile (inverse CDF,
+//!   Acklam's method refined by Halley iteration) and the two-sided critical
+//!   value `z` used by the paper's confidence-interval machinery
+//!   (Definition 1 / Eq. 1);
+//! * [`distributions`]: samplable distributions used by the evaluation
+//!   workloads (normal, exponential, uniform, lognormal, mixtures);
+//! * [`moments`]: numerically robust streaming accumulators — Neumaier
+//!   compensated sums, Welford mean/variance with parallel merge, and the
+//!   power sums `(n, Σx, Σx², Σx³)` at the heart of ISLA's Algorithm 1;
+//! * [`summary`]: batch descriptive statistics;
+//! * [`ci`]: confidence intervals and the required-sample-size calculation
+//!   `m = z²σ²/e²` from Section III-A of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod distributions;
+pub mod erf;
+pub mod moments;
+pub mod normal;
+pub mod summary;
+
+pub use ci::{required_sample_size, sampling_rate, ConfidenceInterval};
+pub use distributions::{
+    Constant, Distribution, Exponential, LogNormal, Mixture, Normal as NormalDist, Pareto,
+    UniformRange,
+};
+pub use erf::{erf, erfc};
+pub use moments::{NeumaierSum, PowerSums, WelfordMoments};
+pub use normal::{normal_cdf, normal_pdf, normal_quantile, two_sided_z, StdNormal};

@@ -1,0 +1,391 @@
+//! Numerically robust streaming accumulators.
+//!
+//! ISLA's Algorithm 1 folds every sample into four running quantities —
+//! count, sum, sum of squares, sum of cubes — and never stores the samples
+//! themselves ("the storage space for samples is totally unnecessary",
+//! paper Section V-A). Those power sums feed the closed-form `k` and `c`
+//! of Theorem 3, so their numerical quality directly bounds the quality of
+//! the final answer. This module provides:
+//!
+//! * [`NeumaierSum`] — compensated summation (Kahan–Babuška–Neumaier),
+//!   which keeps the error of a 10⁸-term sum at a few ULPs instead of
+//!   growing with `n`;
+//! * [`PowerSums`] — the `(n, Σx, Σx², Σx³)` accumulator with merge
+//!   support for block-parallel and online execution;
+//! * [`WelfordMoments`] — streaming mean/variance with the parallel merge
+//!   of Chan et al., used by pre-estimation to estimate `σ`.
+
+/// Kahan–Babuška–Neumaier compensated summation.
+///
+/// Tracks a running compensation term so that adding many small values to a
+/// large accumulator does not lose their contribution. Unlike plain Kahan
+/// summation, Neumaier's variant also handles the case where the incoming
+/// term is larger than the accumulator.
+///
+/// ```
+/// use isla_stats::NeumaierSum;
+/// let mut s = NeumaierSum::default();
+/// s.add(1e100);
+/// s.add(1.0);
+/// s.add(-1e100);
+/// assert_eq!(s.value(), 1.0); // plain f64 summation would return 0.0
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// Creates an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Adds every term of another compensated sum.
+    #[inline]
+    pub fn merge(&mut self, other: &NeumaierSum) {
+        self.add(other.sum);
+        self.compensation += other.compensation;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+impl std::iter::FromIterator<f64> for NeumaierSum {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for x in iter {
+            s.add(x);
+        }
+        s
+    }
+}
+
+/// Streaming power sums `(n, Σx, Σx², Σx³)` with compensated accumulation.
+///
+/// This is the `param` record of the paper's Algorithm 1
+/// (`{counter, sum, squareSum, cubeSum}`). `merge` makes it a commutative
+/// monoid, which is what licenses both the online-aggregation extension
+/// (Section VII-A: "similar updates are applied … based on paramS and
+/// paramL") and block-parallel execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerSums {
+    count: u64,
+    sum: NeumaierSum,
+    sum_sq: NeumaierSum,
+    sum_cube: NeumaierSum,
+}
+
+impl PowerSums {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one observation into the accumulator
+    /// (the `updateParams` helper of Algorithm 1).
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        self.count += 1;
+        self.sum.add(x);
+        self.sum_sq.add(x * x);
+        self.sum_cube.add(x * x * x);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &PowerSums) {
+        self.count += other.count;
+        self.sum.merge(&other.sum);
+        self.sum_sq.merge(&other.sum_sq);
+        self.sum_cube.merge(&other.sum_cube);
+    }
+
+    /// Number of observations folded in.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `Σx`.
+    #[inline]
+    pub fn sum(&self) -> f64 {
+        self.sum.value()
+    }
+
+    /// `Σx²`.
+    #[inline]
+    pub fn sum_sq(&self) -> f64 {
+        self.sum_sq.value()
+    }
+
+    /// `Σx³`.
+    #[inline]
+    pub fn sum_cube(&self) -> f64 {
+        self.sum_cube.value()
+    }
+
+    /// Sample mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum() / self.count as f64)
+    }
+
+    /// True if no observation has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl std::iter::FromIterator<f64> for PowerSums {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut p = Self::new();
+        for x in iter {
+            p.update(x);
+        }
+        p
+    }
+}
+
+/// Welford's streaming mean and variance, with the pairwise merge of
+/// Chan, Golub & LeVeque for combining per-block accumulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WelfordMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl WelfordMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    #[inline]
+    pub fn update(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &WelfordMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance (`/n`), or `None` when empty.
+    pub fn variance_population(&self) -> Option<f64> {
+        (self.count > 0).then(|| (self.m2 / self.count as f64).max(0.0))
+    }
+
+    /// Sample variance (`/(n−1)`), or `None` with fewer than two
+    /// observations.
+    pub fn variance_sample(&self) -> Option<f64> {
+        (self.count > 1).then(|| (self.m2 / (self.count - 1) as f64).max(0.0))
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev_sample(&self) -> Option<f64> {
+        self.variance_sample().map(f64::sqrt)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+impl std::iter::FromIterator<f64> for WelfordMoments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Self::new();
+        for x in iter {
+            w.update(x);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn neumaier_recovers_cancelled_small_term() {
+        let mut s = NeumaierSum::new();
+        s.add(1e100);
+        s.add(1.0);
+        s.add(-1e100);
+        assert_eq!(s.value(), 1.0);
+    }
+
+    #[test]
+    fn neumaier_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e8).collect();
+        let sequential: NeumaierSum = xs.iter().copied().collect();
+        let mut left: NeumaierSum = xs[..500].iter().copied().collect();
+        let right: NeumaierSum = xs[500..].iter().copied().collect();
+        left.merge(&right);
+        assert!((left.value() - sequential.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_sums_basics() {
+        let p: PowerSums = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.sum(), 6.0);
+        assert_eq!(p.sum_sq(), 14.0);
+        assert_eq!(p.sum_cube(), 36.0);
+        assert_eq!(p.mean(), Some(2.0));
+        assert!(!p.is_empty());
+        assert!(PowerSums::new().is_empty());
+        assert_eq!(PowerSums::new().mean(), None);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..10_000).map(|i| 100.0 + ((i * 37) % 113) as f64).collect();
+        let w: WelfordMoments = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean().unwrap() - mean).abs() < 1e-9);
+        assert!((w.variance_sample().unwrap() - var).abs() / var < 1e-12);
+        assert_eq!(w.min(), Some(100.0));
+        assert_eq!(w.max(), Some(212.0));
+    }
+
+    #[test]
+    fn welford_empty_and_singleton() {
+        let w = WelfordMoments::new();
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.variance_sample(), None);
+        assert_eq!(w.min(), None);
+        let mut w = WelfordMoments::new();
+        w.update(5.0);
+        assert_eq!(w.mean(), Some(5.0));
+        assert_eq!(w.variance_population(), Some(0.0));
+        assert_eq!(w.variance_sample(), None);
+    }
+
+    #[test]
+    fn welford_merge_with_empty_is_identity() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let w: WelfordMoments = xs.iter().copied().collect();
+        let mut merged = w;
+        merged.merge(&WelfordMoments::new());
+        assert_eq!(merged, w);
+        let mut empty = WelfordMoments::new();
+        empty.merge(&w);
+        assert_eq!(empty, w);
+    }
+
+    proptest! {
+        #[test]
+        fn power_sums_merge_equals_concatenation(
+            a in proptest::collection::vec(-1e6f64..1e6, 0..200),
+            b in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        ) {
+            let mut merged: PowerSums = a.iter().copied().collect();
+            let right: PowerSums = b.iter().copied().collect();
+            merged.merge(&right);
+            let whole: PowerSums = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), whole.count());
+            let tol = 1e-9 * (1.0 + whole.sum_cube().abs());
+            prop_assert!((merged.sum() - whole.sum()).abs() <= tol);
+            prop_assert!((merged.sum_sq() - whole.sum_sq()).abs() <= tol);
+            prop_assert!((merged.sum_cube() - whole.sum_cube()).abs() <= tol);
+        }
+
+        #[test]
+        fn welford_merge_matches_whole(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..200),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        ) {
+            let mut merged: WelfordMoments = a.iter().copied().collect();
+            merged.merge(&b.iter().copied().collect());
+            let whole: WelfordMoments = a.iter().chain(b.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), whole.count());
+            prop_assert!((merged.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+            let (mv, wv) = (merged.variance_population().unwrap(), whole.variance_population().unwrap());
+            prop_assert!((mv - wv).abs() <= 1e-9 * (1.0 + wv));
+        }
+
+        #[test]
+        fn neumaier_tracks_exact_dyadic_sum(
+            ks in proptest::collection::vec(-(1i64 << 50)..(1i64 << 50), 1..300),
+        ) {
+            // Dyadic rationals k·2⁻²⁰ are exactly representable, and the
+            // exact total is computable in i128, giving a true reference.
+            let xs: Vec<f64> = ks.iter().map(|&k| k as f64 / (1u64 << 20) as f64).collect();
+            let exact = ks.iter().map(|&k| k as i128).sum::<i128>() as f64
+                / (1u64 << 20) as f64;
+            let compensated: NeumaierSum = xs.iter().copied().collect();
+            let naive: f64 = xs.iter().sum();
+            let err_comp = (compensated.value() - exact).abs();
+            let err_naive = (naive - exact).abs();
+            // Compensated summation is exact here (error only from the final
+            // rounding of the reference itself) and never worse than naive.
+            prop_assert!(err_comp <= 1e-6, "compensated error {err_comp}");
+            prop_assert!(err_comp <= err_naive + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The normal distribution: density, CDF, quantile, and critical values.
+//!
+//! ISLA's precision machinery (paper Section III-A) is built on the normal
+//! confidence interval: for confidence `β` the half-width of the interval is
+//! `z · σ / √m` where `z` is the two-sided critical value
+//! `Φ⁻¹((1+β)/2)`. This module provides `Φ`, `Φ⁻¹` and `z` with close to
+//! machine precision, built on the [`crate::erf`] module.
+
+use crate::erf::erfc;
+
+/// `1/sqrt(2*pi)`.
+const FRAC_1_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// `sqrt(2)`.
+const SQRT_2: f64 = std::f64::consts::SQRT_2;
+
+/// Density of the standard normal distribution at `x`.
+///
+/// ```
+/// use isla_stats::normal_pdf;
+/// assert!((normal_pdf(0.0) - 0.3989422804014327).abs() < 1e-16);
+/// ```
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    FRAC_1_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// CDF `Φ(x)` of the standard normal distribution.
+///
+/// Evaluated as `erfc(-x/√2)/2`, which keeps full relative precision in the
+/// lower tail (important when classifying "too small" outliers far from the
+/// mean).
+///
+/// ```
+/// use isla_stats::normal_cdf;
+/// assert!((normal_cdf(0.0) - 0.5).abs() < 1e-16);
+/// assert!((normal_cdf(1.959963984540054) - 0.975).abs() < 1e-15);
+/// ```
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / SQRT_2)
+}
+
+// Coefficients of Acklam's rational approximation to the normal quantile.
+const ACK_A: [f64; 6] = [
+    -3.969_683_028_665_376e1,
+    2.209_460_984_245_205e2,
+    -2.759_285_104_469_687e2,
+    1.383_577_518_672_69e2,
+    -3.066_479_806_614_716e1,
+    2.506_628_277_459_239e0,
+];
+const ACK_B: [f64; 5] = [
+    -5.447_609_879_822_406e1,
+    1.615_858_368_580_409e2,
+    -1.556_989_798_598_866e2,
+    6.680_131_188_771_972e1,
+    -1.328_068_155_288_572e1,
+];
+const ACK_C: [f64; 6] = [
+    -7.784_894_002_430_293e-3,
+    -3.223_964_580_411_365e-1,
+    -2.400_758_277_161_838e0,
+    -2.549_732_539_343_734e0,
+    4.374_664_141_464_968e0,
+    2.938_163_982_698_783e0,
+];
+const ACK_D: [f64; 4] = [
+    7.784_695_709_041_462e-3,
+    3.224_671_290_700_398e-1,
+    2.445_134_137_142_996e0,
+    3.754_408_661_907_416e0,
+];
+
+/// Quantile `Φ⁻¹(p)` of the standard normal distribution.
+///
+/// Peter Acklam's rational approximation (relative error < 1.15e-9) polished
+/// with a single Halley step against [`normal_cdf`], which brings the result
+/// to full double precision.
+///
+/// Returns `-∞` at `p = 0`, `+∞` at `p = 1`, and NaN outside `[0, 1]`.
+///
+/// ```
+/// use isla_stats::normal_quantile;
+/// assert!((normal_quantile(0.975) - 1.959963984540054).abs() < 1e-12);
+/// assert_eq!(normal_quantile(0.5), 0.0);
+/// ```
+pub fn normal_quantile(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    if p == 0.5 {
+        return 0.0;
+    }
+
+    const P_LOW: f64 = 0.02425;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((ACK_C[0] * q + ACK_C[1]) * q + ACK_C[2]) * q + ACK_C[3]) * q + ACK_C[4]) * q
+            + ACK_C[5])
+            / ((((ACK_D[0] * q + ACK_D[1]) * q + ACK_D[2]) * q + ACK_D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((ACK_A[0] * r + ACK_A[1]) * r + ACK_A[2]) * r + ACK_A[3]) * r + ACK_A[4]) * r
+            + ACK_A[5])
+            * q
+            / (((((ACK_B[0] * r + ACK_B[1]) * r + ACK_B[2]) * r + ACK_B[3]) * r + ACK_B[4]) * r
+                + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((ACK_C[0] * q + ACK_C[1]) * q + ACK_C[2]) * q + ACK_C[3]) * q + ACK_C[4]) * q
+            + ACK_C[5])
+            / ((((ACK_D[0] * q + ACK_D[1]) * q + ACK_D[2]) * q + ACK_D[3]) * q + 1.0)
+    };
+
+    // One Halley iteration against the high-precision CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Two-sided critical value `z` for confidence `β`: the `u` of the paper's
+/// Definition 1, satisfying `P(|Z| ≤ z) = β` for standard normal `Z`.
+///
+/// For example `two_sided_z(0.95) ≈ 1.96`.
+///
+/// # Panics
+///
+/// Panics if `β` is not in the open interval `(0, 1)`.
+///
+/// ```
+/// use isla_stats::two_sided_z;
+/// assert!((two_sided_z(0.95) - 1.959963984540054).abs() < 1e-12);
+/// ```
+pub fn two_sided_z(beta: f64) -> f64 {
+    assert!(
+        beta > 0.0 && beta < 1.0,
+        "confidence must be in (0, 1), got {beta}"
+    );
+    normal_quantile(0.5 + beta / 2.0)
+}
+
+/// The standard normal distribution as a value, for callers that want an
+/// object rather than free functions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StdNormal;
+
+impl StdNormal {
+    /// Density at `x`.
+    #[inline]
+    pub fn pdf(self, x: f64) -> f64 {
+        normal_pdf(x)
+    }
+
+    /// CDF at `x`.
+    #[inline]
+    pub fn cdf(self, x: f64) -> f64 {
+        normal_cdf(x)
+    }
+
+    /// Quantile at `p`.
+    #[inline]
+    pub fn quantile(self, p: f64) -> f64 {
+        normal_quantile(p)
+    }
+
+    /// Probability mass of the interval `(a, b)`.
+    #[inline]
+    pub fn interval_mass(self, a: f64, b: f64) -> f64 {
+        (normal_cdf(b) - normal_cdf(a)).max(0.0)
+    }
+
+    /// Mean of the standard normal truncated to `(a, b)`:
+    /// `(φ(a) − φ(b)) / (Φ(b) − Φ(a))`.
+    ///
+    /// Used by the adaptive step-length model (paper Theorem 1) to predict
+    /// where the S∪L truncated mean sits relative to a deviated sketch.
+    pub fn truncated_mean(self, a: f64, b: f64) -> f64 {
+        let mass = self.interval_mass(a, b);
+        if mass <= 0.0 {
+            return f64::NAN;
+        }
+        (normal_pdf(a) - normal_pdf(b)) / mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_matches_reference_values() {
+        // (x, Φ(x)) from mpmath.
+        let cases = [
+            (-3.0, 0.0013498980316300933),
+            (-1.0, 0.15865525393145705),
+            (0.0, 0.5),
+            (0.5, 0.6914624612740131),
+            (1.0, 0.8413447460685429),
+            (2.0, 0.9772498680518208),
+            (6.0, 0.9999999990134123),
+        ];
+        for (x, want) in cases {
+            let got = normal_cdf(x);
+            assert!(
+                (got - want).abs() < 1e-15,
+                "cdf({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_round_trips_through_cdf() {
+        for i in 1..999 {
+            let p = i as f64 / 1000.0;
+            let x = normal_quantile(p);
+            let back = normal_cdf(x);
+            assert!(
+                (back - p).abs() < 1e-14,
+                "round trip failed at p = {p}: x = {x}, back = {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_tails() {
+        // Φ⁻¹(1e-10) = -6.361340902404056 (mpmath).
+        let got = normal_quantile(1e-10);
+        assert!((got + 6.361340902404056).abs() < 1e-9, "got {got}");
+        assert_eq!(normal_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(normal_quantile(1.0), f64::INFINITY);
+        assert!(normal_quantile(-0.1).is_nan());
+        assert!(normal_quantile(1.1).is_nan());
+        assert!(normal_quantile(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn two_sided_z_known_values() {
+        let cases = [
+            (0.80, 1.2815515655446004),
+            (0.90, 1.6448536269514722),
+            (0.95, 1.959963984540054),
+            (0.98, 2.3263478740408408),
+            (0.99, 2.5758293035489004),
+        ];
+        for (beta, want) in cases {
+            let got = two_sided_z(beta);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "z({beta}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn two_sided_z_rejects_invalid_confidence() {
+        two_sided_z(1.0);
+    }
+
+    #[test]
+    fn truncated_mean_is_symmetric_and_zero_on_symmetric_windows() {
+        let n = StdNormal;
+        // Symmetric two-sided window has mean 0 by symmetry; each one-sided
+        // window mirrors the other.
+        let left = n.truncated_mean(-2.0, -0.5);
+        let right = n.truncated_mean(0.5, 2.0);
+        assert!((left + right).abs() < 1e-14);
+        assert!(left < 0.0 && right > 0.0);
+        // Central window.
+        assert!(n.truncated_mean(-1.0, 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn truncated_mean_degenerate_window_is_nan() {
+        assert!(StdNormal.truncated_mean(2.0, 2.0).is_nan());
+        assert!(StdNormal.truncated_mean(3.0, 2.0).is_nan());
+    }
+}

@@ -1,0 +1,128 @@
+//! Batch descriptive statistics over slices.
+//!
+//! Thin, allocation-conscious helpers used by tests, examples and the
+//! evaluation harness to compute ground truths over materialized datasets.
+
+use crate::moments::{NeumaierSum, WelfordMoments};
+
+/// Arithmetic mean of a slice, or `None` when empty.
+///
+/// Uses compensated summation so that means over hundreds of millions of
+/// values (the ground truths of the large-scale experiments) stay exact to
+/// a few ULPs.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let s: NeumaierSum = xs.iter().copied().collect();
+    Some(s.value() / xs.len() as f64)
+}
+
+/// Sample variance (`/(n−1)`), or `None` with fewer than two values.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let w: WelfordMoments = xs.iter().copied().collect();
+    w.variance_sample()
+}
+
+/// Sample standard deviation, or `None` with fewer than two values.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Sample skewness `g₁ = m₃ / m₂^{3/2}` (population moments), or `None`
+/// with fewer than two values or zero variance.
+///
+/// Used by the workload generators' tests to verify the skew of the
+/// real-data stand-ins.
+pub fn skewness(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let n = xs.len() as f64;
+    let mut m2 = NeumaierSum::new();
+    let mut m3 = NeumaierSum::new();
+    for &x in xs {
+        let d = x - m;
+        m2.add(d * d);
+        m3.add(d * d * d);
+    }
+    let m2 = m2.value() / n;
+    if m2 <= 0.0 {
+        return None;
+    }
+    Some((m3.value() / n) / m2.powf(1.5))
+}
+
+/// The `q`-th quantile (`0 ≤ q ≤ 1`) with linear interpolation between
+/// order statistics (type-7, the R/NumPy default). `None` when empty.
+///
+/// Allocates one scratch copy of the data; intended for test and harness
+/// use, not hot paths.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile). `None` when empty.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_set() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        // Sample variance: Σ(x−5)²/7 = 32/7.
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(skewness(&[1.0]), None);
+        assert_eq!(skewness(&[2.0, 2.0, 2.0]), None, "zero variance");
+        assert_eq!(median(&[3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&xs, 1.0 / 3.0), Some(2.0));
+        assert_eq!(quantile(&xs, 0.5 + 1.0, ), None);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        // Right-skewed data has positive skewness.
+        let right = [1.0, 1.0, 1.0, 2.0, 2.0, 10.0];
+        assert!(skewness(&right).unwrap() > 1.0);
+        // Mirrored data flips the sign.
+        let left: Vec<f64> = right.iter().map(|x| -x).collect();
+        assert!((skewness(&left).unwrap() + skewness(&right).unwrap()).abs() < 1e-12);
+        // Symmetric data is close to zero.
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&sym).unwrap().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! The [`DataBlock`] trait: what every block kind must provide.
+
+use rand::RngCore;
+
+use crate::error::StorageError;
+
+/// A block of numeric data, the unit of distribution in the paper's system
+/// model (Section II-C).
+///
+/// A block supports two access paths:
+///
+/// * **uniform random sampling** ([`DataBlock::sample_one`]), the only
+///   access ISLA's hot path needs — samples are drawn with replacement and
+///   immediately folded into running moments;
+/// * **scanning** ([`DataBlock::scan`]), used to compute exact ground
+///   truths for the evaluation and by full-scan fallbacks. Virtual blocks
+///   may refuse to scan (see [`crate::GeneratorBlock`]).
+///
+/// Implementations must be `Send + Sync`: the distributed executor samples
+/// different blocks from different worker threads.
+pub trait DataBlock: Send + Sync {
+    /// Number of rows in the block. May be a declared (virtual) length.
+    fn len(&self) -> u64;
+
+    /// True if the block holds no rows.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draws one value uniformly at random (with replacement).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Empty`] on an empty block; I/O or parse errors for
+    /// file-backed blocks.
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError>;
+
+    /// Reads the row at `idx` (`0 ≤ idx < len`).
+    ///
+    /// For materialized blocks this is positional access; virtual
+    /// generator blocks synthesize a value deterministically from
+    /// `(seed, idx)`, so repeated reads of the same row agree.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Empty`] when `idx` is out of range; I/O or parse
+    /// errors for file-backed blocks.
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError>;
+
+    /// Visits every row in storage order.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ScanUnsupported`] for virtual blocks past their scan
+    /// cap; I/O or parse errors for file-backed blocks.
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError>;
+
+    /// Whether [`DataBlock::scan`] is expected to succeed.
+    fn supports_scan(&self) -> bool {
+        true
+    }
+
+    /// A short human-readable description (block kind and size) for
+    /// diagnostics.
+    fn describe(&self) -> String {
+        format!("block({} rows)", self.len())
+    }
+}
+
+impl<T: DataBlock + ?Sized> DataBlock for &T {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        (**self).sample_one(rng)
+    }
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        (**self).row_at(idx)
+    }
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        (**self).scan(visit)
+    }
+    fn supports_scan(&self) -> bool {
+        (**self).supports_scan()
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+impl DataBlock for std::sync::Arc<dyn DataBlock> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        (**self).sample_one(rng)
+    }
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        (**self).row_at(idx)
+    }
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        (**self).scan(visit)
+    }
+    fn supports_scan(&self) -> bool {
+        (**self).supports_scan()
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}

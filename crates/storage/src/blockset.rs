@@ -1,0 +1,184 @@
+//! Block sets: a dataset as an ordered collection of blocks.
+
+use std::sync::Arc;
+
+use crate::block::DataBlock;
+use crate::error::StorageError;
+use crate::memory::MemBlock;
+
+/// An ordered collection of blocks forming one dataset (the paper's block
+/// set `B = {B₁, …, B_b}`).
+#[derive(Clone)]
+pub struct BlockSet {
+    blocks: Vec<Arc<dyn DataBlock>>,
+}
+
+impl std::fmt::Debug for BlockSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockSet")
+            .field("blocks", &self.blocks.len())
+            .field("total_rows", &self.total_len())
+            .finish()
+    }
+}
+
+impl BlockSet {
+    /// Builds a block set from pre-constructed blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty block list — a dataset has at least one block.
+    pub fn new(blocks: Vec<Arc<dyn DataBlock>>) -> Self {
+        assert!(!blocks.is_empty(), "a block set needs at least one block");
+        Self { blocks }
+    }
+
+    /// Splits `values` evenly into `block_count` in-memory blocks, the way
+    /// the paper prepares its experiments ("Data are evenly divided into b
+    /// parts to process the computations").
+    ///
+    /// The first `len % block_count` blocks receive one extra row when the
+    /// division is not exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_count == 0` or `values` is empty.
+    pub fn from_values(values: Vec<f64>, block_count: usize) -> Self {
+        assert!(block_count > 0, "block count must be positive");
+        assert!(!values.is_empty(), "cannot build a block set from no data");
+        let n = values.len();
+        let base = n / block_count;
+        let extra = n % block_count;
+        let mut blocks: Vec<Arc<dyn DataBlock>> = Vec::with_capacity(block_count);
+        let mut iter = values.into_iter();
+        for i in 0..block_count {
+            let take = base + usize::from(i < extra);
+            let chunk: Vec<f64> = iter.by_ref().take(take).collect();
+            blocks.push(Arc::new(MemBlock::new(chunk)));
+        }
+        Self { blocks }
+    }
+
+    /// A block set with a single block.
+    pub fn single(block: impl DataBlock + 'static) -> Self {
+        Self {
+            blocks: vec![Arc::new(block)],
+        }
+    }
+
+    /// Number of blocks `b`.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of rows `M` across all blocks.
+    pub fn total_len(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// The `i`-th block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn block(&self, i: usize) -> &Arc<dyn DataBlock> {
+        &self.blocks[i]
+    }
+
+    /// Iterates over the blocks.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn DataBlock>> {
+        self.blocks.iter()
+    }
+
+    /// Scans every block in order, visiting every row. Fails if any block
+    /// does not support scanning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first block error.
+    pub fn scan_all(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        for block in &self.blocks {
+            block.scan(visit)?;
+        }
+        Ok(())
+    }
+
+    /// Exact mean over all rows by full scan — the evaluation's ground
+    /// truth for materialized datasets.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::Empty`] if the set holds no rows; scan errors
+    /// otherwise.
+    pub fn exact_mean(&self) -> Result<f64, StorageError> {
+        let mut sum = isla_stats::NeumaierSum::new();
+        let mut n = 0u64;
+        self.scan_all(&mut |v| {
+            sum.add(v);
+            n += 1;
+        })?;
+        if n == 0 {
+            return Err(StorageError::Empty);
+        }
+        Ok(sum.value() / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_splits_evenly() {
+        let set = BlockSet::from_values((0..10).map(f64::from).collect(), 3);
+        assert_eq!(set.block_count(), 3);
+        assert_eq!(set.total_len(), 10);
+        // 10 = 4 + 3 + 3.
+        let sizes: Vec<u64> = set.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        // Order is preserved across the split.
+        let mut all = Vec::new();
+        set.scan_all(&mut |v| all.push(v)).unwrap();
+        assert_eq!(all, (0..10).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exact_mean_over_blocks() {
+        let set = BlockSet::from_values(vec![1.0, 2.0, 3.0, 4.0, 5.0, 20.0], 2);
+        let mean = set.exact_mean().unwrap();
+        assert!((mean - 35.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_block_set() {
+        let set = BlockSet::single(MemBlock::new(vec![7.0, 9.0]));
+        assert_eq!(set.block_count(), 1);
+        assert_eq!(set.block(0).len(), 2);
+        assert_eq!(set.exact_mean().unwrap(), 8.0);
+    }
+
+    #[test]
+    fn empty_rows_error_on_exact_mean() {
+        let set = BlockSet::single(MemBlock::new(vec![]));
+        assert!(matches!(set.exact_mean(), Err(StorageError::Empty)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn rejects_empty_block_list() {
+        let _ = BlockSet::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block count must be positive")]
+    fn rejects_zero_block_count() {
+        let _ = BlockSet::from_values(vec![1.0], 0);
+    }
+
+    #[test]
+    fn more_blocks_than_values_yields_empty_tail_blocks() {
+        let set = BlockSet::from_values(vec![1.0, 2.0], 4);
+        let sizes: Vec<u64> = set.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0]);
+    }
+}

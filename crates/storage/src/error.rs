@@ -1,0 +1,122 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors raised by block storage operations.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// A text block contained a line that does not parse as a finite `f64`.
+    Parse {
+        /// The file containing the bad line.
+        path: PathBuf,
+        /// 1-based line number.
+        line: u64,
+        /// The offending content (truncated).
+        content: String,
+    },
+    /// A binary block file is malformed (bad magic, truncated payload, …).
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A full scan was requested on a block that cannot be scanned
+    /// (e.g. a virtual [`crate::GeneratorBlock`] beyond its scan cap).
+    ScanUnsupported {
+        /// Declared length of the block.
+        len: u64,
+        /// Why the scan is refused.
+        detail: String,
+    },
+    /// An operation required a non-empty block or block set.
+    Empty,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path, source } => match path {
+                Some(p) => write!(f, "i/o error on {}: {source}", p.display()),
+                None => write!(f, "i/o error: {source}"),
+            },
+            StorageError::Parse {
+                path,
+                line,
+                content,
+            } => write!(
+                f,
+                "{}:{line}: cannot parse {content:?} as a finite number",
+                path.display()
+            ),
+            StorageError::Corrupt { path, detail } => {
+                write!(f, "corrupt block file {}: {detail}", path.display())
+            }
+            StorageError::ScanUnsupported { len, detail } => {
+                write!(f, "cannot scan block of declared length {len}: {detail}")
+            }
+            StorageError::Empty => write!(f, "operation requires a non-empty block"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(source: std::io::Error) -> Self {
+        StorageError::Io { path: None, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io = StorageError::Io {
+            path: Some(PathBuf::from("/tmp/x")),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "missing"),
+        };
+        assert!(io.to_string().contains("/tmp/x"));
+        let parse = StorageError::Parse {
+            path: PathBuf::from("b.txt"),
+            line: 7,
+            content: "abc".into(),
+        };
+        assert!(parse.to_string().contains("b.txt:7"));
+        let scan = StorageError::ScanUnsupported {
+            len: 10,
+            detail: "virtual".into(),
+        };
+        assert!(scan.to_string().contains("declared length 10"));
+        assert!(StorageError::Empty.to_string().contains("non-empty"));
+        let corrupt = StorageError::Corrupt {
+            path: PathBuf::from("b.blk"),
+            detail: "bad magic".into(),
+        };
+        assert!(corrupt.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts_and_exposes_source() {
+        let e: StorageError = std::io::Error::other("boom").into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&StorageError::Empty).is_none());
+    }
+}

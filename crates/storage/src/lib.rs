@@ -1,0 +1,44 @@
+//! Block storage substrate for the ISLA approximate-aggregation engine.
+//!
+//! The paper assumes "the data to be stored in multiple machines, i.e.,
+//! blocks" (Section II-C): every aggregation runs per block and partial
+//! answers are combined by size-weighted averaging. This crate provides the
+//! block abstraction and every concrete block kind the evaluation needs:
+//!
+//! * [`MemBlock`] — values in memory;
+//! * [`TextBlock`] — one value per line in a text file, the exact storage
+//!   format of the paper's experiments ("data … are pre-processed and
+//!   saved in b .txt documents to simulate b blocks");
+//! * [`BinaryBlock`] — a compact fixed-width binary format with a header,
+//!   for the large laptop-scale experiments;
+//! * [`GeneratorBlock`] — a *virtual* block of declared length whose
+//!   sampler draws i.i.d. values from a distribution. This is the
+//!   documented substitution for the paper's 10⁸–10¹² row datasets: since
+//!   ISLA's sample size depends only on `(σ, e, β)` and never on the data
+//!   size, uniform sampling from an i.i.d.-populated block is
+//!   indistinguishable from sampling the distribution directly.
+//!
+//! [`BlockSet`] groups blocks into a dataset, and [`sampler`] provides
+//! uniform with-replacement sampling, proportional allocation across
+//! blocks, and reservoir sampling for streams.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary_file;
+pub mod block;
+pub mod blockset;
+pub mod error;
+pub mod generator;
+pub mod memory;
+pub mod sampler;
+pub mod text_file;
+
+pub use binary_file::BinaryBlock;
+pub use block::DataBlock;
+pub use blockset::BlockSet;
+pub use error::StorageError;
+pub use generator::GeneratorBlock;
+pub use memory::MemBlock;
+pub use sampler::{proportional_allocation, sample_from_block, sample_proportional, Reservoir};
+pub use text_file::TextBlock;

@@ -1,0 +1,147 @@
+//! In-memory blocks.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::block::DataBlock;
+use crate::error::StorageError;
+
+/// A block whose rows live in memory.
+///
+/// The workhorse for tests, examples, and the small and medium evaluation
+/// workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemBlock {
+    values: Vec<f64>,
+}
+
+impl MemBlock {
+    /// Wraps a vector of values as a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is not finite: blocks model stored columns of
+    /// real measurements, and a NaN would silently poison every downstream
+    /// moment.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "block values must be finite"
+        );
+        Self { values }
+    }
+
+    /// Read-only view of the values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the block, returning the values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+impl From<Vec<f64>> for MemBlock {
+    fn from(values: Vec<f64>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl DataBlock for MemBlock {
+    fn len(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        if self.values.is_empty() {
+            return Err(StorageError::Empty);
+        }
+        // Draw the index as u64 so the RNG consumption matches the
+        // file-backed block kinds exactly (cross-kind determinism).
+        let idx = rng.random_range(0..self.values.len() as u64);
+        Ok(self.values[idx as usize])
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        self.values
+            .get(idx as usize)
+            .copied()
+            .ok_or(StorageError::Empty)
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        for &v in &self.values {
+            visit(v);
+        }
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("mem({} rows)", self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_covers_all_values() {
+        let block = MemBlock::new(vec![1.0, 2.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = block.sample_one(&mut rng).unwrap();
+            seen[(v as usize) - 1] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn scan_visits_in_order() {
+        let block = MemBlock::from(vec![5.0, 4.0, 3.0]);
+        let mut got = Vec::new();
+        block.scan(&mut |v| got.push(v)).unwrap();
+        assert_eq!(got, vec![5.0, 4.0, 3.0]);
+        assert!(block.supports_scan());
+        assert_eq!(block.describe(), "mem(3 rows)");
+    }
+
+    #[test]
+    fn empty_block_refuses_sampling() {
+        let block = MemBlock::new(vec![]);
+        assert!(block.is_empty());
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(matches!(
+            block.sample_one(&mut rng),
+            Err(StorageError::Empty)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_values() {
+        let _ = MemBlock::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn row_at_is_positional() {
+        let block = MemBlock::new(vec![10.0, 20.0, 30.0]);
+        assert_eq!(block.row_at(0).unwrap(), 10.0);
+        assert_eq!(block.row_at(2).unwrap(), 30.0);
+        assert!(matches!(block.row_at(3), Err(StorageError::Empty)));
+    }
+
+    #[test]
+    fn trait_object_forwarding() {
+        let block: std::sync::Arc<dyn DataBlock> =
+            std::sync::Arc::new(MemBlock::new(vec![7.0]));
+        assert_eq!(block.len(), 1);
+        let by_ref: &dyn DataBlock = &block;
+        assert_eq!(by_ref.len(), 1);
+        assert!(by_ref.supports_scan());
+    }
+}

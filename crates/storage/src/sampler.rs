@@ -1,0 +1,274 @@
+//! Samplers: uniform with-replacement sampling, proportional allocation
+//! across blocks, and reservoir sampling for streams.
+//!
+//! The paper's pilot phases draw "uniform samples … from each block with a
+//! sample size proportional to the block size" (Section III-B);
+//! [`proportional_allocation`] implements that split exactly (largest
+//! remainder method so the sizes sum to the requested total), and
+//! [`sample_proportional`] executes it.
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::block::DataBlock;
+use crate::blockset::BlockSet;
+use crate::error::StorageError;
+
+/// Draws `m` uniform samples (with replacement) from one block, passing
+/// each to `visit`.
+///
+/// Sampling with replacement keeps the per-sample cost at one random draw
+/// regardless of the sampling rate, and is the standard model for AQP
+/// estimators (every sample is an independent draw from the block's
+/// empirical distribution).
+///
+/// # Errors
+///
+/// Propagates the first block error (e.g. [`StorageError::Empty`]).
+pub fn sample_from_block(
+    block: &dyn DataBlock,
+    m: u64,
+    rng: &mut dyn RngCore,
+    visit: &mut dyn FnMut(f64),
+) -> Result<(), StorageError> {
+    for _ in 0..m {
+        visit(block.sample_one(rng)?);
+    }
+    Ok(())
+}
+
+/// Splits a total sample size of `m` across blocks proportionally to their
+/// row counts, using the largest remainder method so the parts sum to
+/// exactly `m`. Blocks with zero rows receive zero samples.
+///
+/// # Panics
+///
+/// Panics if the block set holds no rows at all while `m > 0`.
+pub fn proportional_allocation(set: &BlockSet, m: u64) -> Vec<u64> {
+    let total = set.total_len();
+    if m == 0 {
+        return vec![0; set.block_count()];
+    }
+    assert!(total > 0, "cannot allocate samples across an empty data set");
+    let mut shares: Vec<(usize, u64, f64)> = set
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let exact = m as f64 * b.len() as f64 / total as f64;
+            let floor = exact.floor() as u64;
+            (i, floor, exact - exact.floor())
+        })
+        .collect();
+    let assigned: u64 = shares.iter().map(|&(_, f, _)| f).sum();
+    let mut remainder = m - assigned;
+    // Hand the leftover samples to the blocks with the largest fractional
+    // parts (ties broken by index for determinism).
+    shares.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    let mut result = vec![0u64; set.block_count()];
+    for (i, floor, _) in &shares {
+        result[*i] = *floor;
+    }
+    for (i, _, _) in &shares {
+        if remainder == 0 {
+            break;
+        }
+        if !set.block(*i).is_empty() {
+            result[*i] += 1;
+            remainder -= 1;
+        }
+    }
+    debug_assert_eq!(result.iter().sum::<u64>(), m);
+    result
+}
+
+/// Draws `m` uniform samples across a block set, with per-block sizes
+/// proportional to block sizes, collecting the values.
+///
+/// This is the paper's pilot sampling procedure (used for estimating `σ`
+/// and `sketch0`).
+///
+/// # Errors
+///
+/// Propagates block errors.
+pub fn sample_proportional(
+    set: &BlockSet,
+    m: u64,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<f64>, StorageError> {
+    let allocation = proportional_allocation(set, m);
+    let mut out = Vec::with_capacity(m as usize);
+    for (block, &take) in set.iter().zip(&allocation) {
+        sample_from_block(block.as_ref(), take, rng, &mut |v| out.push(v))?;
+    }
+    Ok(out)
+}
+
+/// Reservoir sampler: maintains a uniform without-replacement sample of
+/// size `k` over a stream of unknown length (Vitter's Algorithm R).
+///
+/// Used by streaming ingestion paths where the row count is not known in
+/// advance (e.g. the online-aggregation example).
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<f64>,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Self {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one stream element to the reservoir.
+    pub fn offer(&mut self, value: f64, rng: &mut dyn RngCore) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(value);
+            return;
+        }
+        let j = rng.random_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.sample[j as usize] = value;
+        }
+    }
+
+    /// Number of stream elements offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (length `min(capacity, seen)`).
+    pub fn sample(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_sample(self) -> Vec<f64> {
+        self.sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn three_block_set() -> BlockSet {
+        BlockSet::new(vec![
+            Arc::new(MemBlock::new(vec![1.0; 600])) as Arc<dyn DataBlock>,
+            Arc::new(MemBlock::new(vec![2.0; 300])),
+            Arc::new(MemBlock::new(vec![3.0; 100])),
+        ])
+    }
+
+    #[test]
+    fn allocation_is_proportional_and_exact() {
+        let set = three_block_set();
+        let alloc = proportional_allocation(&set, 100);
+        assert_eq!(alloc, vec![60, 30, 10]);
+        assert_eq!(alloc.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn allocation_handles_remainders() {
+        let set = three_block_set();
+        // 7 samples over 600/300/100: exact shares 4.2/2.1/0.7 →
+        // floors 4/2/0, remainder 1 goes to the largest fraction (0.7).
+        let alloc = proportional_allocation(&set, 7);
+        assert_eq!(alloc.iter().sum::<u64>(), 7);
+        assert_eq!(alloc, vec![4, 2, 1]);
+    }
+
+    #[test]
+    fn allocation_of_zero_samples() {
+        let set = three_block_set();
+        assert_eq!(proportional_allocation(&set, 0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn allocation_skips_empty_blocks() {
+        let set = BlockSet::new(vec![
+            Arc::new(MemBlock::new(vec![])) as Arc<dyn DataBlock>,
+            Arc::new(MemBlock::new(vec![1.0; 10])),
+        ]);
+        let alloc = proportional_allocation(&set, 5);
+        assert_eq!(alloc, vec![0, 5]);
+    }
+
+    #[test]
+    fn proportional_sampling_reflects_block_mix() {
+        let set = three_block_set();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sample = sample_proportional(&set, 1000, &mut rng).unwrap();
+        assert_eq!(sample.len(), 1000);
+        let ones = sample.iter().filter(|&&v| v == 1.0).count();
+        let twos = sample.iter().filter(|&&v| v == 2.0).count();
+        let threes = sample.iter().filter(|&&v| v == 3.0).count();
+        assert_eq!((ones, twos, threes), (600, 300, 100));
+    }
+
+    #[test]
+    fn sample_from_block_propagates_errors() {
+        let empty = MemBlock::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let r = sample_from_block(&empty, 3, &mut rng, &mut |_| {});
+        assert!(matches!(r, Err(StorageError::Empty)));
+    }
+
+    #[test]
+    fn reservoir_is_uniform_over_the_stream() {
+        // Offer 0..100 into a reservoir of 10, many times; each element
+        // should be retained ~10% of the time.
+        let mut counts = [0u32; 100];
+        for seed in 0..2000 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut res = Reservoir::new(10);
+            for i in 0..100 {
+                res.offer(i as f64, &mut rng);
+            }
+            assert_eq!(res.seen(), 100);
+            assert_eq!(res.sample().len(), 10);
+            for &v in res.sample() {
+                counts[v as usize] += 1;
+            }
+        }
+        // Expected retention per element: 2000 * 10/100 = 200 (sd ≈ 13).
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (130..=270).contains(&c),
+                "element {i} retained {c} times, expected ≈200"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_short_stream_keeps_everything() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut res = Reservoir::new(10);
+        for i in 0..5 {
+            res.offer(i as f64, &mut rng);
+        }
+        assert_eq!(res.sample(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(res.into_sample().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn reservoir_rejects_zero_capacity() {
+        let _ = Reservoir::new(0);
+    }
+}

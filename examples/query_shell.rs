@@ -1,0 +1,121 @@
+//! A tiny interactive shell over the query layer (paper Section II-C's
+//! query interface).
+//!
+//! Registers three demo tables and reads queries from stdin. When stdin
+//! is not a terminal (or `--script` is passed), it runs a scripted demo
+//! instead, so the example is exercisable in CI.
+//!
+//! ```text
+//! cargo run --release -p isla --example query_shell
+//! isla> SELECT AVG(trip_distance) FROM trips WITH PRECISION 10
+//! isla> SELECT AVG(salary) FROM census METHOD US SAMPLES 20000
+//! isla> SELECT COUNT(*) FROM lineitem
+//! ```
+
+use std::io::{BufRead, IsTerminal, Write};
+
+use isla::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    // Scaled-down evaluation datasets; see isla-datagen for provenance.
+    let trips = isla::datagen::tlc::tlc_dataset_sized(400_000, 10, 1);
+    catalog.register(
+        "trips",
+        Table::new(vec![("trip_distance", trips.blocks.clone())]),
+    );
+    let census = isla::datagen::salary::salary_dataset_sized(299_285, 10, 2);
+    catalog.register("census", Table::new(vec![("salary", census.blocks.clone())]));
+    let lineitem = isla::datagen::tpch::lineitem_column_dataset(
+        isla::datagen::tpch::LineitemColumn::ExtendedPrice,
+        600_000,
+        10,
+        3,
+    );
+    catalog.register(
+        "lineitem",
+        Table::new(vec![("l_extendedprice", lineitem.blocks.clone())]),
+    );
+    catalog
+}
+
+fn run_one(line: &str, catalog: &Catalog, rng: &mut StdRng) {
+    match isla::query::parse(line) {
+        Ok(query) => match isla::query::execute(&query, catalog, rng) {
+            Ok(result) => {
+                println!(
+                    "  {:?} = {:.4}   [{:?}, {} rows{}{}, {:.1} ms]",
+                    result.agg,
+                    result.value,
+                    result.method,
+                    result.rows,
+                    match result.samples_used {
+                        Some(s) => format!(", {s} samples"),
+                        None => String::new(),
+                    },
+                    if result.time_limited { ", time-limited" } else { "" },
+                    result.elapsed.as_secs_f64() * 1e3
+                );
+            }
+            Err(e) => println!("  error: {e}"),
+        },
+        Err(e) => println!("  error: {e}"),
+    }
+}
+
+fn main() {
+    let catalog = build_catalog();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let scripted = std::env::args().any(|a| a == "--script")
+        || !std::io::stdin().is_terminal();
+
+    println!("ISLA query shell — tables: {:?}", catalog.table_names());
+    println!("grammar: SELECT AVG(col)|SUM(col)|MAX(col)|MIN(col)|COUNT(*) FROM table");
+    println!("         [WITH PRECISION e] [CONFIDENCE b] [METHOD m] [SAMPLES n] [WITHIN t MS]");
+    println!();
+
+    if scripted {
+        let demo = [
+            "SELECT COUNT(*) FROM trips",
+            "SELECT AVG(trip_distance) FROM trips WITH PRECISION 25",
+            "SELECT AVG(trip_distance) FROM trips METHOD EXACT",
+            "SELECT AVG(salary) FROM census METHOD US SAMPLES 20000",
+            "SELECT AVG(salary) FROM census METHOD MV SAMPLES 20000",
+            "SELECT SUM(l_extendedprice) FROM lineitem WITH PRECISION 200",
+            "SELECT AVG(l_extendedprice) FROM lineitem WITH PRECISION 100 WITHIN 2000 MS",
+            "SELECT MAX(l_extendedprice) FROM lineitem",
+            "SELECT MAX(l_extendedprice) FROM lineitem METHOD EXACT",
+        ];
+        for line in demo {
+            println!("isla> {line}");
+            run_one(line, &catalog, &mut rng);
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("isla> ");
+        std::io::stdout().flush().expect("stdout flush");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+                    break;
+                }
+                run_one(line, &catalog, &mut rng);
+            }
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Integration tests for distributed execution (paper §VII-E/F).
+
+use std::time::Duration;
+
+use isla::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(e: f64) -> IslaConfig {
+    IslaConfig::builder().precision(e).build().unwrap()
+}
+
+#[test]
+fn distributed_equals_sequential_bit_for_bit() {
+    let data = BlockSet::from_values(
+        isla::datagen::normal_values(100.0, 20.0, 300_000, 300),
+        12,
+    );
+    let mut rng_seq = StdRng::seed_from_u64(301);
+    let sequential = IslaAggregator::new(config(0.5))
+        .unwrap()
+        .aggregate(&data, &mut rng_seq)
+        .unwrap();
+    for workers in [1, 2, 3, 8] {
+        let mut rng = StdRng::seed_from_u64(301);
+        let distributed = DistributedAggregator::new(config(0.5), workers)
+            .unwrap()
+            .aggregate(&data, &mut rng)
+            .unwrap();
+        assert_eq!(
+            distributed.estimate, sequential.estimate,
+            "{workers} workers changed the answer"
+        );
+    }
+}
+
+#[test]
+fn distributed_over_virtual_generator_blocks() {
+    use isla::stats::distributions::Normal;
+    use std::sync::Arc;
+
+    // 20 "machines" with 10⁹ virtual rows each (paper §VII-E's HDFS
+    // scenario at zero materialization cost).
+    let blocks: Vec<Arc<dyn DataBlock>> = (0..20)
+        .map(|i| {
+            Arc::new(GeneratorBlock::new(
+                Arc::new(Normal::new(100.0, 20.0)) as Arc<dyn isla::stats::Distribution>,
+                1_000_000_000,
+                400 + i,
+            )) as Arc<dyn DataBlock>
+        })
+        .collect();
+    let data = BlockSet::new(blocks);
+    assert_eq!(data.total_len(), 20_000_000_000);
+
+    let mut rng = StdRng::seed_from_u64(401);
+    let result = DistributedAggregator::new(config(0.5), 4)
+        .unwrap()
+        .aggregate(&data, &mut rng)
+        .unwrap();
+    assert!((result.estimate - 100.0).abs() < 1.0, "estimate {}", result.estimate);
+    assert!(result.total_samples < 100_000, "sample size independent of M");
+}
+
+#[test]
+fn deadline_bounded_answers_report_their_achieved_interval() {
+    let data = BlockSet::from_values(
+        isla::datagen::normal_values(100.0, 20.0, 400_000, 302),
+        10,
+    );
+    let cfg = config(0.02); // demands ~3.8M samples — will not fit
+    let aggregator = DistributedAggregator::new(cfg.clone(), 2).unwrap();
+    let mut rng = StdRng::seed_from_u64(303);
+    let out = aggregate_within(
+        &aggregator,
+        &data,
+        Duration::from_millis(100),
+        &cfg,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(out.time_limited);
+    assert!(out.achieved_interval.half_width > 0.02);
+    assert!(out.achieved_interval.contains(out.result.estimate));
+    // The answer is still statistically sound, just wider.
+    assert!((out.result.estimate - 100.0).abs() < 3.0);
+}

@@ -1,0 +1,174 @@
+//! Cross-crate property-based tests on ISLA's core invariants.
+
+use isla::core::accumulate::SampleAccumulator;
+use isla::core::{
+    assess, combine_partials, iterate, DataBoundaries, IslaConfig, LeverageAllocation,
+    LinearEstimator, ModulationCase, Region,
+};
+use isla::stats::PowerSums;
+use proptest::prelude::*;
+
+/// Strategy: a plausible (u, v, S-values, L-values) sample for the
+/// paper's default boundaries around 100 with σ = 20 (S = (60, 90),
+/// L = (110, 140)).
+fn sample_sets() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        proptest::collection::vec(60.001f64..89.999, 1..60),
+        proptest::collection::vec(110.001f64..139.999, 1..60),
+    )
+}
+
+fn boundaries() -> DataBoundaries {
+    DataBoundaries::new(100.0, 20.0, 0.5, 2.0)
+}
+
+proptest! {
+    /// Theorem 2: re-weighted probabilities sum to one for any sample
+    /// set, any valid q, any α.
+    #[test]
+    fn probabilities_sum_to_one(
+        (s_vals, l_vals) in sample_sets(),
+        q in prop_oneof![Just(1.0), 0.1f64..10.0],
+        alpha in -1.0f64..1.0,
+    ) {
+        let param_s: PowerSums = s_vals.iter().copied().collect();
+        let param_l: PowerSums = l_vals.iter().copied().collect();
+        let alloc = LeverageAllocation::new(&param_s, &param_l, q).unwrap();
+        let total: f64 = s_vals
+            .iter()
+            .map(|&x| alloc.probability(x, Region::Small, alpha))
+            .chain(l_vals.iter().map(|&y| alloc.probability(y, Region::Large, alpha)))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "Σprob = {total}");
+    }
+
+    /// Theorem 3 closed form ≡ explicit probability accumulation.
+    #[test]
+    fn closed_form_matches_accumulation(
+        (s_vals, l_vals) in sample_sets(),
+        q in prop_oneof![Just(1.0), 0.2f64..5.0],
+        alpha in -0.5f64..1.0,
+    ) {
+        let param_s: PowerSums = s_vals.iter().copied().collect();
+        let param_l: PowerSums = l_vals.iter().copied().collect();
+        let est = LinearEstimator::from_moments(&param_s, &param_l, q).unwrap();
+        let alloc = LeverageAllocation::new(&param_s, &param_l, q).unwrap();
+        let direct: f64 = s_vals
+            .iter()
+            .map(|&x| x * alloc.probability(x, Region::Small, alpha))
+            .chain(
+                l_vals
+                    .iter()
+                    .map(|&y| y * alloc.probability(y, Region::Large, alpha)),
+            )
+            .sum();
+        prop_assert!(
+            (est.evaluate(alpha) - direct).abs() < 1e-7,
+            "closed {} vs direct {direct}",
+            est.evaluate(alpha)
+        );
+    }
+
+    /// Sampling-order insensitivity: any permutation of the sample
+    /// stream yields the identical accumulated state.
+    #[test]
+    fn accumulator_is_order_insensitive(
+        values in proptest::collection::vec(0.0f64..200.0, 1..200),
+        rotation in 0usize..199,
+    ) {
+        let mut forward = SampleAccumulator::new(boundaries());
+        for &v in &values {
+            forward.offer(v);
+        }
+        let mut rotated = SampleAccumulator::new(boundaries());
+        let k = rotation % values.len();
+        for &v in values[k..].iter().chain(&values[..k]) {
+            rotated.offer(v);
+        }
+        // Compensated sums are not bit-commutative; the invariant is that
+        // the extracted values agree to a few ULPs (so k and c, and hence
+        // the answer, are order-insensitive).
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs());
+        prop_assert_eq!(forward.u(), rotated.u());
+        prop_assert_eq!(forward.v(), rotated.v());
+        for (f, r) in [
+            (forward.param_s(), rotated.param_s()),
+            (forward.param_l(), rotated.param_l()),
+        ] {
+            prop_assert!(close(f.sum(), r.sum()));
+            prop_assert!(close(f.sum_sq(), r.sum_sq()));
+            prop_assert!(close(f.sum_cube(), r.sum_cube()));
+        }
+    }
+
+    /// The modulation loop always terminates within its closed-form
+    /// bound and leaves |μ̂ − sketch| ≤ threshold (when not capped).
+    #[test]
+    fn iteration_terminates_at_threshold(
+        c in 50.0f64..150.0,
+        sketch0 in 50.0f64..150.0,
+        k in prop_oneof![Just(0.0), -5.0f64..5.0],
+        u in 1u64..1000,
+        v in 1u64..1000,
+    ) {
+        let config = IslaConfig::builder().precision(0.1).build().unwrap();
+        let est = LinearEstimator { k, c };
+        let case = assess(u, v, c - sketch0, &config).case;
+        let out = iterate(&est, sketch0, case, &config);
+        prop_assert!(out.iterations <= config.max_iterations);
+        if out.converged && case != ModulationCase::Balanced {
+            prop_assert!(
+                (out.answer - out.sketch).abs() <= 2.0 * config.threshold + 1e-9,
+                "answer {} sketch {}",
+                out.answer,
+                out.sketch
+            );
+        }
+    }
+
+    /// Summarization is a convex combination: the final answer lies in
+    /// the hull of the partial answers, and equal weights give the mean.
+    #[test]
+    fn summarization_is_convex(
+        partials in proptest::collection::vec((0.0f64..1000.0, 1u64..1_000_000), 1..30),
+    ) {
+        let combined = combine_partials(&partials).unwrap();
+        let lo = partials.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let hi = partials.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(combined >= lo - 1e-9 && combined <= hi + 1e-9);
+    }
+
+    /// Region classification is total, deterministic, and ordered: as the
+    /// value increases the region index never decreases.
+    #[test]
+    fn classification_is_monotone(mut values in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+        let b = boundaries();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let index = |r: Region| match r {
+            Region::TooSmall => 0,
+            Region::Small => 1,
+            Region::Normal => 2,
+            Region::Large => 3,
+            Region::TooLarge => 4,
+        };
+        for w in values.windows(2) {
+            prop_assert!(index(b.classify(w[0])) <= index(b.classify(w[1])));
+        }
+    }
+
+    /// The leverage degree interface is a pure reparametrization: scaling
+    /// k leaves the final answer unchanged (α rescales inversely).
+    #[test]
+    fn answer_invariant_to_k_scaling(
+        c in 90.0f64..110.0,
+        sketch0 in 90.0f64..110.0,
+        k in 0.01f64..10.0,
+        scale in 0.1f64..100.0,
+    ) {
+        let config = IslaConfig::builder().precision(0.1).build().unwrap();
+        let case = assess(90, 110, c - sketch0, &config).case;
+        let a = iterate(&LinearEstimator { k, c }, sketch0, case, &config);
+        let b = iterate(&LinearEstimator { k: k * scale, c }, sketch0, case, &config);
+        prop_assert!((a.answer - b.answer).abs() < 1e-6);
+    }
+}

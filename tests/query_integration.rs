@@ -1,0 +1,112 @@
+//! Integration tests for the query layer over realistic catalogs.
+
+use isla::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn demo_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    let readings = isla::datagen::normal_values(100.0, 20.0, 200_000, 1);
+    catalog.register(
+        "sensors",
+        Table::new(vec![("reading", BlockSet::from_values(readings, 10))]),
+    );
+    let lineitem = isla::datagen::tpch::lineitem_column_dataset(
+        isla::datagen::tpch::LineitemColumn::Quantity,
+        200_000,
+        10,
+        2,
+    );
+    catalog.register(
+        "lineitem",
+        Table::new(vec![("l_quantity", lineitem.blocks.clone())]),
+    );
+    catalog
+}
+
+fn run(sql: &str, seed: u64) -> Result<QueryResult, isla::query::QueryError> {
+    let catalog = demo_catalog();
+    let query = isla::query::parse(sql)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    isla::query::execute(&query, &catalog, &mut rng)
+}
+
+#[test]
+fn precision_queries_land_near_exact_answers() {
+    let approx = run("SELECT AVG(reading) FROM sensors WITH PRECISION 0.5", 3).unwrap();
+    let exact = run("SELECT AVG(reading) FROM sensors METHOD EXACT", 4).unwrap();
+    assert!(
+        (approx.value - exact.value).abs() < 1.0,
+        "approx {} vs exact {}",
+        approx.value,
+        exact.value
+    );
+    // The approximate path reads far less data.
+    assert!(approx.samples_used.unwrap() < 50_000);
+}
+
+#[test]
+fn every_method_answers_the_same_question() {
+    let exact = run("SELECT AVG(l_quantity) FROM lineitem METHOD EXACT", 5).unwrap();
+    // E[l_quantity] = 25.5.
+    assert!((exact.value - 25.5).abs() < 0.2);
+    for method in ["ISLA", "US", "STS", "MVB", "SLEV"] {
+        let sql =
+            format!("SELECT AVG(l_quantity) FROM lineitem METHOD {method} SAMPLES 40000");
+        let r = run(&sql, 6).unwrap();
+        // MVB keeps a small positive bias; the others are near-unbiased.
+        let tolerance = if method == "MVB" { 2.5 } else { 1.0 };
+        assert!(
+            (r.value - exact.value).abs() < tolerance,
+            "{method}: {} vs exact {}",
+            r.value,
+            exact.value
+        );
+    }
+    // MV's size bias on quantity: E[a²]/E[a] = (25.5² + σ²)/25.5 with
+    // σ² = (50²−1)/12 ≈ 208 ⇒ ≈ 33.7.
+    let mv = run(
+        "SELECT AVG(l_quantity) FROM lineitem METHOD MV SAMPLES 40000",
+        7,
+    )
+    .unwrap();
+    assert!((mv.value - 33.7).abs() < 1.0, "MV {}", mv.value);
+}
+
+#[test]
+fn sum_and_count_compose_with_avg() {
+    let count = run("SELECT COUNT(*) FROM sensors", 8).unwrap();
+    assert_eq!(count.value, 200_000.0);
+    let avg = run("SELECT AVG(reading) FROM sensors WITH PRECISION 0.5", 9).unwrap();
+    let sum = run("SELECT SUM(reading) FROM sensors WITH PRECISION 0.5", 9).unwrap();
+    assert!((sum.value - avg.value * 200_000.0).abs() / sum.value < 1e-9);
+}
+
+#[test]
+fn confidence_clause_reaches_the_engine() {
+    // Higher confidence ⇒ larger z ⇒ more samples for the same e.
+    let low = run(
+        "SELECT AVG(reading) FROM sensors WITH PRECISION 0.5 CONFIDENCE 0.8",
+        10,
+    )
+    .unwrap();
+    let high = run(
+        "SELECT AVG(reading) FROM sensors WITH PRECISION 0.5 CONFIDENCE 0.99",
+        10,
+    )
+    .unwrap();
+    assert!(
+        high.samples_used.unwrap() > low.samples_used.unwrap() * 2,
+        "0.99 confidence drew {} vs {} at 0.8",
+        high.samples_used.unwrap(),
+        low.samples_used.unwrap()
+    );
+}
+
+#[test]
+fn query_errors_surface_cleanly() {
+    assert!(run("SELECT AVG(reading) FROM nope WITH PRECISION 0.5", 11).is_err());
+    assert!(run("SELECT AVG(nope) FROM sensors WITH PRECISION 0.5", 12).is_err());
+    assert!(run("SELECT MEDIAN(reading) FROM sensors", 13).is_err());
+    assert!(run("SELECT AVG(reading) FROM sensors", 14).is_err(), "no precision/budget");
+}
