@@ -111,8 +111,7 @@ impl Estimator for MeasureBiasedBoundaries {
             return Ok(sigma_moments.mean().expect("pilot non-empty"));
         }
         let sketch_samples = sample_proportional(data, sketch_pilot, rng)?;
-        let sketch0 =
-            sketch_samples.iter().sum::<f64>() / sketch_samples.len() as f64;
+        let sketch0 = sketch_samples.iter().sum::<f64>() / sketch_samples.len() as f64;
         let boundaries = DataBoundaries::new(sketch0, sigma, self.config.p1, self.config.p2);
 
         // Per-region streaming sums: count, Σa, Σa².

@@ -64,7 +64,10 @@ impl Estimator for Slev {
     ) -> Result<f64, IslaError> {
         check_inputs(data, sample_budget)?;
         // Scan 1: materialize values and Σa² (the storage cost ISLA avoids).
-        let mut values = Vec::with_capacity(data.total_len() as usize);
+        // Cap the up-front reservation: `total_len()` is a *claimed* size,
+        // and unscannable virtual blocks claim trillions of rows — the
+        // scan below must get the chance to refuse before we allocate.
+        let mut values = Vec::with_capacity(data.total_len().min(1 << 20) as usize);
         let mut sum_sq = 0.0f64;
         data.scan_all(&mut |v| {
             values.push(v);
@@ -143,7 +146,9 @@ mod tests {
         // unbiased; all values here are far from zero.
         let ds = normal_dataset(100.0, 20.0, 20_000, 4, 31);
         let mut rng = StdRng::seed_from_u64(32);
-        let est = Slev::new(1.0).estimate(&ds.blocks, 20_000, &mut rng).unwrap();
+        let est = Slev::new(1.0)
+            .estimate(&ds.blocks, 20_000, &mut rng)
+            .unwrap();
         assert!((est - ds.true_mean).abs() < 1.0, "estimate {est}");
     }
 
@@ -151,10 +156,7 @@ mod tests {
     fn all_zero_data_short_circuits() {
         let data = BlockSet::from_values(vec![0.0; 500], 2);
         let mut rng = StdRng::seed_from_u64(33);
-        assert_eq!(
-            Slev::default().estimate(&data, 100, &mut rng).unwrap(),
-            0.0
-        );
+        assert_eq!(Slev::default().estimate(&data, 100, &mut rng).unwrap(), 0.0);
     }
 
     #[test]
@@ -170,11 +172,7 @@ mod tests {
         use std::sync::Arc;
         // SLEV needs full scans; a trillion-row virtual block must error,
         // not silently mis-estimate.
-        let block = GeneratorBlock::new(
-            Arc::new(Normal::new(100.0, 20.0)),
-            1_000_000_000_000,
-            1,
-        );
+        let block = GeneratorBlock::new(Arc::new(Normal::new(100.0, 20.0)), 1_000_000_000_000, 1);
         let data = BlockSet::single(block);
         let mut rng = StdRng::seed_from_u64(34);
         assert!(matches!(

@@ -129,8 +129,8 @@ impl Estimator for StratifiedSampling {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use isla_datagen::synthetic::noniid_dataset;
     use isla_datagen::normal_dataset;
+    use isla_datagen::synthetic::noniid_dataset;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -65,7 +65,9 @@ mod tests {
     fn converges_to_truth() {
         let ds = normal_dataset(100.0, 20.0, 200_000, 10, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let est = UniformSampling.estimate(&ds.blocks, 50_000, &mut rng).unwrap();
+        let est = UniformSampling
+            .estimate(&ds.blocks, 50_000, &mut rng)
+            .unwrap();
         // Expected error sd = 20/√50000 ≈ 0.09.
         assert!((est - ds.true_mean).abs() < 0.4, "estimate {est}");
         assert_eq!(UniformSampling.name(), "US");
@@ -78,7 +80,9 @@ mod tests {
             let mut total = 0.0;
             for seed in 0..20 {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let est = UniformSampling.estimate(&ds.blocks, budget, &mut rng).unwrap();
+                let est = UniformSampling
+                    .estimate(&ds.blocks, budget, &mut rng)
+                    .unwrap();
                 total += (est - ds.true_mean).abs();
             }
             total / 20.0

@@ -9,9 +9,7 @@
 
 use isla_bench::{fmt, mean_abs_error, Report};
 use isla_core::accumulate::SampleAccumulator;
-use isla_core::{
-    determine_q, iteration_phase, DataBoundaries, IslaConfig, LinearEstimator,
-};
+use isla_core::{determine_q, iteration_phase, DataBoundaries, IslaConfig, LinearEstimator};
 use isla_datagen::normal_values;
 use isla_stats::distributions::{Distribution, Normal};
 use rand::rngs::StdRng;
@@ -49,10 +47,7 @@ fn main() {
         iterated_answers.push(iteration_phase(&acc, sketch0, &config).answer);
     }
 
-    let mut report = Report::new(
-        "exp_ablation_alpha",
-        &["strategy", "mean |err|"],
-    );
+    let mut report = Report::new("exp_ablation_alpha", &["strategy", "mean |err|"]);
     for (answers, &alpha) in fixed_answers.iter().zip(&fixed_alphas) {
         report.row(vec![
             format!("fixed α={alpha}"),

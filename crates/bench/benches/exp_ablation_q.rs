@@ -24,9 +24,11 @@ fn run_arm(config: &IslaConfig, delta: f64, block: &MemBlock) -> Vec<f64> {
     (0..SEEDS)
         .map(|seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            execute_block(block, 0, SAMPLES, boundaries, sketch0, 0.0, config, &mut rng)
-                .expect("block execution succeeds")
-                .answer
+            execute_block(
+                block, 0, SAMPLES, boundaries, sketch0, 0.0, config, &mut rng,
+            )
+            .expect("block execution succeeds")
+            .answer
         })
         .collect()
 }
@@ -49,7 +51,12 @@ fn main() {
 
     let mut report = Report::new(
         "exp_ablation_q",
-        &["delta", "dev regime", "mean |err| q-tiers", "mean |err| q=1"],
+        &[
+            "delta",
+            "dev regime",
+            "mean |err| q-tiers",
+            "mean |err| q=1",
+        ],
     );
     for &delta in &[0.0, 0.3, 0.6, 1.2] {
         // dev ≈ 1 + 2.085·δ/σ: 0.3 → neutral, 0.6 → moderate, 1.2 → strong.

@@ -18,7 +18,13 @@ fn main() {
 
     let mut report = Report::new(
         "exp_data_size",
-        &["rows", "estimate", "abs error", "samples drawn", "paper answer"],
+        &[
+            "rows",
+            "estimate",
+            "abs error",
+            "samples drawn",
+            "paper answer",
+        ],
     );
     for (i, &(rows, paper_answer)) in paper::DATA_SIZE.iter().enumerate() {
         let ds = virtual_normal_dataset(100.0, 20.0, rows as u64, 10, 500 + i as u64);

@@ -14,8 +14,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use isla_baselines::{
-    Estimator, IslaEstimator, MeasureBiasedBoundaries, MeasureBiasedValues,
-    StratifiedSampling, UniformSampling,
+    Estimator, IslaEstimator, MeasureBiasedBoundaries, MeasureBiasedValues, StratifiedSampling,
+    UniformSampling,
 };
 use isla_bench::{fmt, paper, Report};
 use isla_datagen::tpch::{lineitem_column_dataset, LineitemColumn};
@@ -71,7 +71,11 @@ fn bench_estimators(c: &mut Criterion) {
     };
     let mut report = Report::new(
         "exp_efficiency",
-        &["method", "median ms (this run)", "paper total ms (20 runs, 600M rows)"],
+        &[
+            "method",
+            "median ms (this run)",
+            "paper total ms (20 runs, 600M rows)",
+        ],
     );
     let mut sampling_worst = 0.0f64;
     for (estimator, &(paper_name, paper_ms)) in estimators.iter().zip(&paper::EFFICIENCY_MS) {

@@ -22,11 +22,7 @@ fn main() {
     );
     let mut errors = Vec::new();
     for &p1 in &p1_values {
-        let config = IslaConfig::builder()
-            .precision(0.1)
-            .p1(p1)
-            .build()
-            .unwrap();
+        let config = IslaConfig::builder().precision(0.1).p1(p1).build().unwrap();
         let aggregator = IslaAggregator::new(config).unwrap();
         let estimates: Vec<f64> = datasets
             .iter()

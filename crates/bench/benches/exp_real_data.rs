@@ -8,8 +8,8 @@
 //!   run here at 2M rows for harness time, same budgets.
 
 use isla_baselines::{
-    Estimator, IslaEstimator, MeasureBiasedBoundaries, MeasureBiasedValues,
-    StratifiedSampling, UniformSampling,
+    Estimator, IslaEstimator, MeasureBiasedBoundaries, MeasureBiasedValues, StratifiedSampling,
+    UniformSampling,
 };
 use isla_bench::{fmt, paper, Report};
 use isla_datagen::{salary, tlc};
@@ -32,18 +32,22 @@ fn run_panel(
     let estimators: Vec<(Box<dyn Estimator>, u64)> = vec![
         (Box::new(IslaEstimator::default()), isla_budget),
         (Box::new(MeasureBiasedValues), baseline_budget),
-        (Box::new(MeasureBiasedBoundaries::default()), baseline_budget),
+        (
+            Box::new(MeasureBiasedBoundaries::default()),
+            baseline_budget,
+        ),
         (Box::new(UniformSampling), baseline_budget),
-        (Box::new(StratifiedSampling::proportional()), baseline_budget),
+        (
+            Box::new(StratifiedSampling::proportional()),
+            baseline_budget,
+        ),
     ];
     let mut report = Report::new(
         format!("exp_real_data_{name}"),
         &["method", "budget", "estimate", "abs error", "paper answer"],
     );
     let mut outcomes = Vec::new();
-    for ((estimator, budget), &(paper_name, paper_answer)) in
-        estimators.iter().zip(paper_answers)
-    {
+    for ((estimator, budget), &(paper_name, paper_answer)) in estimators.iter().zip(paper_answers) {
         assert_eq!(estimator.name(), paper_name);
         // Median of 5 seeds for stability.
         let mut values: Vec<f64> = (0..5)
@@ -81,9 +85,7 @@ fn main() {
         &paper::SALARY.1,
     );
     // Shape: ISLA at half budget stays close; MV grossly overshoots.
-    let get = |out: &[(String, f64)], n: &str| {
-        out.iter().find(|(name, _)| name == n).unwrap().1
-    };
+    let get = |out: &[(String, f64)], n: &str| out.iter().find(|(name, _)| name == n).unwrap().1;
     let truth = salary.true_mean;
     assert!(
         (get(&salary_out, "ISLA") - truth).abs() < (get(&salary_out, "MV") - truth).abs(),
@@ -95,14 +97,7 @@ fn main() {
     );
 
     let tlc = tlc::tlc_dataset_sized(2_000_000, 10, 1800);
-    let tlc_out = run_panel(
-        "tlc",
-        &tlc,
-        10_000,
-        20_000,
-        paper::TLC.0,
-        &paper::TLC.1,
-    );
+    let tlc_out = run_panel("tlc", &tlc, 10_000, 20_000, paper::TLC.0, &paper::TLC.1);
     let truth = tlc.true_mean;
     let isla_rel = (get(&tlc_out, "ISLA") - truth).abs() / truth;
     let mv_rel = (get(&tlc_out, "MV") - truth).abs() / truth;

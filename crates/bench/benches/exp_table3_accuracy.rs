@@ -18,10 +18,7 @@ fn main() {
     let aggregator = IslaAggregator::new(config).unwrap();
     let budget = required_sample_size(20.0, 0.1, 0.95);
 
-    let mut report = Report::new(
-        "exp_table3_accuracy",
-        &["dataset", "ISLA", "MV", "MVB"],
-    );
+    let mut report = Report::new("exp_table3_accuracy", &["dataset", "ISLA", "MV", "MVB"]);
     let (mut isla_sum, mut mv_sum, mut mvb_sum) = (0.0, 0.0, 0.0);
     let runs = 10usize;
     for i in 0..runs {

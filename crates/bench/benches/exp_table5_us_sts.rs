@@ -22,7 +22,15 @@ fn main() {
 
     let mut report = Report::new(
         "exp_table5_us_sts",
-        &["dataset", "ISLA (r/3)", "US (r)", "STS (r)", "paper ISLA", "paper US", "paper STS"],
+        &[
+            "dataset",
+            "ISLA (r/3)",
+            "US (r)",
+            "STS (r)",
+            "paper ISLA",
+            "paper US",
+            "paper STS",
+        ],
     );
     let (mut isla_all, mut us_all, mut sts_all) = (Vec::new(), Vec::new(), Vec::new());
     for i in 0..5usize {
@@ -33,7 +41,9 @@ fn main() {
             .unwrap()
             .estimate;
         let mut rng = StdRng::seed_from_u64(5000 + i as u64);
-        let us = UniformSampling.estimate(&ds.blocks, budget, &mut rng).unwrap();
+        let us = UniformSampling
+            .estimate(&ds.blocks, budget, &mut rng)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(5000 + i as u64);
         let sts = StratifiedSampling::proportional()
             .estimate(&ds.blocks, budget, &mut rng)
@@ -56,9 +66,7 @@ fn main() {
     let isla_err = mean_abs_error(&isla_all, 100.0);
     let us_err = mean_abs_error(&us_all, 100.0);
     let sts_err = mean_abs_error(&sts_all, 100.0);
-    println!(
-        "mean |err|: ISLA(r/3) {isla_err:.4}  US(r) {us_err:.4}  STS(r) {sts_err:.4}"
-    );
+    println!("mean |err|: ISLA(r/3) {isla_err:.4}  US(r) {us_err:.4}  STS(r) {sts_err:.4}");
     // Shape: ISLA at a third of the sample size stays in the same error
     // class as the full-rate competitors (within the precision target).
     assert!(

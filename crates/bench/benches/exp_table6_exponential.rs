@@ -39,7 +39,14 @@ fn main() {
     let mut report = Report::new(
         "exp_table6_exponential",
         &[
-            "gamma", "accurate", "ISLA", "MV", "MVB", "paper ISLA", "paper MV", "paper MVB",
+            "gamma",
+            "accurate",
+            "ISLA",
+            "MV",
+            "MVB",
+            "paper ISLA",
+            "paper MV",
+            "paper MVB",
         ],
     );
     for (i, &(gamma, acc, p_isla, p_mv, p_mvb)) in paper::TABLE6.iter().enumerate() {

@@ -40,10 +40,7 @@ fn main() {
     let sigma = (198.0f64 * 198.0 / 12.0).sqrt();
     let budget = required_sample_size(sigma, 0.1, 0.95).min(2_000_000);
 
-    let mut report = Report::new(
-        "exp_table7_uniform",
-        &["dataset", "ISLA", "MV", "MVB"],
-    );
+    let mut report = Report::new("exp_table7_uniform", &["dataset", "ISLA", "MV", "MVB"]);
     let (mut isla_all, mut mv_all, mut mvb_all) = (Vec::new(), Vec::new(), Vec::new());
     for i in 0..5usize {
         let ds = uniform_virtual(10_000_000, 10, 1500 + 10 * i as u64);

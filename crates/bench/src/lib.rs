@@ -15,12 +15,39 @@ use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 
-/// Directory experiment CSVs are written to.
+/// Directory experiment CSVs are written to: `<target dir>/experiments`.
+///
+/// Resolution order: an explicit `CARGO_TARGET_DIR` override (a
+/// relative override is anchored at the workspace root, since bench
+/// and test processes run with a per-crate working directory), then
+/// `<workspace root>/target`, where the workspace root is found by
+/// walking up from this crate's manifest — so the path survives crate
+/// moves within the workspace.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let target = match std::env::var_os("CARGO_TARGET_DIR").map(PathBuf::from) {
+        Some(dir) if dir.is_absolute() => dir,
+        Some(dir) => workspace_root().join(dir),
+        None => workspace_root().join("target"),
+    };
+    let dir = target.join("experiments");
     fs::create_dir_all(&dir).expect("create target/experiments");
     dir
+}
+
+/// Finds the enclosing workspace root: the nearest ancestor of this
+/// crate's manifest directory whose `Cargo.toml` declares `[workspace]`.
+/// Falls back to the manifest directory itself if none is found.
+fn workspace_root() -> PathBuf {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for dir in manifest_dir.ancestors().skip(1) {
+        let candidate = dir.join("Cargo.toml");
+        if let Ok(contents) = fs::read_to_string(&candidate) {
+            if contents.contains("[workspace]") {
+                return dir.to_path_buf();
+            }
+        }
+    }
+    manifest_dir
 }
 
 /// An aligned console table that is simultaneously captured as CSV.
@@ -87,9 +114,8 @@ impl Report {
         println!();
 
         let path = experiments_dir().join(format!("{}.csv", self.name));
-        let mut file = std::io::BufWriter::new(
-            fs::File::create(&path).expect("create experiment csv"),
-        );
+        let mut file =
+            std::io::BufWriter::new(fs::File::create(&path).expect("create experiment csv"));
         writeln!(file, "{}", self.headers.join(",")).expect("write csv header");
         for row in &self.rows {
             writeln!(file, "{}", row.join(",")).expect("write csv row");
@@ -111,7 +137,10 @@ pub fn mean_abs_error(estimates: &[f64], truth: f64) -> f64 {
 
 /// Fraction of estimates within ±e of the truth.
 pub fn within_fraction(estimates: &[f64], truth: f64, e: f64) -> f64 {
-    estimates.iter().filter(|&&x| (x - truth).abs() <= e).count() as f64
+    estimates
+        .iter()
+        .filter(|&&x| (x - truth).abs() <= e)
+        .count() as f64
         / estimates.len() as f64
 }
 
@@ -206,6 +235,21 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("a,b\n1,2\n3.5,x"));
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn experiments_dir_resolves_under_the_active_target_dir() {
+        let dir = experiments_dir();
+        assert!(dir.exists(), "{} should exist", dir.display());
+        assert_eq!(dir.file_name().unwrap(), "experiments");
+        if std::env::var_os("CARGO_TARGET_DIR").is_none() {
+            let parent = dir.parent().unwrap();
+            assert_eq!(parent.file_name().unwrap(), "target");
+            assert!(
+                parent.parent().unwrap().join("Cargo.toml").exists(),
+                "target dir should sit in the workspace root"
+            );
+        }
     }
 
     #[test]

@@ -38,11 +38,46 @@ fn run(label: &str, e: f64, lambda: f64, style: ModulationStyle, clamp: bool, ru
 fn main() {
     let runs = 40;
     for e in [0.5, 0.1] {
-        run("λ=0.8 fig clamp", e, 0.8, ModulationStyle::FigureConsistent, true, runs);
-        run("λ=0.8 fig noclamp", e, 0.8, ModulationStyle::FigureConsistent, false, runs);
-        run("λ=0.8 literal clamp", e, 0.8, ModulationStyle::PaperLiteral, true, runs);
-        run("λ=0.24 fig clamp", e, 0.24, ModulationStyle::FigureConsistent, true, runs);
-        run("λ=0.5 fig clamp", e, 0.5, ModulationStyle::FigureConsistent, true, runs);
+        run(
+            "λ=0.8 fig clamp",
+            e,
+            0.8,
+            ModulationStyle::FigureConsistent,
+            true,
+            runs,
+        );
+        run(
+            "λ=0.8 fig noclamp",
+            e,
+            0.8,
+            ModulationStyle::FigureConsistent,
+            false,
+            runs,
+        );
+        run(
+            "λ=0.8 literal clamp",
+            e,
+            0.8,
+            ModulationStyle::PaperLiteral,
+            true,
+            runs,
+        );
+        run(
+            "λ=0.24 fig clamp",
+            e,
+            0.24,
+            ModulationStyle::FigureConsistent,
+            true,
+            runs,
+        );
+        run(
+            "λ=0.5 fig clamp",
+            e,
+            0.5,
+            ModulationStyle::FigureConsistent,
+            true,
+            runs,
+        );
         println!();
     }
 }

@@ -158,12 +158,8 @@ impl IslaAggregator {
             self.config.p2,
         );
         let sketch0_shifted = pre.sketch0 + shift;
-        let boundaries = DataBoundaries::new(
-            sketch0_shifted,
-            pre.sigma,
-            self.config.p1,
-            self.config.p2,
-        );
+        let boundaries =
+            DataBoundaries::new(sketch0_shifted, pre.sigma, self.config.p1, self.config.p2);
 
         let rate = rate_override.unwrap_or(pre.rate) * factor;
         let mut blocks = Vec::with_capacity(data.block_count());

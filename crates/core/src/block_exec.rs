@@ -219,8 +219,8 @@ mod tests {
         let block = normal_block(200_000, 1);
         let boundaries = DataBoundaries::new(100.0, 20.0, 0.5, 2.0);
         let mut rng = StdRng::seed_from_u64(2);
-        let out = execute_block(&block, 0, 20_000, boundaries, 100.0, 0.0, &cfg(), &mut rng)
-            .unwrap();
+        let out =
+            execute_block(&block, 0, 20_000, boundaries, 100.0, 0.0, &cfg(), &mut rng).unwrap();
         assert!(out.fallback.is_none());
         assert!(
             (out.answer - 100.0).abs() < 1.0,
@@ -282,8 +282,7 @@ mod tests {
         let block = normal_block(100, 5);
         let boundaries = DataBoundaries::new(100.0, 20.0, 0.5, 2.0);
         let mut rng = StdRng::seed_from_u64(6);
-        let out =
-            execute_block(&block, 3, 0, boundaries, 101.5, 0.0, &cfg(), &mut rng).unwrap();
+        let out = execute_block(&block, 3, 0, boundaries, 101.5, 0.0, &cfg(), &mut rng).unwrap();
         assert_eq!(out.fallback, Some(Fallback::NoSamples));
         assert_eq!(out.answer, 101.5);
         assert_eq!(out.block_id, 3);
@@ -295,8 +294,7 @@ mod tests {
         let block = MemBlock::new(vec![100.0; 1000]);
         let boundaries = DataBoundaries::new(100.0, 20.0, 0.5, 2.0);
         let mut rng = StdRng::seed_from_u64(7);
-        let out =
-            execute_block(&block, 0, 100, boundaries, 100.2, 0.0, &cfg(), &mut rng).unwrap();
+        let out = execute_block(&block, 0, 100, boundaries, 100.2, 0.0, &cfg(), &mut rng).unwrap();
         assert_eq!(out.fallback, Some(Fallback::EmptyRegion));
         assert_eq!(out.answer, 100.2);
         assert_eq!(out.u + out.v, 0);
@@ -308,8 +306,7 @@ mod tests {
         let block = MemBlock::new(vec![75.0; 1000]); // S region for the boundaries
         let boundaries = DataBoundaries::new(100.0, 20.0, 0.5, 2.0);
         let mut rng = StdRng::seed_from_u64(8);
-        let out =
-            execute_block(&block, 0, 100, boundaries, 100.0, 0.0, &cfg(), &mut rng).unwrap();
+        let out = execute_block(&block, 0, 100, boundaries, 100.0, 0.0, &cfg(), &mut rng).unwrap();
         assert_eq!(out.fallback, Some(Fallback::EmptyRegion));
         assert!(out.u > 0 && out.v == 0);
     }
@@ -318,10 +315,7 @@ mod tests {
     fn clamp_keeps_answer_inside_sketch_interval() {
         // Construct a skewed sample where the iteration would exceed the
         // relaxed interval: tiny sample, far-off sketch.
-        let cfg = IslaConfig::builder()
-            .precision(0.05)
-            .build()
-            .unwrap();
+        let cfg = IslaConfig::builder().precision(0.05).build().unwrap();
         let block = MemBlock::new(
             (0..1000)
                 .map(|i| if i % 2 == 0 { 75.0 } else { 130.0 })
@@ -329,8 +323,7 @@ mod tests {
         );
         let boundaries = DataBoundaries::new(100.0, 20.0, 0.5, 2.0);
         let mut rng = StdRng::seed_from_u64(9);
-        let out =
-            execute_block(&block, 0, 400, boundaries, 100.0, 0.0, &cfg, &mut rng).unwrap();
+        let out = execute_block(&block, 0, 400, boundaries, 100.0, 0.0, &cfg, &mut rng).unwrap();
         let half = cfg.relaxation * cfg.precision;
         assert!(
             out.answer >= 100.0 - half - 1e-12 && out.answer <= 100.0 + half + 1e-12,

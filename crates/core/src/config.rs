@@ -139,7 +139,10 @@ impl IslaConfig {
     pub fn validate(&self) -> Result<(), IslaError> {
         let fail = |msg: String| Err(IslaError::InvalidConfig(msg));
         if !(self.precision > 0.0 && self.precision.is_finite()) {
-            return fail(format!("precision must be positive, got {}", self.precision));
+            return fail(format!(
+                "precision must be positive, got {}",
+                self.precision
+            ));
         }
         if !(self.confidence > 0.0 && self.confidence < 1.0) {
             return fail(format!(
@@ -160,7 +163,10 @@ impl IslaConfig {
             return fail(format!("eta must be in (0,1), got {}", self.eta));
         }
         if !(self.threshold > 0.0 && self.threshold.is_finite()) {
-            return fail(format!("threshold must be positive, got {}", self.threshold));
+            return fail(format!(
+                "threshold must be positive, got {}",
+                self.threshold
+            ));
         }
         if !(self.relaxation >= 1.0 && self.relaxation.is_finite()) {
             return fail(format!(
@@ -368,7 +374,10 @@ mod tests {
             (IslaConfig::builder().eta(0.0), "eta"),
             (IslaConfig::builder().relaxation(0.5), "relaxation"),
             (IslaConfig::builder().sigma_pilot_size(1), "pilot"),
-            (IslaConfig::builder().balance_band((1.01, 0.99)), "balance band"),
+            (
+                IslaConfig::builder().balance_band((1.01, 0.99)),
+                "balance band",
+            ),
             (IslaConfig::builder().q_neutral_hi(1.0), "q bands"),
             (IslaConfig::builder().q_moderate(0.5), "q' tiers"),
             (IslaConfig::builder().max_iterations(0), "max_iterations"),

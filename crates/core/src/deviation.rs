@@ -101,11 +101,11 @@ mod tests {
     fn case_table_matches_paper() {
         // (u, v, d0) → expected case, straight from §V-C.
         let cases = [
-            (90u64, 110u64, -1.0, ModulationCase::ChaseUp),     // 1
-            (110, 90, -1.0, ModulationCase::ConvergeDown),       // 2
-            (90, 110, 1.0, ModulationCase::ConvergeUp),          // 3
-            (110, 90, 1.0, ModulationCase::ChaseDown),           // 4
-            (100, 100, 1.0, ModulationCase::Balanced),           // 5
+            (90u64, 110u64, -1.0, ModulationCase::ChaseUp), // 1
+            (110, 90, -1.0, ModulationCase::ConvergeDown),  // 2
+            (90, 110, 1.0, ModulationCase::ConvergeUp),     // 3
+            (110, 90, 1.0, ModulationCase::ChaseDown),      // 4
+            (100, 100, 1.0, ModulationCase::Balanced),      // 5
         ];
         for (u, v, d0, want) in cases {
             let got = assess(u, v, d0, &cfg());

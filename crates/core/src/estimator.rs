@@ -101,7 +101,11 @@ mod tests {
         // Theorem 3 with T₂=105, Σx=9, Σx³=189, Σy³=512).
         assert!((est.c - 17.0 / 3.0).abs() < 1e-12);
         let want_k = 756.0 / 253.5 + 512.0 / 192.0 - 17.0 / 3.0;
-        assert!((est.k - want_k).abs() < 1e-12, "k = {}, want {want_k}", est.k);
+        assert!(
+            (est.k - want_k).abs() < 1e-12,
+            "k = {}, want {want_k}",
+            est.k
+        );
         // μ̂(0.1) = 5.66489…, which the paper prints rounded as 5.67.
         assert!((est.evaluate(0.1) - 5.664891518737672).abs() < 1e-12);
     }

@@ -148,10 +148,13 @@ impl ExtremeAggregator {
                 w.mean().expect("pilot non-empty"),
             ));
         }
-        let pooled_mean = pooled.mean().ok_or_else(|| {
-            IslaError::InsufficientData("pooled pilot is empty".to_string())
-        })?;
-        let pooled_sd = pooled.std_dev_sample().unwrap_or(0.0).max(f64::MIN_POSITIVE);
+        let pooled_mean = pooled
+            .mean()
+            .ok_or_else(|| IslaError::InsufficientData("pooled pilot is empty".to_string()))?;
+        let pooled_sd = pooled
+            .std_dev_sample()
+            .unwrap_or(0.0)
+            .max(f64::MIN_POSITIVE);
 
         // Overall rate from Eq. 1 with the pooled σ.
         let overall_rate = if pooled_sd <= f64::MIN_POSITIVE {
@@ -241,7 +244,10 @@ mod tests {
             .iter()
             .chain(&high)
             .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let true_min = low.iter().chain(&high).fold(f64::INFINITY, |a, &b| a.min(b));
+        let true_min = low
+            .iter()
+            .chain(&high)
+            .fold(f64::INFINITY, |a, &b| a.min(b));
         let set = BlockSet::new(vec![
             Arc::new(MemBlock::new(low)) as Arc<dyn isla_storage::DataBlock>,
             Arc::new(MemBlock::new(high)),
@@ -256,7 +262,10 @@ mod tests {
         let r = aggregator(0.5)
             .aggregate(&data, ExtremeKind::Max, &mut rng)
             .unwrap();
-        assert!(r.estimate <= true_max, "sample max cannot exceed the true max");
+        assert!(
+            r.estimate <= true_max,
+            "sample max cannot exceed the true max"
+        );
         // With tens of thousands of samples in the high block the sample
         // max lands within a few σ-tail units of the truth.
         assert!(

@@ -209,7 +209,10 @@ mod tests {
         let answer = 4.0 * alloc.probability(4.0, Region::Small, alpha)
             + 5.0 * alloc.probability(5.0, Region::Small, alpha)
             + 8.0 * alloc.probability(8.0, Region::Large, alpha);
-        assert!((answer - 5.664891518737672).abs() < 1e-12, "answer {answer}");
+        assert!(
+            (answer - 5.664891518737672).abs() < 1e-12,
+            "answer {answer}"
+        );
     }
 
     #[test]

@@ -63,13 +63,13 @@
 
 pub mod accumulate;
 pub mod aggregator;
+pub mod block_exec;
 pub mod boundaries;
 pub mod config;
 pub mod deviation;
 pub mod error;
 pub mod estimator;
 pub mod extremes;
-pub mod block_exec;
 pub mod leverage;
 pub mod modulation;
 pub mod noniid;

@@ -174,10 +174,7 @@ mod tests {
     use crate::config::IslaConfig;
 
     fn cfg() -> IslaConfig {
-        IslaConfig::builder()
-            .threshold(1e-9)
-            .build()
-            .unwrap()
+        IslaConfig::builder().threshold(1e-9).build().unwrap()
     }
 
     fn estimator(k: f64, c: f64) -> LinearEstimator {
@@ -186,7 +183,12 @@ mod tests {
 
     #[test]
     fn balanced_returns_sketch_unchanged() {
-        let out = iterate(&estimator(1.0, 105.0), 100.0, ModulationCase::Balanced, &cfg());
+        let out = iterate(
+            &estimator(1.0, 105.0),
+            100.0,
+            ModulationCase::Balanced,
+            &cfg(),
+        );
         assert_eq!(out.answer, 100.0);
         assert_eq!(out.alpha, 0.0);
         assert_eq!(out.iterations, 0);
@@ -307,7 +309,12 @@ mod tests {
             .max_iterations(8)
             .build()
             .unwrap();
-        let out = iterate(&estimator(1.0, 101.0), 100.0, ModulationCase::ConvergeUp, &config);
+        let out = iterate(
+            &estimator(1.0, 101.0),
+            100.0,
+            ModulationCase::ConvergeUp,
+            &config,
+        );
         assert_eq!(out.iterations, 8);
         assert!(!out.converged);
     }
@@ -351,8 +358,18 @@ mod tests {
     #[test]
     fn answer_invariant_to_k_magnitude() {
         let config = cfg();
-        let a = iterate(&estimator(0.1, 101.0), 100.0, ModulationCase::ConvergeUp, &config);
-        let b = iterate(&estimator(10.0, 101.0), 100.0, ModulationCase::ConvergeUp, &config);
+        let a = iterate(
+            &estimator(0.1, 101.0),
+            100.0,
+            ModulationCase::ConvergeUp,
+            &config,
+        );
+        let b = iterate(
+            &estimator(10.0, 101.0),
+            100.0,
+            ModulationCase::ConvergeUp,
+            &config,
+        );
         assert!((a.answer - b.answer).abs() < 1e-9);
         assert!((a.alpha - b.alpha * 100.0).abs() < 1e-9, "α scales as 1/k");
     }

@@ -159,8 +159,7 @@ impl NonIidAggregator {
                 });
                 continue;
             }
-            let rate =
-                (overall_rate * data_size as f64 * blev / rows as f64).min(1.0);
+            let rate = (overall_rate * data_size as f64 * blev / rows as f64).min(1.0);
 
             if sigma_i == 0.0 {
                 // Locally constant block: one probe pins its mean exactly.
@@ -281,9 +280,9 @@ mod tests {
     fn handles_constant_blocks_exactly() {
         let blocks = BlockSet::new(vec![
             Arc::new(MemBlock::new(vec![50.0; 10_000])) as Arc<dyn isla_storage::DataBlock>,
-            Arc::new(MemBlock::new(
-                isla_datagen::normal_values(150.0, 10.0, 10_000, 63),
-            )),
+            Arc::new(MemBlock::new(isla_datagen::normal_values(
+                150.0, 10.0, 10_000, 63,
+            ))),
         ]);
         let mut rng = StdRng::seed_from_u64(4);
         let result = aggregator(0.5).aggregate(&blocks, &mut rng).unwrap();

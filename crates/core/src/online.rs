@@ -75,8 +75,7 @@ impl OnlineAggregator {
         }
         let shift = compute_shift(config.shift_policy, pre.sketch0, pre.sigma, config.p2);
         let sketch0_shifted = pre.sketch0 + shift;
-        let boundaries =
-            DataBoundaries::new(sketch0_shifted, pre.sigma, config.p1, config.p2);
+        let boundaries = DataBoundaries::new(sketch0_shifted, pre.sigma, config.p1, config.p2);
         let rows: Vec<u64> = data.iter().map(|b| b.len()).collect();
         let round_sample_sizes: Vec<u64> = rows
             .iter()
@@ -194,8 +193,7 @@ mod tests {
     fn refinement_accumulates_samples_and_stays_accurate() {
         let ds = normal_dataset(100.0, 20.0, 400_000, 10, 50);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut online = OnlineAggregator::start(ds.blocks.clone(), config(1.0), &mut rng)
-            .unwrap();
+        let mut online = OnlineAggregator::start(ds.blocks.clone(), config(1.0), &mut rng).unwrap();
         let first = online.snapshot().unwrap();
         assert_eq!(first.rounds, 1);
         // e = 1.0 is a 95% interval; allow 2e for a single seeded run.
@@ -239,8 +237,7 @@ mod tests {
     fn rejects_bad_fraction_and_constant_data() {
         let ds = normal_dataset(100.0, 20.0, 50_000, 5, 52);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut online =
-            OnlineAggregator::start(ds.blocks, config(1.0), &mut rng).unwrap();
+        let mut online = OnlineAggregator::start(ds.blocks, config(1.0), &mut rng).unwrap();
         assert!(matches!(
             online.refine(0.0, &mut rng),
             Err(IslaError::InvalidConfig(_))
@@ -261,8 +258,7 @@ mod tests {
     fn fractional_refinement_draws_proportionally() {
         let ds = normal_dataset(100.0, 20.0, 100_000, 4, 53);
         let mut rng = StdRng::seed_from_u64(4);
-        let mut online =
-            OnlineAggregator::start(ds.blocks, config(1.0), &mut rng).unwrap();
+        let mut online = OnlineAggregator::start(ds.blocks, config(1.0), &mut rng).unwrap();
         let base = online.total_samples();
         online.refine(0.5, &mut rng).unwrap();
         let grown = online.total_samples();

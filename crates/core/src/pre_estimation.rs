@@ -141,7 +141,11 @@ mod tests {
         let pre = pre_estimate(&data, &config(0.5), &mut rng).unwrap();
         assert!((pre.sigma - 20.0).abs() < 2.0, "σ̂ = {}", pre.sigma);
         // sketch0 within the relaxed interval of the truth (w.h.p.).
-        assert!((pre.sketch0 - 100.0).abs() < 2.0 * 0.5 * 3.0, "sketch0 {}", pre.sketch0);
+        assert!(
+            (pre.sketch0 - 100.0).abs() < 2.0 * 0.5 * 3.0,
+            "sketch0 {}",
+            pre.sketch0
+        );
         assert_eq!(pre.sigma_pilot_used, 1000);
         // m = (1.96·σ̂/0.5)², r = m/M.
         let want_m = isla_stats::required_sample_size(pre.sigma, 0.5, 0.95);

@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn fixed_and_none_policies() {
-        assert_eq!(compute_shift(ShiftPolicy::Fixed(55.0), -100.0, 10.0, 2.0), 55.0);
+        assert_eq!(
+            compute_shift(ShiftPolicy::Fixed(55.0), -100.0, 10.0, 2.0),
+            55.0
+        );
         assert_eq!(compute_shift(ShiftPolicy::None, -100.0, 10.0, 2.0), 0.0);
     }
 }

@@ -41,8 +41,14 @@ pub fn salary_distribution() -> Mixture {
     // mean = (1 − ZERO_MASS) · body_mean  ⇒  body_mean = mean / (1 − w₀).
     let body_mean = CENSUS_MEAN / (1.0 - ZERO_MASS);
     Mixture::new(vec![
-        (ZERO_MASS, Box::new(Constant::new(0.0)) as Box<dyn Distribution>),
-        (1.0 - ZERO_MASS, Box::new(LogNormal::with_mean_cv(body_mean, BODY_CV))),
+        (
+            ZERO_MASS,
+            Box::new(Constant::new(0.0)) as Box<dyn Distribution>,
+        ),
+        (
+            1.0 - ZERO_MASS,
+            Box::new(LogNormal::with_mean_cv(body_mean, BODY_CV)),
+        ),
     ])
 }
 
@@ -104,7 +110,10 @@ mod tests {
             "zero mass {zero_frac}, want ≈{ZERO_MASS}"
         );
         let skew = summary::skewness(&values).unwrap();
-        assert!(skew > 2.0, "salary stand-in must be heavily right-skewed, got {skew}");
+        assert!(
+            skew > 2.0,
+            "salary stand-in must be heavily right-skewed, got {skew}"
+        );
         assert!(values.iter().all(|&v| v >= 0.0), "wages are non-negative");
     }
 }

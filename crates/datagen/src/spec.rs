@@ -65,10 +65,7 @@ mod tests {
 
     #[test]
     fn materialized_computes_scan_truth() {
-        let ds = Dataset::materialized(
-            "tiny",
-            BlockSet::from_values(vec![1.0, 2.0, 3.0, 4.0], 2),
-        );
+        let ds = Dataset::materialized("tiny", BlockSet::from_values(vec![1.0, 2.0, 3.0, 4.0], 2));
         assert_eq!(ds.true_mean, 2.5);
         assert_eq!(ds.abs_error(3.0), 0.5);
         assert_eq!(ds.true_std_dev, None);
@@ -76,12 +73,7 @@ mod tests {
 
     #[test]
     fn virtual_truth_carries_parameters() {
-        let ds = Dataset::virtual_truth(
-            "v",
-            BlockSet::from_values(vec![0.0], 1),
-            100.0,
-            20.0,
-        );
+        let ds = Dataset::virtual_truth("v", BlockSet::from_values(vec![0.0], 1), 100.0, 20.0);
         assert_eq!(ds.true_mean, 100.0);
         assert_eq!(ds.true_std_dev, Some(20.0));
     }

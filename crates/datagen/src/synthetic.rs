@@ -121,7 +121,13 @@ pub fn virtual_normal_dataset(
 /// `rows_per_block` virtual rows. Ground truth is the mean of the block
 /// means (all blocks are the same size).
 pub fn noniid_dataset(rows_per_block: u64, seed: u64) -> Dataset {
-    let params = [(100.0, 20.0), (50.0, 10.0), (80.0, 30.0), (150.0, 60.0), (120.0, 40.0)];
+    let params = [
+        (100.0, 20.0),
+        (50.0, 10.0),
+        (80.0, 30.0),
+        (150.0, 60.0),
+        (120.0, 40.0),
+    ];
     let blocks: Vec<Arc<dyn isla_storage::DataBlock>> = params
         .iter()
         .enumerate()
@@ -194,7 +200,10 @@ mod tests {
             })
             .unwrap();
         assert!(min >= 1.0 && max < 199.0);
-        assert!(min < 3.0 && max > 197.0, "range poorly covered: [{min},{max}]");
+        assert!(
+            min < 3.0 && max > 197.0,
+            "range poorly covered: [{min},{max}]"
+        );
     }
 
     #[test]

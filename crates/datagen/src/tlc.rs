@@ -42,10 +42,16 @@ const XLONG_MEAN: f64 = 30_000.0;
 pub fn tlc_distribution() -> Mixture {
     let body_mean =
         (TLC_MEAN - W_SHORT * SHORT_MEAN - W_LONG * LONG_MEAN - W_XLONG * XLONG_MEAN) / W_BODY;
-    assert!(body_mean > 0.0, "calibration produced non-positive body mean");
+    assert!(
+        body_mean > 0.0,
+        "calibration produced non-positive body mean"
+    );
     Mixture::new(vec![
         // Tight short-trip cluster (cv 0.25 ⇒ clustered around 1 mile).
-        (W_SHORT, Box::new(LogNormal::with_mean_cv(SHORT_MEAN, 0.25)) as Box<dyn Distribution>),
+        (
+            W_SHORT,
+            Box::new(LogNormal::with_mean_cv(SHORT_MEAN, 0.25)) as Box<dyn Distribution>,
+        ),
         // Mid-range body, moderately skewed.
         (W_BODY, Box::new(LogNormal::with_mean_cv(body_mean, 0.90))),
         // Tight long-trip (airport-run) cluster.
@@ -106,9 +112,15 @@ mod tests {
         assert!(skew > 1.0, "skewness {skew}");
         // The two extreme clusters are tight: density dips between body
         // and long cluster (bimodality check at the 9-12k gap).
-        let gap = values.iter().filter(|&&v| (9_000.0..12_000.0).contains(&v)).count() as f64
+        let gap = values
+            .iter()
+            .filter(|&&v| (9_000.0..12_000.0).contains(&v))
+            .count() as f64
             / values.len() as f64;
-        assert!(gap < long, "gap mass {gap} should undercut long-cluster mass {long}");
+        assert!(
+            gap < long,
+            "gap mass {gap} should undercut long-cluster mass {long}"
+        );
     }
 
     #[test]

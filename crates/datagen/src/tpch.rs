@@ -142,7 +142,9 @@ pub fn lineitem_column_dataset(
 ) -> Dataset {
     let scale_factor = (rows as f64 / ROWS_PER_SCALE_FACTOR as f64).max(0.01);
     let mut generator = LineitemGenerator::new(scale_factor, seed);
-    let values: Vec<f64> = (0..rows).map(|_| column.of(&generator.next_row())).collect();
+    let values: Vec<f64> = (0..rows)
+        .map(|_| column.of(&generator.next_row()))
+        .collect();
     Dataset::materialized(
         format!("tpch-lineitem {column:?} rows={rows} seed={seed}"),
         BlockSet::from_values(values, blocks),

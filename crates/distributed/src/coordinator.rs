@@ -122,12 +122,8 @@ impl DistributedAggregator {
             self.config.p2,
         );
         let sketch0_shifted = pre.sketch0 + shift;
-        let boundaries = DataBoundaries::new(
-            sketch0_shifted,
-            pre.sigma,
-            self.config.p1,
-            self.config.p2,
-        );
+        let boundaries =
+            DataBoundaries::new(sketch0_shifted, pre.sigma, self.config.p1, self.config.p2);
 
         // Seeds drawn up front, in block order, exactly as the sequential
         // aggregator draws them.
@@ -294,7 +290,10 @@ mod tests {
             .iter()
             .filter(|s| s.blocks_processed > 0)
             .count();
-        assert!(busy_workers >= 2, "expected >1 busy worker, got {busy_workers}");
+        assert!(
+            busy_workers >= 2,
+            "expected >1 busy worker, got {busy_workers}"
+        );
         let total_sampled: u64 = result.worker_stats.iter().map(|s| s.samples_drawn).sum();
         assert_eq!(total_sampled, result.total_samples);
     }
@@ -330,9 +329,11 @@ mod tests {
             DistributedAggregator::new(config(0.1), 0),
             Err(IslaError::InvalidConfig(_))
         ));
-        assert!(DistributedAggregator::with_default_workers(config(0.1))
-            .unwrap()
-            .workers()
-            > 0);
+        assert!(
+            DistributedAggregator::with_default_workers(config(0.1))
+                .unwrap()
+                .workers()
+                > 0
+        );
     }
 }

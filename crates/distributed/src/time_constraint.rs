@@ -77,7 +77,20 @@ pub fn aggregate_within(
             per_sample * 1e6
         )));
     }
+    finish_with_budget(aggregator, data, affordable, config, rng, start)
+}
 
+/// The deterministic half of [`aggregate_within`]: runs the pipeline
+/// given an already-computed affordable sample budget. Split out so the
+/// budget-capping logic can be tested without wall-clock dependence.
+fn finish_with_budget(
+    aggregator: &DistributedAggregator,
+    data: &BlockSet,
+    affordable: u64,
+    config: &IslaConfig,
+    rng: &mut dyn RngCore,
+    start: Instant,
+) -> Result<TimeConstrainedResult, IslaError> {
     // Run at the precision-derived rate; if that would overshoot the
     // deadline, rerun capped at the affordable rate.
     let result = aggregator.aggregate(data, rng)?;
@@ -139,14 +152,8 @@ mod tests {
         let cfg = config(0.5);
         let agg = DistributedAggregator::new(cfg.clone(), 2).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let out = aggregate_within(
-            &agg,
-            &ds.blocks,
-            Duration::from_secs(120),
-            &cfg,
-            &mut rng,
-        )
-        .unwrap();
+        let out =
+            aggregate_within(&agg, &ds.blocks, Duration::from_secs(120), &cfg, &mut rng).unwrap();
         assert!(!out.time_limited);
         assert!((out.result.estimate - ds.true_mean).abs() < 1.0);
         // Achieved interval equals the configured target (up to rounding
@@ -155,22 +162,18 @@ mod tests {
     }
 
     #[test]
-    fn tight_deadline_limits_and_widens_the_interval() {
-        // Very tight precision demands millions of samples; a short
-        // deadline must cap the sample and report a wider interval.
+    fn tight_budget_limits_and_widens_the_interval() {
+        // Very tight precision demands far more samples than the budget
+        // affords; the run must cap the sample and report a wider
+        // interval. The budget is injected directly (rather than derived
+        // from a real deadline) so the test is machine-independent.
         let ds = normal_dataset(100.0, 20.0, 400_000, 10, 81);
         let cfg = config(0.01);
         let agg = DistributedAggregator::new(cfg.clone(), 2).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let out = aggregate_within(
-            &agg,
-            &ds.blocks,
-            Duration::from_millis(120),
-            &cfg,
-            &mut rng,
-        )
-        .unwrap();
-        assert!(out.time_limited, "0.01 precision cannot fit in 120 ms here");
+        let out =
+            finish_with_budget(&agg, &ds.blocks, 5_000, &cfg, &mut rng, Instant::now()).unwrap();
+        assert!(out.time_limited, "0.01 precision cannot fit in 5k samples");
         assert!(
             out.achieved_interval.half_width > 0.01,
             "achieved half-width {} should be wider than the target",

@@ -136,10 +136,7 @@ mod tests {
     #[test]
     fn missing_table_and_column_errors() {
         let mut catalog = Catalog::new();
-        catalog.register(
-            "t",
-            Table::new(vec![("c", block_set(vec![1.0, 2.0]))]),
-        );
+        catalog.register("t", Table::new(vec![("c", block_set(vec![1.0, 2.0]))]));
         assert!(matches!(
             catalog.table("nope"),
             Err(QueryError::UnknownTable(_))

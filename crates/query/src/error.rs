@@ -89,7 +89,9 @@ mod tests {
         }
         .to_string()
         .contains("expected FROM"));
-        assert!(QueryError::UnknownTable("t".into()).to_string().contains("t"));
+        assert!(QueryError::UnknownTable("t".into())
+            .to_string()
+            .contains("t"));
         assert!(QueryError::UnknownColumn {
             table: "t".into(),
             column: "c".into()

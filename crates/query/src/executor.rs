@@ -118,8 +118,7 @@ pub fn execute(
                     .build()
                     .map_err(QueryError::from)?,
             };
-            let result = isla_core::ExtremeAggregator::new(config)?
-                .aggregate(data, kind, rng)?;
+            let result = isla_core::ExtremeAggregator::new(config)?.aggregate(data, kind, rng)?;
             (result.estimate, Some(result.total_samples))
         };
         return Ok(QueryResult {
@@ -231,10 +230,7 @@ fn run_isla(
         let probe = TIME_CALIBRATION_SAMPLES.min(data.total_len().max(1));
         let _ = sample_proportional(data, probe, rng).map_err(IslaError::from)?;
         let per_sample = calib_start.elapsed().as_secs_f64() / probe as f64;
-        let remaining = deadline
-            .saturating_sub(calib_start.elapsed())
-            .as_secs_f64()
-            * TIME_SAFETY;
+        let remaining = deadline.saturating_sub(calib_start.elapsed()).as_secs_f64() * TIME_SAFETY;
         let affordable = if per_sample > 0.0 {
             (remaining / per_sample) as u64
         } else {
@@ -248,13 +244,16 @@ fn run_isla(
         }
         let result = aggregator.aggregate(data, rng)?;
         if result.total_samples_with_pilots() <= affordable {
-            return Ok((result.estimate, Some(result.total_samples_with_pilots()), false));
+            return Ok((
+                result.estimate,
+                Some(result.total_samples_with_pilots()),
+                false,
+            ));
         }
         // Too expensive: re-run the calculation phase at the affordable
         // rate (pilots already spent are sunk cost, as in the paper's
         // pre-computed-pilot reading).
-        let rate =
-            (affordable as f64 / data.total_len() as f64).clamp(f64::MIN_POSITIVE, 1.0);
+        let rate = (affordable as f64 / data.total_len() as f64).clamp(f64::MIN_POSITIVE, 1.0);
         let limited = aggregator.aggregate_with_absolute_rate(data, rate, rng)?;
         return Ok((
             limited.estimate,
@@ -365,9 +364,18 @@ mod tests {
     #[test]
     fn baselines_with_explicit_budget() {
         for (method, sql) in [
-            (Method::Us, "SELECT AVG(distance) FROM trips METHOD US SAMPLES 30000"),
-            (Method::Sts, "SELECT AVG(distance) FROM trips METHOD STS SAMPLES 30000"),
-            (Method::Mv, "SELECT AVG(distance) FROM trips METHOD MV SAMPLES 30000"),
+            (
+                Method::Us,
+                "SELECT AVG(distance) FROM trips METHOD US SAMPLES 30000",
+            ),
+            (
+                Method::Sts,
+                "SELECT AVG(distance) FROM trips METHOD STS SAMPLES 30000",
+            ),
+            (
+                Method::Mv,
+                "SELECT AVG(distance) FROM trips METHOD MV SAMPLES 30000",
+            ),
         ] {
             let r = run(sql, 6).unwrap();
             assert_eq!(r.method, method);
@@ -384,8 +392,11 @@ mod tests {
 
     #[test]
     fn baseline_budget_derived_from_precision() {
-        let r = run("SELECT AVG(distance) FROM trips METHOD US WITH PRECISION 0.5", 7)
-            .unwrap();
+        let r = run(
+            "SELECT AVG(distance) FROM trips METHOD US WITH PRECISION 0.5",
+            7,
+        )
+        .unwrap();
         // m ≈ (1.96·20/0.5)² ≈ 6147.
         let used = r.samples_used.unwrap();
         assert!((5_000..8_000).contains(&used), "budget {used}");
@@ -421,8 +432,11 @@ mod tests {
 
     #[test]
     fn isla_with_explicit_budget_only() {
-        let r = run("SELECT AVG(distance) FROM trips METHOD ISLA SAMPLES 80000", 13)
-            .unwrap();
+        let r = run(
+            "SELECT AVG(distance) FROM trips METHOD ISLA SAMPLES 80000",
+            13,
+        )
+        .unwrap();
         assert!((r.value - 100.0).abs() < 1.0, "value {}", r.value);
         assert_eq!(r.samples_used, Some(80_000));
     }
@@ -431,7 +445,10 @@ mod tests {
     fn max_and_min_via_the_extremes_extension() {
         let exact_max = run("SELECT MAX(distance) FROM trips METHOD EXACT", 15).unwrap();
         let approx_max = run("SELECT MAX(distance) FROM trips WITH PRECISION 0.5", 15).unwrap();
-        assert!(approx_max.value <= exact_max.value, "sampled max is a lower bound");
+        assert!(
+            approx_max.value <= exact_max.value,
+            "sampled max is a lower bound"
+        );
         // The sample max sits near the Φ⁻¹(1−1/m) quantile; with m ≈ 2%
         // of M the expected gap to the true max is ≈ 1σ (20) here.
         assert!(
@@ -444,7 +461,10 @@ mod tests {
 
         let exact_min = run("SELECT MIN(distance) FROM trips METHOD EXACT", 16).unwrap();
         let approx_min = run("SELECT MIN(distance) FROM trips", 16).unwrap();
-        assert!(approx_min.value >= exact_min.value, "sampled min is an upper bound");
+        assert!(
+            approx_min.value >= exact_min.value,
+            "sampled min is an upper bound"
+        );
     }
 
     #[test]

@@ -101,8 +101,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
                         || d == '.'
                         || d == 'e'
                         || d == 'E'
-                        || ((d == '-' || d == '+')
-                            && matches!(bytes[i - 1] as char, 'e' | 'E'))
+                        || ((d == '-' || d == '+') && matches!(bytes[i - 1] as char, 'e' | 'E'))
                     {
                         i += 1;
                     } else {
@@ -165,8 +164,7 @@ mod tests {
 
     #[test]
     fn tokenizes_the_paper_query_form() {
-        let tokens =
-            tokenize("SELECT AVG(salary) FROM census WITH PRECISION 0.1").unwrap();
+        let tokens = tokenize("SELECT AVG(salary) FROM census WITH PRECISION 0.1").unwrap();
         assert_eq!(
             tokens,
             vec![

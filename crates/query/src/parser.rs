@@ -195,8 +195,9 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
             Token::Eof => break,
             other => {
                 return Err(QueryError::Parse {
-                    expected: "a clause (PRECISION, CONFIDENCE, METHOD, SAMPLES, WITHIN) or end of query"
-                        .to_string(),
+                    expected:
+                        "a clause (PRECISION, CONFIDENCE, METHOD, SAMPLES, WITHIN) or end of query"
+                            .to_string(),
                     found: other.describe(),
                 });
             }

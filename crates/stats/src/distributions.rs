@@ -345,7 +345,10 @@ impl Mixture {
     /// Panics if the list is empty, any weight is negative or non-finite,
     /// or all weights are zero.
     pub fn new(components: Vec<(f64, Box<dyn Distribution>)>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total: f64 = components
             .iter()
             .map(|(w, _)| {
@@ -487,7 +490,10 @@ mod tests {
     #[test]
     fn mixture_moments_and_sampling() {
         let m = Mixture::new(vec![
-            (1.0, Box::new(Normal::new(0.0, 1.0)) as Box<dyn Distribution>),
+            (
+                1.0,
+                Box::new(Normal::new(0.0, 1.0)) as Box<dyn Distribution>,
+            ),
             (3.0, Box::new(Normal::new(10.0, 2.0))),
         ]);
         // Mean = 0.25*0 + 0.75*10 = 7.5.

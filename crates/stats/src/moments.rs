@@ -303,7 +303,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..10_000).map(|i| 100.0 + ((i * 37) % 113) as f64).collect();
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| 100.0 + ((i * 37) % 113) as f64)
+            .collect();
         let w: WelfordMoments = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;

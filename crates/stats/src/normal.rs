@@ -209,10 +209,7 @@ mod tests {
         ];
         for (x, want) in cases {
             let got = normal_cdf(x);
-            assert!(
-                (got - want).abs() < 1e-15,
-                "cdf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-15, "cdf({x}) = {got}, want {want}");
         }
     }
 
@@ -252,10 +249,7 @@ mod tests {
         ];
         for (beta, want) in cases {
             let got = two_sided_z(beta);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "z({beta}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "z({beta}) = {got}, want {want}");
         }
     }
 

@@ -64,7 +64,10 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile input must not contain NaN")
+    });
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -110,7 +113,7 @@ mod tests {
         assert_eq!(quantile(&xs, 1.0), Some(4.0));
         assert_eq!(median(&xs), Some(2.5));
         assert_eq!(quantile(&xs, 1.0 / 3.0), Some(2.0));
-        assert_eq!(quantile(&xs, 0.5 + 1.0, ), None);
+        assert_eq!(quantile(&xs, 0.5 + 1.0,), None);
     }
 
     #[test]

@@ -124,7 +124,8 @@ impl BinaryBlock {
         };
         let file = File::create(path).map_err(wrap)?;
         let mut out = std::io::BufWriter::new(file);
-        out.write_all(&encode_header(values.len() as u64)).map_err(wrap)?;
+        out.write_all(&encode_header(values.len() as u64))
+            .map_err(wrap)?;
         let mut chunk = BytesMut::with_capacity(8192);
         for v in values {
             debug_assert!(v.is_finite(), "binary blocks hold finite values");
@@ -268,7 +269,11 @@ mod tests {
     #[test]
     fn open_rejects_bad_magic() {
         let path = temp_path("badmagic.blk");
-        std::fs::write(&path, b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        std::fs::write(
+            &path,
+            b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00",
+        )
+        .unwrap();
         assert!(matches!(
             BinaryBlock::open(&path),
             Err(StorageError::Corrupt { .. })

@@ -137,8 +137,7 @@ mod tests {
 
     #[test]
     fn trait_object_forwarding() {
-        let block: std::sync::Arc<dyn DataBlock> =
-            std::sync::Arc::new(MemBlock::new(vec![7.0]));
+        let block: std::sync::Arc<dyn DataBlock> = std::sync::Arc::new(MemBlock::new(vec![7.0]));
         assert_eq!(block.len(), 1);
         let by_ref: &dyn DataBlock = &block;
         assert_eq!(by_ref.len(), 1);

@@ -49,7 +49,10 @@ pub fn proportional_allocation(set: &BlockSet, m: u64) -> Vec<u64> {
     if m == 0 {
         return vec![0; set.block_count()];
     }
-    assert!(total > 0, "cannot allocate samples across an empty data set");
+    assert!(
+        total > 0,
+        "cannot allocate samples across an empty data set"
+    );
     let mut shares: Vec<(usize, u64, f64)> = set
         .iter()
         .enumerate()

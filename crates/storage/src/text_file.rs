@@ -61,10 +61,12 @@ impl TextBlock {
         let mut line_no = 0u64;
         loop {
             line.clear();
-            let n = reader.read_line(&mut line).map_err(|source| StorageError::Io {
-                path: Some(path.clone()),
-                source,
-            })?;
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|source| StorageError::Io {
+                    path: Some(path.clone()),
+                    source,
+                })?;
             if n == 0 {
                 break;
             }
@@ -213,19 +215,24 @@ impl DataBlock for TextBlock {
         let mut row = 0u64;
         loop {
             line.clear();
-            let n = reader.read_line(&mut line).map_err(|source| StorageError::Io {
-                path: Some(self.path.clone()),
-                source,
-            })?;
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|source| StorageError::Io {
+                    path: Some(self.path.clone()),
+                    source,
+                })?;
             if n == 0 || line.trim().is_empty() {
                 break;
             }
             row += 1;
-            let v = line.trim().parse::<f64>().map_err(|_| StorageError::Parse {
-                path: self.path.clone(),
-                line: row,
-                content: line.trim().chars().take(32).collect(),
-            })?;
+            let v = line
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| StorageError::Parse {
+                    path: self.path.clone(),
+                    line: row,
+                    content: line.trim().chars().take(32).collect(),
+                })?;
             visit(v);
         }
         Ok(())

@@ -22,7 +22,10 @@ fn main() {
     let budget = 60_000;
     println!("budget     : {budget} samples for every estimator");
     println!();
-    println!("{:<12}{:>14}{:>14}{:>12}", "method", "estimate", "abs error", "rel error");
+    println!(
+        "{:<12}{:>14}{:>14}{:>12}",
+        "method", "estimate", "abs error", "rel error"
+    );
 
     let estimators: Vec<Box<dyn Estimator>> = vec![
         Box::new(IslaEstimator::default()),

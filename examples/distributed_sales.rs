@@ -46,10 +46,12 @@ fn main() {
         })
         .collect();
     let data = BlockSet::new(blocks);
-    let truth: f64 =
-        profiles.iter().map(|&(_, m, _)| m).sum::<f64>() / profiles.len() as f64;
+    let truth: f64 = profiles.iter().map(|&(_, m, _)| m).sum::<f64>() / profiles.len() as f64;
 
-    println!("transnational sales AVG across {} subsidiaries", profiles.len());
+    println!(
+        "transnational sales AVG across {} subsidiaries",
+        profiles.len()
+    );
     println!("rows: {} ({} per site)", data.total_len(), rows_per_site);
     println!("exact answer: {truth:.3}");
     println!();
@@ -83,10 +85,12 @@ fn main() {
 
     // The same data through the scatter/gather coordinator.
     let workers = 4;
-    let coordinator = DistributedAggregator::new(config.clone(), workers)
-        .expect("valid configuration");
+    let coordinator =
+        DistributedAggregator::new(config.clone(), workers).expect("valid configuration");
     let mut rng = StdRng::seed_from_u64(6);
-    let scattered = coordinator.aggregate(&data, &mut rng).expect("aggregation succeeds");
+    let scattered = coordinator
+        .aggregate(&data, &mut rng)
+        .expect("aggregation succeeds");
     println!("scatter/gather over {workers} workers (global boundaries):");
     for (i, stats) in scattered.worker_stats.iter().enumerate() {
         println!(

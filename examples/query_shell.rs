@@ -27,7 +27,10 @@ fn build_catalog() -> Catalog {
         Table::new(vec![("trip_distance", trips.blocks.clone())]),
     );
     let census = isla::datagen::salary::salary_dataset_sized(299_285, 10, 2);
-    catalog.register("census", Table::new(vec![("salary", census.blocks.clone())]));
+    catalog.register(
+        "census",
+        Table::new(vec![("salary", census.blocks.clone())]),
+    );
     let lineitem = isla::datagen::tpch::lineitem_column_dataset(
         isla::datagen::tpch::LineitemColumn::ExtendedPrice,
         600_000,
@@ -55,7 +58,11 @@ fn run_one(line: &str, catalog: &Catalog, rng: &mut StdRng) {
                         Some(s) => format!(", {s} samples"),
                         None => String::new(),
                     },
-                    if result.time_limited { ", time-limited" } else { "" },
+                    if result.time_limited {
+                        ", time-limited"
+                    } else {
+                        ""
+                    },
                     result.elapsed.as_secs_f64() * 1e3
                 );
             }
@@ -68,8 +75,7 @@ fn run_one(line: &str, catalog: &Catalog, rng: &mut StdRng) {
 fn main() {
     let catalog = build_catalog();
     let mut rng = StdRng::seed_from_u64(1234);
-    let scripted = std::env::args().any(|a| a == "--script")
-        || !std::io::stdin().is_terminal();
+    let scripted = std::env::args().any(|a| a == "--script") || !std::io::stdin().is_terminal();
 
     println!("ISLA query shell — tables: {:?}", catalog.table_names());
     println!("grammar: SELECT AVG(col)|SUM(col)|MAX(col)|MIN(col)|COUNT(*) FROM table");

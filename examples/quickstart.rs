@@ -28,7 +28,9 @@ fn main() {
     let aggregator = IslaAggregator::new(config).expect("valid configuration");
 
     let mut rng = StdRng::seed_from_u64(7);
-    let result = aggregator.aggregate(&data, &mut rng).expect("aggregation succeeds");
+    let result = aggregator
+        .aggregate(&data, &mut rng)
+        .expect("aggregation succeeds");
 
     println!("ISLA approximate AVG aggregation");
     println!("--------------------------------");
@@ -45,7 +47,10 @@ fn main() {
     println!();
     println!("estimate            : {:.4}", result.estimate);
     println!("exact answer        : {exact:.4}");
-    println!("absolute error      : {:.4}", (result.estimate - exact).abs());
+    println!(
+        "absolute error      : {:.4}",
+        (result.estimate - exact).abs()
+    );
     println!(
         "scanned fraction    : {:.2}% of the data",
         100.0 * result.total_samples_with_pilots() as f64 / result.data_size as f64

@@ -30,8 +30,8 @@ fn main() {
         .expect("valid configuration");
 
     let mut rng = StdRng::seed_from_u64(17);
-    let mut online = OnlineAggregator::start(data, config, &mut rng)
-        .expect("pre-estimation succeeds");
+    let mut online =
+        OnlineAggregator::start(data, config, &mut rng).expect("pre-estimation succeeds");
 
     println!("fleet-wide mean temperature, refined online");
     println!("exact answer: {exact:.4} °C");

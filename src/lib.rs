@@ -1,0 +1,11 @@
+//! Workspace root for the ISLA reproduction.
+//!
+//! This package exists to own the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the implementation
+//! lives in the crates under `crates/` and is re-exported through the
+//! [`isla`] facade crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use isla;

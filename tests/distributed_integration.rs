@@ -12,10 +12,7 @@ fn config(e: f64) -> IslaConfig {
 
 #[test]
 fn distributed_equals_sequential_bit_for_bit() {
-    let data = BlockSet::from_values(
-        isla::datagen::normal_values(100.0, 20.0, 300_000, 300),
-        12,
-    );
+    let data = BlockSet::from_values(isla::datagen::normal_values(100.0, 20.0, 300_000, 300), 12);
     let mut rng_seq = StdRng::seed_from_u64(301);
     let sequential = IslaAggregator::new(config(0.5))
         .unwrap()
@@ -58,17 +55,21 @@ fn distributed_over_virtual_generator_blocks() {
         .unwrap()
         .aggregate(&data, &mut rng)
         .unwrap();
-    assert!((result.estimate - 100.0).abs() < 1.0, "estimate {}", result.estimate);
-    assert!(result.total_samples < 100_000, "sample size independent of M");
+    assert!(
+        (result.estimate - 100.0).abs() < 1.0,
+        "estimate {}",
+        result.estimate
+    );
+    assert!(
+        result.total_samples < 100_000,
+        "sample size independent of M"
+    );
 }
 
 #[test]
 fn deadline_bounded_answers_report_their_achieved_interval() {
-    let data = BlockSet::from_values(
-        isla::datagen::normal_values(100.0, 20.0, 400_000, 302),
-        10,
-    );
-    let cfg = config(0.02); // demands ~3.8M samples — will not fit
+    let data = BlockSet::from_values(isla::datagen::normal_values(100.0, 20.0, 400_000, 302), 10);
+    let cfg = config(0.02); // demands ~3.8M samples
     let aggregator = DistributedAggregator::new(cfg.clone(), 2).unwrap();
     let mut rng = StdRng::seed_from_u64(303);
     let out = aggregate_within(
@@ -79,9 +80,24 @@ fn deadline_bounded_answers_report_their_achieved_interval() {
         &mut rng,
     )
     .unwrap();
-    assert!(out.time_limited);
-    assert!(out.achieved_interval.half_width > 0.02);
+    // Whether the 100 ms deadline actually binds depends on machine
+    // speed, so only the invariants that hold either way are asserted
+    // here; the guaranteed time-limited path is covered machine-
+    // independently by the budget-injection unit test in
+    // `isla_distributed::time_constraint`.
     assert!(out.achieved_interval.contains(out.result.estimate));
-    // The answer is still statistically sound, just wider.
-    assert!((out.result.estimate - 100.0).abs() < 3.0);
+    assert!(
+        out.elapsed < Duration::from_secs(30),
+        "runaway deadline run"
+    );
+    if out.time_limited {
+        // A binding deadline must report an interval wider than the
+        // target and a sane (if coarse) estimate.
+        assert!(out.achieved_interval.half_width > 0.02);
+        assert!((out.result.estimate - 100.0).abs() < 5.0);
+    } else {
+        // An unconstrained run must deliver the configured precision.
+        assert!(out.achieved_interval.half_width <= 0.03);
+        assert!((out.result.estimate - 100.0).abs() < 0.1);
+    }
 }

@@ -91,15 +91,12 @@ fn virtual_trillion_row_dataset_aggregates_in_bounded_samples() {
     // The data-size experiment's substitution: the sample size depends
     // only on (σ, e, β), so a 10¹² row virtual dataset costs the same as
     // a 10⁶ row one.
-    let ds = isla_datagen::synthetic::virtual_normal_dataset(
-        100.0,
-        20.0,
-        1_000_000_000_000,
-        10,
-        105,
-    );
+    let ds =
+        isla_datagen::synthetic::virtual_normal_dataset(100.0, 20.0, 1_000_000_000_000, 10, 105);
     let mut rng = StdRng::seed_from_u64(106);
-    let r = isla_aggregator(0.5).aggregate(&ds.blocks, &mut rng).unwrap();
+    let r = isla_aggregator(0.5)
+        .aggregate(&ds.blocks, &mut rng)
+        .unwrap();
     assert!((r.estimate - 100.0).abs() < 1.0, "estimate {}", r.estimate);
     // m = z²σ²/e² ≈ 6147 regardless of M = 10¹².
     assert!(
@@ -147,7 +144,9 @@ fn exponential_and_uniform_distributions_keep_isla_sane() {
     // overshoots by the size bias.
     let exp = exponential_dataset(0.1, 400_000, 10, 108);
     let mut rng = StdRng::seed_from_u64(109);
-    let r = isla_aggregator(0.5).aggregate(&exp.blocks, &mut rng).unwrap();
+    let r = isla_aggregator(0.5)
+        .aggregate(&exp.blocks, &mut rng)
+        .unwrap();
     assert!(
         (r.estimate - exp.true_mean).abs() < 1.0,
         "exponential: {} vs {}",
@@ -157,7 +156,9 @@ fn exponential_and_uniform_distributions_keep_isla_sane() {
 
     let uni = uniform_dataset(1.0, 199.0, 400_000, 10, 110);
     let mut rng = StdRng::seed_from_u64(111);
-    let r = isla_aggregator(0.5).aggregate(&uni.blocks, &mut rng).unwrap();
+    let r = isla_aggregator(0.5)
+        .aggregate(&uni.blocks, &mut rng)
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(111);
     let mv = MeasureBiasedValues
         .estimate(&uni.blocks, 100_000, &mut rng)
@@ -175,7 +176,9 @@ fn exponential_and_uniform_distributions_keep_isla_sane() {
 fn sum_aggregation_scales_avg_by_row_count() {
     let ds = normal_dataset(10.0, 2.0, 100_000, 5, 112);
     let mut rng = StdRng::seed_from_u64(113);
-    let r = isla_aggregator(0.1).aggregate(&ds.blocks, &mut rng).unwrap();
+    let r = isla_aggregator(0.1)
+        .aggregate(&ds.blocks, &mut rng)
+        .unwrap();
     assert_eq!(r.sum_estimate, r.estimate * 100_000.0);
     assert!((r.sum_estimate - 10.0 * 100_000.0).abs() < 0.2 * 100_000.0);
 }
@@ -191,7 +194,9 @@ fn mixture_of_normals_is_handled() {
         114,
     );
     let mut rng = StdRng::seed_from_u64(115);
-    let r = isla_aggregator(0.5).aggregate(&ds.blocks, &mut rng).unwrap();
+    let r = isla_aggregator(0.5)
+        .aggregate(&ds.blocks, &mut rng)
+        .unwrap();
     assert!(
         (r.estimate - ds.true_mean).abs() < 1.5,
         "estimate {} vs truth {}",

@@ -1,0 +1,81 @@
+//! Workspace smoke test: AVG on one seeded `BlockSet` through every
+//! `Estimator` the workspace ships (US, STS, MV, MVB, SLEV, ISLA),
+//! checking each lands within its paper-configured bound.
+//!
+//! The bounds mirror the paper's evaluation setup (Section VIII):
+//! N(100, 20²) data, precision e = 0.5 at 95% confidence, and a shared
+//! per-run sample budget of `required_sample_size(σ, e, β)`. The
+//! unbiased estimators must land near the truth; MV must exhibit its
+//! characteristic ≈ +σ²/µ size bias (Table III), and MVB a smaller
+//! positive bias in between.
+
+use isla::prelude::*;
+use isla::stats::required_sample_size;
+use isla_datagen::normal_dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MU: f64 = 100.0;
+const SIGMA: f64 = 20.0;
+const E: f64 = 0.5;
+const BETA: f64 = 0.95;
+const RUNS: u64 = 8;
+
+/// Averages `RUNS` seeded estimates of `estimator` on `data`.
+fn average_estimate(estimator: &dyn Estimator, data: &isla::storage::BlockSet) -> f64 {
+    let budget = required_sample_size(SIGMA, E, BETA);
+    let mut total = 0.0;
+    for seed in 0..RUNS {
+        let mut rng = StdRng::seed_from_u64(9_000 + seed);
+        total += estimator
+            .estimate(data, budget, &mut rng)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", estimator.name()));
+    }
+    total / RUNS as f64
+}
+
+#[test]
+fn every_estimator_lands_within_its_paper_bound() {
+    let ds = normal_dataset(MU, SIGMA, 200_000, 10, 90);
+    let truth = ds.true_mean;
+
+    let unbiased: Vec<Box<dyn Estimator>> = vec![
+        Box::new(UniformSampling),
+        Box::new(StratifiedSampling::default()),
+        Box::new(Slev::default()),
+        Box::new(IslaEstimator::default()),
+    ];
+    for estimator in &unbiased {
+        let avg = average_estimate(estimator.as_ref(), &ds.blocks);
+        assert!(
+            (avg - truth).abs() < E,
+            "{}: average of {RUNS} runs {avg:.4} should lie within ±{E} of {truth:.4}",
+            estimator.name()
+        );
+    }
+
+    // MV: the measure-biased-by-values baseline over-weights large
+    // values, landing near µ + σ²/µ (≈ 104 in Table III).
+    let mv = average_estimate(&MeasureBiasedValues, &ds.blocks);
+    let mv_expected = truth + SIGMA * SIGMA / truth;
+    assert!(
+        (mv - mv_expected).abs() < 2.0,
+        "MV average {mv:.4} should sit near its size-biased value {mv_expected:.4}"
+    );
+    assert!(
+        mv - truth > 2.0,
+        "MV average {mv:.4} should be visibly biased above the truth {truth:.4}"
+    );
+
+    // MVB: boundary-informed correction shrinks but does not remove the
+    // bias — between the unbiased group and MV.
+    let mvb = average_estimate(&MeasureBiasedBoundaries::default(), &ds.blocks);
+    assert!(
+        (mvb - truth).abs() < (mv - truth).abs(),
+        "MVB average {mvb:.4} should be closer to the truth than MV's {mv:.4}"
+    );
+    assert!(
+        (mvb - truth).abs() < 2.0,
+        "MVB average {mvb:.4} should land within 2.0 of the truth {truth:.4}"
+    );
+}

@@ -54,8 +54,7 @@ fn online_over_file_blocks() {
     }
 
     let mut rng = StdRng::seed_from_u64(204);
-    let mut online =
-        OnlineAggregator::start(BlockSet::new(blocks), config(0.5), &mut rng).unwrap();
+    let mut online = OnlineAggregator::start(BlockSet::new(blocks), config(0.5), &mut rng).unwrap();
     let first = online.snapshot().unwrap();
     let second = online.refine(2.0, &mut rng).unwrap();
     assert!((second.estimate - truth).abs() < 1.0);

@@ -51,8 +51,7 @@ fn every_method_answers_the_same_question() {
     // E[l_quantity] = 25.5.
     assert!((exact.value - 25.5).abs() < 0.2);
     for method in ["ISLA", "US", "STS", "MVB", "SLEV"] {
-        let sql =
-            format!("SELECT AVG(l_quantity) FROM lineitem METHOD {method} SAMPLES 40000");
+        let sql = format!("SELECT AVG(l_quantity) FROM lineitem METHOD {method} SAMPLES 40000");
         let r = run(&sql, 6).unwrap();
         // MVB keeps a small positive bias; the others are near-unbiased.
         let tolerance = if method == "MVB" { 2.5 } else { 1.0 };
@@ -108,5 +107,8 @@ fn query_errors_surface_cleanly() {
     assert!(run("SELECT AVG(reading) FROM nope WITH PRECISION 0.5", 11).is_err());
     assert!(run("SELECT AVG(nope) FROM sensors WITH PRECISION 0.5", 12).is_err());
     assert!(run("SELECT MEDIAN(reading) FROM sensors", 13).is_err());
-    assert!(run("SELECT AVG(reading) FROM sensors", 14).is_err(), "no precision/budget");
+    assert!(
+        run("SELECT AVG(reading) FROM sensors", 14).is_err(),
+        "no precision/budget"
+    );
 }
