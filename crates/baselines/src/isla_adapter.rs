@@ -3,7 +3,8 @@
 
 use rand::RngCore;
 
-use isla_core::{IslaAggregator, IslaConfig, IslaError};
+use isla_core::engine::{self, BlockScheduler, RateSpec};
+use isla_core::{IslaConfig, IslaError};
 use isla_stats::{two_sided_z, WelfordMoments};
 use isla_storage::{sample_proportional, BlockSet};
 
@@ -50,10 +51,11 @@ impl Estimator for IslaEstimator {
         "ISLA"
     }
 
-    fn estimate(
+    fn estimate_scheduled(
         &self,
         data: &BlockSet,
         sample_budget: u64,
+        scheduler: &dyn BlockScheduler,
         rng: &mut dyn RngCore,
     ) -> Result<f64, IslaError> {
         check_inputs(data, sample_budget)?;
@@ -90,7 +92,7 @@ impl Estimator for IslaEstimator {
         config.precision = precision;
         config.threshold = precision / 1000.0;
         config.known_sigma = Some(sigma);
-        let result = IslaAggregator::new(config)?.aggregate(data, rng)?;
+        let result = engine::run(data, &config, RateSpec::Derived, scheduler, rng)?;
         Ok(result.estimate)
     }
 }

@@ -14,8 +14,10 @@
 //!   mass `n_R/m`, distributed within the region proportionally to value:
 //!   estimate `Σ_R (n_R/m)·(Σ_R a²/Σ_R a)`.
 
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
+use isla_core::engine::{derive_block_seeds, scan_blocks, BlockScheduler};
 use isla_core::{DataBoundaries, IslaConfig, IslaError, Region};
 use isla_stats::NeumaierSum;
 use isla_storage::{proportional_allocation, sample_from_block, sample_proportional, BlockSet};
@@ -31,21 +33,31 @@ impl Estimator for MeasureBiasedValues {
         "MV"
     }
 
-    fn estimate(
+    fn estimate_scheduled(
         &self,
         data: &BlockSet,
         sample_budget: u64,
+        scheduler: &dyn BlockScheduler,
         rng: &mut dyn RngCore,
     ) -> Result<f64, IslaError> {
         check_inputs(data, sample_budget)?;
         let allocation = proportional_allocation(data, sample_budget);
-        let mut sum = NeumaierSum::new();
-        let mut sum_sq = NeumaierSum::new();
-        for (block, &take) in data.iter().zip(&allocation) {
-            sample_from_block(block.as_ref(), take, rng, &mut |v| {
+        let seeds = derive_block_seeds(rng, data.block_count());
+        let partials = scan_blocks(scheduler.parallelism(), data, |i, block| {
+            let mut block_rng = StdRng::seed_from_u64(seeds[i]);
+            let mut sum = NeumaierSum::new();
+            let mut sum_sq = NeumaierSum::new();
+            sample_from_block(block, allocation[i], &mut block_rng, &mut |v| {
                 sum.add(v);
                 sum_sq.add(v * v);
             })?;
+            Ok((sum.value(), sum_sq.value()))
+        })?;
+        let mut sum = NeumaierSum::new();
+        let mut sum_sq = NeumaierSum::new();
+        for (s, sq) in partials {
+            sum.add(s);
+            sum_sq.add(sq);
         }
         let denominator = sum.value();
         if denominator == 0.0 {
@@ -81,10 +93,11 @@ impl Estimator for MeasureBiasedBoundaries {
         "MVB"
     }
 
-    fn estimate(
+    fn estimate_scheduled(
         &self,
         data: &BlockSet,
         sample_budget: u64,
+        scheduler: &dyn BlockScheduler,
         rng: &mut dyn RngCore,
     ) -> Result<f64, IslaError> {
         check_inputs(data, sample_budget)?;
@@ -114,10 +127,9 @@ impl Estimator for MeasureBiasedBoundaries {
         let sketch0 = sketch_samples.iter().sum::<f64>() / sketch_samples.len() as f64;
         let boundaries = DataBoundaries::new(sketch0, sigma, self.config.p1, self.config.p2);
 
-        // Per-region streaming sums: count, Σa, Σa².
-        let mut counts = [0u64; 5];
-        let mut sums = [NeumaierSum::new(); 5];
-        let mut sums_sq = [NeumaierSum::new(); 5];
+        // Per-region streaming sums: count, Σa, Σa² — accumulated per
+        // block with seeded streams, then merged, so the classification
+        // pass parallelizes without changing the estimate.
         let region_index = |r: Region| match r {
             Region::TooSmall => 0,
             Region::Small => 1,
@@ -126,15 +138,31 @@ impl Estimator for MeasureBiasedBoundaries {
             Region::TooLarge => 4,
         };
         let allocation = proportional_allocation(data, remaining);
-        let mut total = 0u64;
-        for (block, &take) in data.iter().zip(&allocation) {
-            sample_from_block(block.as_ref(), take, rng, &mut |v| {
-                let i = region_index(boundaries.classify(v));
-                counts[i] += 1;
-                sums[i].add(v);
-                sums_sq[i].add(v * v);
-                total += 1;
+        let seeds = derive_block_seeds(rng, data.block_count());
+        let partials = scan_blocks(scheduler.parallelism(), data, |i, block| {
+            let mut block_rng = StdRng::seed_from_u64(seeds[i]);
+            let mut counts = [0u64; 5];
+            let mut sums = [NeumaierSum::new(); 5];
+            let mut sums_sq = [NeumaierSum::new(); 5];
+            sample_from_block(block, allocation[i], &mut block_rng, &mut |v| {
+                let r = region_index(boundaries.classify(v));
+                counts[r] += 1;
+                sums[r].add(v);
+                sums_sq[r].add(v * v);
             })?;
+            Ok((counts, sums.map(|s| s.value()), sums_sq.map(|s| s.value())))
+        })?;
+        let mut counts = [0u64; 5];
+        let mut sums = [NeumaierSum::new(); 5];
+        let mut sums_sq = [NeumaierSum::new(); 5];
+        let mut total = 0u64;
+        for (block_counts, block_sums, block_sums_sq) in partials {
+            for r in 0..5 {
+                counts[r] += block_counts[r];
+                total += block_counts[r];
+                sums[r].add(block_sums[r]);
+                sums_sq[r].add(block_sums_sq[r]);
+            }
         }
         if total == 0 {
             return Err(IslaError::InsufficientData(

@@ -17,6 +17,7 @@
 use rand::Rng;
 use rand::RngCore;
 
+use isla_core::engine::{scan_blocks, BlockScheduler};
 use isla_core::IslaError;
 use isla_storage::{BlockSet, StorageError};
 
@@ -56,24 +57,37 @@ impl Estimator for Slev {
         "SLEV"
     }
 
-    fn estimate(
+    fn estimate_scheduled(
         &self,
         data: &BlockSet,
         sample_budget: u64,
+        scheduler: &dyn BlockScheduler,
         rng: &mut dyn RngCore,
     ) -> Result<f64, IslaError> {
         check_inputs(data, sample_budget)?;
-        // Scan 1: materialize values and Σa² (the storage cost ISLA avoids).
-        // Cap the up-front reservation: `total_len()` is a *claimed* size,
-        // and unscannable virtual blocks claim trillions of rows — the
-        // scan below must get the chance to refuse before we allocate.
-        let mut values = Vec::with_capacity(data.total_len().min(1 << 20) as usize);
+        // Scan 1: materialize values and Σa² (the storage cost ISLA
+        // avoids), one scan per block through the scheduler — merged in
+        // block order, so the value layout matches a single global scan.
+        let scans = scan_blocks(scheduler.parallelism(), data, |_, block| {
+            // Cap the up-front reservation: `len()` is a *claimed* size,
+            // and unscannable virtual blocks claim trillions of rows —
+            // the scan must get the chance to refuse before we allocate.
+            let mut values = Vec::with_capacity(block.len().min(1 << 20) as usize);
+            let mut sum_sq = 0.0f64;
+            block
+                .scan(&mut |v| {
+                    values.push(v);
+                    sum_sq += v * v;
+                })
+                .map_err(IslaError::from)?;
+            Ok((values, sum_sq))
+        })?;
+        let mut values = Vec::new();
         let mut sum_sq = 0.0f64;
-        data.scan_all(&mut |v| {
-            values.push(v);
-            sum_sq += v * v;
-        })
-        .map_err(IslaError::from)?;
+        for (block_values, block_sum_sq) in scans {
+            values.extend(block_values);
+            sum_sq += block_sum_sq;
+        }
         let n = values.len();
         if n == 0 {
             return Err(IslaError::Storage(StorageError::Empty));

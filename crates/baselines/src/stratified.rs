@@ -1,7 +1,9 @@
 //! Stratified sampling (STS): per-block strata.
 
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
+use isla_core::engine::{derive_block_seeds, scan_blocks, BlockScheduler};
 use isla_core::IslaError;
 use isla_stats::WelfordMoments;
 use isla_storage::{proportional_allocation, sample_from_block, BlockSet};
@@ -55,10 +57,11 @@ impl Estimator for StratifiedSampling {
         }
     }
 
-    fn estimate(
+    fn estimate_scheduled(
         &self,
         data: &BlockSet,
         sample_budget: u64,
+        scheduler: &dyn BlockScheduler,
         rng: &mut dyn RngCore,
     ) -> Result<f64, IslaError> {
         check_inputs(data, sample_budget)?;
@@ -106,21 +109,28 @@ impl Estimator for StratifiedSampling {
             }
         };
 
-        let mut acc = isla_stats::NeumaierSum::new();
-        for (block, &take) in data.iter().zip(&allocation) {
+        // Per-stratum sampling is independent given a per-block seed, so
+        // the strata scan in parallel without changing the estimate.
+        let seeds = derive_block_seeds(rng, data.block_count());
+        let partials = scan_blocks(scheduler.parallelism(), data, |i, block| {
             if block.is_empty() {
-                continue;
+                return Ok(None);
             }
+            let mut block_rng = StdRng::seed_from_u64(seeds[i]);
+            let take = allocation[i];
             let mut w = WelfordMoments::new();
             if take > 0 {
-                sample_from_block(block.as_ref(), take, rng, &mut |v| w.update(v))?;
+                sample_from_block(block, take, &mut block_rng, &mut |v| w.update(v))?;
             } else {
                 // A stratum with no sample still needs a mean; draw one.
-                let v = block.sample_one(rng)?;
-                w.update(v);
+                w.update(block.sample_one(&mut block_rng)?);
             }
             let mean = w.mean().expect("stratum sample non-empty");
-            acc.add(mean * (block.len() as f64 / total_rows as f64));
+            Ok(Some(mean * (block.len() as f64 / total_rows as f64)))
+        })?;
+        let mut acc = isla_stats::NeumaierSum::new();
+        for partial in partials.into_iter().flatten() {
+            acc.add(partial);
         }
         Ok(acc.value())
     }

@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 
+use isla_core::engine::{BlockScheduler, SequentialScheduler};
 use isla_core::IslaError;
 use isla_storage::BlockSet;
 
@@ -9,12 +10,19 @@ use isla_storage::BlockSet;
 ///
 /// `sample_budget` is the number of value draws the estimator may spend
 /// (pilot phases included, so comparisons across estimators are fair).
+///
+/// Every estimator's per-block work runs through an engine
+/// [`BlockScheduler`]: per-block randomness is derived from seeds fixed
+/// up front, so [`Estimator::estimate_scheduled`] returns the
+/// bit-identical answer on any scheduler — parallel block scans come for
+/// free, without changing results.
 pub trait Estimator {
     /// Short display name (matches the paper's abbreviations: US, STS,
     /// MV, MVB, …).
     fn name(&self) -> &'static str;
 
-    /// Estimates the AVG of `data` within the sample budget.
+    /// Estimates the AVG of `data` within the sample budget, running
+    /// per-block work sequentially.
     ///
     /// # Errors
     ///
@@ -24,6 +32,24 @@ pub trait Estimator {
         &self,
         data: &BlockSet,
         sample_budget: u64,
+        rng: &mut dyn RngCore,
+    ) -> Result<f64, IslaError> {
+        self.estimate_scheduled(data, sample_budget, &SequentialScheduler, rng)
+    }
+
+    /// As [`Estimator::estimate`], with per-block work placed by the
+    /// given scheduler (e.g. [`isla_core::engine::PooledScheduler`] for
+    /// parallel block scans). The answer is identical to the sequential
+    /// one for the same `rng` stream.
+    ///
+    /// # Errors
+    ///
+    /// As [`Estimator::estimate`].
+    fn estimate_scheduled(
+        &self,
+        data: &BlockSet,
+        sample_budget: u64,
+        scheduler: &dyn BlockScheduler,
         rng: &mut dyn RngCore,
     ) -> Result<f64, IslaError>;
 }

@@ -3,6 +3,7 @@
 use rand::Rng;
 use rand::RngCore;
 
+use isla_core::engine::{scan_blocks, BlockScheduler};
 use isla_core::IslaError;
 use isla_stats::NeumaierSum;
 use isla_storage::BlockSet;
@@ -26,10 +27,11 @@ impl Estimator for UniformSampling {
         "US"
     }
 
-    fn estimate(
+    fn estimate_scheduled(
         &self,
         data: &BlockSet,
         sample_budget: u64,
+        scheduler: &dyn BlockScheduler,
         rng: &mut dyn RngCore,
     ) -> Result<f64, IslaError> {
         check_inputs(data, sample_budget)?;
@@ -41,12 +43,26 @@ impl Estimator for UniformSampling {
             cumulative.push(acc);
         }
         let total = acc;
-        let mut sum = NeumaierSum::new();
+        // All row indices come from the caller's stream up front (the
+        // multinomial draw is pure RNG work); only the row *reads* fan
+        // out across blocks, so scheduling cannot change the estimate.
+        let mut rows_by_block: Vec<Vec<u64>> = vec![Vec::new(); data.block_count()];
         for _ in 0..sample_budget {
             let row = rng.random_range(0..total);
             let idx = cumulative.partition_point(|&c| c <= row);
             let base = if idx == 0 { 0 } else { cumulative[idx - 1] };
-            sum.add(data.block(idx).row_at(row - base)?);
+            rows_by_block[idx].push(row - base);
+        }
+        let partials = scan_blocks(scheduler.parallelism(), data, |i, block| {
+            let mut sum = NeumaierSum::new();
+            for &row in &rows_by_block[i] {
+                sum.add(block.row_at(row)?);
+            }
+            Ok(sum.value())
+        })?;
+        let mut sum = NeumaierSum::new();
+        for partial in partials {
+            sum.add(partial);
         }
         Ok(sum.value() / sample_budget as f64)
     }

@@ -1,18 +1,19 @@
 //! The top-level ISLA aggregator: Pre-estimation → per-block Calculation
 //! → Summarization (the full system of paper Fig. 2).
+//!
+//! This is a thin wrapper over [`crate::engine`]: it prepares a
+//! [`crate::engine::QueryPlan`] and executes it on the
+//! [`crate::engine::SequentialScheduler`].
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
 use isla_storage::BlockSet;
 
-use crate::block_exec::{execute_block, BlockOutcome};
-use crate::boundaries::DataBoundaries;
+use crate::block_exec::BlockOutcome;
 use crate::config::IslaConfig;
+use crate::engine::{self, RateSpec, SequentialScheduler};
 use crate::error::IslaError;
-use crate::pre_estimation::{pre_estimate, PreEstimate};
-use crate::shift::compute_shift;
-use crate::summarize::combine_partials;
+use crate::pre_estimation::PreEstimate;
 
 /// The result of one ISLA aggregation.
 #[derive(Debug, Clone)]
@@ -96,12 +97,7 @@ impl IslaAggregator {
         factor: f64,
         rng: &mut dyn RngCore,
     ) -> Result<AggregateResult, IslaError> {
-        if !(factor > 0.0 && factor <= 1.0) {
-            return Err(IslaError::InvalidConfig(format!(
-                "rate factor must be in (0, 1], got {factor}"
-            )));
-        }
-        self.run(data, None, factor, rng)
+        self.run(data, RateSpec::Scaled(factor), rng)
     }
 
     /// Runs the pipeline at an explicit calculation-phase sampling rate,
@@ -120,79 +116,24 @@ impl IslaAggregator {
         rate: f64,
         rng: &mut dyn RngCore,
     ) -> Result<AggregateResult, IslaError> {
-        if !(rate > 0.0 && rate <= 1.0) {
-            return Err(IslaError::InvalidConfig(format!(
-                "sampling rate must be in (0, 1], got {rate}"
-            )));
-        }
-        self.run(data, Some(rate), 1.0, rng)
+        self.run(data, RateSpec::Absolute(rate), rng)
     }
 
     fn run(
         &self,
         data: &BlockSet,
-        rate_override: Option<f64>,
-        factor: f64,
+        rate: RateSpec,
         rng: &mut dyn RngCore,
     ) -> Result<AggregateResult, IslaError> {
-        let pre = pre_estimate(data, &self.config, rng)?;
-        let data_size = data.total_len();
-
-        // Degenerate data: the pilot pinned the (constant) answer.
-        if pre.sigma == 0.0 {
-            return Ok(AggregateResult {
-                estimate: pre.sketch0,
-                sum_estimate: pre.sketch0 * data_size as f64,
-                data_size,
-                pre,
-                shift: 0.0,
-                blocks: Vec::new(),
-                total_samples: 0,
-            });
-        }
-
-        let shift = compute_shift(
-            self.config.shift_policy,
-            pre.sketch0,
-            pre.sigma,
-            self.config.p2,
-        );
-        let sketch0_shifted = pre.sketch0 + shift;
-        let boundaries =
-            DataBoundaries::new(sketch0_shifted, pre.sigma, self.config.p1, self.config.p2);
-
-        let rate = rate_override.unwrap_or(pre.rate) * factor;
-        let mut blocks = Vec::with_capacity(data.block_count());
-        let mut total_samples = 0u64;
-        for (block_id, block) in data.iter().enumerate() {
-            // Per-block RNG derived from the caller's stream keeps block
-            // execution order-independent and individually reproducible.
-            let mut block_rng = StdRng::seed_from_u64(rng.next_u64());
-            let sample_size = (rate * block.len() as f64).round() as u64;
-            let outcome = execute_block(
-                block.as_ref(),
-                block_id,
-                sample_size,
-                boundaries,
-                sketch0_shifted,
-                shift,
-                &self.config,
-                &mut block_rng,
-            )?;
-            total_samples += outcome.samples_drawn;
-            blocks.push(outcome);
-        }
-
-        let partials: Vec<(f64, u64)> = blocks.iter().map(|b| (b.answer, b.rows)).collect();
-        let estimate = combine_partials(&partials)?;
+        let out = engine::run(data, &self.config, rate, &SequentialScheduler, rng)?;
         Ok(AggregateResult {
-            estimate,
-            sum_estimate: estimate * data_size as f64,
-            data_size,
-            pre,
-            shift,
-            blocks,
-            total_samples,
+            estimate: out.estimate,
+            sum_estimate: out.sum_estimate,
+            data_size: out.data_size,
+            pre: out.pre,
+            shift: out.shift,
+            blocks: out.blocks,
+            total_samples: out.total_samples,
         })
     }
 }

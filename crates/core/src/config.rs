@@ -131,6 +131,51 @@ impl IslaConfig {
         IslaConfigBuilder::default()
     }
 
+    /// A stable digest of every parameter, used to key caches (e.g. the
+    /// engine's pre-estimation cache): two configurations fingerprint
+    /// equal exactly when every field is bit-identical.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for v in [
+            self.precision,
+            self.confidence,
+            self.p1,
+            self.p2,
+            self.lambda,
+            self.eta,
+            self.threshold,
+            self.relaxation,
+            self.balance_band.0,
+            self.balance_band.1,
+            self.q_neutral_hi,
+            self.q_moderate_hi,
+            self.q_moderate,
+            self.q_strong,
+        ] {
+            v.to_bits().hash(&mut h);
+        }
+        self.sigma_pilot_size.hash(&mut h);
+        self.max_iterations.hash(&mut h);
+        match self.modulation_style {
+            ModulationStyle::FigureConsistent => 0u8.hash(&mut h),
+            ModulationStyle::PaperLiteral => 1u8.hash(&mut h),
+        }
+        self.clamp_to_sketch_interval.hash(&mut h);
+        match self.shift_policy {
+            ShiftPolicy::Auto => 0u8.hash(&mut h),
+            ShiftPolicy::None => 1u8.hash(&mut h),
+            ShiftPolicy::Fixed(d) => {
+                2u8.hash(&mut h);
+                d.to_bits().hash(&mut h);
+            }
+        }
+        self.known_sigma.map(f64::to_bits).hash(&mut h);
+        self.record_trace.hash(&mut h);
+        h.finish()
+    }
+
     /// Validates every parameter's domain.
     ///
     /// # Errors
@@ -392,6 +437,31 @@ mod tests {
                 matches!(builder.build(), Err(IslaError::InvalidConfig(_))),
                 "expected {what} to be rejected"
             );
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_configs() {
+        let base = IslaConfig::default();
+        assert_eq!(base.fingerprint(), IslaConfig::default().fingerprint());
+        let variants = [
+            IslaConfig::builder().precision(0.2).build().unwrap(),
+            IslaConfig::builder().confidence(0.9).build().unwrap(),
+            IslaConfig::builder()
+                .known_sigma(Some(1.0))
+                .build()
+                .unwrap(),
+            IslaConfig::builder()
+                .shift_policy(ShiftPolicy::Fixed(1.0))
+                .build()
+                .unwrap(),
+            IslaConfig::builder()
+                .modulation_style(ModulationStyle::PaperLiteral)
+                .build()
+                .unwrap(),
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
         }
     }
 

@@ -1,0 +1,265 @@
+//! Pre-estimation caching for repeated queries.
+//!
+//! The heavy-traffic scenario: the same query shape arrives millions of
+//! times against the same catalog table. The pilots (σ estimation + the
+//! relaxed-precision sketch) are the only phase whose output depends
+//! solely on `(data, config)` — so a [`PreEstimateCache`] keyed by
+//! `(table, column, config, data shape)` lets every repeat skip the
+//! pilot phase entirely and go straight to planning.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rand::RngCore;
+
+use isla_storage::BlockSet;
+
+use crate::config::IslaConfig;
+use crate::error::IslaError;
+use crate::pre_estimation::{pre_estimate, PreEstimate};
+
+/// A cache key: the catalog coordinates of a column, the configuration
+/// fingerprint, and the data's shape (row count + block count).
+///
+/// Folding the shape in means a re-registered table of a different size
+/// misses instead of serving a stale σ̂/rate computed for the old data.
+/// A same-shape content change is invisible to the key — callers that
+/// mutate data in place must invalidate explicitly
+/// ([`PreEstimateCache::invalidate`] / [`PreEstimateCache::clear`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    table: String,
+    column: String,
+    config: u64,
+    rows: u64,
+    blocks: usize,
+}
+
+impl CacheKey {
+    /// Builds a key for `table.column` under `config`, bound to `data`'s
+    /// shape.
+    pub fn new(table: &str, column: &str, config: &IslaConfig, data: &BlockSet) -> Self {
+        Self {
+            table: table.to_string(),
+            column: column.to_string(),
+            config: config.fingerprint(),
+            rows: data.total_len(),
+            blocks: data.block_count(),
+        }
+    }
+}
+
+/// Hit/miss counters, observable by callers (e.g. integration tests and
+/// serving dashboards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (pilot phase skipped).
+    pub hits: u64,
+    /// Lookups that ran the pilots and populated the cache.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// The result of one cache lookup.
+#[derive(Debug, Clone)]
+pub struct CacheLookup {
+    /// The pre-estimate (cached or freshly computed).
+    pub pre: PreEstimate,
+    /// Whether the pilots were skipped (`true` on a cache hit).
+    pub hit: bool,
+}
+
+/// A thread-safe cache of [`PreEstimate`]s keyed by [`CacheKey`].
+#[derive(Debug, Default)]
+pub struct PreEstimateCache {
+    entries: Mutex<HashMap<CacheKey, PreEstimate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PreEstimateCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached pre-estimate for `key`, or runs the pilots on
+    /// `data` and caches the result.
+    ///
+    /// # Errors
+    ///
+    /// Pre-estimation failures (the cache is left untouched).
+    pub fn get_or_compute(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<CacheLookup, IslaError> {
+        if let Some(pre) = self.entries.lock().expect("cache lock").get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CacheLookup { pre, hit: true });
+        }
+        let pre = pre_estimate(data, config, rng)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert(key, pre.clone());
+        Ok(CacheLookup { pre, hit: false })
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops one entry (e.g. after the underlying table changed).
+    pub fn invalidate(&self, key: &CacheKey) {
+        self.entries.lock().expect("cache lock").remove(key);
+    }
+
+    /// Drops every entry. Counters are preserved.
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_datagen::normal_dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(e: f64) -> IslaConfig {
+        IslaConfig::builder().precision(e).build().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_skips_the_pilots() {
+        let ds = normal_dataset(100.0, 20.0, 100_000, 10, 60);
+        let cache = PreEstimateCache::new();
+        let cfg = config(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = cache
+            .get_or_compute(
+                CacheKey::new("t", "c", &cfg, &ds.blocks),
+                &ds.blocks,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(!first.hit);
+        let mut rng = StdRng::seed_from_u64(2);
+        let second = cache
+            .get_or_compute(
+                CacheKey::new("t", "c", &cfg, &ds.blocks),
+                &ds.blocks,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(second.hit);
+        assert_eq!(second.pre, first.pre, "hit returns the cached estimate");
+        // A hit consumes no randomness: the stream is exactly where the
+        // seed left it.
+        let mut check = StdRng::seed_from_u64(2);
+        assert_eq!(rng.next_u64(), check.next_u64());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats().lookups(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_coordinates_or_configs_miss() {
+        let ds = normal_dataset(100.0, 20.0, 50_000, 5, 61);
+        let cache = PreEstimateCache::new();
+        let cfg = config(0.5);
+        let tighter = config(0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for key in [
+            CacheKey::new("t", "a", &cfg, &ds.blocks),
+            CacheKey::new("t", "b", &cfg, &ds.blocks),
+            CacheKey::new("u", "a", &cfg, &ds.blocks),
+            CacheKey::new("t", "a", &tighter, &ds.blocks),
+        ] {
+            let lookup = cache
+                .get_or_compute(key, &ds.blocks, &cfg, &mut rng)
+                .unwrap();
+            assert!(!lookup.hit);
+        }
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 4 });
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn reshaped_data_misses_instead_of_serving_stale_estimates() {
+        // The same catalog coordinates over data of a different size (or
+        // block layout) must not reuse the old σ̂/rate.
+        let small = normal_dataset(100.0, 20.0, 50_000, 5, 65);
+        let grown = normal_dataset(100.0, 20.0, 80_000, 5, 65);
+        let cache = PreEstimateCache::new();
+        let cfg = config(0.5);
+        let mut rng = StdRng::seed_from_u64(5);
+        cache
+            .get_or_compute(
+                CacheKey::new("t", "c", &cfg, &small.blocks),
+                &small.blocks,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        let after_growth = cache
+            .get_or_compute(
+                CacheKey::new("t", "c", &cfg, &grown.blocks),
+                &grown.blocks,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(!after_growth.hit, "grown table must re-run the pilots");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn invalidate_and_clear_force_recomputation() {
+        let ds = normal_dataset(100.0, 20.0, 50_000, 5, 62);
+        let cache = PreEstimateCache::new();
+        let cfg = config(0.5);
+        let key = CacheKey::new("t", "c", &cfg, &ds.blocks);
+        let mut rng = StdRng::seed_from_u64(4);
+        cache
+            .get_or_compute(key.clone(), &ds.blocks, &cfg, &mut rng)
+            .unwrap();
+        cache.invalidate(&key);
+        assert!(cache.is_empty());
+        let lookup = cache
+            .get_or_compute(key.clone(), &ds.blocks, &cfg, &mut rng)
+            .unwrap();
+        assert!(!lookup.hit, "invalidation forces a recompute");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2, "counters survive clear");
+    }
+}

@@ -1,0 +1,243 @@
+//! The execution engine: the paper's Pre-estimation → per-block
+//! Calculation → Summarization pipeline, owned once.
+//!
+//! Four call sites used to re-implement this pipeline — the sequential
+//! [`crate::IslaAggregator`], the distributed coordinator, the
+//! time-constrained path, and the query executor. They are now thin
+//! wrappers over this module's layers:
+//!
+//! * **Plan** ([`QueryPlan`]) — validated config + pre-estimate + shift +
+//!   boundaries + resolved sampling rate. Build it with pilots
+//!   ([`QueryPlan::prepare`]) or from a cached pre-estimate
+//!   ([`QueryPlan::from_pre_estimate`] via [`PreEstimateCache`], the
+//!   repeated-query fast path);
+//! * **Schedule** ([`BlockScheduler`]) — where the per-block Calculation
+//!   phase runs: [`SequentialScheduler`], [`PooledScheduler`] (crossbeam
+//!   worker pool), or [`DeadlineScheduler`] (budget capping as an
+//!   admission policy around any inner scheduler). Per-block seeds are
+//!   derived once ([`derive_block_seeds`]), so every scheduler returns
+//!   the bit-identical answer for the same RNG stream;
+//! * **Merge** ([`PartialAggregate`]) — associative per-block state that
+//!   combines in any completion order and finalizes into the
+//!   size-weighted Summarization answer.
+//!
+//! ```
+//! use isla_core::engine::{self, RateSpec, SequentialScheduler, PooledScheduler};
+//! use isla_core::IslaConfig;
+//! use isla_storage::BlockSet;
+//! use rand::SeedableRng;
+//!
+//! let data = BlockSet::from_values(
+//!     (0..60_000).map(|i| 50.0 + (i % 11) as f64).collect(),
+//!     8,
+//! );
+//! let config = IslaConfig::builder().precision(0.5).build().unwrap();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let sequential = engine::run(&data, &config, RateSpec::Derived, &SequentialScheduler, &mut rng).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let pooled_scheduler = PooledScheduler::new(4).unwrap();
+//! let pooled = engine::run(&data, &config, RateSpec::Derived, &pooled_scheduler, &mut rng).unwrap();
+//! assert_eq!(sequential.estimate, pooled.estimate); // scheduling never changes the answer
+//! ```
+
+pub mod cache;
+pub mod partial;
+pub mod plan;
+pub mod scheduler;
+pub mod seed;
+
+pub use cache::{CacheKey, CacheLookup, CacheStats, PreEstimateCache};
+pub use partial::{FinalAggregate, PartialAggregate};
+pub use plan::{QueryPlan, RateSpec};
+pub use scheduler::{
+    execute_planned_block, scan_blocks, BlockExecution, BlockScheduler, DeadlineScheduler,
+    EngineRun, PooledScheduler, SequentialScheduler, WorkerStats,
+};
+pub use seed::derive_block_seeds;
+
+use rand::RngCore;
+
+use isla_storage::BlockSet;
+
+use crate::block_exec::BlockOutcome;
+use crate::config::IslaConfig;
+use crate::error::IslaError;
+use crate::pre_estimation::PreEstimate;
+
+/// The engine's complete output: the combined answer plus everything the
+/// wrapper APIs expose (pre-estimate, shift, per-block outcomes, worker
+/// statistics, deadline capping).
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// The approximate AVG — the headline answer.
+    pub estimate: f64,
+    /// The approximate SUM, `estimate × M`.
+    pub sum_estimate: f64,
+    /// Total rows `M` across blocks.
+    pub data_size: u64,
+    /// Pre-estimation output backing the plan.
+    pub pre: PreEstimate,
+    /// Negative-data translation applied (0 when none).
+    pub shift: f64,
+    /// Per-block outcomes, in block order.
+    pub blocks: Vec<BlockOutcome>,
+    /// Calculation-phase samples drawn (excludes pilots).
+    pub total_samples: u64,
+    /// Per-worker statistics (empty for degenerate short-circuits).
+    pub worker_stats: Vec<WorkerStats>,
+    /// Whether an admission policy (deadline budget) capped the plan.
+    pub time_limited: bool,
+}
+
+impl EngineResult {
+    /// Samples drawn including the pre-estimation pilots.
+    pub fn total_samples_with_pilots(&self) -> u64 {
+        self.total_samples + self.pre.sigma_pilot_used + self.pre.sketch_pilot_used
+    }
+}
+
+/// Prepares a plan on `data` (running the pilots) and executes it on
+/// `scheduler` — the whole pipeline in one call.
+///
+/// # Errors
+///
+/// Invalid configuration/rate, pre-estimation failures, or the first
+/// block failure.
+pub fn run(
+    data: &BlockSet,
+    config: &IslaConfig,
+    rate: RateSpec,
+    scheduler: &dyn BlockScheduler,
+    rng: &mut dyn RngCore,
+) -> Result<EngineResult, IslaError> {
+    let plan = QueryPlan::prepare(data, config, rate, rng)?;
+    run_plan(plan, data, scheduler, rng)
+}
+
+/// Executes an already-prepared plan on `scheduler`.
+///
+/// The scheduler's admission policy runs first (deadline capping), then
+/// per-block seeds are derived from `rng` — one `next_u64` per block in
+/// block order — and the Calculation phase fans out. Degenerate plans
+/// (σ = 0) short-circuit to the pinned answer without touching blocks.
+///
+/// # Errors
+///
+/// The first block failure, or [`IslaError::InsufficientData`] when the
+/// blocks carry no rows.
+pub fn run_plan(
+    plan: QueryPlan,
+    data: &BlockSet,
+    scheduler: &dyn BlockScheduler,
+    rng: &mut dyn RngCore,
+) -> Result<EngineResult, IslaError> {
+    let (plan, time_limited) = scheduler.admit(plan, data);
+    let data_size = plan.data_size();
+    if plan.is_degenerate() {
+        let pre = plan.pre().clone();
+        return Ok(EngineResult {
+            estimate: pre.sketch0,
+            sum_estimate: pre.sketch0 * data_size as f64,
+            data_size,
+            pre,
+            shift: 0.0,
+            blocks: Vec::new(),
+            total_samples: 0,
+            worker_stats: Vec::new(),
+            time_limited: false,
+        });
+    }
+    let seeds = derive_block_seeds(rng, data.block_count());
+    let exec = BlockExecution {
+        plan: &plan,
+        data,
+        seeds: &seeds,
+    };
+    let out = scheduler.execute(&exec)?;
+    let combined = out.partial.finalize()?;
+    Ok(EngineResult {
+        estimate: combined.estimate,
+        sum_estimate: combined.estimate * data_size as f64,
+        data_size,
+        pre: plan.pre().clone(),
+        shift: plan.shift(),
+        blocks: combined.blocks,
+        total_samples: combined.total_samples,
+        worker_stats: out.worker_stats,
+        time_limited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isla_datagen::normal_dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(e: f64) -> IslaConfig {
+        IslaConfig::builder().precision(e).build().unwrap()
+    }
+
+    #[test]
+    fn run_produces_the_classic_pipeline_output() {
+        let ds = normal_dataset(100.0, 20.0, 300_000, 10, 63);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = run(
+            &ds.blocks,
+            &config(0.5),
+            RateSpec::Derived,
+            &SequentialScheduler,
+            &mut rng,
+        )
+        .unwrap();
+        assert!((out.estimate - ds.true_mean).abs() < 1.0);
+        assert_eq!(out.blocks.len(), 10);
+        assert_eq!(out.data_size, 300_000);
+        assert!((out.sum_estimate - out.estimate * 300_000.0).abs() < 1e-3);
+        assert!(out.total_samples > 0);
+        assert!(out.total_samples_with_pilots() > out.total_samples);
+        assert!(!out.time_limited);
+        assert_eq!(out.worker_stats.len(), 1);
+        assert_eq!(out.worker_stats[0].samples_drawn, out.total_samples);
+    }
+
+    #[test]
+    fn degenerate_data_short_circuits_without_block_execution() {
+        let data = BlockSet::from_values(vec![3.25; 5_000], 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = run(
+            &data,
+            &config(0.1),
+            RateSpec::Derived,
+            &SequentialScheduler,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.estimate, 3.25);
+        assert!(out.blocks.is_empty());
+        assert!(out.worker_stats.is_empty());
+        assert_eq!(out.total_samples, 0);
+    }
+
+    #[test]
+    fn deadline_budget_flows_through_as_time_limited() {
+        let ds = normal_dataset(100.0, 20.0, 400_000, 10, 64);
+        let cfg = config(0.1); // demands far more than the budget below
+        let budget = 60_000;
+        let scheduler = DeadlineScheduler::new(SequentialScheduler, budget);
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = run(&ds.blocks, &cfg, RateSpec::Derived, &scheduler, &mut rng).unwrap();
+        assert!(out.time_limited);
+        // The calculation phase gets whatever the pilots left over, so
+        // the total draw (pilots + calc) lands on the budget.
+        assert!(
+            (out.total_samples_with_pilots() as i64 - budget as i64).abs() <= 10,
+            "capped run drew {} of budget {budget}",
+            out.total_samples_with_pilots()
+        );
+        assert!(out.total_samples > 0, "some calculation still ran");
+        assert!((out.estimate - ds.true_mean).abs() < 3.0);
+    }
+}

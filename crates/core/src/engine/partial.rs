@@ -1,0 +1,175 @@
+//! Mergeable partial aggregation state.
+//!
+//! Per-block [`BlockOutcome`]s are independent and weight-combinable, so
+//! the Summarization module reduces to an associative merge: partials
+//! built on different workers (or machines) combine in any completion
+//! order, and [`PartialAggregate::finalize`] re-canonicalizes by block id
+//! before the size-weighted combination — making the final answer
+//! bit-for-bit identical to a sequential run no matter how the blocks
+//! were scheduled.
+
+use crate::block_exec::BlockOutcome;
+use crate::error::IslaError;
+use crate::summarize::combine_partials;
+
+/// Mergeable per-block aggregation state.
+///
+/// `merge` is associative and commutative up to the canonical re-ordering
+/// performed by [`PartialAggregate::finalize`], so partials may be
+/// combined in any completion order (pooled workers, shards, machines)
+/// without changing the answer.
+#[derive(Debug, Clone, Default)]
+pub struct PartialAggregate {
+    outcomes: Vec<BlockOutcome>,
+    total_samples: u64,
+}
+
+/// The finalized product of a partial aggregation.
+#[derive(Debug, Clone)]
+pub struct FinalAggregate {
+    /// The size-weighted combined answer (the paper's Summarization).
+    pub estimate: f64,
+    /// Per-block outcomes, sorted by block id.
+    pub blocks: Vec<BlockOutcome>,
+    /// Calculation-phase samples drawn across all blocks.
+    pub total_samples: u64,
+}
+
+impl PartialAggregate {
+    /// An empty partial (the merge identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A partial holding a single block's outcome.
+    pub fn from_outcome(outcome: BlockOutcome) -> Self {
+        let mut partial = Self::new();
+        partial.absorb(outcome);
+        partial
+    }
+
+    /// Adds one block outcome to this partial.
+    pub fn absorb(&mut self, outcome: BlockOutcome) {
+        self.total_samples += outcome.samples_drawn;
+        self.outcomes.push(outcome);
+    }
+
+    /// Merges another partial into this one. Associative: any merge tree
+    /// over the same set of outcomes finalizes to the same answer.
+    pub fn merge(&mut self, other: PartialAggregate) {
+        self.total_samples += other.total_samples;
+        self.outcomes.extend(other.outcomes);
+    }
+
+    /// Number of block outcomes held.
+    pub fn block_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether any outcomes have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Calculation-phase samples across the held outcomes.
+    pub fn total_samples(&self) -> u64 {
+        self.total_samples
+    }
+
+    /// The held outcomes, in absorption order.
+    pub fn outcomes(&self) -> &[BlockOutcome] {
+        &self.outcomes
+    }
+
+    /// Canonicalizes (sorts by block id) and combines the partial answers
+    /// weighted by block size.
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InsufficientData`] when the held blocks carry no rows.
+    pub fn finalize(mut self) -> Result<FinalAggregate, IslaError> {
+        self.outcomes.sort_by_key(|o| o.block_id);
+        debug_assert!(
+            self.outcomes
+                .windows(2)
+                .all(|w| w[0].block_id < w[1].block_id),
+            "duplicate block id in partial aggregate"
+        );
+        let partials: Vec<(f64, u64)> = self.outcomes.iter().map(|o| (o.answer, o.rows)).collect();
+        let estimate = combine_partials(&partials)?;
+        Ok(FinalAggregate {
+            estimate,
+            blocks: self.outcomes,
+            total_samples: self.total_samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulate::SampleAccumulator;
+    use crate::boundaries::DataBoundaries;
+
+    fn outcome(block_id: usize, answer: f64, rows: u64, samples: u64) -> BlockOutcome {
+        BlockOutcome {
+            block_id,
+            answer,
+            rows,
+            samples_drawn: samples,
+            u: 0,
+            v: 0,
+            dev: None,
+            q: 1.0,
+            case: None,
+            alpha: 0.0,
+            iterations: 0,
+            clamped: false,
+            fallback: None,
+            accumulator: SampleAccumulator::new(DataBoundaries::new(100.0, 20.0, 0.5, 2.0)),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn merge_order_does_not_change_the_answer() {
+        let outcomes = [
+            outcome(0, 10.0, 100, 5),
+            outcome(1, 20.0, 300, 6),
+            outcome(2, 30.0, 600, 7),
+        ];
+        let mut forward = PartialAggregate::new();
+        for o in &outcomes {
+            forward.absorb(o.clone());
+        }
+        let mut reversed = PartialAggregate::new();
+        for o in outcomes.iter().rev() {
+            reversed.merge(PartialAggregate::from_outcome(o.clone()));
+        }
+        let a = forward.finalize().unwrap();
+        let b = reversed.finalize().unwrap();
+        assert_eq!(a.estimate, b.estimate, "bit-for-bit order invariance");
+        assert_eq!(a.total_samples, b.total_samples);
+        assert_eq!(a.blocks.len(), 3);
+        assert!(a.blocks.windows(2).all(|w| w[0].block_id < w[1].block_id));
+    }
+
+    #[test]
+    fn finalize_matches_direct_summarization() {
+        let partial = PartialAggregate::from_outcome(outcome(1, 110.0, 100, 3));
+        let mut merged = PartialAggregate::from_outcome(outcome(0, 10.0, 900, 2));
+        merged.merge(partial);
+        let out = merged.finalize().unwrap();
+        let direct = combine_partials(&[(10.0, 900), (110.0, 100)]).unwrap();
+        assert_eq!(out.estimate, direct);
+        assert_eq!(out.total_samples, 5);
+    }
+
+    #[test]
+    fn empty_partial_fails_to_finalize() {
+        assert!(matches!(
+            PartialAggregate::new().finalize(),
+            Err(IslaError::InsufficientData(_))
+        ));
+    }
+}

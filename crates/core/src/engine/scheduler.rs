@@ -1,0 +1,560 @@
+//! Block schedulers: where and when the per-block Calculation phase runs.
+//!
+//! A [`BlockScheduler`] executes a [`QueryPlan`] over a block set and
+//! returns a mergeable [`PartialAggregate`]. Because per-block seeds are
+//! fixed before execution ([`crate::engine::derive_block_seeds`]) and
+//! partials re-canonicalize on finalize, **every scheduler produces the
+//! bit-identical answer** for the same plan and RNG stream:
+//!
+//! * [`SequentialScheduler`] — blocks in order on the calling thread;
+//! * [`PooledScheduler`] — block tasks scattered over a crossbeam
+//!   worker pool, partials gathered as they complete;
+//! * [`DeadlineScheduler`] — a budget-capping policy wrapped around any
+//!   inner scheduler (the paper's §VII-F time constraint): when the plan
+//!   wants more samples than the budget affords, the rate is capped and
+//!   the run is marked time-limited.
+//!
+//! [`scan_blocks`] is the scheduler-shaped primitive for *non-ISLA*
+//! per-block work: the baseline estimators run their block scans through
+//! it, so US/STS/MV/MVB/SLEV parallelize with the same worker pool.
+
+use crossbeam::channel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use isla_storage::{BlockSet, DataBlock};
+
+use crate::block_exec::{execute_block, BlockOutcome};
+use crate::error::IslaError;
+
+use super::partial::PartialAggregate;
+use super::plan::QueryPlan;
+
+/// Per-worker execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Blocks this worker processed.
+    pub blocks_processed: u64,
+    /// Samples this worker drew.
+    pub samples_drawn: u64,
+}
+
+/// Everything a scheduler needs to execute one plan: the plan itself,
+/// the data, and the pre-derived per-block seeds.
+#[derive(Debug)]
+pub struct BlockExecution<'a> {
+    /// The resolved plan.
+    pub plan: &'a QueryPlan,
+    /// The block set under aggregation.
+    pub data: &'a BlockSet,
+    /// Per-block RNG seeds, one per block in block order.
+    pub seeds: &'a [u64],
+}
+
+/// The product of one scheduler run.
+#[derive(Debug)]
+pub struct EngineRun {
+    /// Mergeable per-block state.
+    pub partial: PartialAggregate,
+    /// Per-worker statistics (one entry for sequential runs).
+    pub worker_stats: Vec<WorkerStats>,
+}
+
+/// A strategy for executing a plan's per-block Calculation phase.
+///
+/// Implementations must derive each block's RNG exclusively from
+/// `exec.seeds[block_id]` so the answer is independent of scheduling.
+pub trait BlockScheduler {
+    /// Short display name (`"sequential"`, `"pooled"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Number of blocks this scheduler works on concurrently.
+    fn parallelism(&self) -> usize;
+
+    /// Admission control: a chance to rewrite the plan before seeds are
+    /// drawn (e.g. deadline capping). Returns the plan to execute and
+    /// whether it was capped relative to what the caller asked for.
+    fn admit(&self, plan: QueryPlan, _data: &BlockSet) -> (QueryPlan, bool) {
+        (plan, false)
+    }
+
+    /// Executes every block of `exec.data` under `exec.plan`.
+    ///
+    /// # Errors
+    ///
+    /// The first block failure encountered.
+    fn execute(&self, exec: &BlockExecution<'_>) -> Result<EngineRun, IslaError>;
+}
+
+/// Executes one block of a plan with its pre-derived seed — the single
+/// definition of "run block `i`" shared by every scheduler.
+///
+/// # Errors
+///
+/// Propagates storage errors from sampling.
+pub fn execute_planned_block(
+    exec: &BlockExecution<'_>,
+    block_id: usize,
+) -> Result<BlockOutcome, IslaError> {
+    let block = exec.data.block(block_id);
+    let mut block_rng = StdRng::seed_from_u64(exec.seeds[block_id]);
+    execute_block(
+        block.as_ref(),
+        block_id,
+        exec.plan.sample_size_for(block.len()),
+        exec.plan.boundaries(),
+        exec.plan.sketch0_shifted(),
+        exec.plan.shift(),
+        exec.plan.config(),
+        &mut block_rng,
+    )
+}
+
+/// Runs blocks in order on the calling thread (the classic
+/// [`crate::IslaAggregator`] path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialScheduler;
+
+impl BlockScheduler for SequentialScheduler {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn parallelism(&self) -> usize {
+        1
+    }
+
+    fn execute(&self, exec: &BlockExecution<'_>) -> Result<EngineRun, IslaError> {
+        let mut partial = PartialAggregate::new();
+        let mut stats = WorkerStats::default();
+        for block_id in 0..exec.data.block_count() {
+            let outcome = execute_planned_block(exec, block_id)?;
+            stats.blocks_processed += 1;
+            stats.samples_drawn += outcome.samples_drawn;
+            partial.absorb(outcome);
+        }
+        Ok(EngineRun {
+            partial,
+            worker_stats: vec![stats],
+        })
+    }
+}
+
+/// A worker's reply on the pooled scheduler's gather channel.
+enum PooledReply {
+    Done {
+        worker: usize,
+        outcome: Box<BlockOutcome>,
+    },
+    Failed {
+        block_id: usize,
+        error: String,
+    },
+}
+
+/// Scatters block tasks across a crossbeam worker-thread pool and
+/// gathers partials as they complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PooledScheduler {
+    workers: usize,
+}
+
+impl PooledScheduler {
+    /// Creates a pool of `workers` threads.
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InvalidConfig`] for zero workers.
+    pub fn new(workers: usize) -> Result<Self, IslaError> {
+        if workers == 0 {
+            return Err(IslaError::InvalidConfig(
+                "worker count must be positive".to_string(),
+            ));
+        }
+        Ok(Self { workers })
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn with_default_workers() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self { workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl BlockScheduler for PooledScheduler {
+    fn name(&self) -> &'static str {
+        "pooled"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers
+    }
+
+    fn execute(&self, exec: &BlockExecution<'_>) -> Result<EngineRun, IslaError> {
+        let block_count = exec.data.block_count();
+        let (task_tx, task_rx) = channel::unbounded::<usize>();
+        let (reply_tx, reply_rx) = channel::unbounded::<PooledReply>();
+        for block_id in 0..block_count {
+            task_tx.send(block_id).expect("receiver alive");
+        }
+        drop(task_tx); // workers drain the queue, then exit
+
+        let mut stats = vec![WorkerStats::default(); self.workers];
+        let mut first_failure: Option<(usize, String)> = None;
+        let mut outcomes: Vec<Option<BlockOutcome>> = Vec::new();
+        outcomes.resize_with(block_count, || None);
+
+        crossbeam::thread::scope(|scope| {
+            for worker in 0..self.workers {
+                let task_rx = task_rx.clone();
+                let reply_tx = reply_tx.clone();
+                scope.spawn(move |_| {
+                    while let Ok(block_id) = task_rx.recv() {
+                        let reply = match execute_planned_block(exec, block_id) {
+                            Ok(outcome) => PooledReply::Done {
+                                worker,
+                                outcome: Box::new(outcome),
+                            },
+                            Err(e) => PooledReply::Failed {
+                                block_id,
+                                error: e.to_string(),
+                            },
+                        };
+                        let _ = reply_tx.send(reply);
+                    }
+                });
+            }
+            drop(reply_tx);
+
+            // Gather on the coordinator thread.
+            for reply in reply_rx.iter() {
+                match reply {
+                    PooledReply::Done { worker, outcome } => {
+                        stats[worker].blocks_processed += 1;
+                        stats[worker].samples_drawn += outcome.samples_drawn;
+                        let block_id = outcome.block_id;
+                        outcomes[block_id] = Some(*outcome);
+                    }
+                    PooledReply::Failed { block_id, error } => {
+                        first_failure.get_or_insert((block_id, error));
+                    }
+                }
+            }
+        })
+        .expect("worker threads do not panic");
+
+        if let Some((block_id, error)) = first_failure {
+            return Err(IslaError::InsufficientData(format!(
+                "block {block_id} failed during distributed execution: {error}"
+            )));
+        }
+        let mut partial = PartialAggregate::new();
+        for outcome in outcomes {
+            partial.absorb(outcome.expect("every block either succeeded or reported failure"));
+        }
+        Ok(EngineRun {
+            partial,
+            worker_stats: stats,
+        })
+    }
+}
+
+/// Caps the plan to a sample budget before delegating to an inner
+/// scheduler — the §VII-F time-constraint logic as a scheduling policy.
+///
+/// When the plan (pilots included) wants more samples than `budget`, the
+/// calculation rate is capped so the pilot draws plus the calculation
+/// phase fit the budget (`(budget − pilots) / M`) and the run is
+/// reported as time-limited. The pilots themselves are sunk cost — they
+/// ran before admission — so the cached pre-estimate and boundaries are
+/// reused as-is and only the calculation phase shrinks.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineScheduler<S> {
+    inner: S,
+    budget: u64,
+}
+
+impl<S: BlockScheduler> DeadlineScheduler<S> {
+    /// Wraps `inner` with an affordable-sample budget.
+    pub fn new(inner: S, budget: u64) -> Self {
+        Self { inner, budget }
+    }
+
+    /// The sample budget in effect.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: BlockScheduler> BlockScheduler for DeadlineScheduler<S> {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.inner.parallelism()
+    }
+
+    fn admit(&self, plan: QueryPlan, data: &BlockSet) -> (QueryPlan, bool) {
+        let (plan, limited) = self.inner.admit(plan, data);
+        if plan.is_degenerate() {
+            return (plan, limited);
+        }
+        let wanted = plan.planned_samples_with_pilots(data);
+        if wanted <= self.budget {
+            return (plan, limited);
+        }
+        // Budget left for the calculation phase after the (already spent)
+        // pilot draws. `wanted > budget` guarantees this caps the rate
+        // strictly below the plan's own — it can never raise it.
+        let pilots = wanted - plan.planned_calculation_samples(data);
+        let calc_budget = self.budget.saturating_sub(pilots);
+        let rate = (calc_budget as f64 / data.total_len() as f64)
+            .clamp(f64::MIN_POSITIVE, 1.0)
+            .min(plan.rate());
+        (plan.with_absolute_rate(rate), true)
+    }
+
+    fn execute(&self, exec: &BlockExecution<'_>) -> Result<EngineRun, IslaError> {
+        self.inner.execute(exec)
+    }
+}
+
+/// Runs an arbitrary per-block job over every block, `parallelism` blocks
+/// at a time, collecting the results in block order.
+///
+/// This is the primitive behind the baseline estimators' parallel block
+/// scans: jobs carry their own per-block randomness (e.g. seeds derived
+/// with [`crate::engine::derive_block_seeds`]), so the result is
+/// independent of scheduling, exactly like the ISLA pipeline itself.
+///
+/// # Errors
+///
+/// The first job failure encountered (remaining jobs still drain).
+pub fn scan_blocks<T, F>(parallelism: usize, data: &BlockSet, job: F) -> Result<Vec<T>, IslaError>
+where
+    T: Send,
+    F: Fn(usize, &dyn DataBlock) -> Result<T, IslaError> + Sync,
+{
+    let block_count = data.block_count();
+    if parallelism <= 1 || block_count <= 1 {
+        return (0..block_count)
+            .map(|i| job(i, data.block(i).as_ref()))
+            .collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (reply_tx, reply_rx) = channel::unbounded::<(usize, Result<T, IslaError>)>();
+    for block_id in 0..block_count {
+        task_tx.send(block_id).expect("receiver alive");
+    }
+    drop(task_tx);
+
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(block_count, || None);
+    let mut first_error: Option<IslaError> = None;
+    let job = &job;
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..parallelism.min(block_count) {
+            let task_rx = task_rx.clone();
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(block_id) = task_rx.recv() {
+                    let result = job(block_id, data.block(block_id).as_ref());
+                    let _ = reply_tx.send((block_id, result));
+                }
+            });
+        }
+        drop(reply_tx);
+        for (block_id, result) in reply_rx.iter() {
+            match result {
+                Ok(value) => slots[block_id] = Some(value),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+    })
+    .expect("scan workers do not panic");
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every block produced a result"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IslaConfig;
+    use crate::engine::plan::RateSpec;
+    use crate::engine::seed::derive_block_seeds;
+    use isla_datagen::normal_dataset;
+
+    fn config(e: f64) -> IslaConfig {
+        IslaConfig::builder().precision(e).build().unwrap()
+    }
+
+    fn plan_and_seeds(data: &BlockSet, cfg: &IslaConfig, seed: u64) -> (QueryPlan, Vec<u64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = QueryPlan::prepare(data, cfg, RateSpec::Derived, &mut rng).unwrap();
+        let seeds = derive_block_seeds(&mut rng, data.block_count());
+        (plan, seeds)
+    }
+
+    #[test]
+    fn pooled_matches_sequential_bit_for_bit() {
+        let ds = normal_dataset(100.0, 20.0, 300_000, 12, 95);
+        let cfg = config(0.5);
+        let (plan, seeds) = plan_and_seeds(&ds.blocks, &cfg, 7);
+        let exec = BlockExecution {
+            plan: &plan,
+            data: &ds.blocks,
+            seeds: &seeds,
+        };
+        let sequential = SequentialScheduler.execute(&exec).unwrap();
+        let seq = sequential.partial.finalize().unwrap();
+        for workers in [1, 3, 6] {
+            let pooled = PooledScheduler::new(workers)
+                .unwrap()
+                .execute(&exec)
+                .unwrap();
+            let pool = pooled.partial.finalize().unwrap();
+            assert_eq!(seq.estimate, pool.estimate, "{workers} workers");
+            assert_eq!(seq.total_samples, pool.total_samples);
+        }
+    }
+
+    #[test]
+    fn deadline_caps_only_over_budget_plans() {
+        let ds = normal_dataset(100.0, 20.0, 200_000, 10, 96);
+        let cfg = config(0.5);
+        let (plan, _) = plan_and_seeds(&ds.blocks, &cfg, 8);
+        let wanted = plan.planned_samples_with_pilots(&ds.blocks);
+
+        let generous = DeadlineScheduler::new(SequentialScheduler, wanted + 1);
+        let (admitted, limited) = generous.admit(plan.clone(), &ds.blocks);
+        assert!(!limited);
+        assert_eq!(admitted.rate(), plan.rate());
+
+        // One sample over budget: the calculation phase shrinks by the
+        // overage (pilots are sunk), and the rate can only go DOWN.
+        let calc = plan.planned_calculation_samples(&ds.blocks);
+        let pilots = wanted - calc;
+        let barely = DeadlineScheduler::new(SequentialScheduler, wanted - 1);
+        let (trimmed, limited) = barely.admit(plan.clone(), &ds.blocks);
+        assert!(limited);
+        assert!(
+            trimmed.rate() < plan.rate(),
+            "capping never raises the rate"
+        );
+        let trimmed_planned = trimmed.planned_calculation_samples(&ds.blocks);
+        assert!(
+            (trimmed_planned as i64 - (calc as i64 - 1)).abs() <= 10,
+            "trimmed to ≈calc−1, planned {trimmed_planned}"
+        );
+
+        // A budget the pilots alone exhaust leaves nothing for the
+        // calculation phase: every block falls back to the sketch.
+        assert!(pilots > 1_000, "sanity: pilots dominate the tiny budget");
+        let tight = DeadlineScheduler::new(SequentialScheduler, 1_000);
+        let (capped, limited) = tight.admit(plan.clone(), &ds.blocks);
+        assert!(limited);
+        assert_eq!(capped.planned_calculation_samples(&ds.blocks), 0);
+        assert_eq!(capped.pre(), plan.pre(), "pilots are sunk cost");
+        assert_eq!(tight.parallelism(), 1);
+        assert_eq!(tight.budget(), 1_000);
+        assert_eq!(tight.inner().name(), "sequential");
+    }
+
+    #[test]
+    fn scan_blocks_preserves_block_order_at_any_parallelism() {
+        let ds = normal_dataset(100.0, 20.0, 10_000, 9, 97);
+        let expected: Vec<u64> = (0..9).map(|i| ds.blocks.block(i).len()).collect();
+        for parallelism in [1, 2, 4, 16] {
+            let lens = scan_blocks(parallelism, &ds.blocks, |_, block| Ok(block.len())).unwrap();
+            assert_eq!(lens, expected, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn scan_blocks_surfaces_job_errors() {
+        let ds = normal_dataset(100.0, 20.0, 10_000, 4, 98);
+        for parallelism in [1, 3] {
+            let r = scan_blocks(parallelism, &ds.blocks, |i, block| {
+                if i == 2 {
+                    Err(IslaError::InsufficientData("block 2 broke".to_string()))
+                } else {
+                    Ok(block.len())
+                }
+            });
+            assert!(matches!(r, Err(IslaError::InsufficientData(_))));
+        }
+    }
+
+    #[test]
+    fn pooled_rejects_zero_workers() {
+        assert!(matches!(
+            PooledScheduler::new(0),
+            Err(IslaError::InvalidConfig(_))
+        ));
+        assert!(PooledScheduler::with_default_workers().workers() > 0);
+    }
+
+    #[test]
+    fn seeds_decide_the_answer_not_the_scheduler() {
+        // Changing one seed changes the answer; same seeds across
+        // schedulers do not.
+        let ds = normal_dataset(100.0, 20.0, 100_000, 5, 99);
+        let cfg = config(0.5);
+        let (plan, mut seeds) = plan_and_seeds(&ds.blocks, &cfg, 11);
+        let exec = BlockExecution {
+            plan: &plan,
+            data: &ds.blocks,
+            seeds: &seeds,
+        };
+        let baseline = SequentialScheduler
+            .execute(&exec)
+            .unwrap()
+            .partial
+            .finalize()
+            .unwrap();
+        seeds[0] = seeds[0].wrapping_add(1);
+        let exec = BlockExecution {
+            plan: &plan,
+            data: &ds.blocks,
+            seeds: &seeds,
+        };
+        let perturbed = SequentialScheduler
+            .execute(&exec)
+            .unwrap()
+            .partial
+            .finalize()
+            .unwrap();
+        // The answer can coincide (clamping), but block 0's sampled
+        // regions cannot: a different seed draws different samples.
+        assert_ne!(
+            (baseline.blocks[0].u, baseline.blocks[0].v),
+            (perturbed.blocks[0].u, perturbed.blocks[0].v)
+        );
+        assert_eq!(
+            baseline.blocks[1].u, perturbed.blocks[1].u,
+            "other seeds untouched"
+        );
+    }
+}

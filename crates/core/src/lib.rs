@@ -29,10 +29,16 @@
 //! 4. combine per-block partial answers weighted by block size
 //!    ([`summarize`], the **Summarization module**).
 //!
-//! The top-level entry point is [`IslaAggregator`]. Extensions from the
-//! paper's Section VII are implemented in [`online`] (progressive
-//! refinement without re-sampling) and [`noniid`] (per-block sampling
-//! rates and boundaries for non-identically-distributed blocks).
+//! The pipeline itself is owned by the [`engine`] module — a
+//! [`engine::QueryPlan`] (validated config + pre-estimate + boundaries),
+//! pluggable [`engine::BlockScheduler`]s (sequential, pooled,
+//! deadline-capped) and a mergeable [`engine::PartialAggregate`] — and
+//! the top-level entry point [`IslaAggregator`] is a thin wrapper over
+//! it, as are the distributed coordinator and the query executor.
+//! Extensions from the paper's Section VII are implemented in [`online`]
+//! (progressive refinement without re-sampling) and [`noniid`]
+//! (per-block sampling rates and boundaries for non-identically-
+//! distributed blocks).
 //!
 //! ```
 //! use isla_core::{IslaAggregator, IslaConfig};
@@ -67,6 +73,7 @@ pub mod block_exec;
 pub mod boundaries;
 pub mod config;
 pub mod deviation;
+pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod extremes;

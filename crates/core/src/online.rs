@@ -19,11 +19,10 @@ use isla_storage::{sample_from_block, BlockSet};
 
 use crate::accumulate::SampleAccumulator;
 use crate::block_exec::iteration_phase;
-use crate::boundaries::DataBoundaries;
 use crate::config::IslaConfig;
+use crate::engine::{QueryPlan, RateSpec};
 use crate::error::IslaError;
-use crate::pre_estimation::{pre_estimate, PreEstimate};
-use crate::shift::compute_shift;
+use crate::pre_estimation::PreEstimate;
 use crate::summarize::combine_partials;
 
 /// The estimate after an online round.
@@ -44,9 +43,7 @@ pub struct OnlineSnapshot {
 pub struct OnlineAggregator {
     config: IslaConfig,
     data: BlockSet,
-    pre: PreEstimate,
-    shift: f64,
-    sketch0_shifted: f64,
+    plan: QueryPlan,
     accumulators: Vec<SampleAccumulator>,
     rows: Vec<u64>,
     round_sample_sizes: Vec<u64>,
@@ -55,7 +52,10 @@ pub struct OnlineAggregator {
 }
 
 impl OnlineAggregator {
-    /// Runs pre-estimation plus the initial sampling round.
+    /// Runs pre-estimation plus the initial sampling round. The plan
+    /// (boundaries, shift, rate) comes from [`crate::engine`] and is
+    /// pinned for the aggregator's lifetime — refinement rounds keep
+    /// accumulating against the same boundaries.
     ///
     /// # Errors
     ///
@@ -66,28 +66,19 @@ impl OnlineAggregator {
         config: IslaConfig,
         rng: &mut dyn RngCore,
     ) -> Result<Self, IslaError> {
-        config.validate()?;
-        let pre = pre_estimate(&data, &config, rng)?;
-        if pre.sigma == 0.0 {
+        let plan = QueryPlan::prepare(&data, &config, RateSpec::Derived, rng)?;
+        if plan.is_degenerate() {
             return Err(IslaError::InsufficientData(
                 "constant data needs no online refinement".to_string(),
             ));
         }
-        let shift = compute_shift(config.shift_policy, pre.sketch0, pre.sigma, config.p2);
-        let sketch0_shifted = pre.sketch0 + shift;
-        let boundaries = DataBoundaries::new(sketch0_shifted, pre.sigma, config.p1, config.p2);
         let rows: Vec<u64> = data.iter().map(|b| b.len()).collect();
-        let round_sample_sizes: Vec<u64> = rows
-            .iter()
-            .map(|&r| (pre.rate * r as f64).round() as u64)
-            .collect();
-        let accumulators = vec![SampleAccumulator::new(boundaries); rows.len()];
+        let round_sample_sizes: Vec<u64> = rows.iter().map(|&r| plan.sample_size_for(r)).collect();
+        let accumulators = vec![SampleAccumulator::new(plan.boundaries()); rows.len()];
         let mut this = Self {
             config,
             data,
-            pre,
-            shift,
-            sketch0_shifted,
+            plan,
             accumulators,
             rows,
             round_sample_sizes,
@@ -130,7 +121,7 @@ impl OnlineAggregator {
                 continue;
             }
             let mut block_rng = StdRng::seed_from_u64(rng.next_u64());
-            let shift = self.shift;
+            let shift = self.plan.shift();
             sample_from_block(block.as_ref(), take, &mut block_rng, &mut |v| {
                 acc.offer(v + shift);
             })?;
@@ -149,8 +140,8 @@ impl OnlineAggregator {
         let mut partials = Vec::with_capacity(self.accumulators.len());
         let mut block_answers = Vec::with_capacity(self.accumulators.len());
         for (acc, &rows) in self.accumulators.iter().zip(&self.rows) {
-            let phase = iteration_phase(acc, self.sketch0_shifted, &self.config);
-            let answer = phase.answer - self.shift;
+            let phase = iteration_phase(acc, self.plan.sketch0_shifted(), &self.config);
+            let answer = phase.answer - self.plan.shift();
             partials.push((answer, rows));
             block_answers.push((answer, acc.u(), acc.v()));
         }
@@ -164,7 +155,7 @@ impl OnlineAggregator {
 
     /// The pre-estimation output of the initial round.
     pub fn pre_estimate(&self) -> &PreEstimate {
-        &self.pre
+        self.plan.pre()
     }
 
     /// Rounds executed so far.

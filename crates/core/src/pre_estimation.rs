@@ -6,7 +6,7 @@
 //! 1. a fixed-size uniform pilot (proportional across blocks) estimates
 //!    the standard deviation `σ`, from which the main sampling rate
 //!    `r = z²σ²/(M·e²)` follows (Eq. 1). The paper notes σ "is subject to
-//!    error … [but] hardly has any effect on the answers" since it only
+//!    error … \[but\] hardly has any effect on the answers" since it only
 //!    sizes the sample and the boundaries;
 //! 2. a second pilot sized for the *relaxed* precision `tₑ·e` produces
 //!    `sketch0` with the relaxed confidence interval

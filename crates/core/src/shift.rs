@@ -2,8 +2,8 @@
 //!
 //! The leverage score `hᵢ = aᵢ²/Σa²` is monotone in the value only for
 //! positive data, so the paper translates the distribution "along the x
-//! axis by the distance of d to make all the data positive … then move[s]
-//! back the answer by the distance of d".
+//! axis by the distance of d to make all the data positive … then
+//! move\[s\] back the answer by the distance of d".
 //!
 //! Only S- and L-region samples ever enter the leverage computation, and
 //! every such value exceeds the lower S boundary `sketch0 − p2σ`. A shift
@@ -20,7 +20,7 @@ const MARGIN_SIGMAS: f64 = 1.0;
 /// Computes the translation distance `d ≥ 0` for the given policy.
 ///
 /// With [`ShiftPolicy::Auto`], the shift is the smallest `d` that places
-/// the lower S boundary at least [`MARGIN_SIGMAS`]`·σ` above zero:
+/// the lower S boundary at least `MARGIN_SIGMAS`·σ above zero:
 /// `d = max(0, (p2 + 1)·σ − sketch0)`.
 pub fn compute_shift(policy: ShiftPolicy, sketch0: f64, sigma: f64, p2: f64) -> f64 {
     match policy {

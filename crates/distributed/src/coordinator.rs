@@ -1,26 +1,13 @@
-//! The scatter/gather coordinator.
+//! The scatter/gather coordinator — a thin wrapper over the
+//! [`isla_core::engine`] pooled scheduler.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
-use isla_core::{
-    combine_partials, execute_block, pre_estimate, BlockOutcome, DataBoundaries, IslaConfig,
-    IslaError, PreEstimate,
-};
+use isla_core::engine::{self, PooledScheduler, RateSpec};
+use isla_core::{BlockOutcome, IslaConfig, IslaError, PreEstimate};
 use isla_storage::BlockSet;
 
-use crate::message::{BlockTask, WorkerReply};
-
-/// Per-worker execution statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct WorkerStats {
-    /// Blocks this worker processed.
-    pub blocks_processed: u64,
-    /// Samples this worker drew.
-    pub samples_drawn: u64,
-}
+pub use isla_core::engine::WorkerStats;
 
 /// The result of a distributed aggregation.
 #[derive(Debug)]
@@ -43,17 +30,37 @@ pub struct DistributedResult {
     pub worker_stats: Vec<WorkerStats>,
 }
 
+impl DistributedResult {
+    /// Converts an engine result, padding worker statistics to the
+    /// configured pool size (degenerate short-circuits skip the pool).
+    pub(crate) fn from_engine(out: engine::EngineResult, workers: usize) -> Self {
+        let mut worker_stats = out.worker_stats;
+        worker_stats.resize(workers, WorkerStats::default());
+        Self {
+            estimate: out.estimate,
+            sum_estimate: out.sum_estimate,
+            data_size: out.data_size,
+            pre: out.pre,
+            shift: out.shift,
+            blocks: out.blocks,
+            total_samples: out.total_samples,
+            worker_stats,
+        }
+    }
+}
+
 /// Runs ISLA with block tasks scattered across a worker-thread pool.
 ///
 /// Pre-estimation runs on the coordinator (it needs a coherent global
 /// pilot); the per-block Calculation phase — the expensive part — fans
-/// out. Per-block seeds are fixed before scattering, so the distributed
-/// answer is bit-identical to [`isla_core::IslaAggregator`]'s sequential
-/// one for the same RNG stream.
+/// out through [`PooledScheduler`]. Per-block seeds are fixed before
+/// scattering, so the distributed answer is bit-identical to
+/// [`isla_core::IslaAggregator`]'s sequential one for the same RNG
+/// stream.
 #[derive(Debug, Clone)]
 pub struct DistributedAggregator {
     config: IslaConfig,
-    workers: usize,
+    scheduler: PooledScheduler,
 }
 
 impl DistributedAggregator {
@@ -64,12 +71,10 @@ impl DistributedAggregator {
     /// [`IslaError::InvalidConfig`] for invalid configs or zero workers.
     pub fn new(config: IslaConfig, workers: usize) -> Result<Self, IslaError> {
         config.validate()?;
-        if workers == 0 {
-            return Err(IslaError::InvalidConfig(
-                "worker count must be positive".to_string(),
-            ));
-        }
-        Ok(Self { config, workers })
+        Ok(Self {
+            config,
+            scheduler: PooledScheduler::new(workers)?,
+        })
     }
 
     /// Creates a coordinator sized to the machine's parallelism.
@@ -78,15 +83,21 @@ impl DistributedAggregator {
     ///
     /// [`IslaError::InvalidConfig`] for invalid configs.
     pub fn with_default_workers(config: IslaConfig) -> Result<Self, IslaError> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        Self::new(config, workers)
+        config.validate()?;
+        Ok(Self {
+            config,
+            scheduler: PooledScheduler::with_default_workers(),
+        })
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.scheduler.workers()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &IslaConfig {
+        &self.config
     }
 
     /// Runs the distributed pipeline.
@@ -100,138 +111,8 @@ impl DistributedAggregator {
         data: &BlockSet,
         rng: &mut dyn RngCore,
     ) -> Result<DistributedResult, IslaError> {
-        let pre = pre_estimate(data, &self.config, rng)?;
-        let data_size = data.total_len();
-        if pre.sigma == 0.0 {
-            return Ok(DistributedResult {
-                estimate: pre.sketch0,
-                sum_estimate: pre.sketch0 * data_size as f64,
-                data_size,
-                pre,
-                shift: 0.0,
-                blocks: Vec::new(),
-                total_samples: 0,
-                worker_stats: vec![WorkerStats::default(); self.workers],
-            });
-        }
-
-        let shift = isla_core::shift::compute_shift(
-            self.config.shift_policy,
-            pre.sketch0,
-            pre.sigma,
-            self.config.p2,
-        );
-        let sketch0_shifted = pre.sketch0 + shift;
-        let boundaries =
-            DataBoundaries::new(sketch0_shifted, pre.sigma, self.config.p1, self.config.p2);
-
-        // Seeds drawn up front, in block order, exactly as the sequential
-        // aggregator draws them.
-        let tasks: Vec<BlockTask> = data
-            .iter()
-            .enumerate()
-            .map(|(block_id, block)| BlockTask {
-                block_id,
-                sample_size: (pre.rate * block.len() as f64).round() as u64,
-                boundaries,
-                sketch0_shifted,
-                shift,
-                seed: rng.next_u64(),
-            })
-            .collect();
-
-        let (task_tx, task_rx) = channel::unbounded::<BlockTask>();
-        let (reply_tx, reply_rx) = channel::unbounded::<WorkerReply>();
-        for task in tasks {
-            task_tx.send(task).expect("receiver alive");
-        }
-        drop(task_tx); // workers drain the queue, then exit
-
-        let stats = Mutex::new(vec![WorkerStats::default(); self.workers]);
-        let first_failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
-        let mut outcomes: Vec<Option<BlockOutcome>> = Vec::new();
-        outcomes.resize_with(data.block_count(), || None);
-
-        let config = &self.config;
-        let stats_ref = &stats;
-        crossbeam::thread::scope(|scope| {
-            for worker in 0..self.workers {
-                let task_rx = task_rx.clone();
-                let reply_tx = reply_tx.clone();
-                scope.spawn(move |_| {
-                    while let Ok(task) = task_rx.recv() {
-                        let block = data.block(task.block_id);
-                        let mut block_rng = StdRng::seed_from_u64(task.seed);
-                        let reply = match execute_block(
-                            block.as_ref(),
-                            task.block_id,
-                            task.sample_size,
-                            task.boundaries,
-                            task.sketch0_shifted,
-                            task.shift,
-                            config,
-                            &mut block_rng,
-                        ) {
-                            Ok(outcome) => {
-                                let mut s = stats_ref.lock();
-                                s[worker].blocks_processed += 1;
-                                s[worker].samples_drawn += outcome.samples_drawn;
-                                WorkerReply::Done {
-                                    worker,
-                                    outcome: Box::new(outcome),
-                                }
-                            }
-                            Err(e) => WorkerReply::Failed {
-                                worker,
-                                block_id: task.block_id,
-                                error: e.to_string(),
-                            },
-                        };
-                        let _ = reply_tx.send(reply);
-                    }
-                });
-            }
-            drop(reply_tx);
-
-            // Gather on the coordinator thread.
-            for reply in reply_rx.iter() {
-                match reply {
-                    WorkerReply::Done { outcome, .. } => {
-                        let id = outcome.block_id;
-                        outcomes[id] = Some(*outcome);
-                    }
-                    WorkerReply::Failed {
-                        block_id, error, ..
-                    } => {
-                        first_failure.lock().get_or_insert((block_id, error));
-                    }
-                }
-            }
-        })
-        .expect("worker threads do not panic");
-
-        if let Some((block_id, error)) = first_failure.into_inner() {
-            return Err(IslaError::InsufficientData(format!(
-                "block {block_id} failed during distributed execution: {error}"
-            )));
-        }
-        let blocks: Vec<BlockOutcome> = outcomes
-            .into_iter()
-            .map(|o| o.expect("every block either succeeded or reported failure"))
-            .collect();
-        let total_samples = blocks.iter().map(|b| b.samples_drawn).sum();
-        let partials: Vec<(f64, u64)> = blocks.iter().map(|b| (b.answer, b.rows)).collect();
-        let estimate = combine_partials(&partials)?;
-        Ok(DistributedResult {
-            estimate,
-            sum_estimate: estimate * data_size as f64,
-            data_size,
-            pre,
-            shift,
-            blocks,
-            total_samples,
-            worker_stats: stats.into_inner(),
-        })
+        let out = engine::run(data, &self.config, RateSpec::Derived, &self.scheduler, rng)?;
+        Ok(DistributedResult::from_engine(out, self.workers()))
     }
 }
 
@@ -321,6 +202,7 @@ mod tests {
             .unwrap();
         assert_eq!(result.estimate, 2.5);
         assert!(result.blocks.is_empty());
+        assert_eq!(result.worker_stats.len(), 4, "stats padded to pool size");
     }
 
     #[test]

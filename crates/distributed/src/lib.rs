@@ -1,23 +1,24 @@
 //! Distributed execution for ISLA (paper Sections VII-E and VII-F).
 //!
 //! The paper's system model already computes per block and gathers
-//! partial answers; this crate adds the machinery to run those block
-//! computations concurrently, the way "computations are processed in each
-//! subsidiary [and] the center node then collects the partial results":
+//! partial answers; the heavy lifting — seed derivation, scatter/gather,
+//! mergeable partials — lives in [`isla_core::engine`]. This crate wraps
+//! the engine's schedulers in the coordinator-shaped API:
 //!
-//! * [`coordinator::DistributedAggregator`] — a scatter/gather
-//!   coordinator: block tasks go out over a crossbeam channel to a worker
-//!   pool, partial answers come back, and summarization weights them by
-//!   block size. Results are bit-identical to sequential execution (each
-//!   block's RNG is seeded before scattering);
+//! * [`coordinator::DistributedAggregator`] — the
+//!   [`isla_core::engine::PooledScheduler`] behind a coordinator facade:
+//!   block tasks fan out over a worker pool and partial answers combine
+//!   by block size. Results are bit-identical to sequential execution
+//!   (per-block seeds are fixed before scattering);
 //! * [`time_constraint`] — the §VII-F extension: calibrate sample
-//!   throughput, then size the sample to fit a wall-clock deadline.
+//!   throughput, then run under an
+//!   [`isla_core::engine::DeadlineScheduler`] that caps the sample size
+//!   to fit a wall-clock deadline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coordinator;
-pub mod message;
 pub mod time_constraint;
 
 pub use coordinator::{DistributedAggregator, DistributedResult, WorkerStats};

@@ -15,6 +15,7 @@ use std::time::{Duration, Instant};
 
 use rand::RngCore;
 
+use isla_core::engine::{self, DeadlineScheduler, PooledScheduler, RateSpec};
 use isla_core::{IslaConfig, IslaError};
 use isla_stats::ConfidenceInterval;
 use isla_storage::{sample_proportional, BlockSet};
@@ -83,6 +84,11 @@ pub fn aggregate_within(
 /// The deterministic half of [`aggregate_within`]: runs the pipeline
 /// given an already-computed affordable sample budget. Split out so the
 /// budget-capping logic can be tested without wall-clock dependence.
+///
+/// Budget capping is the engine's [`DeadlineScheduler`] admission policy
+/// wrapped around the coordinator's worker pool: when the plan (pilots
+/// included) wants more than `affordable` samples, the calculation rate
+/// is capped up front — no samples are wasted on an over-budget run.
 fn finish_with_budget(
     aggregator: &DistributedAggregator,
     data: &BlockSet,
@@ -91,44 +97,15 @@ fn finish_with_budget(
     rng: &mut dyn RngCore,
     start: Instant,
 ) -> Result<TimeConstrainedResult, IslaError> {
-    // Run at the precision-derived rate; if that would overshoot the
-    // deadline, rerun capped at the affordable rate.
-    let result = aggregator.aggregate(data, rng)?;
-    let wanted = result.total_samples + result.pre.sigma_pilot_used + result.pre.sketch_pilot_used;
-    let (result, time_limited, effective_m) = if wanted <= affordable {
-        let m = result.total_samples.max(1);
-        (result, false, m)
-    } else {
-        // Sequential fallback at the affordable absolute rate — reuse the
-        // core aggregator via a fresh run with the capped rate.
-        let rate = (affordable as f64 / data.total_len() as f64).clamp(f64::MIN_POSITIVE, 1.0);
-        let capped = isla_core::IslaAggregator::new(config.clone())?
-            .aggregate_with_absolute_rate(data, rate, rng)?;
-        let m = capped.total_samples.max(1);
-        (
-            DistributedResult {
-                estimate: capped.estimate,
-                sum_estimate: capped.sum_estimate,
-                data_size: capped.data_size,
-                pre: capped.pre,
-                shift: capped.shift,
-                blocks: capped.blocks,
-                total_samples: capped.total_samples,
-                worker_stats: Vec::new(),
-            },
-            true,
-            m,
-        )
-    };
-
-    let achieved_interval = ConfidenceInterval::for_mean(
-        result.estimate,
-        result.pre.sigma,
-        effective_m,
-        config.confidence,
-    );
+    let pool = PooledScheduler::new(aggregator.workers())?;
+    let scheduler = DeadlineScheduler::new(pool, affordable);
+    let out = engine::run(data, config, RateSpec::Derived, &scheduler, rng)?;
+    let effective_m = out.total_samples.max(1);
+    let achieved_interval =
+        ConfidenceInterval::for_mean(out.estimate, out.pre.sigma, effective_m, config.confidence);
+    let time_limited = out.time_limited;
     Ok(TimeConstrainedResult {
-        result,
+        result: DistributedResult::from_engine(out, aggregator.workers()),
         time_limited,
         achieved_interval,
         elapsed: start.elapsed(),

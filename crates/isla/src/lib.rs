@@ -79,11 +79,14 @@ pub mod prelude {
         Estimator, IslaEstimator, MeasureBiasedBoundaries, MeasureBiasedValues, Slev,
         StratifiedSampling, UniformSampling,
     };
+    pub use isla_core::engine::{
+        BlockScheduler, DeadlineScheduler, PooledScheduler, SequentialScheduler,
+    };
     pub use isla_core::noniid::NonIidAggregator;
     pub use isla_core::online::OnlineAggregator;
     pub use isla_core::{AggregateResult, IslaAggregator, IslaConfig, IslaError, ModulationStyle};
     pub use isla_distributed::{aggregate_within, DistributedAggregator};
-    pub use isla_query::{execute, parse, Catalog, QueryResult, Table};
+    pub use isla_query::{execute, parse, Catalog, QueryResult, QuerySession, Table};
     pub use isla_stats::distributions::Distribution;
     pub use isla_storage::{BlockSet, DataBlock, GeneratorBlock, MemBlock};
 }

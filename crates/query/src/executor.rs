@@ -1,4 +1,9 @@
 //! Query execution: dispatches a parsed [`Query`] to ISLA or a baseline.
+//!
+//! The ISLA paths delegate to [`isla_core::engine`]; a [`QuerySession`]
+//! additionally keeps a pre-estimation cache keyed by
+//! `(table, column, config)`, so repeated identical queries — the
+//! heavy-traffic serving scenario — skip the pilot phase entirely.
 
 use std::time::{Duration, Instant};
 
@@ -8,7 +13,11 @@ use isla_baselines::{
     Estimator, IslaEstimator, MeasureBiasedBoundaries, MeasureBiasedValues, Slev,
     StratifiedSampling, UniformSampling,
 };
-use isla_core::{IslaAggregator, IslaConfig, IslaError};
+use isla_core::engine::{
+    self, CacheKey, CacheStats, DeadlineScheduler, PreEstimateCache, QueryPlan, RateSpec,
+    SequentialScheduler,
+};
+use isla_core::{IslaConfig, IslaError};
 use isla_stats::{required_sample_size, WelfordMoments};
 use isla_storage::{sample_proportional, BlockSet};
 
@@ -53,75 +62,157 @@ pub struct QueryResult {
     pub time_limited: bool,
 }
 
-/// Executes a parsed query against a catalog.
+/// A query-serving session: executes queries while keeping a
+/// pre-estimation cache across calls.
 ///
-/// # Errors
-///
-/// Catalog resolution failures, invalid clause combinations, or engine
-/// errors — see [`QueryError`].
-pub fn execute(
-    query: &Query,
-    catalog: &Catalog,
-    rng: &mut dyn RngCore,
-) -> Result<QueryResult, QueryError> {
-    let start = Instant::now();
-    let confidence = query.confidence.unwrap_or(DEFAULT_CONFIDENCE);
+/// Repeated queries with the same `(table, column, config)` skip the
+/// pilot phase entirely — the cached σ̂/`sketch0` feed straight into the
+/// engine's [`QueryPlan`]. Observe the effect through
+/// [`QuerySession::cache_stats`].
+#[derive(Debug, Default)]
+pub struct QuerySession {
+    pre_cache: PreEstimateCache,
+}
 
-    // COUNT(*) is exact from metadata regardless of method.
-    if query.agg == AggFunc::Count {
-        let table = catalog.table(&query.table)?;
-        return Ok(QueryResult {
-            value: table.rows() as f64,
-            agg: AggFunc::Count,
-            method: Method::Exact,
-            rows: table.rows(),
-            samples_used: None,
-            elapsed: start.elapsed(),
-            precision: None,
-            confidence,
-            time_limited: false,
-        });
+impl QuerySession {
+    /// Creates a session with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    let data = catalog.column(&query.table, &query.column)?;
-    let rows = data.total_len();
+    /// Hit/miss counters of the pre-estimation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.pre_cache.stats()
+    }
 
-    // MAX/MIN go through the extreme-value extension (paper §VII-D):
-    // a leverage-guided sampled bound, or an exact scan under
-    // `METHOD EXACT`.
-    if matches!(query.agg, AggFunc::Max | AggFunc::Min) {
-        let kind = if query.agg == AggFunc::Max {
-            isla_core::ExtremeKind::Max
-        } else {
-            isla_core::ExtremeKind::Min
-        };
-        let (value, samples_used) = if query.method == Method::Exact {
-            let mut extreme = if kind == isla_core::ExtremeKind::Max {
-                f64::NEG_INFINITY
+    /// Drops every cached pre-estimate (e.g. after data changed).
+    pub fn clear_cache(&self) {
+        self.pre_cache.clear();
+    }
+
+    /// Executes a parsed query against a catalog.
+    ///
+    /// # Errors
+    ///
+    /// Catalog resolution failures, invalid clause combinations, or
+    /// engine errors — see [`QueryError`].
+    pub fn execute(
+        &self,
+        query: &Query,
+        catalog: &Catalog,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryResult, QueryError> {
+        let start = Instant::now();
+        let confidence = query.confidence.unwrap_or(DEFAULT_CONFIDENCE);
+
+        // COUNT(*) is exact from metadata regardless of method.
+        if query.agg == AggFunc::Count {
+            let table = catalog.table(&query.table)?;
+            return Ok(QueryResult {
+                value: table.rows() as f64,
+                agg: AggFunc::Count,
+                method: Method::Exact,
+                rows: table.rows(),
+                samples_used: None,
+                elapsed: start.elapsed(),
+                precision: None,
+                confidence,
+                time_limited: false,
+            });
+        }
+
+        let data = catalog.column(&query.table, &query.column)?;
+        let rows = data.total_len();
+
+        // MAX/MIN go through the extreme-value extension (paper §VII-D):
+        // a leverage-guided sampled bound, or an exact scan under
+        // `METHOD EXACT`.
+        if matches!(query.agg, AggFunc::Max | AggFunc::Min) {
+            let kind = if query.agg == AggFunc::Max {
+                isla_core::ExtremeKind::Max
             } else {
-                f64::INFINITY
+                isla_core::ExtremeKind::Min
             };
-            data.scan_all(&mut |v| {
-                extreme = if kind == isla_core::ExtremeKind::Max {
-                    extreme.max(v)
+            let (value, samples_used) = if query.method == Method::Exact {
+                let mut extreme = if kind == isla_core::ExtremeKind::Max {
+                    f64::NEG_INFINITY
                 } else {
-                    extreme.min(v)
+                    f64::INFINITY
                 };
-            })
-            .map_err(IslaError::from)?;
-            (extreme, None)
-        } else {
-            let config = match query.precision {
-                Some(_) => isla_config(query, confidence)?,
-                None => IslaConfig::builder()
-                    .confidence(confidence)
-                    .build()
-                    .map_err(QueryError::from)?,
+                data.scan_all(&mut |v| {
+                    extreme = if kind == isla_core::ExtremeKind::Max {
+                        extreme.max(v)
+                    } else {
+                        extreme.min(v)
+                    };
+                })
+                .map_err(IslaError::from)?;
+                (extreme, None)
+            } else {
+                let config = match query.precision {
+                    Some(_) => isla_config(query, confidence)?,
+                    None => IslaConfig::builder()
+                        .confidence(confidence)
+                        .build()
+                        .map_err(QueryError::from)?,
+                };
+                let result =
+                    isla_core::ExtremeAggregator::new(config)?.aggregate(data, kind, rng)?;
+                (result.estimate, Some(result.total_samples))
             };
-            let result = isla_core::ExtremeAggregator::new(config)?.aggregate(data, kind, rng)?;
-            (result.estimate, Some(result.total_samples))
+            return Ok(QueryResult {
+                value,
+                agg: query.agg,
+                method: query.method,
+                rows,
+                samples_used,
+                elapsed: start.elapsed(),
+                precision: query.precision,
+                confidence,
+                time_limited: false,
+            });
+        }
+
+        let (avg, samples_used, time_limited) = match query.method {
+            Method::Exact => {
+                let mean = data.exact_mean().map_err(IslaError::from)?;
+                (mean, None, false)
+            }
+            Method::Isla => self.run_isla(query, data, confidence, rng)?,
+            baseline => {
+                let budget = baseline_budget(query, data, confidence, rng)?;
+                let value = match baseline {
+                    Method::Us => UniformSampling.estimate(data, budget, rng)?,
+                    Method::Sts => {
+                        StratifiedSampling::proportional().estimate(data, budget, rng)?
+                    }
+                    Method::Mv => MeasureBiasedValues.estimate(data, budget, rng)?,
+                    Method::Mvb => {
+                        // MVB only uses the boundary parameters (p1, p2) and
+                        // budget-driven pilots; precision is not required.
+                        let config = match query.precision {
+                            Some(_) => isla_config(query, confidence)?,
+                            None => IslaConfig::builder()
+                                .confidence(confidence)
+                                .build()
+                                .map_err(QueryError::from)?,
+                        };
+                        MeasureBiasedBoundaries::new(config)?.estimate(data, budget, rng)?
+                    }
+                    Method::Slev => Slev::default().estimate(data, budget, rng)?,
+                    Method::Isla | Method::Exact => unreachable!("handled above"),
+                };
+                (value, Some(budget), false)
+            }
         };
-        return Ok(QueryResult {
+
+        let value = match query.agg {
+            AggFunc::Avg => avg,
+            AggFunc::Sum => avg * rows as f64,
+            AggFunc::Count | AggFunc::Max | AggFunc::Min => unreachable!("handled above"),
+        };
+
+        Ok(QueryResult {
             value,
             agg: query.agg,
             method: query.method,
@@ -130,58 +221,119 @@ pub fn execute(
             elapsed: start.elapsed(),
             precision: query.precision,
             confidence,
-            time_limited: false,
-        });
+            time_limited,
+        })
     }
 
-    let (avg, samples_used, time_limited) = match query.method {
-        Method::Exact => {
-            let mean = data.exact_mean().map_err(IslaError::from)?;
-            (mean, None, false)
+    /// ISLA execution: precision-driven, budget-driven, or
+    /// time-constrained — all through the core engine, with the
+    /// pre-estimation cache in front of the pilot phase.
+    fn run_isla(
+        &self,
+        query: &Query,
+        data: &BlockSet,
+        confidence: f64,
+        rng: &mut dyn RngCore,
+    ) -> Result<(f64, Option<u64>, bool), QueryError> {
+        // Budget-driven (SAMPLES n, no precision): adapter path.
+        if query.precision.is_none() {
+            let budget = query.samples.ok_or_else(|| {
+                QueryError::Invalid(
+                    "ISLA needs WITH PRECISION e, or SAMPLES n as an explicit budget".to_string(),
+                )
+            })?;
+            let config = IslaConfig::default();
+            let estimator = IslaEstimator::new(config)?;
+            let value = estimator.estimate(data, budget, rng)?;
+            return Ok((value, Some(budget), false));
         }
-        Method::Isla => run_isla(query, data, confidence, rng)?,
-        baseline => {
-            let budget = baseline_budget(query, data, confidence, rng)?;
-            let value = match baseline {
-                Method::Us => UniformSampling.estimate(data, budget, rng)?,
-                Method::Sts => StratifiedSampling::proportional().estimate(data, budget, rng)?,
-                Method::Mv => MeasureBiasedValues.estimate(data, budget, rng)?,
-                Method::Mvb => {
-                    // MVB only uses the boundary parameters (p1, p2) and
-                    // budget-driven pilots; precision is not required.
-                    let config = match query.precision {
-                        Some(_) => isla_config(query, confidence)?,
-                        None => IslaConfig::builder()
-                            .confidence(confidence)
-                            .build()
-                            .map_err(QueryError::from)?,
-                    };
-                    MeasureBiasedBoundaries::new(config)?.estimate(data, budget, rng)?
-                }
-                Method::Slev => Slev::default().estimate(data, budget, rng)?,
-                Method::Isla | Method::Exact => unreachable!("handled above"),
+
+        let config = isla_config(query, confidence)?;
+
+        // Time-constrained execution (paper §VII-F): the deadline clock
+        // starts *before* any sampling — calibrate throughput first, so
+        // pilots (when they run on a cache miss) are charged against the
+        // same window the budget was computed from.
+        let affordable = match query.within_ms {
+            Some(ms) => Some(affordable_budget(ms, data, rng)?),
+            None => None,
+        };
+
+        let key = CacheKey::new(&query.table, &query.column, &config, data);
+        let lookup = self
+            .pre_cache
+            .get_or_compute(key, data, &config, rng)
+            .map_err(QueryError::from)?;
+        // On a cache hit the pilots were not drawn this query — only
+        // charge them when they actually ran.
+        let pilot_samples = lookup.pre.sigma_pilot_used + lookup.pre.sketch_pilot_used;
+        let pilot_cost = if lookup.hit { 0 } else { pilot_samples };
+        let plan = QueryPlan::from_pre_estimate(data, &config, lookup.pre, RateSpec::Derived)
+            .map_err(QueryError::from)?;
+
+        if let Some(affordable) = affordable {
+            // Deadline admission compares the budget against the plan's
+            // samples *including* its recorded pilots; on a hit those
+            // pilots were never drawn, so credit them back — the cache
+            // makes the query cheaper, not more likely to be capped.
+            let budget = if lookup.hit {
+                affordable.saturating_add(pilot_samples)
+            } else {
+                affordable
             };
-            (value, Some(budget), false)
+            let scheduler = DeadlineScheduler::new(SequentialScheduler, budget);
+            let out = engine::run_plan(plan, data, &scheduler, rng).map_err(QueryError::from)?;
+            return Ok((
+                out.estimate,
+                Some(out.total_samples + pilot_cost),
+                out.time_limited,
+            ));
         }
-    };
 
-    let value = match query.agg {
-        AggFunc::Avg => avg,
-        AggFunc::Sum => avg * rows as f64,
-        AggFunc::Count | AggFunc::Max | AggFunc::Min => unreachable!("handled above"),
-    };
+        let out =
+            engine::run_plan(plan, data, &SequentialScheduler, rng).map_err(QueryError::from)?;
+        Ok((out.estimate, Some(out.total_samples + pilot_cost), false))
+    }
+}
 
-    Ok(QueryResult {
-        value,
-        agg: query.agg,
-        method: query.method,
-        rows,
-        samples_used,
-        elapsed: start.elapsed(),
-        precision: query.precision,
-        confidence,
-        time_limited,
-    })
+/// Calibrates sampling throughput with a timed probe and sizes the
+/// affordable sample budget for a `WITHIN ms` deadline (paper §VII-F).
+fn affordable_budget(ms: u64, data: &BlockSet, rng: &mut dyn RngCore) -> Result<u64, QueryError> {
+    let deadline = Duration::from_millis(ms);
+    let calib_start = Instant::now();
+    let probe = TIME_CALIBRATION_SAMPLES.min(data.total_len().max(1));
+    let _ = sample_proportional(data, probe, rng).map_err(IslaError::from)?;
+    let per_sample = calib_start.elapsed().as_secs_f64() / probe as f64;
+    let remaining = deadline.saturating_sub(calib_start.elapsed()).as_secs_f64() * TIME_SAFETY;
+    let affordable = if per_sample > 0.0 {
+        (remaining / per_sample) as u64
+    } else {
+        u64::MAX
+    };
+    if affordable == 0 {
+        return Err(QueryError::Invalid(format!(
+            "time budget {ms} ms cannot cover any sampling (≈{:.1} µs/sample)",
+            per_sample * 1e6
+        )));
+    }
+    Ok(affordable)
+}
+
+/// Executes a parsed query with a fresh, uncached [`QuerySession`].
+///
+/// Serving paths that answer repeated queries should hold a
+/// [`QuerySession`] instead, so the pre-estimation cache carries across
+/// calls.
+///
+/// # Errors
+///
+/// As [`QuerySession::execute`].
+pub fn execute(
+    query: &Query,
+    catalog: &Catalog,
+    rng: &mut dyn RngCore,
+) -> Result<QueryResult, QueryError> {
+    QuerySession::new().execute(query, catalog, rng)
 }
 
 /// Builds the ISLA configuration a query implies.
@@ -197,77 +349,6 @@ fn isla_config(query: &Query, confidence: f64) -> Result<IslaConfig, QueryError>
         .confidence(confidence)
         .build()
         .map_err(QueryError::from)
-}
-
-/// ISLA execution: precision-driven, budget-driven, or time-constrained.
-fn run_isla(
-    query: &Query,
-    data: &BlockSet,
-    confidence: f64,
-    rng: &mut dyn RngCore,
-) -> Result<(f64, Option<u64>, bool), QueryError> {
-    // Budget-driven (SAMPLES n, no precision): adapter path.
-    if query.precision.is_none() {
-        let budget = query.samples.ok_or_else(|| {
-            QueryError::Invalid(
-                "ISLA needs WITH PRECISION e, or SAMPLES n as an explicit budget".to_string(),
-            )
-        })?;
-        let config = IslaConfig::default();
-        let estimator = IslaEstimator::new(config)?;
-        let value = estimator.estimate(data, budget, rng)?;
-        return Ok((value, Some(budget), false));
-    }
-
-    let config = isla_config(query, confidence)?;
-    let aggregator = IslaAggregator::new(config)?;
-
-    // Time-constrained execution (paper §VII-F): calibrate throughput,
-    // cap the budget to what fits in the remaining time.
-    if let Some(ms) = query.within_ms {
-        let deadline = Duration::from_millis(ms);
-        let calib_start = Instant::now();
-        let probe = TIME_CALIBRATION_SAMPLES.min(data.total_len().max(1));
-        let _ = sample_proportional(data, probe, rng).map_err(IslaError::from)?;
-        let per_sample = calib_start.elapsed().as_secs_f64() / probe as f64;
-        let remaining = deadline.saturating_sub(calib_start.elapsed()).as_secs_f64() * TIME_SAFETY;
-        let affordable = if per_sample > 0.0 {
-            (remaining / per_sample) as u64
-        } else {
-            u64::MAX
-        };
-        if affordable == 0 {
-            return Err(QueryError::Invalid(format!(
-                "time budget {ms} ms cannot cover any sampling (≈{:.1} µs/sample)",
-                per_sample * 1e6
-            )));
-        }
-        let result = aggregator.aggregate(data, rng)?;
-        if result.total_samples_with_pilots() <= affordable {
-            return Ok((
-                result.estimate,
-                Some(result.total_samples_with_pilots()),
-                false,
-            ));
-        }
-        // Too expensive: re-run the calculation phase at the affordable
-        // rate (pilots already spent are sunk cost, as in the paper's
-        // pre-computed-pilot reading).
-        let rate = (affordable as f64 / data.total_len() as f64).clamp(f64::MIN_POSITIVE, 1.0);
-        let limited = aggregator.aggregate_with_absolute_rate(data, rate, rng)?;
-        return Ok((
-            limited.estimate,
-            Some(limited.total_samples_with_pilots()),
-            true,
-        ));
-    }
-
-    let result = aggregator.aggregate(data, rng)?;
-    Ok((
-        result.estimate,
-        Some(result.total_samples_with_pilots()),
-        false,
-    ))
 }
 
 /// Sample budget for a baseline: explicit `SAMPLES n`, or derived from

@@ -30,5 +30,5 @@ pub mod parser;
 pub use ast::{AggFunc, Method, Query};
 pub use catalog::{Catalog, Table};
 pub use error::QueryError;
-pub use executor::{execute, QueryResult};
+pub use executor::{execute, QueryResult, QuerySession};
 pub use parser::parse;

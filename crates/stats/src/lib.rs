@@ -4,8 +4,8 @@
 //! primitives that are re-implemented here from scratch so that the workspace
 //! has no dependency on an external statistics library:
 //!
-//! * [`erf`]: double-precision error function (Cody's rational Chebyshev
-//!   approximations), the basis of the normal CDF;
+//! * [`erf`](mod@erf): double-precision error function (Cody's rational
+//!   Chebyshev approximations), the basis of the normal CDF;
 //! * [`normal`]: the normal distribution with CDF, quantile (inverse CDF,
 //!   Acklam's method refined by Halley iteration) and the two-sided critical
 //!   value `z` used by the paper's confidence-interval machinery

@@ -4,7 +4,7 @@
 //! confidence interval: for confidence `β` the half-width of the interval is
 //! `z · σ / √m` where `z` is the two-sided critical value
 //! `Φ⁻¹((1+β)/2)`. This module provides `Φ`, `Φ⁻¹` and `z` with close to
-//! machine precision, built on the [`crate::erf`] module.
+//! machine precision, built on the [`crate::erf`](mod@crate::erf) module.
 
 use crate::erf::erfc;
 

@@ -11,6 +11,10 @@ use crate::memory::MemBlock;
 #[derive(Clone)]
 pub struct BlockSet {
     blocks: Vec<Arc<dyn DataBlock>>,
+    // Cached at construction: `total_len()` is hit once per phase per
+    // query, and re-summing virtual/generator block lengths on every
+    // call is pure overhead. Blocks are immutable once in a set.
+    total_rows: u64,
 }
 
 impl std::fmt::Debug for BlockSet {
@@ -30,7 +34,8 @@ impl BlockSet {
     /// Panics on an empty block list — a dataset has at least one block.
     pub fn new(blocks: Vec<Arc<dyn DataBlock>>) -> Self {
         assert!(!blocks.is_empty(), "a block set needs at least one block");
-        Self { blocks }
+        let total_rows = blocks.iter().map(|b| b.len()).sum();
+        Self { blocks, total_rows }
     }
 
     /// Splits `values` evenly into `block_count` in-memory blocks, the way
@@ -56,13 +61,18 @@ impl BlockSet {
             let chunk: Vec<f64> = iter.by_ref().take(take).collect();
             blocks.push(Arc::new(MemBlock::new(chunk)));
         }
-        Self { blocks }
+        Self {
+            blocks,
+            total_rows: n as u64,
+        }
     }
 
     /// A block set with a single block.
     pub fn single(block: impl DataBlock + 'static) -> Self {
+        let total_rows = block.len();
         Self {
             blocks: vec![Arc::new(block)],
+            total_rows,
         }
     }
 
@@ -71,9 +81,10 @@ impl BlockSet {
         self.blocks.len()
     }
 
-    /// Total number of rows `M` across all blocks.
+    /// Total number of rows `M` across all blocks (cached at
+    /// construction — blocks are immutable once in a set).
     pub fn total_len(&self) -> u64 {
-        self.blocks.iter().map(|b| b.len()).sum()
+        self.total_rows
     }
 
     /// The `i`-th block.
@@ -180,5 +191,23 @@ mod tests {
         let set = BlockSet::from_values(vec![1.0, 2.0], 4);
         let sizes: Vec<u64> = set.iter().map(|b| b.len()).collect();
         assert_eq!(sizes, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn total_len_is_cached_consistently_across_constructors() {
+        let from_values = BlockSet::from_values(vec![1.0; 17], 4);
+        assert_eq!(from_values.total_len(), 17);
+        let single = BlockSet::single(MemBlock::new(vec![2.0; 9]));
+        assert_eq!(single.total_len(), 9);
+        let built = BlockSet::new(vec![
+            Arc::new(MemBlock::new(vec![1.0; 5])) as Arc<dyn DataBlock>,
+            Arc::new(MemBlock::new(vec![2.0; 7])),
+        ]);
+        assert_eq!(built.total_len(), 12);
+        assert_eq!(
+            built.total_len(),
+            built.iter().map(|b| b.len()).sum::<u64>(),
+            "cache must equal the live sum"
+        );
     }
 }

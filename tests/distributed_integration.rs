@@ -96,8 +96,11 @@ fn deadline_bounded_answers_report_their_achieved_interval() {
         assert!(out.achieved_interval.half_width > 0.02);
         assert!((out.result.estimate - 100.0).abs() < 5.0);
     } else {
-        // An unconstrained run must deliver the configured precision.
-        assert!(out.achieved_interval.half_width <= 0.03);
-        assert!((out.result.estimate - 100.0).abs() < 0.1);
+        // An unconstrained run is still bounded by the data itself:
+        // e = 0.02 demands ~3.8M samples but the rate clamps at a full
+        // scan of the 400k rows, so the best achievable half-width is
+        // z·σ/√M ≈ 0.062.
+        assert!(out.achieved_interval.half_width <= 0.07);
+        assert!((out.result.estimate - 100.0).abs() < 0.5);
     }
 }

@@ -1,0 +1,116 @@
+//! Integration tests for the `isla_core::engine` layer: scheduling must
+//! never change an answer, and the query layer's pre-estimation cache
+//! must actually skip the pilots.
+
+use isla::core::engine::{self, PooledScheduler, RateSpec, SequentialScheduler};
+use isla::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(e: f64) -> IslaConfig {
+    IslaConfig::builder().precision(e).build().unwrap()
+}
+
+#[test]
+fn pooled_scheduler_is_identical_to_sequential_for_all_worker_counts() {
+    // The satellite determinism contract: workers 1, 2, 4, 7 at a fixed
+    // seed produce the bit-identical output of the sequential scheduler.
+    let data = BlockSet::from_values(isla::datagen::normal_values(100.0, 20.0, 350_000, 500), 14);
+    let cfg = config(0.5);
+    let mut rng = StdRng::seed_from_u64(501);
+    let sequential = engine::run(
+        &data,
+        &cfg,
+        RateSpec::Derived,
+        &SequentialScheduler,
+        &mut rng,
+    )
+    .unwrap();
+    for workers in [1, 2, 4, 7] {
+        let mut rng = StdRng::seed_from_u64(501);
+        let scheduler = PooledScheduler::new(workers).unwrap();
+        let pooled = engine::run(&data, &cfg, RateSpec::Derived, &scheduler, &mut rng).unwrap();
+        assert_eq!(
+            sequential.estimate, pooled.estimate,
+            "{workers} workers changed the estimate"
+        );
+        assert_eq!(sequential.total_samples, pooled.total_samples);
+        assert_eq!(sequential.blocks.len(), pooled.blocks.len());
+        for (s, p) in sequential.blocks.iter().zip(&pooled.blocks) {
+            assert_eq!(s.block_id, p.block_id);
+            assert_eq!(s.answer, p.answer, "block {} diverged", s.block_id);
+            assert_eq!((s.u, s.v), (p.u, p.v));
+        }
+        let pool_blocks: u64 = pooled.worker_stats.iter().map(|w| w.blocks_processed).sum();
+        assert_eq!(pool_blocks, 14);
+    }
+}
+
+#[test]
+fn baselines_are_scheduler_invariant() {
+    // Every baseline runs its block scans through the engine scheduler
+    // with seeds fixed up front, so pooled == sequential bit-for-bit.
+    let ds = isla::datagen::normal_values(100.0, 20.0, 120_000, 502);
+    let data = BlockSet::from_values(ds, 8);
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        Box::new(UniformSampling),
+        Box::new(StratifiedSampling::proportional()),
+        Box::new(StratifiedSampling::neyman(50)),
+        Box::new(MeasureBiasedValues),
+        Box::new(MeasureBiasedBoundaries::default()),
+        Box::new(Slev::default()),
+        Box::new(IslaEstimator::default()),
+    ];
+    let pooled = PooledScheduler::new(4).unwrap();
+    for estimator in &estimators {
+        let mut rng = StdRng::seed_from_u64(503);
+        let sequential = estimator.estimate(&data, 20_000, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(503);
+        let parallel = estimator
+            .estimate_scheduled(&data, 20_000, &pooled, &mut rng)
+            .unwrap();
+        assert_eq!(
+            sequential,
+            parallel,
+            "{} changed under the pooled scheduler",
+            estimator.name()
+        );
+        assert!(
+            (sequential - 100.0).abs() < 10.0,
+            "{} estimate {sequential} is wild",
+            estimator.name()
+        );
+    }
+}
+
+#[test]
+fn aggregator_wrappers_agree_with_the_engine() {
+    // The public wrappers are thin: IslaAggregator == engine sequential,
+    // DistributedAggregator == engine pooled, same RNG stream.
+    let data = BlockSet::from_values(isla::datagen::normal_values(50.0, 10.0, 200_000, 504), 10);
+    let cfg = config(0.25);
+
+    let mut rng = StdRng::seed_from_u64(505);
+    let via_wrapper = IslaAggregator::new(cfg.clone())
+        .unwrap()
+        .aggregate(&data, &mut rng)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(505);
+    let via_engine = engine::run(
+        &data,
+        &cfg,
+        RateSpec::Derived,
+        &SequentialScheduler,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(via_wrapper.estimate, via_engine.estimate);
+    assert_eq!(via_wrapper.total_samples, via_engine.total_samples);
+
+    let mut rng = StdRng::seed_from_u64(505);
+    let via_distributed = DistributedAggregator::new(cfg, 3)
+        .unwrap()
+        .aggregate(&data, &mut rng)
+        .unwrap();
+    assert_eq!(via_distributed.estimate, via_engine.estimate);
+}

@@ -1,12 +1,35 @@
 //! Cross-crate property-based tests on ISLA's core invariants.
 
 use isla::core::accumulate::SampleAccumulator;
+use isla::core::engine::PartialAggregate;
 use isla::core::{
-    assess, combine_partials, iterate, DataBoundaries, IslaConfig, LeverageAllocation,
-    LinearEstimator, ModulationCase, Region,
+    assess, combine_partials, iterate, BlockOutcome, DataBoundaries, IslaConfig,
+    LeverageAllocation, LinearEstimator, ModulationCase, Region,
 };
 use isla::stats::PowerSums;
 use proptest::prelude::*;
+
+/// A synthetic block outcome carrying only the fields summarization
+/// reads (answer, rows, samples).
+fn outcome(block_id: usize, answer: f64, rows: u64, samples: u64) -> BlockOutcome {
+    BlockOutcome {
+        block_id,
+        answer,
+        rows,
+        samples_drawn: samples,
+        u: 0,
+        v: 0,
+        dev: None,
+        q: 1.0,
+        case: None,
+        alpha: 0.0,
+        iterations: 0,
+        clamped: false,
+        fallback: None,
+        accumulator: SampleAccumulator::new(boundaries()),
+        trace: None,
+    }
+}
 
 /// Strategy: a plausible (u, v, S-values, L-values) sample for the
 /// paper's default boundaries around 100 with σ = 20 (S = (60, 90),
@@ -124,6 +147,59 @@ proptest! {
                 out.sketch
             );
         }
+    }
+
+    /// The engine's partial aggregates are merge-order invariant: any
+    /// rotation and any chunking of the block outcomes finalizes to the
+    /// bit-identical estimate of the in-order sequential merge, which in
+    /// turn equals `combine_partials` directly.
+    #[test]
+    fn partial_aggregate_merge_is_order_invariant(
+        specs in proptest::collection::vec(
+            (0.0f64..1000.0, 1u64..1_000_000, 0u64..50_000),
+            1..24,
+        ),
+        rotation in 0usize..23,
+        chunk in 1usize..5,
+    ) {
+        let outcomes: Vec<BlockOutcome> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, &(answer, rows, samples))| outcome(id, answer, rows, samples))
+            .collect();
+
+        // Sequential reference: absorb in block order.
+        let mut sequential = PartialAggregate::new();
+        for o in &outcomes {
+            sequential.absorb(o.clone());
+        }
+        let reference = sequential.finalize().unwrap();
+        let direct = combine_partials(
+            &specs.iter().map(|&(a, r, _)| (a, r)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        prop_assert_eq!(reference.estimate, direct);
+
+        // Adversarial completion order: rotate, then merge in chunks.
+        let k = rotation % outcomes.len();
+        let rotated: Vec<BlockOutcome> = outcomes[k..]
+            .iter()
+            .chain(&outcomes[..k])
+            .cloned()
+            .collect();
+        let mut merged = PartialAggregate::new();
+        for group in rotated.chunks(chunk) {
+            let mut partial = PartialAggregate::new();
+            for o in group {
+                partial.absorb(o.clone());
+            }
+            merged.merge(partial);
+        }
+        let shuffled = merged.finalize().unwrap();
+        prop_assert_eq!(shuffled.estimate, reference.estimate, "bit-for-bit");
+        prop_assert_eq!(shuffled.total_samples, reference.total_samples);
+        let ids: Vec<usize> = shuffled.blocks.iter().map(|o| o.block_id).collect();
+        prop_assert_eq!(ids, (0..outcomes.len()).collect::<Vec<_>>());
     }
 
     /// Summarization is a convex combination: the final answer lies in

@@ -103,6 +103,54 @@ fn confidence_clause_reaches_the_engine() {
 }
 
 #[test]
+fn repeated_queries_hit_the_pre_estimation_cache() {
+    // The heavy-traffic scenario: the same query shape over and over.
+    // A session's first execution runs the pilots (miss); every repeat
+    // skips them (hit), observable in the cache stats and in the sample
+    // counts.
+    let catalog = demo_catalog();
+    let session = QuerySession::new();
+    let query = isla::query::parse("SELECT AVG(reading) FROM sensors WITH PRECISION 0.5").unwrap();
+
+    let mut rng = StdRng::seed_from_u64(20);
+    let first = session.execute(&query, &catalog, &mut rng).unwrap();
+    assert_eq!(session.cache_stats().misses, 1);
+    assert_eq!(session.cache_stats().hits, 0);
+
+    let mut repeat_samples = Vec::new();
+    for seed in 21..25 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let repeat = session.execute(&query, &catalog, &mut rng).unwrap();
+        assert!((repeat.value - first.value).abs() < 1.0);
+        repeat_samples.push(repeat.samples_used.unwrap());
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 1, "only the first run pilots");
+    assert_eq!(stats.hits, 4, "every repeat hits the cache");
+    assert_eq!(stats.lookups(), 5);
+    // Repeats spend no pilot samples: strictly fewer draws than the
+    // first execution of the identical query.
+    for &m in &repeat_samples {
+        assert!(
+            m < first.samples_used.unwrap(),
+            "repeat drew {m}, first drew {}",
+            first.samples_used.unwrap()
+        );
+    }
+
+    // A different column (or config) is a different cache entry.
+    let other =
+        isla::query::parse("SELECT AVG(l_quantity) FROM lineitem WITH PRECISION 0.5").unwrap();
+    let mut rng = StdRng::seed_from_u64(26);
+    session.execute(&other, &catalog, &mut rng).unwrap();
+    assert_eq!(session.cache_stats().misses, 2);
+
+    // The free-function path stays uncached: a fresh session each call.
+    let uncached = run("SELECT AVG(reading) FROM sensors WITH PRECISION 0.5", 27);
+    assert!(uncached.is_ok());
+}
+
+#[test]
 fn query_errors_surface_cleanly() {
     assert!(run("SELECT AVG(reading) FROM nope WITH PRECISION 0.5", 11).is_err());
     assert!(run("SELECT AVG(nope) FROM sensors WITH PRECISION 0.5", 12).is_err());
