@@ -19,13 +19,19 @@ use crate::config::IslaConfig;
 use crate::error::IslaError;
 use crate::pre_estimation::{pre_estimate, PreEstimate};
 
+use super::rows::{row_pre_estimate, RowPreEstimate, RowSpec};
+
 /// A cache key: the catalog coordinates of a column, the configuration
-/// fingerprint, and the data's shape (row count + block count).
+/// fingerprint, the data's shape (row count + block count), and the
+/// query shape (predicate + group-by fingerprint).
 ///
-/// Folding the shape in means a re-registered table of a different size
-/// misses instead of serving a stale σ̂/rate computed for the old data.
-/// A same-shape content change is invisible to the key — callers that
-/// mutate data in place must invalidate explicitly
+/// Folding the data shape in means a re-registered table of a different
+/// size misses instead of serving a stale σ̂/rate computed for the old
+/// data. Folding the *query* shape in means a pre-estimate computed for
+/// an unfiltered query can never be reused for a filtered or grouped
+/// one — their selectivities, sketches, and rates describe different
+/// populations. A same-shape content change is invisible to the key —
+/// callers that mutate data in place must invalidate explicitly
 /// ([`PreEstimateCache::invalidate`] / [`PreEstimateCache::clear`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
@@ -34,11 +40,18 @@ pub struct CacheKey {
     config: u64,
     rows: u64,
     blocks: usize,
+    query_shape: u64,
 }
+
+/// Maximum entries the row-estimate map holds. Query shapes embed
+/// predicate *literals*, so a workload with per-request literals
+/// (`WHERE ts > <now>`) would otherwise grow the map without bound;
+/// past the cap an arbitrary entry is evicted per insert.
+const MAX_ROW_ENTRIES: usize = 1_024;
 
 impl CacheKey {
     /// Builds a key for `table.column` under `config`, bound to `data`'s
-    /// shape.
+    /// shape, for the plain (unfiltered, ungrouped) query shape.
     pub fn new(table: &str, column: &str, config: &IslaConfig, data: &BlockSet) -> Self {
         Self {
             table: table.to_string(),
@@ -46,7 +59,17 @@ impl CacheKey {
             config: config.fingerprint(),
             rows: data.total_len(),
             blocks: data.block_count(),
+            query_shape: 0,
         }
+    }
+
+    /// Binds the key to a row-model query shape (the
+    /// [`RowSpec::fingerprint`] of its predicate + group-by + aggregated
+    /// column), so filtered/grouped estimates key separately from plain
+    /// ones and from each other.
+    pub fn with_row_shape(mut self, shape: u64) -> Self {
+        self.query_shape = shape;
+        self
     }
 }
 
@@ -76,10 +99,25 @@ pub struct CacheLookup {
     pub hit: bool,
 }
 
-/// A thread-safe cache of [`PreEstimate`]s keyed by [`CacheKey`].
+/// The result of one row-model cache lookup.
+#[derive(Debug, Clone)]
+pub struct RowCacheLookup {
+    /// The row pre-estimate (cached or freshly computed).
+    pub pre: RowPreEstimate,
+    /// Whether the pilots were skipped (`true` on a cache hit).
+    pub hit: bool,
+}
+
+/// A thread-safe cache of [`PreEstimate`]s (scalar queries) and
+/// [`RowPreEstimate`]s (filtered/grouped queries) keyed by [`CacheKey`].
+///
+/// The two populations never alias: scalar keys carry query shape 0 and
+/// live in the scalar map; row keys carry the spec's fingerprint and
+/// live in the row map. Hit/miss counters are shared.
 #[derive(Debug, Default)]
 pub struct PreEstimateCache {
     entries: Mutex<HashMap<CacheKey, PreEstimate>>,
+    row_entries: Mutex<HashMap<CacheKey, RowPreEstimate>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -116,6 +154,49 @@ impl PreEstimateCache {
         Ok(CacheLookup { pre, hit: false })
     }
 
+    /// Returns the cached row pre-estimate for `key`, or runs the
+    /// row-model pilots on `data` and caches the result.
+    ///
+    /// `key` should carry the spec's [`RowSpec::fingerprint`] (via
+    /// [`CacheKey::with_row_shape`]) so distinct predicates/groupings
+    /// key separately.
+    ///
+    /// # Errors
+    ///
+    /// Row pre-estimation failures (the cache is left untouched).
+    pub fn get_or_compute_rows(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        spec: &RowSpec,
+        rng: &mut dyn RngCore,
+    ) -> Result<RowCacheLookup, IslaError> {
+        if let Some(pre) = self
+            .row_entries
+            .lock()
+            .expect("cache lock")
+            .get(&key)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(RowCacheLookup { pre, hit: true });
+        }
+        let pre = row_pre_estimate(data, config, spec, rng)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.row_entries.lock().expect("cache lock");
+        if entries.len() >= MAX_ROW_ENTRIES {
+            // Arbitrary eviction bounds the map when query shapes carry
+            // per-request literals; any victim is merely a future miss.
+            if let Some(victim) = entries.keys().next().cloned() {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(key, pre.clone());
+        drop(entries);
+        Ok(RowCacheLookup { pre, hit: false })
+    }
+
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -124,9 +205,10 @@ impl PreEstimateCache {
         }
     }
 
-    /// Number of cached entries.
+    /// Number of cached entries (scalar + row).
     pub fn len(&self) -> usize {
         self.entries.lock().expect("cache lock").len()
+            + self.row_entries.lock().expect("cache lock").len()
     }
 
     /// Whether the cache holds no entries.
@@ -135,13 +217,33 @@ impl PreEstimateCache {
     }
 
     /// Drops one entry (e.g. after the underlying table changed).
+    ///
+    /// Note a filtered/grouped entry is only reachable with its exact
+    /// query-shape fingerprint; after mutating a table in place, prefer
+    /// [`PreEstimateCache::invalidate_table`], which drops *every*
+    /// shape's entries for that table.
     pub fn invalidate(&self, key: &CacheKey) {
         self.entries.lock().expect("cache lock").remove(key);
+        self.row_entries.lock().expect("cache lock").remove(key);
+    }
+
+    /// Drops every entry — scalar and row, all query shapes — for a
+    /// table, the invalidation to use after mutating its data in place.
+    pub fn invalidate_table(&self, table: &str) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .retain(|k, _| k.table != table);
+        self.row_entries
+            .lock()
+            .expect("cache lock")
+            .retain(|k, _| k.table != table);
     }
 
     /// Drops every entry. Counters are preserved.
     pub fn clear(&self) {
         self.entries.lock().expect("cache lock").clear();
+        self.row_entries.lock().expect("cache lock").clear();
     }
 }
 
@@ -240,6 +342,90 @@ mod tests {
             .unwrap();
         assert!(!after_growth.hit, "grown table must re-run the pilots");
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn unfiltered_pre_estimates_never_serve_filtered_queries() {
+        // Regression: before the query-shape fingerprint, a cached
+        // unfiltered pre-estimate keyed only by (table, column, config,
+        // data shape) would have been served to a filtered query over
+        // the same column — whose population (selectivity, sketch,
+        // rate) is entirely different.
+        use crate::engine::rows::RowSpec;
+        use isla_storage::{CmpOp, ColumnPredicate, RowFilter, RowsBlock};
+
+        let n = 50_000usize;
+        let x: Vec<f64> = isla_datagen::normal_values(100.0, 20.0, n, 66);
+        let y: Vec<f64> = x.iter().map(|v| v * 0.5).collect();
+        let data = RowsBlock::split(vec![x, y], 5);
+        let cache = PreEstimateCache::new();
+        let cfg = config(0.5);
+
+        // The unfiltered (scalar) query populates the scalar map.
+        let mut rng = StdRng::seed_from_u64(6);
+        let plain = cache
+            .get_or_compute(CacheKey::new("t", "x", &cfg, &data), &data, &cfg, &mut rng)
+            .unwrap();
+        assert!(!plain.hit);
+
+        // The filtered query over the same column must MISS, not reuse
+        // the unfiltered estimate.
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: 50.0,
+            }]),
+            group_by: None,
+        };
+        let key = CacheKey::new("t", "x", &cfg, &data).with_row_shape(spec.fingerprint());
+        let filtered = cache
+            .get_or_compute_rows(key.clone(), &data, &cfg, &spec, &mut rng)
+            .unwrap();
+        assert!(!filtered.hit, "filtered query must re-run the pilots");
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        // The filtered population really is different: roughly half the
+        // rows match.
+        assert!(filtered.pre.selectivity < 0.7 && filtered.pre.selectivity > 0.3);
+
+        // Repeating the same filtered shape hits; a *different*
+        // predicate misses again.
+        let repeat = cache
+            .get_or_compute_rows(key, &data, &cfg, &spec, &mut rng)
+            .unwrap();
+        assert!(repeat.hit);
+        let other_spec = RowSpec {
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: 55.0,
+            }]),
+            ..spec.clone()
+        };
+        let other_key =
+            CacheKey::new("t", "x", &cfg, &data).with_row_shape(other_spec.fingerprint());
+        let other = cache
+            .get_or_compute_rows(other_key, &data, &cfg, &other_spec, &mut rng)
+            .unwrap();
+        assert!(!other.hit, "a different predicate is a different entry");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 3 });
+        assert_eq!(cache.len(), 3);
+
+        // Table-level invalidation reaches every shape's entries —
+        // per-key invalidation cannot enumerate the fingerprints.
+        cache.invalidate_table("t");
+        assert!(cache.is_empty(), "all shapes dropped for the table");
+        let after = cache
+            .get_or_compute_rows(
+                CacheKey::new("t", "x", &cfg, &data).with_row_shape(spec.fingerprint()),
+                &data,
+                &cfg,
+                &spec,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(!after.hit, "invalidation forces a recompute");
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //!   combines in any completion order and finalizes into the
 //!   size-weighted Summarization answer.
 //!
+//! The [`rows`] module generalizes the pipeline to the **row model**:
+//! a [`RowSpec`] (aggregated column + compiled predicate + group key)
+//! plans per group ([`RowPlan`], with selectivity estimated by the
+//! pilots), executes through the same schedulers, and merges through
+//! the per-group [`GroupedPartial`] — so `WHERE` and `GROUP BY` run
+//! with the same determinism guarantees as the scalar path.
+//!
 //! ```
 //! use isla_core::engine::{self, RateSpec, SequentialScheduler, PooledScheduler};
 //! use isla_core::IslaConfig;
@@ -44,12 +51,18 @@
 pub mod cache;
 pub mod partial;
 pub mod plan;
+pub mod rows;
 pub mod scheduler;
 pub mod seed;
 
-pub use cache::{CacheKey, CacheLookup, CacheStats, PreEstimateCache};
-pub use partial::{FinalAggregate, PartialAggregate};
+pub use cache::{CacheKey, CacheLookup, CacheStats, PreEstimateCache, RowCacheLookup};
+pub use partial::{FinalAggregate, GroupedAggregate, GroupedPartial, PartialAggregate};
 pub use plan::{QueryPlan, RateSpec};
+pub use rows::{
+    execute_row_block, row_pre_estimate, row_pre_estimate_capped, run_row_plan, run_rows,
+    scan_exact_groups, GroupEstimate, GroupExact, GroupPlan, GroupPre, GroupedEngineResult,
+    RowBlockOutcome, RowGroupOutcome, RowPlan, RowPreEstimate, RowSpec,
+};
 pub use scheduler::{
     execute_planned_block, scan_blocks, BlockExecution, BlockScheduler, DeadlineScheduler,
     EngineRun, PooledScheduler, SequentialScheduler, WorkerStats,

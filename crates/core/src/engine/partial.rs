@@ -8,9 +8,13 @@
 //! bit-for-bit identical to a sequential run no matter how the blocks
 //! were scheduled.
 
+use std::collections::BTreeMap;
+
 use crate::block_exec::BlockOutcome;
 use crate::error::IslaError;
 use crate::summarize::combine_partials;
+
+use super::rows::{GroupEstimate, RowBlockOutcome, RowPlan};
 
 /// Mergeable per-block aggregation state.
 ///
@@ -100,6 +104,161 @@ impl PartialAggregate {
         Ok(FinalAggregate {
             estimate,
             blocks: self.outcomes,
+            total_samples: self.total_samples,
+        })
+    }
+}
+
+/// The per-group generalization of [`PartialAggregate`]: a mergeable
+/// map from group key to per-block partial answers.
+///
+/// Like the scalar partial, `merge` is associative and commutative up to
+/// the canonical re-ordering performed by [`GroupedPartial::finalize`]
+/// (blocks by id, groups by key), so grouped partials built on different
+/// workers combine in any completion order and finalize to bit-identical
+/// per-group estimates.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedPartial {
+    outcomes: Vec<RowBlockOutcome>,
+    total_samples: u64,
+}
+
+/// The finalized product of a grouped partial aggregation.
+#[derive(Debug, Clone)]
+pub struct GroupedAggregate {
+    /// Per-group estimates, sorted by key value.
+    pub groups: Vec<GroupEstimate>,
+    /// The overall filtered AVG (weight-combined across groups).
+    pub estimate: f64,
+    /// Estimated rows matching the predicate across all groups.
+    pub matched_rows: f64,
+    /// Calculation-phase row draws across all blocks.
+    pub total_samples: u64,
+}
+
+impl GroupedPartial {
+    /// An empty grouped partial (the merge identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A partial holding a single block's outcome.
+    pub fn from_outcome(outcome: RowBlockOutcome) -> Self {
+        let mut partial = Self::new();
+        partial.absorb(outcome);
+        partial
+    }
+
+    /// Adds one block outcome to this partial.
+    pub fn absorb(&mut self, outcome: RowBlockOutcome) {
+        self.total_samples += outcome.draws;
+        self.outcomes.push(outcome);
+    }
+
+    /// Merges another grouped partial into this one. Associative: any
+    /// merge tree over the same outcomes finalizes to the same answer.
+    pub fn merge(&mut self, other: GroupedPartial) {
+        self.total_samples += other.total_samples;
+        self.outcomes.extend(other.outcomes);
+    }
+
+    /// Number of block outcomes held.
+    pub fn block_count(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether any outcomes have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Canonicalizes (blocks by id, groups by key) and combines each
+    /// group's per-block answers, weighted by the block's estimated
+    /// matched row count `|Bⱼ| · matchedⱼ/drawsⱼ` — the row-model
+    /// generalization of size-weighted Summarization. Each group's
+    /// population size (`rows_estimate`, the `SUM`/`COUNT` scale) pools
+    /// the pilot and calculation draws, the lowest-variance estimate
+    /// both phases can support. Plan groups that caught no calculation
+    /// draw anywhere keep their pilot estimate (`sketch0`).
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InsufficientData`] when no group carries any weight.
+    pub fn finalize(mut self, plan: &RowPlan) -> Result<GroupedAggregate, IslaError> {
+        self.outcomes.sort_by_key(|o| o.block_id);
+        debug_assert!(
+            self.outcomes
+                .windows(2)
+                .all(|w| w[0].block_id < w[1].block_id),
+            "duplicate block id in grouped partial"
+        );
+        let total_draws: u64 = self.outcomes.iter().map(|o| o.draws).sum();
+        let pooled_draws = plan.pilot_rows() + total_draws;
+        // key bits → (key, Σw, Σw·answer, Σmatched, planned)
+        let mut acc: BTreeMap<u64, (f64, f64, f64, u64, bool)> = BTreeMap::new();
+        for outcome in &self.outcomes {
+            if outcome.draws == 0 {
+                continue;
+            }
+            let draws = outcome.draws as f64;
+            for g in &outcome.groups {
+                let w = outcome.rows as f64 * g.matched as f64 / draws;
+                let entry = acc
+                    .entry(g.key_bits)
+                    .or_insert((g.key, 0.0, 0.0, 0, g.planned));
+                entry.1 += w;
+                entry.2 += w * g.answer;
+                entry.3 += g.matched;
+                entry.4 &= g.planned;
+            }
+        }
+        // Plan groups the calculation phase missed entirely keep their
+        // pilot estimate.
+        for g in plan.groups() {
+            acc.entry(g.pre.key_bits)
+                .or_insert((g.pre.key, 0.0, 0.0, 0, true));
+        }
+        let mut groups: Vec<GroupEstimate> = acc
+            .into_iter()
+            .map(|(key_bits, (key, w, wa, matched, planned))| {
+                let plan_group = plan.group_index(key_bits).map(|i| &plan.groups()[i]);
+                let pilot_matched = plan_group.map_or(0, |g| g.pre.pilot_matched);
+                let rows_estimate = plan.data_size() as f64 * (pilot_matched + matched) as f64
+                    / pooled_draws as f64;
+                let estimate = if w > 0.0 {
+                    wa / w
+                } else {
+                    // No calculation draw matched: the pilot's sketch is
+                    // all there is (planned groups only — unplanned
+                    // groups exist exactly because a draw matched them).
+                    plan_group.map(|g| g.pre.sketch0).unwrap_or(0.0)
+                };
+                GroupEstimate {
+                    key,
+                    estimate,
+                    rows_estimate,
+                    matched_draws: matched,
+                    planned,
+                }
+            })
+            .filter(|g| g.rows_estimate > 0.0)
+            .collect();
+        groups.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite group keys"));
+        let matched_rows: f64 = groups.iter().map(|g| g.rows_estimate).sum();
+        if matched_rows <= 0.0 || groups.is_empty() {
+            return Err(IslaError::InsufficientData(
+                "no group carries any weight after summarization".to_string(),
+            ));
+        }
+        let estimate = groups
+            .iter()
+            .map(|g| g.estimate * g.rows_estimate)
+            .sum::<f64>()
+            / matched_rows;
+        Ok(GroupedAggregate {
+            groups,
+            estimate,
+            matched_rows,
             total_samples: self.total_samples,
         })
     }

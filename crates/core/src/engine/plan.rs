@@ -51,7 +51,7 @@ impl RateSpec {
 
     /// The concrete rate this specification resolves to, given the
     /// precision-derived rate.
-    fn resolve(self, derived: f64) -> f64 {
+    pub(crate) fn resolve(self, derived: f64) -> f64 {
         match self {
             RateSpec::Derived => derived,
             RateSpec::Scaled(f) => derived * f,

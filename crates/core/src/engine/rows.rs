@@ -1,0 +1,1205 @@
+//! Row-model execution: predicate and `GROUP BY` pushdown through the
+//! engine.
+//!
+//! The scalar pipeline answers `AVG(col)` over a whole column. Real
+//! workloads filter and group; this module generalizes every phase to
+//! row tuples:
+//!
+//! * **Pre-estimation** ([`row_pre_estimate`]) — pilot rows are drawn
+//!   proportionally across blocks, evaluated against the compiled
+//!   [`RowFilter`], and partitioned by group key. The pilots yield the
+//!   predicate's selectivity, each group's share of the raw rows, and a
+//!   per-group `σ̂`/`sketch0` — so `SUM`/`COUNT` under a filter are
+//!   *estimated* from the hit rate, never read from block metadata;
+//! * **Planning** ([`RowPlan`]) — per-group shift, boundaries, and the
+//!   calculation rate, sized as the *maximum* over groups of
+//!   `m_g / (share_g · M)` so that every group's expected matched sample
+//!   meets the precision target, not just the population average;
+//! * **Calculation** ([`execute_row_block`]) — one uniform row draw per
+//!   sample, filter evaluated on the tuple, the aggregated value folded
+//!   into *that group's* accumulator, per-group iteration per block;
+//! * **Summarization** ([`super::GroupedPartial`]) — a per-group
+//!   mergeable map that combines in any completion order and weights
+//!   each block's per-group answer by its estimated matched row count.
+//!
+//! [`run_rows`] ties the phases together on any [`BlockScheduler`]; as
+//! in the scalar engine, per-block seeds are derived up front so every
+//! scheduler returns the bit-identical grouped answer.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use isla_stats::{required_sample_size, NeumaierSum, WelfordMoments};
+use isla_storage::{sample_rows_proportional, BlockSet, DataBlock, RowFilter};
+
+use crate::accumulate::SampleAccumulator;
+use crate::block_exec::{iteration_phase, Fallback};
+use crate::boundaries::DataBoundaries;
+use crate::config::IslaConfig;
+use crate::error::IslaError;
+use crate::shift::compute_shift;
+
+use super::partial::GroupedPartial;
+use super::plan::RateSpec;
+use super::scheduler::{scan_blocks, BlockScheduler};
+use super::seed::derive_block_seeds;
+
+/// What a row-model query computes: the aggregated column, the compiled
+/// predicate, and the optional group-by column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSpec {
+    /// Positional index of the aggregated column.
+    pub agg_column: usize,
+    /// Compiled `WHERE` conjunction ([`RowFilter::all`] when absent).
+    pub filter: RowFilter,
+    /// Positional index of the `GROUP BY` column, when grouping.
+    pub group_by: Option<usize>,
+}
+
+impl RowSpec {
+    /// A spec aggregating one column with no predicate and no grouping
+    /// (the scalar pipeline's shape).
+    pub fn column(agg_column: usize) -> Self {
+        Self {
+            agg_column,
+            filter: RowFilter::all(),
+            group_by: None,
+        }
+    }
+
+    /// Whether the spec is the scalar shape (trivial filter, ungrouped).
+    pub fn is_scalar(&self) -> bool {
+        self.filter.is_trivial() && self.group_by.is_none()
+    }
+
+    /// The widest column index the spec touches.
+    fn max_column(&self) -> usize {
+        self.agg_column
+            .max(self.group_by.unwrap_or(0))
+            .max(self.filter.max_column().unwrap_or(0))
+    }
+
+    /// Validates the spec against every block's tuple width — per
+    /// block, not against the set's widest member, so a heterogeneous
+    /// set fails here with a typed error instead of panicking
+    /// mid-execution on a narrow block's row.
+    ///
+    /// # Errors
+    ///
+    /// [`IslaError::InvalidConfig`] when a referenced column is out of
+    /// any block's width.
+    pub fn validate(&self, data: &BlockSet) -> Result<(), IslaError> {
+        for (i, block) in data.iter().enumerate() {
+            if self.max_column() >= block.width() {
+                return Err(IslaError::InvalidConfig(format!(
+                    "row spec references column {} but block {i} rows are {} wide",
+                    self.max_column(),
+                    block.width()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The group key of a row: the group column's value bits, or the
+    /// single all-rows key when ungrouped.
+    #[inline]
+    pub fn group_key(&self, row: &[f64]) -> u64 {
+        match self.group_by {
+            Some(col) => row[col].to_bits(),
+            None => 0f64.to_bits(),
+        }
+    }
+
+    /// A stable digest of the query shape (aggregated column, predicate,
+    /// group-by), used to key pre-estimation caches: a cached estimate
+    /// for one shape can never serve another.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.agg_column.hash(&mut h);
+        self.group_by.hash(&mut h);
+        self.filter.fingerprint().hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Pre-estimation output for one group of a row-model query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupPre {
+    /// Group key (bit pattern of the group column value).
+    pub key_bits: u64,
+    /// Group key as a value.
+    pub key: f64,
+    /// Estimated standard deviation of the aggregated column within the
+    /// group's matching rows (0 for effectively constant groups).
+    pub sigma: f64,
+    /// The group's sketch estimator.
+    pub sketch0: f64,
+    /// Fraction of *raw* rows that match the predicate and belong to
+    /// this group.
+    pub share: f64,
+    /// Matched pilot samples behind these estimates.
+    pub pilot_matched: u64,
+    /// Required matched samples `m_g = ⌈z²σ_g²/e²⌉`.
+    pub required_samples: u64,
+}
+
+/// Pre-estimation output for a row-model query: per-group estimates
+/// plus the predicate's selectivity, all from pilot row draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowPreEstimate {
+    /// Per-group estimates, sorted by key bits.
+    pub groups: Vec<GroupPre>,
+    /// Estimated fraction of rows matching the predicate.
+    pub selectivity: f64,
+    /// Derived calculation rate: `max_g m_g / (share_g · M)`, clamped to
+    /// `(0, 1]` (0 when every group is constant).
+    pub rate: f64,
+    /// Raw pilot rows drawn (both pilot passes).
+    pub pilot_rows: u64,
+}
+
+/// Minimum raw pilot rows behind a non-trivial predicate's hit-rate
+/// estimate (relative error ≈ √(1/n) ≈ 1% at moderate selectivity).
+pub const SELECTIVITY_PILOT_ROWS: u64 = 10_000;
+
+/// Runs row-model pre-estimation: two pilot passes of proportional row
+/// draws, filtered and partitioned by group.
+///
+/// The first pass (sized like the scalar σ pilot) estimates the
+/// selectivity, the group shares, and a first per-group `σ̂`; the second
+/// pass extends the draw until the *smallest* group's matched sample
+/// supports its relaxed-precision sketch, exactly as the scalar sketch
+/// pilot does for the whole column.
+///
+/// # Errors
+///
+/// [`IslaError::InsufficientData`] when the data is empty or no pilot
+/// row matches the predicate; storage errors from sampling.
+pub fn row_pre_estimate(
+    data: &BlockSet,
+    config: &IslaConfig,
+    spec: &RowSpec,
+    rng: &mut dyn RngCore,
+) -> Result<RowPreEstimate, IslaError> {
+    row_pre_estimate_capped(data, config, spec, u64::MAX, rng)
+}
+
+/// As [`row_pre_estimate`], with a hard cap on the total pilot rows —
+/// the budget-driven path (`SAMPLES n` without a precision) uses this
+/// so the pilots can never silently dwarf the caller's explicit budget.
+///
+/// # Errors
+///
+/// As [`row_pre_estimate`].
+pub fn row_pre_estimate_capped(
+    data: &BlockSet,
+    config: &IslaConfig,
+    spec: &RowSpec,
+    max_pilot_rows: u64,
+    rng: &mut dyn RngCore,
+) -> Result<RowPreEstimate, IslaError> {
+    let data_size = data.total_len();
+    if data_size == 0 {
+        return Err(IslaError::InsufficientData(
+            "block set holds no rows".to_string(),
+        ));
+    }
+    spec.validate(data)?;
+
+    struct PilotState {
+        moments: BTreeMap<u64, (f64, WelfordMoments)>,
+        drawn: u64,
+        matched: u64,
+    }
+    fn draw(
+        data: &BlockSet,
+        spec: &RowSpec,
+        n: u64,
+        rng: &mut dyn RngCore,
+        st: &mut PilotState,
+    ) -> Result<(), IslaError> {
+        sample_rows_proportional(data, n, rng, &mut |row| {
+            st.drawn += 1;
+            if spec.filter.matches(row) {
+                st.matched += 1;
+                let key = spec.group_key(row);
+                let entry = st
+                    .moments
+                    .entry(key)
+                    .or_insert_with(|| (f64::from_bits(key), WelfordMoments::new()));
+                entry.1.update(row[spec.agg_column]);
+            }
+        })
+        .map_err(IslaError::from)
+    }
+
+    let mut st = PilotState {
+        moments: BTreeMap::new(),
+        drawn: 0,
+        matched: 0,
+    };
+
+    // Pilot 1: selectivity, group shares, first σ̂ per group.
+    let pilot1 = config
+        .sigma_pilot_size
+        .min(data_size)
+        .min(max_pilot_rows)
+        .max(2);
+    draw(data, spec, pilot1, rng, &mut st)?;
+    if st.matched == 0 {
+        return Err(IslaError::InsufficientData(format!(
+            "predicate matched none of {} pilot rows; selectivity is effectively zero",
+            st.drawn
+        )));
+    }
+
+    // Pilot 2: extend until every group's matched sample supports its
+    // relaxed-precision sketch (`tₑ·e`), as the scalar sketch pilot —
+    // and, under a non-trivial predicate, until the hit rate itself is
+    // tight: the selectivity scales `SUM`/`COUNT`, so its relative
+    // error (≈ √(1/draws) at moderate selectivity) must not dominate
+    // the answer.
+    let relaxed_e = config.relaxation * config.precision;
+    let mut want_raw = if spec.filter.is_trivial() {
+        0
+    } else {
+        SELECTIVITY_PILOT_ROWS
+    };
+    for (_, m) in st.moments.values() {
+        let sigma = m.std_dev_sample().unwrap_or(0.0);
+        if sigma > 0.0 {
+            let m_rel = required_sample_size(sigma, relaxed_e, config.confidence);
+            let share = m.count() as f64 / st.drawn as f64;
+            want_raw = want_raw.max((m_rel as f64 / share).ceil() as u64);
+        }
+    }
+    let pilot2 = want_raw
+        .min(data_size)
+        .min(max_pilot_rows)
+        .saturating_sub(st.drawn);
+    if pilot2 > 0 {
+        draw(data, spec, pilot2, rng, &mut st)?;
+    }
+
+    let drawn = st.drawn;
+    let selectivity = st.matched as f64 / drawn as f64;
+    let mut groups = Vec::with_capacity(st.moments.len());
+    let mut rate: f64 = 0.0;
+    for (key_bits, (key, m)) in st.moments {
+        let sigma = m.std_dev_sample().unwrap_or(0.0);
+        let share = m.count() as f64 / drawn as f64;
+        let required = if sigma > 0.0 {
+            required_sample_size(sigma, config.precision, config.confidence)
+        } else {
+            1
+        };
+        if sigma > 0.0 {
+            rate = rate.max(required as f64 / (share * data_size as f64));
+        }
+        groups.push(GroupPre {
+            key_bits,
+            key,
+            sigma,
+            sketch0: m.mean().expect("group has at least one matched sample"),
+            share,
+            pilot_matched: m.count(),
+            required_samples: required,
+        });
+    }
+    Ok(RowPreEstimate {
+        groups,
+        selectivity,
+        rate: rate.min(1.0),
+        pilot_rows: drawn,
+    })
+}
+
+/// One group's resolved execution state inside a [`RowPlan`].
+#[derive(Debug, Clone)]
+pub struct GroupPlan {
+    /// The pre-estimation output backing this group.
+    pub pre: GroupPre,
+    /// Negative-data translation for this group (0 when none).
+    pub shift: f64,
+    /// The group's `sketch0` in its shifted domain.
+    pub sketch0_shifted: f64,
+    /// The group's data boundaries (shifted domain); `None` for
+    /// constant groups, whose answer is pinned to `sketch0`.
+    pub boundaries: Option<DataBoundaries>,
+}
+
+/// A fully resolved row-model plan: validated config, compiled spec,
+/// per-group pre-estimates/shifts/boundaries, and the calculation rate.
+#[derive(Debug, Clone)]
+pub struct RowPlan {
+    config: IslaConfig,
+    spec: RowSpec,
+    groups: Vec<GroupPlan>,
+    selectivity: f64,
+    pilot_rows: u64,
+    rate: f64,
+    data_size: u64,
+}
+
+impl RowPlan {
+    /// Prepares a plan by running row pre-estimation on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration/rate/spec, or pre-estimation failures.
+    pub fn prepare(
+        data: &BlockSet,
+        config: &IslaConfig,
+        spec: RowSpec,
+        rate: RateSpec,
+        rng: &mut dyn RngCore,
+    ) -> Result<Self, IslaError> {
+        config.validate()?;
+        rate.validate()?;
+        let pre = row_pre_estimate(data, config, &spec, rng)?;
+        Self::from_pre_estimate(data, config, spec, pre, rate)
+    }
+
+    /// Builds a plan from an already-computed row pre-estimate (e.g.
+    /// from a [`super::PreEstimateCache`]), spending no pilot rows.
+    ///
+    /// # Errors
+    ///
+    /// Invalid configuration or rate spec.
+    pub fn from_pre_estimate(
+        data: &BlockSet,
+        config: &IslaConfig,
+        spec: RowSpec,
+        pre: RowPreEstimate,
+        rate: RateSpec,
+    ) -> Result<Self, IslaError> {
+        config.validate()?;
+        rate.validate()?;
+        spec.validate(data)?;
+        let groups = pre
+            .groups
+            .iter()
+            .map(|g| {
+                if g.sigma == 0.0 {
+                    return GroupPlan {
+                        pre: g.clone(),
+                        shift: 0.0,
+                        sketch0_shifted: g.sketch0,
+                        boundaries: None,
+                    };
+                }
+                let shift = compute_shift(config.shift_policy, g.sketch0, g.sigma, config.p2);
+                let sketch0_shifted = g.sketch0 + shift;
+                GroupPlan {
+                    pre: g.clone(),
+                    shift,
+                    sketch0_shifted,
+                    boundaries: Some(DataBoundaries::new(
+                        sketch0_shifted,
+                        g.sigma,
+                        config.p1,
+                        config.p2,
+                    )),
+                }
+            })
+            .collect();
+        Ok(Self {
+            config: config.clone(),
+            spec,
+            groups,
+            selectivity: pre.selectivity,
+            pilot_rows: pre.pilot_rows,
+            rate: rate.resolve(pre.rate),
+            data_size: data.total_len(),
+        })
+    }
+
+    /// A copy of this plan with the calculation rate replaced by an
+    /// absolute value (deadline capping); pilots already spent are sunk.
+    pub fn with_absolute_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &IslaConfig {
+        &self.config
+    }
+
+    /// The compiled spec.
+    pub fn spec(&self) -> &RowSpec {
+        &self.spec
+    }
+
+    /// Per-group execution state, sorted by group key bits.
+    pub fn groups(&self) -> &[GroupPlan] {
+        &self.groups
+    }
+
+    /// The predicate's estimated selectivity.
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity
+    }
+
+    /// Raw pilot rows the pre-estimation spent.
+    pub fn pilot_rows(&self) -> u64 {
+        self.pilot_rows
+    }
+
+    /// The resolved calculation-phase sampling rate over *raw* rows.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Total rows `M` across blocks at plan time.
+    pub fn data_size(&self) -> u64 {
+        self.data_size
+    }
+
+    /// The raw-row sample size a block of `block_len` rows receives.
+    pub fn sample_size_for(&self, block_len: u64) -> u64 {
+        (self.rate * block_len as f64).round() as u64
+    }
+
+    /// Total calculation-phase row draws the plan will spend over `data`.
+    pub fn planned_calculation_samples(&self, data: &BlockSet) -> u64 {
+        data.iter().map(|b| self.sample_size_for(b.len())).sum()
+    }
+
+    /// Planned draws including the pre-estimation pilot rows.
+    pub fn planned_samples_with_pilots(&self, data: &BlockSet) -> u64 {
+        self.planned_calculation_samples(data) + self.pilot_rows
+    }
+
+    /// Index of the planned group with the given key bits (binary
+    /// search — the groups are sorted by key bits).
+    pub(crate) fn group_index(&self, key_bits: u64) -> Option<usize> {
+        self.groups
+            .binary_search_by(|g| g.pre.key_bits.cmp(&key_bits))
+            .ok()
+    }
+}
+
+/// One group's outcome within one block.
+#[derive(Debug, Clone)]
+pub struct RowGroupOutcome {
+    /// Group key bits (canonical identity).
+    pub key_bits: u64,
+    /// Group key as a value.
+    pub key: f64,
+    /// Raw draws in this block that matched the predicate and this
+    /// group — the block's weight contribution for the group.
+    pub matched: u64,
+    /// The group's partial answer in this block (original domain).
+    pub answer: f64,
+    /// `|S|` after sampling.
+    pub u: u64,
+    /// `|L|` after sampling.
+    pub v: u64,
+    /// Iterations executed.
+    pub iterations: u32,
+    /// Whether the answer was clamped to the group's sketch interval.
+    pub clamped: bool,
+    /// Why the group fell back to its sketch, if it did.
+    pub fallback: Option<Fallback>,
+    /// Whether the group was known to the plan (seen by the pilots).
+    /// Unplanned groups surface with their raw sample mean.
+    pub planned: bool,
+}
+
+/// The outcome of executing one block under a [`RowPlan`]: per-group
+/// partial answers plus the draw accounting that turns matched counts
+/// into summarization weights.
+#[derive(Debug, Clone)]
+pub struct RowBlockOutcome {
+    /// Index of the block within its block set.
+    pub block_id: usize,
+    /// Rows in the block.
+    pub rows: u64,
+    /// Raw row draws spent on the block.
+    pub draws: u64,
+    /// Per-group outcomes, sorted by key bits.
+    pub groups: Vec<RowGroupOutcome>,
+}
+
+/// Executes one block of a row plan with a pre-derived seed — the
+/// row-model analogue of [`super::execute_planned_block`].
+///
+/// # Errors
+///
+/// Propagates storage errors from sampling.
+pub fn execute_row_block(
+    plan: &RowPlan,
+    block: &dyn DataBlock,
+    block_id: usize,
+    seed: u64,
+) -> Result<RowBlockOutcome, IslaError> {
+    let draws = plan.sample_size_for(block.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut accs: Vec<Option<SampleAccumulator>> = plan
+        .groups()
+        .iter()
+        .map(|g| g.boundaries.map(SampleAccumulator::new))
+        .collect();
+    let mut matched = vec![0u64; plan.groups().len()];
+    // Boundary-less plan groups (constant, or matched by too few pilot
+    // rows for a σ̂) fold their calculation draws into a raw mean, so
+    // an under-piloted group is answered by its samples rather than
+    // pinned to a single pilot value.
+    let mut raw: Vec<NeumaierSum> = plan.groups().iter().map(|_| NeumaierSum::new()).collect();
+    // Groups the pilots never saw: tracked by raw mean so they still
+    // surface in the answer instead of silently vanishing.
+    let mut extras: BTreeMap<u64, (NeumaierSum, u64)> = BTreeMap::new();
+
+    let mut row: Vec<f64> = Vec::new();
+    for _ in 0..draws {
+        block.sample_row(&mut rng, &mut row)?;
+        if !plan.spec().filter.matches(&row) {
+            continue;
+        }
+        let key_bits = plan.spec().group_key(&row);
+        let value = row[plan.spec().agg_column];
+        match plan.group_index(key_bits) {
+            Some(i) => {
+                matched[i] += 1;
+                match accs[i].as_mut() {
+                    Some(acc) => {
+                        acc.offer(value + plan.groups()[i].shift);
+                    }
+                    None => raw[i].add(value),
+                }
+            }
+            None => {
+                let entry = extras.entry(key_bits).or_insert((NeumaierSum::new(), 0));
+                entry.0.add(value);
+                entry.1 += 1;
+            }
+        }
+    }
+
+    let mut groups: BTreeMap<u64, RowGroupOutcome> = BTreeMap::new();
+    for (i, g) in plan.groups().iter().enumerate() {
+        let outcome = match (&accs[i], &g.boundaries) {
+            (Some(acc), Some(_)) => {
+                let phase = iteration_phase(acc, g.sketch0_shifted, plan.config());
+                RowGroupOutcome {
+                    key_bits: g.pre.key_bits,
+                    key: g.pre.key,
+                    matched: matched[i],
+                    answer: phase.answer - g.shift,
+                    u: acc.u(),
+                    v: acc.v(),
+                    iterations: phase.iterations,
+                    clamped: phase.clamped,
+                    fallback: phase.fallback,
+                    planned: true,
+                }
+            }
+            // No boundaries: a constant group (the raw mean IS the
+            // pinned value) or an under-piloted one (the raw mean of
+            // the calculation draws beats the single pilot value);
+            // with no draws at all, the pilot sketch is all there is.
+            _ => RowGroupOutcome {
+                key_bits: g.pre.key_bits,
+                key: g.pre.key,
+                matched: matched[i],
+                answer: if matched[i] > 0 {
+                    raw[i].value() / matched[i] as f64
+                } else {
+                    g.pre.sketch0
+                },
+                u: 0,
+                v: 0,
+                iterations: 0,
+                clamped: false,
+                fallback: (matched[i] == 0).then_some(Fallback::NoSamples),
+                planned: true,
+            },
+        };
+        groups.insert(g.pre.key_bits, outcome);
+    }
+    for (key_bits, (sum, n)) in extras {
+        groups.insert(
+            key_bits,
+            RowGroupOutcome {
+                key_bits,
+                key: f64::from_bits(key_bits),
+                matched: n,
+                answer: sum.value() / n as f64,
+                u: 0,
+                v: 0,
+                iterations: 0,
+                clamped: false,
+                fallback: Some(Fallback::NoSamples),
+                planned: false,
+            },
+        );
+    }
+    Ok(RowBlockOutcome {
+        block_id,
+        rows: block.len(),
+        draws,
+        groups: groups.into_values().collect(),
+    })
+}
+
+/// One group's finalized estimate.
+#[derive(Debug, Clone)]
+pub struct GroupEstimate {
+    /// The group key value.
+    pub key: f64,
+    /// The group's approximate AVG.
+    pub estimate: f64,
+    /// Estimated rows in the group matching the predicate
+    /// (the summarization weight; also `SUM = estimate × rows_estimate`).
+    pub rows_estimate: f64,
+    /// Matched calculation draws behind the estimate.
+    pub matched_draws: u64,
+    /// Whether the pilots planned this group (false: the estimate is a
+    /// raw mean of whatever the calculation phase caught).
+    pub planned: bool,
+}
+
+/// The engine's complete row-model output.
+#[derive(Debug, Clone)]
+pub struct GroupedEngineResult {
+    /// Per-group estimates, sorted by key value.
+    pub groups: Vec<GroupEstimate>,
+    /// The overall filtered AVG (weight-combined across groups).
+    pub estimate: f64,
+    /// Estimated rows matching the predicate across all groups.
+    pub matched_rows: f64,
+    /// The predicate's estimated selectivity from the pilots.
+    pub selectivity: f64,
+    /// Total rows `M` across blocks.
+    pub data_size: u64,
+    /// Calculation-phase row draws (excludes pilots).
+    pub total_samples: u64,
+    /// Pilot rows spent by pre-estimation.
+    pub pilot_samples: u64,
+    /// Whether the scheduler's admission policy (deadline budget)
+    /// capped the plan.
+    pub time_limited: bool,
+}
+
+/// Prepares a row plan on `data` (running the pilots) and executes it on
+/// `scheduler` — the whole row-model pipeline in one call.
+///
+/// # Errors
+///
+/// Invalid configuration/rate/spec, pre-estimation failures, or the
+/// first block failure.
+pub fn run_rows(
+    data: &BlockSet,
+    config: &IslaConfig,
+    spec: RowSpec,
+    rate: RateSpec,
+    scheduler: &dyn BlockScheduler,
+    rng: &mut dyn RngCore,
+) -> Result<GroupedEngineResult, IslaError> {
+    let plan = RowPlan::prepare(data, config, spec, rate, rng)?;
+    run_row_plan(&plan, data, scheduler, rng)
+}
+
+/// Executes an already-prepared row plan on `scheduler`.
+///
+/// The scheduler's admission policy runs first
+/// ([`BlockScheduler::admit_rows`] — deadline capping), then per-block
+/// seeds are derived from `rng` exactly as in the scalar engine — one
+/// `next_u64` per block in block order — and the per-block work fans
+/// out at the scheduler's parallelism (placement is by parallelism;
+/// custom [`BlockScheduler::execute`] overrides apply to scalar plans
+/// only). Grouped partials merge order-invariantly, so every scheduler
+/// returns the bit-identical per-group answers for the same RNG stream.
+///
+/// # Errors
+///
+/// The first block failure, or [`IslaError::InsufficientData`] when no
+/// group holds any weight.
+pub fn run_row_plan(
+    plan: &RowPlan,
+    data: &BlockSet,
+    scheduler: &dyn BlockScheduler,
+    rng: &mut dyn RngCore,
+) -> Result<GroupedEngineResult, IslaError> {
+    let (plan, time_limited) = scheduler.admit_rows(plan.clone(), data);
+    let seeds = derive_block_seeds(rng, data.block_count());
+    let outcomes = scan_blocks(scheduler.parallelism(), data, |block_id, block| {
+        execute_row_block(&plan, block, block_id, seeds[block_id])
+    })?;
+    let mut partial = GroupedPartial::new();
+    for outcome in outcomes {
+        partial.absorb(outcome);
+    }
+    let agg = partial.finalize(&plan)?;
+    Ok(GroupedEngineResult {
+        groups: agg.groups,
+        estimate: agg.estimate,
+        matched_rows: agg.matched_rows,
+        selectivity: plan.selectivity(),
+        data_size: plan.data_size(),
+        total_samples: agg.total_samples,
+        pilot_samples: plan.pilot_rows(),
+        time_limited,
+    })
+}
+
+/// One group's exact aggregate from a full scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupExact {
+    /// The group key value.
+    pub key: f64,
+    /// Exact mean of the aggregated column over matching rows.
+    pub mean: f64,
+    /// Exact count of matching rows.
+    pub count: u64,
+}
+
+/// Computes exact per-group filtered aggregates by scanning every row —
+/// the `METHOD EXACT` ground truth for row-model queries.
+///
+/// Returns groups sorted by key value; ungrouped specs yield a single
+/// entry. An empty result means no row matched the predicate.
+///
+/// # Errors
+///
+/// Scan failures (e.g. virtual blocks past their cap).
+pub fn scan_exact_groups(data: &BlockSet, spec: &RowSpec) -> Result<Vec<GroupExact>, IslaError> {
+    spec.validate(data)?;
+    let mut sums: BTreeMap<u64, (f64, NeumaierSum, u64)> = BTreeMap::new();
+    data.scan_all_rows(&mut |row| {
+        if spec.filter.matches(row) {
+            let key_bits = spec.group_key(row);
+            let entry =
+                sums.entry(key_bits)
+                    .or_insert((f64::from_bits(key_bits), NeumaierSum::new(), 0));
+            entry.1.add(row[spec.agg_column]);
+            entry.2 += 1;
+        }
+    })
+    .map_err(IslaError::from)?;
+    let mut out: Vec<GroupExact> = sums
+        .into_values()
+        .map(|(key, sum, count)| GroupExact {
+            key,
+            mean: sum.value() / count as f64,
+            count,
+        })
+        .collect();
+    out.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite group keys"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{PooledScheduler, SequentialScheduler};
+    use isla_storage::{CmpOp, ColumnPredicate, RowsBlock};
+    use rand::Rng;
+
+    fn config(e: f64) -> IslaConfig {
+        IslaConfig::builder().precision(e).build().unwrap()
+    }
+
+    /// Three groups (0, 1, 2) with means 80 / 100 / 120 on x, a `y`
+    /// column correlated with x, deterministic in `seed`.
+    fn grouped_set(n: usize, blocks: usize, seed: u64) -> BlockSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut region = Vec::with_capacity(n);
+        let normal = isla_stats::distributions::Normal::new(0.0, 1.0);
+        use isla_stats::distributions::Distribution;
+        for _ in 0..n {
+            let r = rng.random_range(0..3u64) as f64;
+            let xv = 80.0 + 20.0 * r + 10.0 * normal.sample(&mut rng);
+            let yv = 0.5 * xv + 5.0 * normal.sample(&mut rng);
+            x.push(xv);
+            y.push(yv);
+            region.push(r);
+        }
+        RowsBlock::split(vec![x, y, region], blocks)
+    }
+
+    fn filtered_grouped_spec() -> RowSpec {
+        RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: 45.0,
+            }]),
+            group_by: Some(2),
+        }
+    }
+
+    #[test]
+    fn pre_estimation_finds_groups_shares_and_selectivity() {
+        let data = grouped_set(120_000, 8, 1);
+        let spec = filtered_grouped_spec();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pre = row_pre_estimate(&data, &config(1.0), &spec, &mut rng).unwrap();
+        assert_eq!(pre.groups.len(), 3);
+        let exact = scan_exact_groups(&data, &spec).unwrap();
+        let exact_sel = exact.iter().map(|g| g.count).sum::<u64>() as f64 / 120_000.0;
+        assert!(
+            (pre.selectivity - exact_sel).abs() < 0.03,
+            "selectivity {} vs exact {exact_sel}",
+            pre.selectivity
+        );
+        for (g, e) in pre.groups.iter().zip(&exact) {
+            assert_eq!(g.key, e.key);
+            assert!(
+                (g.sketch0 - e.mean).abs() < 2.0,
+                "group {} sketch {} vs exact {}",
+                g.key,
+                g.sketch0,
+                e.mean
+            );
+            assert!(g.sigma > 0.0 && g.share > 0.0);
+        }
+        assert!(pre.rate > 0.0 && pre.rate <= 1.0);
+        assert!(pre.pilot_rows >= 1000);
+    }
+
+    #[test]
+    fn grouped_estimates_meet_precision_against_exact() {
+        let data = grouped_set(150_000, 10, 3);
+        let spec = filtered_grouped_spec();
+        let e = 0.5;
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_rows(
+            &data,
+            &config(e),
+            spec.clone(),
+            RateSpec::Derived,
+            &SequentialScheduler,
+            &mut rng,
+        )
+        .unwrap();
+        let exact = scan_exact_groups(&data, &spec).unwrap();
+        assert_eq!(out.groups.len(), exact.len());
+        for (g, x) in out.groups.iter().zip(&exact) {
+            assert_eq!(g.key, x.key);
+            assert!(
+                (g.estimate - x.mean).abs() <= e,
+                "group {}: estimate {} vs exact {} (e = {e})",
+                g.key,
+                g.estimate,
+                x.mean
+            );
+            assert!(
+                (g.rows_estimate - x.count as f64).abs() / (x.count as f64) < 0.1,
+                "group {}: rows {} vs exact {}",
+                g.key,
+                g.rows_estimate,
+                x.count
+            );
+        }
+        assert!(out.total_samples > 0);
+        assert!(out.pilot_samples > 0);
+        // The overall estimate is the weight-combination of the groups.
+        let direct: f64 = out
+            .groups
+            .iter()
+            .map(|g| g.estimate * g.rows_estimate)
+            .sum::<f64>()
+            / out.matched_rows;
+        assert!((out.estimate - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schedulers_agree_bit_for_bit_on_grouped_answers() {
+        let data = grouped_set(60_000, 9, 5);
+        let spec = filtered_grouped_spec();
+        let run_with = |scheduler: &dyn BlockScheduler| {
+            let mut rng = StdRng::seed_from_u64(6);
+            run_rows(
+                &data,
+                &config(1.0),
+                spec.clone(),
+                RateSpec::Derived,
+                scheduler,
+                &mut rng,
+            )
+            .unwrap()
+        };
+        let sequential = run_with(&SequentialScheduler);
+        for workers in [1, 2, 4, 7] {
+            let pooled = run_with(&PooledScheduler::new(workers).unwrap());
+            assert_eq!(pooled.groups.len(), sequential.groups.len());
+            for (p, s) in pooled.groups.iter().zip(&sequential.groups) {
+                assert_eq!(p.key, s.key, "{workers} workers");
+                assert_eq!(p.estimate, s.estimate, "{workers} workers");
+                assert_eq!(p.rows_estimate, s.rows_estimate);
+                assert_eq!(p.matched_draws, s.matched_draws);
+            }
+            assert_eq!(pooled.estimate, sequential.estimate);
+            assert_eq!(pooled.total_samples, sequential.total_samples);
+        }
+    }
+
+    #[test]
+    fn scalar_spec_reduces_to_one_group() {
+        let data = grouped_set(50_000, 5, 7);
+        let spec = RowSpec::column(0);
+        assert!(spec.is_scalar());
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = run_rows(
+            &data,
+            &config(1.0),
+            spec,
+            RateSpec::Derived,
+            &SequentialScheduler,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.groups.len(), 1);
+        assert!((out.selectivity - 1.0).abs() < 1e-12);
+        let exact = data.exact_mean().unwrap();
+        assert!(
+            (out.estimate - exact).abs() < 1.0,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn constant_groups_are_pinned_without_sampling_noise() {
+        // Column x is constant within each group.
+        let n = 10_000;
+        let x: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 5.0 } else { 9.0 }).collect();
+        let region: Vec<f64> = (0..n).map(|i| f64::from(u32::from(i % 2 == 0))).collect();
+        let data = RowsBlock::split(vec![x, region], 4);
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::all(),
+            group_by: Some(1),
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = run_rows(
+            &data,
+            &config(0.1),
+            spec,
+            RateSpec::Derived,
+            &SequentialScheduler,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.groups.len(), 2);
+        assert_eq!(out.groups[0].key, 0.0);
+        assert_eq!(out.groups[0].estimate, 9.0);
+        assert_eq!(out.groups[1].key, 1.0);
+        assert_eq!(out.groups[1].estimate, 5.0);
+    }
+
+    #[test]
+    fn deadline_scheduler_caps_row_plans_and_reports_it() {
+        use crate::engine::DeadlineScheduler;
+        let data = grouped_set(100_000, 8, 13);
+        let spec = filtered_grouped_spec();
+        let cfg = config(0.5);
+        let mut rng = StdRng::seed_from_u64(14);
+        let plan = RowPlan::prepare(&data, &cfg, spec, RateSpec::Derived, &mut rng).unwrap();
+        let wanted = plan.planned_samples_with_pilots(&data);
+
+        let tight = DeadlineScheduler::new(SequentialScheduler, wanted / 2);
+        let out = run_row_plan(&plan, &data, &tight, &mut rng).unwrap();
+        assert!(out.time_limited, "half the wanted budget must cap");
+        assert!(
+            out.total_samples + out.pilot_samples <= wanted / 2 + 10,
+            "capped run drew {} of budget {}",
+            out.total_samples + out.pilot_samples,
+            wanted / 2
+        );
+        assert!(out.total_samples > 0, "some calculation still ran");
+
+        let generous = DeadlineScheduler::new(SequentialScheduler, wanted + 1);
+        let out = run_row_plan(&plan, &data, &generous, &mut rng).unwrap();
+        assert!(!out.time_limited);
+    }
+
+    #[test]
+    fn under_piloted_rare_groups_answer_from_their_samples_not_one_pilot_row() {
+        // Group 1 holds 0.1% of the rows with values far from group 0:
+        // the pilots see at most a stray row of it (σ̂ undefined), so it
+        // gets no boundaries — but its calculation draws must still
+        // drive the answer instead of a single pilot value.
+        let n = 100_000usize;
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut x = Vec::with_capacity(n);
+        let mut region = Vec::with_capacity(n);
+        use isla_stats::distributions::{Distribution, Normal};
+        let common = Normal::new(100.0, 10.0);
+        let rare = Normal::new(500.0, 20.0);
+        for i in 0..n {
+            if i % 1000 == 0 {
+                x.push(rare.sample(&mut rng));
+                region.push(1.0);
+            } else {
+                x.push(common.sample(&mut rng));
+                region.push(0.0);
+            }
+        }
+        let data = RowsBlock::split(vec![x, region], 8);
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::all(),
+            group_by: Some(1),
+        };
+        // Fabricate the under-piloted state directly: one pilot row hit
+        // the rare group, on an unlucky tail value (430, two σ below
+        // the group mean of 500). σ̂ is undefined from one sample, so
+        // the plan gives the group no boundaries.
+        let pre = RowPreEstimate {
+            groups: vec![
+                GroupPre {
+                    key_bits: 0f64.to_bits(),
+                    key: 0.0,
+                    sigma: 10.0,
+                    sketch0: 100.0,
+                    share: 0.999,
+                    pilot_matched: 999,
+                    required_samples: 1_537,
+                },
+                GroupPre {
+                    key_bits: 1f64.to_bits(),
+                    key: 1.0,
+                    sigma: 0.0,
+                    sketch0: 430.0,
+                    share: 0.001,
+                    pilot_matched: 1,
+                    required_samples: 1,
+                },
+            ],
+            selectivity: 1.0,
+            rate: 0.05,
+            pilot_rows: 1_000,
+        };
+        let plan =
+            RowPlan::from_pre_estimate(&data, &config(0.5), spec, pre, RateSpec::Derived).unwrap();
+        let rare_plan = &plan.groups()[1];
+        assert!(rare_plan.pre.pilot_matched < 2);
+        assert!(rare_plan.boundaries.is_none());
+        let mut rng = StdRng::seed_from_u64(22);
+        let out = run_row_plan(&plan, &data, &SequentialScheduler, &mut rng).unwrap();
+        let rare_est = out.groups.iter().find(|g| g.key == 1.0).unwrap();
+        assert!(rare_est.matched_draws > 0, "rate sampled the rare group");
+        assert!(
+            (rare_est.estimate - 500.0).abs() < 40.0,
+            "rare group estimate {} should track its population (≈500), not the \
+             single unlucky pilot row at 430",
+            rare_est.estimate
+        );
+    }
+
+    #[test]
+    fn heterogeneous_block_widths_are_rejected_not_panicked() {
+        use isla_storage::MemBlock;
+        use std::sync::Arc;
+        let data = BlockSet::new(vec![
+            Arc::new(MemBlock::new(vec![1.0; 100])) as Arc<dyn isla_storage::DataBlock>,
+            Arc::new(RowsBlock::new(vec![vec![1.0; 100], vec![2.0; 100]])),
+        ]);
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: 0.0,
+            }]),
+            group_by: None,
+        };
+        assert!(matches!(
+            spec.validate(&data),
+            Err(IslaError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn zero_selectivity_predicates_are_rejected_at_pre_estimation() {
+        let data = grouped_set(5_000, 3, 10);
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 0,
+                op: CmpOp::Gt,
+                value: 1e9,
+            }]),
+            group_by: None,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(matches!(
+            row_pre_estimate(&data, &config(0.5), &spec, &mut rng),
+            Err(IslaError::InsufficientData(_))
+        ));
+    }
+
+    #[test]
+    fn specs_validate_column_bounds_and_fingerprint_shapes() {
+        let data = grouped_set(1_000, 2, 12);
+        let bad = RowSpec {
+            agg_column: 5,
+            filter: RowFilter::all(),
+            group_by: None,
+        };
+        assert!(matches!(
+            bad.validate(&data),
+            Err(IslaError::InvalidConfig(_))
+        ));
+
+        let scalar = RowSpec::column(0);
+        let filtered = filtered_grouped_spec();
+        let ungrouped = RowSpec {
+            group_by: None,
+            ..filtered_grouped_spec()
+        };
+        assert_ne!(scalar.fingerprint(), filtered.fingerprint());
+        assert_ne!(filtered.fingerprint(), ungrouped.fingerprint());
+        assert_eq!(
+            filtered.fingerprint(),
+            filtered_grouped_spec().fingerprint()
+        );
+    }
+
+    #[test]
+    fn exact_groups_scan_matches_hand_computation() {
+        let data = RowsBlock::split(
+            vec![
+                vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+            ],
+            2,
+        );
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 0,
+                op: CmpOp::Gt,
+                value: 1.5,
+            }]),
+            group_by: Some(1),
+        };
+        let exact = scan_exact_groups(&data, &spec).unwrap();
+        assert_eq!(
+            exact,
+            vec![
+                GroupExact {
+                    key: 0.0,
+                    mean: 4.0,
+                    count: 2
+                },
+                GroupExact {
+                    key: 1.0,
+                    mean: 4.0,
+                    count: 3
+                },
+            ]
+        );
+    }
+}

@@ -29,6 +29,7 @@ use crate::error::IslaError;
 
 use super::partial::PartialAggregate;
 use super::plan::QueryPlan;
+use super::rows::RowPlan;
 
 /// Per-worker execution statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,6 +76,14 @@ pub trait BlockScheduler {
     /// drawn (e.g. deadline capping). Returns the plan to execute and
     /// whether it was capped relative to what the caller asked for.
     fn admit(&self, plan: QueryPlan, _data: &BlockSet) -> (QueryPlan, bool) {
+        (plan, false)
+    }
+
+    /// Admission control for row-model plans — the grouped/filtered
+    /// pipeline calls this before deriving seeds, so a budget-capping
+    /// scheduler ([`DeadlineScheduler`]) applies to `WHERE`/`GROUP BY`
+    /// execution exactly as to the scalar path.
+    fn admit_rows(&self, plan: RowPlan, _data: &BlockSet) -> (RowPlan, bool) {
         (plan, false)
     }
 
@@ -321,6 +330,21 @@ impl<S: BlockScheduler> BlockScheduler for DeadlineScheduler<S> {
         // strictly below the plan's own — it can never raise it.
         let pilots = wanted - plan.planned_calculation_samples(data);
         let calc_budget = self.budget.saturating_sub(pilots);
+        let rate = (calc_budget as f64 / data.total_len() as f64)
+            .clamp(f64::MIN_POSITIVE, 1.0)
+            .min(plan.rate());
+        (plan.with_absolute_rate(rate), true)
+    }
+
+    fn admit_rows(&self, plan: RowPlan, data: &BlockSet) -> (RowPlan, bool) {
+        let (plan, limited) = self.inner.admit_rows(plan, data);
+        let wanted = plan.planned_samples_with_pilots(data);
+        if wanted <= self.budget {
+            return (plan, limited);
+        }
+        // As the scalar case: pilot rows are sunk cost, only the
+        // calculation rate shrinks to what the budget leaves over.
+        let calc_budget = self.budget.saturating_sub(plan.pilot_rows());
         let rate = (calc_budget as f64 / data.total_len() as f64)
             .clamp(f64::MIN_POSITIVE, 1.0)
             .min(plan.rate());

@@ -12,7 +12,10 @@
 //!   (KDD) salary column of Section VIII-G (n = 299,285, µ = 1740.38);
 //! * [`tlc`] — a clustered bimodal mixture calibrated to the NYC TLC
 //!   trip-distance column of Section VIII-G (n = 10,906,858, µ = 4648.2,
-//!   "the too big values and the too small values are highly clustered").
+//!   "the too big values and the too small values are highly clustered");
+//! * [`multi`] — correlated multi-column tables (per-region measures, a
+//!   correlated second measure, a categorical dimension) for the
+//!   `WHERE` / `GROUP BY` scenarios beyond the paper's interface.
 //!
 //! The substitutions for the two real datasets and for dbgen are recorded
 //! in `DESIGN.md`; the calibration targets (size, mean, skew shape) are
@@ -21,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod multi;
 pub mod salary;
 pub mod spec;
 pub mod synthetic;
 pub mod tlc;
 pub mod tpch;
 
+pub use multi::{regional_dataset, three_region_dataset, MultiDataset, RegionSpec};
 pub use spec::Dataset;
 pub use synthetic::{
     exponential_dataset, mixture_dataset, normal_dataset, normal_values, uniform_dataset,

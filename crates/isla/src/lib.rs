@@ -88,5 +88,7 @@ pub mod prelude {
     pub use isla_distributed::{aggregate_within, DistributedAggregator};
     pub use isla_query::{execute, parse, Catalog, QueryResult, QuerySession, Table};
     pub use isla_stats::distributions::Distribution;
-    pub use isla_storage::{BlockSet, DataBlock, GeneratorBlock, MemBlock};
+    pub use isla_storage::{
+        BlockSet, ColumnDef, DataBlock, GeneratorBlock, MemBlock, RowFilter, RowsBlock, Schema,
+    };
 }

@@ -1,5 +1,22 @@
 //! The query AST.
 
+pub use isla_storage::CmpOp;
+
+/// One textual `WHERE` conjunct: `column op literal`.
+///
+/// The executor resolves the column name against the table's
+/// [`isla_storage::Schema`] and compiles the conjunction into an
+/// [`isla_storage::RowFilter`] pushed down to the storage scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// The filtered column's name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub value: f64,
+}
+
 /// Aggregate functions the engine answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AggFunc {
@@ -60,6 +77,10 @@ pub struct Query {
     pub column: String,
     /// Source table.
     pub table: String,
+    /// `WHERE` conjuncts (empty when unfiltered).
+    pub predicates: Vec<Predicate>,
+    /// `GROUP BY` column, when grouping.
+    pub group_by: Option<String>,
     /// Desired precision `e` (`WITH PRECISION e`).
     pub precision: Option<f64>,
     /// Confidence `β` (`CONFIDENCE β`), defaulting to 0.95 downstream.

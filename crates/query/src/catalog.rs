@@ -1,41 +1,101 @@
-//! The catalog: named tables whose columns are block sets.
+//! The catalog: named tables with schemas over multi-column row blocks.
+//!
+//! A [`Table`] is one block-partitioned [`BlockSet`] of row tuples plus
+//! the [`Schema`] naming the tuple's columns. Scalar consumers (the
+//! classic ISLA path, baselines, MAX/MIN) get width-1 projections via
+//! [`Table::column`]; the row-model executor works on the table's
+//! blocks directly, resolving column names to positions once through
+//! the schema.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use isla_storage::BlockSet;
+use isla_storage::{project_column, BlockSet, DataBlock, Schema, ZipBlock};
 
 use crate::error::QueryError;
 
-/// A table: a set of named numeric columns of equal row count, each
-/// stored as a block-partitioned [`BlockSet`].
+/// A table: a schema plus a block-partitioned set of row tuples.
 #[derive(Debug, Clone)]
 pub struct Table {
-    columns: HashMap<String, BlockSet>,
+    schema: Schema,
+    data: BlockSet,
+    /// Original per-column block sets when the table was assembled from
+    /// scalar columns — kept so single-column projections stay zero-cost
+    /// on that construction path.
+    column_sets: Option<Vec<BlockSet>>,
     rows: u64,
 }
 
 impl Table {
-    /// Builds a table from `(name, column)` pairs.
+    /// Builds a table from `(name, column)` pairs of scalar block sets —
+    /// the classic construction. The columns are zipped block-by-block
+    /// into logical row tuples, so they must agree on the block layout
+    /// (which [`BlockSet::from_values`] guarantees for equal row
+    /// counts).
     ///
     /// # Panics
     ///
-    /// Panics if no columns are given or the columns disagree on the row
-    /// count — schema construction errors are programming errors.
+    /// Panics if no columns are given or the columns disagree on the
+    /// row count or block layout — schema construction errors are
+    /// programming errors.
     pub fn new(columns: Vec<(impl Into<String>, BlockSet)>) -> Self {
         assert!(!columns.is_empty(), "a table needs at least one column");
-        let mut map = HashMap::new();
-        let mut rows = None;
-        for (name, column) in columns {
-            let n = column.total_len();
-            match rows {
-                None => rows = Some(n),
-                Some(r) => assert_eq!(r, n, "columns must agree on the row count"),
-            }
-            map.insert(name.into(), column);
+        let (names, sets): (Vec<String>, Vec<BlockSet>) = columns
+            .into_iter()
+            .map(|(name, set)| (name.into(), set))
+            .unzip();
+        let rows = sets[0].total_len();
+        let block_count = sets[0].block_count();
+        for (i, set) in sets.iter().enumerate() {
+            assert_eq!(set.total_len(), rows, "columns must agree on the row count");
+            assert_eq!(
+                set.block_count(),
+                block_count,
+                "column {i} disagrees on the block layout"
+            );
         }
+        let data = if sets.len() == 1 {
+            // A single scalar column IS its own width-1 row model.
+            sets[0].clone()
+        } else {
+            BlockSet::new(
+                (0..block_count)
+                    .map(|b| {
+                        let cols: Vec<Arc<dyn DataBlock>> =
+                            sets.iter().map(|s| Arc::clone(s.block(b))).collect();
+                        Arc::new(ZipBlock::new(cols)) as Arc<dyn DataBlock>
+                    })
+                    .collect(),
+            )
+        };
         Self {
-            columns: map,
-            rows: rows.expect("at least one column"),
+            schema: Schema::of_floats(names),
+            data,
+            column_sets: Some(sets),
+            rows,
+        }
+    }
+
+    /// Builds a table directly from a schema and a block set of row
+    /// tuples (e.g. [`isla_storage::RowsBlock`]s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks' tuple width disagrees with the schema.
+    pub fn from_rows(schema: Schema, data: BlockSet) -> Self {
+        for block in data.iter() {
+            assert_eq!(
+                block.width(),
+                schema.width(),
+                "block width must match the schema"
+            );
+        }
+        let rows = data.total_len();
+        Self {
+            schema,
+            data,
+            column_sets: None,
+            rows,
         }
     }
 
@@ -44,14 +104,35 @@ impl Table {
         self.rows
     }
 
-    /// Looks up a column.
-    pub fn column(&self, name: &str) -> Option<&BlockSet> {
-        self.columns.get(name)
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The table's row blocks.
+    pub fn data(&self) -> &BlockSet {
+        &self.data
+    }
+
+    /// The positional index of a named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// A width-1 block set over the named column (zero-cost when the
+    /// table was assembled from scalar columns, a projection view
+    /// otherwise).
+    pub fn column(&self, name: &str) -> Option<BlockSet> {
+        let idx = self.schema.index_of(name)?;
+        match &self.column_sets {
+            Some(sets) => Some(sets[idx].clone()),
+            None => Some(project_column(&self.data, idx)),
+        }
     }
 
     /// The column names, sorted (for stable display).
     pub fn column_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.columns.keys().map(String::as_str).collect();
+        let mut names = self.schema.column_names();
         names.sort_unstable();
         names
     }
@@ -85,12 +166,13 @@ impl Catalog {
             .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
     }
 
-    /// Resolves `table.column`, with query-friendly errors.
+    /// Resolves `table.column` to a width-1 block set, with
+    /// query-friendly errors.
     ///
     /// # Errors
     ///
     /// [`QueryError::UnknownTable`] / [`QueryError::UnknownColumn`].
-    pub fn column(&self, table: &str, column: &str) -> Result<&BlockSet, QueryError> {
+    pub fn column(&self, table: &str, column: &str) -> Result<BlockSet, QueryError> {
         let t = self.table(table)?;
         t.column(column).ok_or_else(|| QueryError::UnknownColumn {
             table: table.to_string(),
@@ -109,6 +191,7 @@ impl Catalog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use isla_storage::{ColumnDef, RowsBlock};
 
     fn block_set(values: Vec<f64>) -> BlockSet {
         BlockSet::from_values(values, 2)
@@ -131,6 +214,43 @@ mod tests {
             vec!["distance", "fare"]
         );
         assert_eq!(catalog.table_names(), vec!["trips"]);
+    }
+
+    #[test]
+    fn zipped_tables_expose_aligned_row_tuples() {
+        let table = Table::new(vec![
+            ("distance", block_set(vec![1.0, 2.0, 3.0, 4.0])),
+            ("fare", block_set(vec![10.0, 20.0, 30.0, 40.0])),
+        ]);
+        assert_eq!(table.schema().width(), 2);
+        assert_eq!(table.column_index("fare"), Some(1));
+        let mut rows = Vec::new();
+        table
+            .data()
+            .scan_all_rows(&mut |row| rows.push(row.to_vec()))
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert_eq!(row[1], row[0] * 10.0, "tuples stay aligned");
+        }
+        // Column projection matches the original scalar data.
+        let fares = table.column("fare").unwrap();
+        assert_eq!(fares.exact_mean().unwrap(), 25.0);
+        assert!(table.column("nope").is_none());
+    }
+
+    #[test]
+    fn from_rows_builds_schema_first_tables() {
+        let schema = Schema::new(vec![
+            ColumnDef::float("x"),
+            ColumnDef::categorical("region"),
+        ]);
+        let data = RowsBlock::split(vec![vec![1.0, 2.0, 3.0, 4.0], vec![0.0, 1.0, 0.0, 1.0]], 2);
+        let table = Table::from_rows(schema, data);
+        assert_eq!(table.rows(), 4);
+        assert_eq!(table.column_index("region"), Some(1));
+        let regions = table.column("region").unwrap();
+        assert_eq!(regions.exact_mean().unwrap(), 0.5);
     }
 
     #[test]
@@ -160,5 +280,13 @@ mod tests {
     #[should_panic(expected = "at least one column")]
     fn empty_table_panics() {
         let _ = Table::new(Vec::<(String, BlockSet)>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match the schema")]
+    fn from_rows_rejects_width_mismatch() {
+        let schema = Schema::of_floats(vec!["a", "b", "c"]);
+        let data = RowsBlock::split(vec![vec![1.0], vec![2.0]], 1);
+        let _ = Table::from_rows(schema, data);
     }
 }

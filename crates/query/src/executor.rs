@@ -2,8 +2,19 @@
 //!
 //! The ISLA paths delegate to [`isla_core::engine`]; a [`QuerySession`]
 //! additionally keeps a pre-estimation cache keyed by
-//! `(table, column, config)`, so repeated identical queries — the
-//! heavy-traffic serving scenario — skip the pilot phase entirely.
+//! `(table, column, config, query shape)`, so repeated identical queries
+//! — the heavy-traffic serving scenario — skip the pilot phase entirely.
+//!
+//! Predicates and `GROUP BY` are compiled once against the table's
+//! [`isla_storage::Schema`] into an [`engine::RowSpec`] (a pushed-down
+//! [`isla_storage::RowFilter`] plus positional group/aggregate columns)
+//! and executed through the engine's row-model pipeline
+//! ([`engine::run_row_plan`]): pilot rows estimate the predicate's
+//! selectivity and per-group σ̂/sketch, the calculation rate is sized so
+//! *every group* meets the precision target, and `SUM`/`COUNT` under a
+//! filter are estimated from the hit rate — never read from block
+//! metadata. Baselines run over width-1 filtered projections
+//! (rejection sampling), and `METHOD EXACT` scans row tuples.
 
 use std::time::{Duration, Instant};
 
@@ -14,15 +25,18 @@ use isla_baselines::{
     StratifiedSampling, UniformSampling,
 };
 use isla_core::engine::{
-    self, CacheKey, CacheStats, DeadlineScheduler, PreEstimateCache, QueryPlan, RateSpec,
-    SequentialScheduler,
+    self, CacheKey, CacheStats, DeadlineScheduler, PreEstimateCache, QueryPlan, RateSpec, RowPlan,
+    RowSpec, SequentialScheduler,
 };
 use isla_core::{IslaConfig, IslaError};
 use isla_stats::{required_sample_size, WelfordMoments};
-use isla_storage::{sample_proportional, BlockSet};
+use isla_storage::{
+    pool_filtered_column, sample_proportional, sample_rows_proportional, BlockSet, ColumnPredicate,
+    RowFilter,
+};
 
 use crate::ast::{AggFunc, Method, Query};
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, Table};
 use crate::error::QueryError;
 
 /// Default confidence when the query omits `CONFIDENCE` (the paper's
@@ -38,10 +52,27 @@ const TIME_CALIBRATION_SAMPLES: u64 = 2_000;
 /// headroom for the iteration phase and summarization.
 const TIME_SAFETY: f64 = 0.8;
 
+/// Pilot rows behind an estimated `COUNT(*) WHERE …` when the query
+/// gives no explicit `SAMPLES` budget.
+const COUNT_PILOT_ROWS: u64 = 10_000;
+
+/// One group's row in a grouped query result.
+#[derive(Debug, Clone)]
+pub struct GroupRow {
+    /// The group key value.
+    pub key: f64,
+    /// The group's aggregate value.
+    pub value: f64,
+    /// Estimated (or exact) rows behind the group.
+    pub rows: f64,
+}
+
 /// The answer to a query.
 #[derive(Debug, Clone)]
 pub struct QueryResult {
-    /// The aggregate value.
+    /// The aggregate value (for grouped queries: the all-groups
+    /// combination — per-group answers are in
+    /// [`QueryResult::groups`]).
     pub value: f64,
     /// Which aggregate was computed.
     pub agg: AggFunc,
@@ -60,15 +91,20 @@ pub struct QueryResult {
     /// True when a `WITHIN` clause forced a smaller sample than the
     /// precision target wanted.
     pub time_limited: bool,
+    /// Per-group results (sorted by key) for `GROUP BY` queries.
+    pub groups: Option<Vec<GroupRow>>,
+    /// Estimated (or exact) rows matching the `WHERE` predicate, when
+    /// one was given.
+    pub matched_rows: Option<f64>,
 }
 
 /// A query-serving session: executes queries while keeping a
 /// pre-estimation cache across calls.
 ///
-/// Repeated queries with the same `(table, column, config)` skip the
-/// pilot phase entirely — the cached σ̂/`sketch0` feed straight into the
-/// engine's [`QueryPlan`]. Observe the effect through
-/// [`QuerySession::cache_stats`].
+/// Repeated queries with the same `(table, column, config, shape)` skip
+/// the pilot phase entirely — the cached σ̂/`sketch0` (per group, for
+/// filtered/grouped queries) feed straight into the engine's plan.
+/// Observe the effect through [`QuerySession::cache_stats`].
 #[derive(Debug, Default)]
 pub struct QuerySession {
     pre_cache: PreEstimateCache,
@@ -90,6 +126,13 @@ impl QuerySession {
         self.pre_cache.clear();
     }
 
+    /// Drops every cached pre-estimate — all columns, configs, and
+    /// query shapes — for one table: the invalidation to use after
+    /// re-registering or mutating that table's data.
+    pub fn invalidate_table(&self, table: &str) {
+        self.pre_cache.invalidate_table(table);
+    }
+
     /// Executes a parsed query against a catalog.
     ///
     /// # Errors
@@ -104,10 +147,16 @@ impl QuerySession {
     ) -> Result<QueryResult, QueryError> {
         let start = Instant::now();
         let confidence = query.confidence.unwrap_or(DEFAULT_CONFIDENCE);
+        let table = catalog.table(&query.table)?;
 
-        // COUNT(*) is exact from metadata regardless of method.
+        // Filtered or grouped queries run the row-model pipeline.
+        if let Some(spec) = compile_row_spec(query, table)? {
+            return self.execute_rows(query, table, spec, confidence, start, rng);
+        }
+
+        // COUNT(*) without a predicate is exact from metadata
+        // regardless of method.
         if query.agg == AggFunc::Count {
-            let table = catalog.table(&query.table)?;
             return Ok(QueryResult {
                 value: table.rows() as f64,
                 agg: AggFunc::Count,
@@ -118,6 +167,8 @@ impl QuerySession {
                 precision: None,
                 confidence,
                 time_limited: false,
+                groups: None,
+                matched_rows: None,
             });
         }
 
@@ -128,38 +179,7 @@ impl QuerySession {
         // a leverage-guided sampled bound, or an exact scan under
         // `METHOD EXACT`.
         if matches!(query.agg, AggFunc::Max | AggFunc::Min) {
-            let kind = if query.agg == AggFunc::Max {
-                isla_core::ExtremeKind::Max
-            } else {
-                isla_core::ExtremeKind::Min
-            };
-            let (value, samples_used) = if query.method == Method::Exact {
-                let mut extreme = if kind == isla_core::ExtremeKind::Max {
-                    f64::NEG_INFINITY
-                } else {
-                    f64::INFINITY
-                };
-                data.scan_all(&mut |v| {
-                    extreme = if kind == isla_core::ExtremeKind::Max {
-                        extreme.max(v)
-                    } else {
-                        extreme.min(v)
-                    };
-                })
-                .map_err(IslaError::from)?;
-                (extreme, None)
-            } else {
-                let config = match query.precision {
-                    Some(_) => isla_config(query, confidence)?,
-                    None => IslaConfig::builder()
-                        .confidence(confidence)
-                        .build()
-                        .map_err(QueryError::from)?,
-                };
-                let result =
-                    isla_core::ExtremeAggregator::new(config)?.aggregate(data, kind, rng)?;
-                (result.estimate, Some(result.total_samples))
-            };
+            let (value, samples_used) = extreme_value(query, &data, confidence, rng)?;
             return Ok(QueryResult {
                 value,
                 agg: query.agg,
@@ -170,6 +190,8 @@ impl QuerySession {
                 precision: query.precision,
                 confidence,
                 time_limited: false,
+                groups: None,
+                matched_rows: None,
             });
         }
 
@@ -178,30 +200,10 @@ impl QuerySession {
                 let mean = data.exact_mean().map_err(IslaError::from)?;
                 (mean, None, false)
             }
-            Method::Isla => self.run_isla(query, data, confidence, rng)?,
+            Method::Isla => self.run_isla(query, &data, confidence, rng)?,
             baseline => {
-                let budget = baseline_budget(query, data, confidence, rng)?;
-                let value = match baseline {
-                    Method::Us => UniformSampling.estimate(data, budget, rng)?,
-                    Method::Sts => {
-                        StratifiedSampling::proportional().estimate(data, budget, rng)?
-                    }
-                    Method::Mv => MeasureBiasedValues.estimate(data, budget, rng)?,
-                    Method::Mvb => {
-                        // MVB only uses the boundary parameters (p1, p2) and
-                        // budget-driven pilots; precision is not required.
-                        let config = match query.precision {
-                            Some(_) => isla_config(query, confidence)?,
-                            None => IslaConfig::builder()
-                                .confidence(confidence)
-                                .build()
-                                .map_err(QueryError::from)?,
-                        };
-                        MeasureBiasedBoundaries::new(config)?.estimate(data, budget, rng)?
-                    }
-                    Method::Slev => Slev::default().estimate(data, budget, rng)?,
-                    Method::Isla | Method::Exact => unreachable!("handled above"),
-                };
+                let budget = baseline_budget(query, &data, confidence, rng)?;
+                let value = run_baseline(baseline, query, &data, confidence, budget, rng)?;
                 (value, Some(budget), false)
             }
         };
@@ -222,10 +224,269 @@ impl QuerySession {
             precision: query.precision,
             confidence,
             time_limited,
+            groups: None,
+            matched_rows: None,
         })
     }
 
-    /// ISLA execution: precision-driven, budget-driven, or
+    /// Row-model execution: `WHERE` and/or `GROUP BY`, pushed through
+    /// the engine's grouped pipeline (or scanned exactly / rejected-
+    /// sampled for the non-ISLA methods).
+    fn execute_rows(
+        &self,
+        query: &Query,
+        table: &Table,
+        spec: RowSpec,
+        confidence: f64,
+        start: Instant,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryResult, QueryError> {
+        let data = table.data();
+        let rows = table.rows();
+        let grouped = query.group_by.is_some();
+        let filtered = !query.predicates.is_empty();
+
+        if matches!(query.agg, AggFunc::Max | AggFunc::Min) {
+            if grouped {
+                return Err(QueryError::Invalid(
+                    "GROUP BY is not supported for MAX/MIN".to_string(),
+                ));
+            }
+            let filtered_set = pool_filtered_column(data, spec.agg_column, spec.filter.clone());
+            let (value, samples_used) = extreme_value(query, &filtered_set, confidence, rng)?;
+            return Ok(QueryResult {
+                value,
+                agg: query.agg,
+                method: query.method,
+                rows,
+                samples_used,
+                elapsed: start.elapsed(),
+                precision: query.precision,
+                confidence,
+                time_limited: false,
+                groups: None,
+                matched_rows: None,
+            });
+        }
+
+        // Exact ground truth: one full row scan answers every aggregate.
+        if query.method == Method::Exact {
+            let exact = engine::scan_exact_groups(data, &spec).map_err(QueryError::from)?;
+            if exact.is_empty() {
+                return Err(QueryError::Invalid(
+                    "no row matches the WHERE predicate".to_string(),
+                ));
+            }
+            let matched: u64 = exact.iter().map(|g| g.count).sum();
+            let per_group: Vec<GroupRow> = exact
+                .iter()
+                .map(|g| GroupRow {
+                    key: g.key,
+                    value: match query.agg {
+                        AggFunc::Avg => g.mean,
+                        AggFunc::Sum => g.mean * g.count as f64,
+                        AggFunc::Count => g.count as f64,
+                        _ => unreachable!("MAX/MIN handled above"),
+                    },
+                    rows: g.count as f64,
+                })
+                .collect();
+            let value = match query.agg {
+                AggFunc::Avg => {
+                    exact.iter().map(|g| g.mean * g.count as f64).sum::<f64>() / matched as f64
+                }
+                AggFunc::Sum => per_group.iter().map(|g| g.value).sum(),
+                AggFunc::Count => matched as f64,
+                _ => unreachable!(),
+            };
+            return Ok(QueryResult {
+                value,
+                agg: query.agg,
+                method: Method::Exact,
+                rows,
+                samples_used: None,
+                elapsed: start.elapsed(),
+                precision: query.precision,
+                confidence,
+                time_limited: false,
+                groups: grouped.then_some(per_group),
+                matched_rows: filtered.then_some(matched as f64),
+            });
+        }
+
+        // COUNT(*) under a predicate: estimated from pilot row draws —
+        // the hit rate is the answer, there is no metadata to read. The
+        // pilot *is* uniform row sampling, so only ISLA (the default)
+        // and US name this estimator truthfully; other methods have no
+        // counting analogue here.
+        if query.agg == AggFunc::Count {
+            if !matches!(query.method, Method::Isla | Method::Us) {
+                return Err(QueryError::Invalid(format!(
+                    "COUNT(*) with a predicate supports METHOD ISLA, US, or EXACT, not {:?}",
+                    query.method
+                )));
+            }
+            return count_estimate(query, &spec, data, confidence, start, rng);
+        }
+
+        if query.method == Method::Isla {
+            return self.run_isla_rows(query, table, spec, confidence, start, rng);
+        }
+
+        // Baselines: width-1 filtered projection (rejection sampling).
+        if grouped {
+            return Err(QueryError::Invalid(format!(
+                "GROUP BY needs METHOD ISLA or EXACT, not {:?}",
+                query.method
+            )));
+        }
+        // One pooled filtered population: rejection runs across the whole
+        // set (a matchless block cannot fail the draw on
+        // range-partitioned data), and pooling removes the block-size
+        // weights that would bias stratified combination when per-block
+        // selectivity varies.
+        let filtered_set = pool_filtered_column(data, spec.agg_column, spec.filter.clone());
+        let budget = baseline_budget(query, &filtered_set, confidence, rng)?;
+        let avg = run_baseline(query.method, query, &filtered_set, confidence, budget, rng)?;
+        let (value, matched_rows, samples_used) = match query.agg {
+            AggFunc::Avg => (avg, None, budget),
+            AggFunc::Sum => {
+                // SUM needs the matched population size — estimated from
+                // a row pilot, as the ISLA path does in pre-estimation.
+                let (drawn, counts) = hit_rate_pilot(data, &spec, COUNT_PILOT_ROWS, rng)?;
+                let matched = rows as f64 * counts.values().sum::<u64>() as f64 / drawn as f64;
+                (avg * matched, Some(matched), budget + drawn)
+            }
+            _ => unreachable!("COUNT/MAX/MIN handled above"),
+        };
+        Ok(QueryResult {
+            value,
+            agg: query.agg,
+            method: query.method,
+            rows,
+            samples_used: Some(samples_used),
+            elapsed: start.elapsed(),
+            precision: query.precision,
+            confidence,
+            time_limited: false,
+            groups: None,
+            matched_rows,
+        })
+    }
+
+    /// ISLA row-model execution through [`engine::run_row_plan`], with
+    /// the session cache in front of the pilot phase.
+    fn run_isla_rows(
+        &self,
+        query: &Query,
+        table: &Table,
+        spec: RowSpec,
+        confidence: f64,
+        start: Instant,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryResult, QueryError> {
+        let data = table.data();
+        let rows = table.rows();
+
+        // The deadline clock starts before any sampling (paper §VII-F);
+        // the probe draws full row tuples and evaluates the predicate,
+        // so the calibrated per-sample cost matches what the row
+        // calculation phase will actually pay.
+        let affordable = match query.within_ms {
+            Some(ms) => Some(affordable_budget_rows(ms, data, &spec, rng)?),
+            None => None,
+        };
+
+        let (config, pre, pilot_cost, rate) = match (query.precision, query.samples) {
+            (Some(_), _) => {
+                let config = isla_config(query, confidence)?;
+                let key = CacheKey::new(&query.table, &query.column, &config, data)
+                    .with_row_shape(spec.fingerprint());
+                let lookup = self
+                    .pre_cache
+                    .get_or_compute_rows(key, data, &config, &spec, rng)
+                    .map_err(QueryError::from)?;
+                let pilot_cost = if lookup.hit { 0 } else { lookup.pre.pilot_rows };
+                (config, lookup.pre, pilot_cost, RateSpec::Derived)
+            }
+            (None, Some(n)) => {
+                // Budget-driven: the pilots may spend at most half the
+                // explicit budget (uncached — the budget, not the
+                // config, sizes them) and the calculation phase spreads
+                // whatever the pilots left, so the total draw honours
+                // `SAMPLES n` instead of silently dwarfing it.
+                let config = IslaConfig::builder()
+                    .confidence(confidence)
+                    .build()
+                    .map_err(QueryError::from)?;
+                let pre =
+                    engine::row_pre_estimate_capped(data, &config, &spec, (n / 2).max(2), rng)
+                        .map_err(QueryError::from)?;
+                let pilot_cost = pre.pilot_rows;
+                let rate = (n.saturating_sub(pilot_cost) as f64 / rows as f64)
+                    .clamp(f64::MIN_POSITIVE, 1.0);
+                (config, pre, pilot_cost, RateSpec::Absolute(rate))
+            }
+            (None, None) => {
+                return Err(QueryError::Invalid(
+                    "ISLA needs WITH PRECISION e, or SAMPLES n as an explicit budget".to_string(),
+                ));
+            }
+        };
+
+        let plan =
+            RowPlan::from_pre_estimate(data, &config, spec, pre, rate).map_err(QueryError::from)?;
+
+        // Deadline capping through the engine's admission hook, as the
+        // scalar path: pilots recorded in the plan but not actually
+        // drawn this query (a cache hit) are credited back — the cache
+        // makes the query cheaper, not more likely to be capped.
+        let out = match affordable {
+            Some(affordable) => {
+                let budget = if pilot_cost == 0 {
+                    affordable.saturating_add(plan.pilot_rows())
+                } else {
+                    affordable
+                };
+                let scheduler = DeadlineScheduler::new(SequentialScheduler, budget);
+                engine::run_row_plan(&plan, data, &scheduler, rng)
+            }
+            None => engine::run_row_plan(&plan, data, &SequentialScheduler, rng),
+        }
+        .map_err(QueryError::from)?;
+        let per_group: Vec<GroupRow> = out
+            .groups
+            .iter()
+            .map(|g| GroupRow {
+                key: g.key,
+                value: match query.agg {
+                    AggFunc::Sum => g.estimate * g.rows_estimate,
+                    _ => g.estimate,
+                },
+                rows: g.rows_estimate,
+            })
+            .collect();
+        let value = match query.agg {
+            AggFunc::Avg => out.estimate,
+            AggFunc::Sum => out.estimate * out.matched_rows,
+            _ => unreachable!("only AVG/SUM reach the ISLA row path"),
+        };
+        Ok(QueryResult {
+            value,
+            agg: query.agg,
+            method: Method::Isla,
+            rows,
+            samples_used: Some(out.total_samples + pilot_cost),
+            elapsed: start.elapsed(),
+            precision: query.precision,
+            confidence,
+            time_limited: out.time_limited,
+            groups: query.group_by.is_some().then_some(per_group),
+            matched_rows: (!query.predicates.is_empty()).then_some(out.matched_rows),
+        })
+    }
+
+    /// Scalar ISLA execution: precision-driven, budget-driven, or
     /// time-constrained — all through the core engine, with the
     /// pre-estimation cache in front of the pilot phase.
     fn run_isla(
@@ -296,6 +557,253 @@ impl QuerySession {
     }
 }
 
+/// Compiles a query's `WHERE` / `GROUP BY` against the table schema into
+/// an [`engine::RowSpec`]; `None` when the query is plain scalar.
+fn compile_row_spec(query: &Query, table: &Table) -> Result<Option<RowSpec>, QueryError> {
+    if query.predicates.is_empty() && query.group_by.is_none() {
+        return Ok(None);
+    }
+    let resolve = |name: &str| -> Result<usize, QueryError> {
+        table
+            .column_index(name)
+            .ok_or_else(|| QueryError::UnknownColumn {
+                table: query.table.clone(),
+                column: name.to_string(),
+            })
+    };
+    // COUNT(*) aggregates no column; any in-bounds position works.
+    let agg_column = if query.column.is_empty() {
+        0
+    } else {
+        resolve(&query.column)?
+    };
+    let predicates = query
+        .predicates
+        .iter()
+        .map(|p| {
+            Ok(ColumnPredicate {
+                column: resolve(&p.column)?,
+                op: p.op,
+                value: p.value,
+            })
+        })
+        .collect::<Result<Vec<_>, QueryError>>()?;
+    let group_by = match &query.group_by {
+        Some(name) => Some(resolve(name)?),
+        None => None,
+    };
+    Ok(Some(RowSpec {
+        agg_column,
+        filter: RowFilter::new(predicates),
+        group_by,
+    }))
+}
+
+/// Draws up to `pilot` uniform rows (proportionally across blocks) and
+/// tallies predicate-matching draws per group key — the hit-rate
+/// primitive behind estimated `COUNT(*)` and the filtered-`SUM` scale.
+fn hit_rate_pilot(
+    data: &BlockSet,
+    spec: &RowSpec,
+    pilot: u64,
+    rng: &mut dyn RngCore,
+) -> Result<(u64, std::collections::BTreeMap<u64, u64>), QueryError> {
+    let pilot = pilot.min(data.total_len()).max(1);
+    let mut drawn = 0u64;
+    let mut counts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    sample_rows_proportional(data, pilot, rng, &mut |row| {
+        drawn += 1;
+        if spec.filter.matches(row) {
+            *counts.entry(spec.group_key(row)).or_insert(0) += 1;
+        }
+    })
+    .map_err(IslaError::from)?;
+    Ok((drawn, counts))
+}
+
+/// `COUNT(*) WHERE …` (optionally grouped): estimated from pilot row
+/// draws. An explicit `WITH PRECISION e` sizes the draw so the count's
+/// confidence interval half-width is ≤ e (two-stage: a first pilot
+/// estimates the hit rate, the second draws what `z²·M²·ŝ(1−ŝ)/e²`
+/// still needs); a `WITHIN` deadline caps the total.
+fn count_estimate(
+    query: &Query,
+    spec: &RowSpec,
+    data: &BlockSet,
+    confidence: f64,
+    start: Instant,
+    rng: &mut dyn RngCore,
+) -> Result<QueryResult, QueryError> {
+    let rows = data.total_len();
+    let mut pilot = query.samples.unwrap_or(COUNT_PILOT_ROWS).min(rows).max(1);
+    let mut time_limited = false;
+    let affordable = match query.within_ms {
+        Some(ms) => Some(affordable_budget_rows(ms, data, spec, rng)?),
+        None => None,
+    };
+    if let Some(affordable) = affordable {
+        if affordable < pilot {
+            pilot = affordable;
+            time_limited = true;
+        }
+    }
+    let (mut drawn, mut counts) = hit_rate_pilot(data, spec, pilot, rng)?;
+    if let Some(e) = query.precision {
+        // Per raw draw, the count estimator adds M·Bernoulli(s):
+        // σ = M·√(s(1−s)). Size the total draw from the stage-1 ŝ.
+        let s = counts.values().sum::<u64>() as f64 / drawn as f64;
+        let sigma = rows as f64 * (s * (1.0 - s)).sqrt();
+        let mut want = if sigma > 0.0 {
+            required_sample_size(sigma, e, confidence)
+        } else {
+            drawn
+        };
+        // With-replacement draws can never beat a full scan: when the
+        // precision asks for at least M reads, an exact scan answers
+        // with zero error at the same (or lower) cost.
+        if want >= rows && !time_limited && data.iter().all(|b| b.supports_scan()) {
+            let exact = engine::scan_exact_groups(data, spec).map_err(QueryError::from)?;
+            let matched: u64 = exact.iter().map(|g| g.count).sum();
+            let per_group: Vec<GroupRow> = exact
+                .iter()
+                .map(|g| GroupRow {
+                    key: g.key,
+                    value: g.count as f64,
+                    rows: g.count as f64,
+                })
+                .collect();
+            return Ok(QueryResult {
+                value: matched as f64,
+                agg: AggFunc::Count,
+                method: Method::Exact,
+                rows,
+                samples_used: None,
+                elapsed: start.elapsed(),
+                precision: query.precision,
+                confidence,
+                time_limited: false,
+                groups: query.group_by.is_some().then_some(per_group),
+                matched_rows: (!query.predicates.is_empty()).then_some(matched as f64),
+            });
+        }
+        want = want.min(rows);
+        if let Some(affordable) = affordable {
+            if affordable < want {
+                want = affordable;
+                time_limited = true;
+            }
+        }
+        if want > drawn {
+            let (extra_drawn, extra) = hit_rate_pilot(data, spec, want - drawn, rng)?;
+            drawn += extra_drawn;
+            for (key, n) in extra {
+                *counts.entry(key).or_insert(0) += n;
+            }
+        }
+    }
+    let matched: u64 = counts.values().sum();
+    let scale = rows as f64 / drawn as f64;
+    let mut per_group: Vec<GroupRow> = counts
+        .into_iter()
+        .map(|(bits, n)| GroupRow {
+            key: f64::from_bits(bits),
+            value: n as f64 * scale,
+            rows: n as f64 * scale,
+        })
+        .collect();
+    per_group.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite group keys"));
+    let value = matched as f64 * scale;
+    Ok(QueryResult {
+        value,
+        agg: AggFunc::Count,
+        method: query.method,
+        rows,
+        samples_used: Some(drawn),
+        elapsed: start.elapsed(),
+        precision: query.precision,
+        confidence,
+        time_limited,
+        groups: query.group_by.is_some().then_some(per_group),
+        matched_rows: (!query.predicates.is_empty()).then_some(value),
+    })
+}
+
+/// MAX/MIN over a (possibly filtered) width-1 block set.
+fn extreme_value(
+    query: &Query,
+    data: &BlockSet,
+    confidence: f64,
+    rng: &mut dyn RngCore,
+) -> Result<(f64, Option<u64>), QueryError> {
+    let kind = if query.agg == AggFunc::Max {
+        isla_core::ExtremeKind::Max
+    } else {
+        isla_core::ExtremeKind::Min
+    };
+    if query.method == Method::Exact {
+        let mut extreme = if kind == isla_core::ExtremeKind::Max {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        let mut any = false;
+        data.scan_all(&mut |v| {
+            any = true;
+            extreme = if kind == isla_core::ExtremeKind::Max {
+                extreme.max(v)
+            } else {
+                extreme.min(v)
+            };
+        })
+        .map_err(IslaError::from)?;
+        if !any {
+            return Err(QueryError::Invalid(
+                "no row matches the WHERE predicate".to_string(),
+            ));
+        }
+        return Ok((extreme, None));
+    }
+    let config = match query.precision {
+        Some(_) => isla_config(query, confidence)?,
+        None => IslaConfig::builder()
+            .confidence(confidence)
+            .build()
+            .map_err(QueryError::from)?,
+    };
+    let result = isla_core::ExtremeAggregator::new(config)?.aggregate(data, kind, rng)?;
+    Ok((result.estimate, Some(result.total_samples)))
+}
+
+/// Runs one baseline estimator.
+fn run_baseline(
+    baseline: Method,
+    query: &Query,
+    data: &BlockSet,
+    confidence: f64,
+    budget: u64,
+    rng: &mut dyn RngCore,
+) -> Result<f64, QueryError> {
+    Ok(match baseline {
+        Method::Us => UniformSampling.estimate(data, budget, rng)?,
+        Method::Sts => StratifiedSampling::proportional().estimate(data, budget, rng)?,
+        Method::Mv => MeasureBiasedValues.estimate(data, budget, rng)?,
+        Method::Mvb => {
+            // MVB only uses the boundary parameters (p1, p2) and
+            // budget-driven pilots; precision is not required.
+            let config = match query.precision {
+                Some(_) => isla_config(query, confidence)?,
+                None => IslaConfig::builder()
+                    .confidence(confidence)
+                    .build()
+                    .map_err(QueryError::from)?,
+            };
+            MeasureBiasedBoundaries::new(config)?.estimate(data, budget, rng)?
+        }
+        Method::Slev => Slev::default().estimate(data, budget, rng)?,
+        Method::Isla | Method::Exact => unreachable!("handled by the callers"),
+    })
+}
+
 /// Calibrates sampling throughput with a timed probe and sizes the
 /// affordable sample budget for a `WITHIN ms` deadline (paper §VII-F).
 fn affordable_budget(ms: u64, data: &BlockSet, rng: &mut dyn RngCore) -> Result<u64, QueryError> {
@@ -303,6 +811,40 @@ fn affordable_budget(ms: u64, data: &BlockSet, rng: &mut dyn RngCore) -> Result<
     let calib_start = Instant::now();
     let probe = TIME_CALIBRATION_SAMPLES.min(data.total_len().max(1));
     let _ = sample_proportional(data, probe, rng).map_err(IslaError::from)?;
+    budget_from_probe(ms, deadline, calib_start, probe)
+}
+
+/// As [`affordable_budget`], for the row pipeline: the probe draws full
+/// row *tuples* and evaluates the predicate, so the calibrated
+/// per-sample cost reflects what the filtered/grouped calculation phase
+/// will actually pay per draw (a scalar probe undercounts on wide
+/// tables by the width factor).
+fn affordable_budget_rows(
+    ms: u64,
+    data: &BlockSet,
+    spec: &RowSpec,
+    rng: &mut dyn RngCore,
+) -> Result<u64, QueryError> {
+    let deadline = Duration::from_millis(ms);
+    let calib_start = Instant::now();
+    let probe = TIME_CALIBRATION_SAMPLES.min(data.total_len().max(1));
+    sample_rows_proportional(data, probe, rng, &mut |row| {
+        // Evaluated purely so the probe pays the same per-draw cost as
+        // the calculation phase; the hit itself is not used.
+        std::hint::black_box(spec.filter.matches(row));
+    })
+    .map_err(IslaError::from)?;
+    budget_from_probe(ms, deadline, calib_start, probe)
+}
+
+/// Turns a timed probe into an affordable sample count with the safety
+/// margin applied.
+fn budget_from_probe(
+    ms: u64,
+    deadline: Duration,
+    calib_start: Instant,
+    probe: u64,
+) -> Result<u64, QueryError> {
     let per_sample = calib_start.elapsed().as_secs_f64() / probe as f64;
     let remaining = deadline.saturating_sub(calib_start.elapsed()).as_secs_f64() * TIME_SAFETY;
     let affordable = if per_sample > 0.0 {
@@ -384,6 +926,7 @@ mod tests {
     use crate::catalog::Table;
     use crate::parser::parse;
     use isla_datagen::normal_values;
+    use isla_storage::{ColumnDef, RowsBlock, Schema};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -397,6 +940,26 @@ mod tests {
                 ("distance", BlockSet::from_values(values, 10)),
                 ("fare", BlockSet::from_values(doubled, 10)),
             ]),
+        );
+        // A schema-first multi-column table with a categorical region
+        // and a margin *correlated* with (not determined by) the amount,
+        // so predicates on margin tilt the amount distribution without
+        // hard-truncating it.
+        let n = 200_000usize;
+        let x = normal_values(50.0, 10.0, n, 2);
+        let noise = normal_values(0.0, 5.0, n, 3);
+        let region: Vec<f64> = (0..n).map(|i| f64::from(u32::from(i % 3 == 0))).collect();
+        let y: Vec<f64> = x.iter().zip(&noise).map(|(v, e)| 0.5 * v + e).collect();
+        c.register(
+            "sales",
+            Table::from_rows(
+                Schema::new(vec![
+                    ColumnDef::float("amount"),
+                    ColumnDef::float("margin"),
+                    ColumnDef::categorical("store"),
+                ]),
+                RowsBlock::split(vec![x, y, region], 8),
+            ),
         );
         c
     }
@@ -417,6 +980,8 @@ mod tests {
         assert!(!r.time_limited);
         assert_eq!(r.precision, Some(0.5));
         assert_eq!(r.confidence, DEFAULT_CONFIDENCE);
+        assert!(r.groups.is_none());
+        assert!(r.matched_rows.is_none());
     }
 
     #[test]
@@ -509,6 +1074,21 @@ mod tests {
             run("SELECT AVG(distance) FROM trips METHOD US", 12),
             Err(QueryError::Invalid(_))
         ));
+        // Predicate and grouping columns resolve against the schema too.
+        assert!(matches!(
+            run(
+                "SELECT AVG(distance) FROM trips WHERE nope > 1 WITH PRECISION 0.5",
+                13
+            ),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            run(
+                "SELECT AVG(distance) FROM trips GROUP BY nope WITH PRECISION 0.5",
+                14
+            ),
+            Err(QueryError::UnknownColumn { .. })
+        ));
     }
 
     #[test]
@@ -558,5 +1138,230 @@ mod tests {
         .unwrap();
         assert!(!r.time_limited);
         assert!((r.value - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn filtered_avg_tracks_the_exact_filtered_population() {
+        let exact = run(
+            "SELECT AVG(amount) FROM sales WHERE margin > 25 METHOD EXACT",
+            20,
+        )
+        .unwrap();
+        let approx = run(
+            "SELECT AVG(amount) FROM sales WHERE margin > 25 WITH PRECISION 0.5",
+            21,
+        )
+        .unwrap();
+        // margin ≈ 0.5·amount + noise: the filter tilts the amount
+        // distribution upward, so the filtered mean sits above the
+        // population mean of 50.
+        assert!(exact.value > 52.0, "exact filtered mean {}", exact.value);
+        assert!(
+            (approx.value - exact.value).abs() <= 0.5,
+            "approx {} vs exact {}",
+            approx.value,
+            exact.value
+        );
+        let exact_matched = exact.matched_rows.unwrap();
+        let approx_matched = approx.matched_rows.unwrap();
+        assert!(
+            (approx_matched - exact_matched).abs() / exact_matched < 0.1,
+            "matched {} vs exact {}",
+            approx_matched,
+            exact_matched
+        );
+    }
+
+    #[test]
+    fn grouped_query_returns_per_group_rows() {
+        let exact = run(
+            "SELECT AVG(amount) FROM sales GROUP BY store METHOD EXACT",
+            22,
+        )
+        .unwrap();
+        let approx = run(
+            "SELECT AVG(amount) FROM sales GROUP BY store WITH PRECISION 0.5",
+            23,
+        )
+        .unwrap();
+        let eg = exact.groups.as_ref().unwrap();
+        let ag = approx.groups.as_ref().unwrap();
+        assert_eq!(eg.len(), 2);
+        assert_eq!(ag.len(), 2);
+        for (e, a) in eg.iter().zip(ag) {
+            assert_eq!(e.key, a.key);
+            assert!(
+                (e.value - a.value).abs() <= 0.5,
+                "group {}: approx {} vs exact {}",
+                e.key,
+                a.value,
+                e.value
+            );
+        }
+    }
+
+    #[test]
+    fn filtered_count_is_estimated_not_metadata() {
+        let exact = run(
+            "SELECT COUNT(*) FROM sales WHERE amount > 50 METHOD EXACT",
+            24,
+        )
+        .unwrap();
+        let approx = run("SELECT COUNT(*) FROM sales WHERE amount > 50", 25).unwrap();
+        assert!(approx.samples_used.is_some(), "estimated COUNT samples");
+        assert!(exact.samples_used.is_none());
+        assert!(
+            (approx.value - exact.value).abs() / exact.value < 0.05,
+            "count {} vs exact {}",
+            approx.value,
+            exact.value
+        );
+        // The estimate comes from draws, not metadata: it is not the
+        // table row count.
+        assert!(approx.value < 150_000.0);
+    }
+
+    #[test]
+    fn filtered_sum_scales_by_matched_rows() {
+        let exact = run(
+            "SELECT SUM(amount) FROM sales WHERE margin > 25 METHOD EXACT",
+            26,
+        )
+        .unwrap();
+        let approx = run(
+            "SELECT SUM(amount) FROM sales WHERE margin > 25 WITH PRECISION 0.5",
+            27,
+        )
+        .unwrap();
+        assert!(
+            (approx.value - exact.value).abs() / exact.value < 0.03,
+            "sum {} vs exact {}",
+            approx.value,
+            exact.value
+        );
+    }
+
+    #[test]
+    fn baselines_run_over_filtered_projections() {
+        let exact = run(
+            "SELECT AVG(amount) FROM sales WHERE amount > 50 METHOD EXACT",
+            28,
+        )
+        .unwrap();
+        let us = run(
+            "SELECT AVG(amount) FROM sales WHERE amount > 50 METHOD US SAMPLES 20000",
+            29,
+        )
+        .unwrap();
+        assert!(
+            (us.value - exact.value).abs() < 1.0,
+            "US {} vs exact {}",
+            us.value,
+            exact.value
+        );
+        // Grouped baselines are rejected with a clear error.
+        assert!(matches!(
+            run(
+                "SELECT AVG(amount) FROM sales GROUP BY store METHOD US SAMPLES 1000",
+                30
+            ),
+            Err(QueryError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn budget_driven_filtered_isla_honours_the_explicit_budget() {
+        // SAMPLES n without a precision: pilots + calculation together
+        // must stay near n, not silently dwarf it.
+        let r = run(
+            "SELECT AVG(amount) FROM sales WHERE margin > 25 METHOD ISLA SAMPLES 2000",
+            34,
+        )
+        .unwrap();
+        let used = r.samples_used.unwrap();
+        assert!(
+            used <= 2_200,
+            "explicit budget of 2000 rows, but {used} were drawn"
+        );
+        assert!((r.value - 55.6).abs() < 3.0, "value {}", r.value);
+    }
+
+    #[test]
+    fn filtered_count_with_precision_sizes_the_draw_from_it() {
+        let exact = run(
+            "SELECT COUNT(*) FROM sales WHERE amount > 50 METHOD EXACT",
+            37,
+        )
+        .unwrap();
+        // e = 500 rows on a 200k-row table at ~50% selectivity needs
+        // far more than the default 10k pilot:
+        // (1.96·200000·0.5/500)² ≈ 154k draws.
+        let tight = run(
+            "SELECT COUNT(*) FROM sales WHERE amount > 50 WITH PRECISION 500",
+            38,
+        )
+        .unwrap();
+        assert!(
+            tight.samples_used.unwrap() > 100_000,
+            "precision must size the draw, got {} samples",
+            tight.samples_used.unwrap()
+        );
+        assert_eq!(tight.precision, Some(500.0));
+        assert!(
+            (tight.value - exact.value).abs() <= 500.0,
+            "count {} vs exact {} beyond e = 500",
+            tight.value,
+            exact.value
+        );
+        // A loose precision needs fewer draws than the default pilot.
+        let loose = run(
+            "SELECT COUNT(*) FROM sales WHERE amount > 50 WITH PRECISION 50000",
+            39,
+        )
+        .unwrap();
+        assert!(loose.samples_used.unwrap() <= tight.samples_used.unwrap());
+        assert!((loose.value - exact.value).abs() <= 50_000.0);
+        // A precision that would demand more draws than the table has
+        // rows falls back to an exact scan — with-replacement sampling
+        // could never meet it, and the scan is cheaper anyway.
+        let exact_fallback = run(
+            "SELECT COUNT(*) FROM sales WHERE amount > 50 WITH PRECISION 10",
+            40,
+        )
+        .unwrap();
+        assert_eq!(exact_fallback.method, Method::Exact);
+        assert!(exact_fallback.samples_used.is_none());
+        assert_eq!(exact_fallback.value, exact.value);
+    }
+
+    #[test]
+    fn estimated_count_rejects_methods_without_a_counting_analogue() {
+        assert!(matches!(
+            run(
+                "SELECT COUNT(*) FROM sales WHERE amount > 50 METHOD SLEV",
+                35
+            ),
+            Err(QueryError::Invalid(_))
+        ));
+        // US names the pilot estimator truthfully and is allowed.
+        let r = run("SELECT COUNT(*) FROM sales WHERE amount > 50 METHOD US", 36).unwrap();
+        assert_eq!(r.method, Method::Us);
+        assert!((r.value - 100_000.0).abs() < 8_000.0, "count {}", r.value);
+    }
+
+    #[test]
+    fn filtered_max_respects_the_predicate() {
+        let max_all = run("SELECT MAX(amount) FROM sales METHOD EXACT", 31).unwrap();
+        let max_low = run(
+            "SELECT MAX(amount) FROM sales WHERE amount < 40 METHOD EXACT",
+            32,
+        )
+        .unwrap();
+        assert!(max_low.value <= 40.0, "filtered max {}", max_low.value);
+        assert!(max_all.value > max_low.value);
+        assert!(matches!(
+            run("SELECT MAX(amount) FROM sales GROUP BY store", 33),
+            Err(QueryError::Invalid(_))
+        ));
     }
 }

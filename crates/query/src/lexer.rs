@@ -21,8 +21,15 @@ pub enum Token {
     From,
     /// `WITH`
     With,
-    /// `WHERE` (accepted as an alias of `WITH`, per the paper's phrasing)
+    /// `WHERE` — introduces predicates; still accepted directly before
+    /// `PRECISION` as the paper's phrasing (`WHERE PRECISION 0.1`).
     Where,
+    /// `GROUP`
+    Group,
+    /// `BY`
+    By,
+    /// `AND`
+    And,
     /// `PRECISION`
     Precision,
     /// `CONFIDENCE`
@@ -43,6 +50,18 @@ pub enum Token {
     RParen,
     /// `;`
     Semicolon,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
     /// An identifier (table, column, or method name).
     Ident(String),
     /// A numeric literal.
@@ -58,6 +77,12 @@ impl Token {
             Token::Ident(s) => format!("identifier {s:?}"),
             Token::Number(n) => format!("number {n}"),
             Token::Eof => "end of input".to_string(),
+            Token::Gt => "\">\"".to_string(),
+            Token::Lt => "\"<\"".to_string(),
+            Token::Ge => "\">=\"".to_string(),
+            Token::Le => "\"<=\"".to_string(),
+            Token::Eq => "\"=\"".to_string(),
+            Token::Ne => "\"!=\"".to_string(),
             other => format!("{other:?}").to_uppercase(),
         }
     }
@@ -91,6 +116,44 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
             ';' => {
                 tokens.push(Token::Semicolon);
                 i += 1;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        position: i,
+                        detail: "expected \"!=\"".to_string(),
+                    });
+                }
             }
             c if c.is_ascii_digit() || c == '.' || c == '-' || c == '+' => {
                 let start = i;
@@ -148,6 +211,9 @@ fn keyword_or_ident(word: &str) -> Token {
         "FROM" => Token::From,
         "WITH" => Token::With,
         "WHERE" => Token::Where,
+        "GROUP" => Token::Group,
+        "BY" => Token::By,
+        "AND" => Token::And,
         "PRECISION" => Token::Precision,
         "CONFIDENCE" => Token::Confidence,
         "METHOD" => Token::Method,
@@ -230,12 +296,61 @@ mod tests {
     }
 
     #[test]
+    fn comparison_operators_and_predicates() {
+        let tokens = tokenize("WHERE y >= 10 AND region != 2 GROUP BY region").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Where,
+                Token::Ident("y".into()),
+                Token::Ge,
+                Token::Number(10.0),
+                Token::And,
+                Token::Ident("region".into()),
+                Token::Ne,
+                Token::Number(2.0),
+                Token::Group,
+                Token::By,
+                Token::Ident("region".into()),
+                Token::Eof,
+            ]
+        );
+        // All operator spellings, with and without spaces.
+        let ops = tokenize("a>1 b<2 c>=3 d<=4 e=5 f!=6 g<>7").unwrap();
+        let found: Vec<&Token> = ops
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    Token::Gt | Token::Lt | Token::Ge | Token::Le | Token::Eq | Token::Ne
+                )
+            })
+            .collect();
+        assert_eq!(
+            found,
+            vec![
+                &Token::Gt,
+                &Token::Lt,
+                &Token::Ge,
+                &Token::Le,
+                &Token::Eq,
+                &Token::Ne,
+                &Token::Ne
+            ]
+        );
+        // Negative literals still lex after an operator.
+        let neg = tokenize("x > -5").unwrap();
+        assert_eq!(neg[2], Token::Number(-5.0));
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!(matches!(
             tokenize("SELECT @"),
             Err(QueryError::Lex { position: 7, .. })
         ));
         assert!(matches!(tokenize("1.2.3"), Err(QueryError::Lex { .. })));
+        assert!(matches!(tokenize("a ! b"), Err(QueryError::Lex { .. })));
     }
 
     #[test]

@@ -4,18 +4,21 @@
 //!
 //! ```sql
 //! SELECT AVG(trip_distance) FROM trips WITH PRECISION 0.1 CONFIDENCE 0.95;
-//! SELECT SUM(amount) FROM sales WITH PRECISION 0.5 METHOD ISLA;
+//! SELECT AVG(x) FROM t WHERE y > 10 GROUP BY region WITH PRECISION 0.5;
+//! SELECT SUM(x) FROM t WHERE y > 10 AND region != 2 WITH PRECISION 0.5;
+//! SELECT COUNT(*) FROM t WHERE y > 10;  -- estimated from the hit rate
 //! SELECT AVG(salary) FROM census METHOD US SAMPLES 20000;
 //! SELECT AVG(x) FROM t WITH PRECISION 0.2 WITHIN 500 MS;  -- §VII-F
-//! SELECT COUNT(*) FROM trips;
 //! ```
 //!
-//! Keywords are case-insensitive; `WHERE PRECISION 0.1` is accepted as an
-//! alias for `WITH PRECISION 0.1` to match the paper's phrasing.
+//! Keywords are case-insensitive; `WHERE` introduces predicates, and
+//! `WHERE PRECISION 0.1` still parses as the paper's phrasing.
 //!
 //! The pipeline is [`lexer`] → [`parser`] → [`executor`] against a
-//! [`catalog::Catalog`] of named tables whose columns are
-//! [`isla_storage::BlockSet`]s.
+//! [`catalog::Catalog`] of named tables: each [`catalog::Table`] is an
+//! [`isla_storage::Schema`] over multi-column row blocks, against which
+//! `WHERE`/`GROUP BY` compile into a pushed-down
+//! [`isla_core::engine::RowSpec`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,8 +30,8 @@ pub mod executor;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AggFunc, Method, Query};
+pub use ast::{AggFunc, CmpOp, Method, Predicate, Query};
 pub use catalog::{Catalog, Table};
 pub use error::QueryError;
-pub use executor::{execute, QueryResult, QuerySession};
+pub use executor::{execute, GroupRow, QueryResult, QuerySession};
 pub use parser::parse;

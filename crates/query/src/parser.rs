@@ -3,14 +3,21 @@
 //! ```text
 //! query    := SELECT agg FROM ident clause* [';']
 //! agg      := AVG '(' ident ')' | SUM '(' ident ')' | COUNT '(' '*' ')'
-//! clause   := (WITH | WHERE)? PRECISION number
+//! clause   := WHERE pred (AND pred)*
+//!           | GROUP BY ident
+//!           | (WITH | WHERE)? PRECISION number
 //!           | CONFIDENCE number
 //!           | METHOD ident
 //!           | SAMPLES number
 //!           | WITHIN number MS
+//! pred     := ident ('>' | '<' | '>=' | '<=' | '=' | '!=' | '<>') number
 //! ```
+//!
+//! `WHERE` introduces predicates; `WHERE PRECISION 0.1` (the paper's
+//! phrasing, where `WHERE` aliased `WITH`) still parses because
+//! `PRECISION` is a reserved keyword and can never be a column name.
 
-use crate::ast::{AggFunc, Method, Query};
+use crate::ast::{AggFunc, Method, Predicate, Query};
 use crate::error::QueryError;
 use crate::lexer::{tokenize, Token};
 
@@ -74,6 +81,29 @@ impl Parser {
         }
         Ok(n as u64)
     }
+
+    fn comparison_op(&mut self) -> Result<crate::ast::CmpOp, QueryError> {
+        use crate::ast::CmpOp;
+        match self.advance() {
+            Token::Gt => Ok(CmpOp::Gt),
+            Token::Lt => Ok(CmpOp::Lt),
+            Token::Ge => Ok(CmpOp::Ge),
+            Token::Le => Ok(CmpOp::Le),
+            Token::Eq => Ok(CmpOp::Eq),
+            Token::Ne => Ok(CmpOp::Ne),
+            other => Err(QueryError::Parse {
+                expected: "a comparison operator (>, <, >=, <=, =, !=)".to_string(),
+                found: other.describe(),
+            }),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, QueryError> {
+        let column = self.ident("a filtered column name")?;
+        let op = self.comparison_op()?;
+        let value = self.number("a literal to compare against")?;
+        Ok(Predicate { column, op, value })
+    }
 }
 
 /// Parses one query.
@@ -135,6 +165,8 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
         agg,
         column,
         table,
+        predicates: Vec::new(),
+        group_by: None,
         precision: None,
         confidence: None,
         method: Method::default(),
@@ -144,9 +176,35 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
 
     loop {
         match p.peek().clone() {
-            Token::With | Token::Where => {
-                // Optional introducer before PRECISION (paper phrasing).
+            Token::With => {
+                // Optional introducer before PRECISION.
                 p.advance();
+            }
+            Token::Where => {
+                p.advance();
+                // `WHERE PRECISION 0.1` keeps the paper's phrasing:
+                // PRECISION is reserved, so this is unambiguous and the
+                // clause is handled by the next loop turn.
+                if *p.peek() == Token::Precision {
+                    continue;
+                }
+                query.predicates.push(p.predicate()?);
+                while *p.peek() == Token::And {
+                    p.advance();
+                    query.predicates.push(p.predicate()?);
+                }
+            }
+            Token::Group => {
+                p.advance();
+                p.expect(&Token::By, "BY")?;
+                let column = p.ident("a grouping column name")?;
+                if let Some(previous) = &query.group_by {
+                    return Err(QueryError::Parse {
+                        expected: format!("a single GROUP BY (already grouping by {previous:?})"),
+                        found: format!("identifier {column:?}"),
+                    });
+                }
+                query.group_by = Some(column);
             }
             Token::Precision => {
                 p.advance();
@@ -195,9 +253,9 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
             Token::Eof => break,
             other => {
                 return Err(QueryError::Parse {
-                    expected:
-                        "a clause (PRECISION, CONFIDENCE, METHOD, SAMPLES, WITHIN) or end of query"
-                            .to_string(),
+                    expected: "a clause (WHERE, GROUP BY, PRECISION, CONFIDENCE, METHOD, \
+                               SAMPLES, WITHIN) or end of query"
+                        .to_string(),
                     found: other.describe(),
                 });
             }
@@ -294,11 +352,92 @@ mod tests {
     }
 
     #[test]
-    fn with_and_where_are_interchangeable() {
+    fn where_precision_alias_and_with_precision_both_still_parse() {
+        // The three historical spellings of the precision clause remain
+        // equivalent — `WHERE` growing real predicates must not break
+        // the paper's `WHERE PRECISION` phrasing.
         let a = parse("SELECT AVG(x) FROM t WITH PRECISION 0.2").unwrap();
         let b = parse("SELECT AVG(x) FROM t WHERE PRECISION 0.2").unwrap();
         let c = parse("SELECT AVG(x) FROM t PRECISION 0.2").unwrap();
         assert_eq!(a, b);
         assert_eq!(a, c);
+        assert!(a.predicates.is_empty(), "no predicate was written");
+        assert_eq!(a.precision, Some(0.2));
+    }
+
+    #[test]
+    fn where_introduces_predicates() {
+        use crate::ast::CmpOp;
+        let q = parse("SELECT AVG(x) FROM t WHERE y > 10 WITH PRECISION 0.1").unwrap();
+        assert_eq!(
+            q.predicates,
+            vec![Predicate {
+                column: "y".into(),
+                op: CmpOp::Gt,
+                value: 10.0
+            }]
+        );
+        assert_eq!(q.precision, Some(0.1));
+        assert_eq!(q.group_by, None);
+
+        let q =
+            parse("SELECT AVG(x) FROM t WHERE y >= 10 AND y < 20 AND region != 2 PRECISION 0.5")
+                .unwrap();
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.predicates[1].op, CmpOp::Lt);
+        assert_eq!(q.predicates[2].value, 2.0);
+    }
+
+    #[test]
+    fn where_predicates_compose_with_the_precision_alias() {
+        // Predicates and the aliased precision introducer in one query.
+        let q = parse("SELECT AVG(x) FROM t WHERE y = 1 WHERE PRECISION 0.3").unwrap();
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.precision, Some(0.3));
+    }
+
+    #[test]
+    fn group_by_parses_in_any_clause_position() {
+        let q =
+            parse("SELECT AVG(x) FROM t WHERE y > 10 GROUP BY region WITH PRECISION 0.5").unwrap();
+        assert_eq!(q.group_by.as_deref(), Some("region"));
+        assert_eq!(q.predicates.len(), 1);
+        let q = parse("SELECT AVG(x) FROM t GROUP BY region").unwrap();
+        assert_eq!(q.group_by.as_deref(), Some("region"));
+        let q = parse("select sum(x) from t with precision 1 group by g confidence 0.9;").unwrap();
+        assert_eq!(q.group_by.as_deref(), Some("g"));
+        assert_eq!(q.confidence, Some(0.9));
+    }
+
+    #[test]
+    fn rejects_malformed_predicates_and_groupings() {
+        let bad = [
+            "SELECT AVG(x) FROM t WHERE",                 // dangling WHERE
+            "SELECT AVG(x) FROM t WHERE y",               // missing operator
+            "SELECT AVG(x) FROM t WHERE y > ",            // missing literal
+            "SELECT AVG(x) FROM t WHERE y > z",           // non-literal rhs
+            "SELECT AVG(x) FROM t WHERE y > 1 AND",       // dangling AND
+            "SELECT AVG(x) FROM t GROUP region",          // missing BY
+            "SELECT AVG(x) FROM t GROUP BY",              // missing column
+            "SELECT AVG(x) FROM t GROUP BY a GROUP BY b", // double grouping
+        ];
+        for q in bad {
+            assert!(
+                matches!(parse(q), Err(QueryError::Parse { .. })),
+                "expected parse failure for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn acceptance_query_shape_parses() {
+        let q =
+            parse("SELECT AVG(x) FROM t WHERE y > 10 GROUP BY region WITH PRECISION 0.5").unwrap();
+        assert_eq!(q.agg, AggFunc::Avg);
+        assert_eq!(q.column, "x");
+        assert_eq!(q.table, "t");
+        assert_eq!(q.predicates.len(), 1);
+        assert_eq!(q.group_by.as_deref(), Some("region"));
+        assert_eq!(q.precision, Some(0.5));
     }
 }

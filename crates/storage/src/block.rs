@@ -9,12 +9,22 @@ use crate::error::StorageError;
 ///
 /// A block supports two access paths:
 ///
-/// * **uniform random sampling** ([`DataBlock::sample_one`]), the only
-///   access ISLA's hot path needs — samples are drawn with replacement and
-///   immediately folded into running moments;
-/// * **scanning** ([`DataBlock::scan`]), used to compute exact ground
-///   truths for the evaluation and by full-scan fallbacks. Virtual blocks
-///   may refuse to scan (see [`crate::GeneratorBlock`]).
+/// * **uniform random sampling** ([`DataBlock::sample_one`] /
+///   [`DataBlock::sample_row`]), the only access ISLA's hot path needs —
+///   samples are drawn with replacement and immediately folded into
+///   running moments;
+/// * **scanning** ([`DataBlock::scan`] / [`DataBlock::scan_rows`]), used
+///   to compute exact ground truths for the evaluation and by full-scan
+///   fallbacks. Virtual blocks may refuse to scan (see
+///   [`crate::GeneratorBlock`]).
+///
+/// Blocks are **row-model**: every row is a tuple of
+/// [`DataBlock::width`] values. Classic single-column blocks have width
+/// 1 and get the tuple access path for free from the scalar methods;
+/// multi-column blocks ([`crate::RowsBlock`], [`crate::ZipBlock`])
+/// override the tuple methods so the engine can evaluate a compiled
+/// predicate and a group key against each drawn row. The scalar methods
+/// on a multi-column block address its first column.
 ///
 /// Implementations must be `Send + Sync`: the distributed executor samples
 /// different blocks from different worker threads.
@@ -25,6 +35,11 @@ pub trait DataBlock: Send + Sync {
     /// True if the block holds no rows.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of columns in each row tuple (1 for scalar blocks).
+    fn width(&self) -> usize {
+        1
     }
 
     /// Draws one value uniformly at random (with replacement).
@@ -55,9 +70,56 @@ pub trait DataBlock: Send + Sync {
     /// cap; I/O or parse errors for file-backed blocks.
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError>;
 
+    /// Draws one row tuple uniformly at random (with replacement),
+    /// writing its [`DataBlock::width`] values into `out` (cleared
+    /// first).
+    ///
+    /// Implementations must consume exactly one uniform index draw from
+    /// `rng` per row, so scalar and tuple sampling stay stream-compatible.
+    ///
+    /// # Errors
+    ///
+    /// As [`DataBlock::sample_one`].
+    fn sample_row(&self, rng: &mut dyn RngCore, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        let v = self.sample_one(rng)?;
+        out.clear();
+        out.push(v);
+        Ok(())
+    }
+
+    /// Reads the row tuple at `idx` into `out` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// As [`DataBlock::row_at`].
+    fn row_tuple(&self, idx: u64, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        let v = self.row_at(idx)?;
+        out.clear();
+        out.push(v);
+        Ok(())
+    }
+
+    /// Visits every row tuple in storage order.
+    ///
+    /// # Errors
+    ///
+    /// As [`DataBlock::scan`].
+    fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        self.scan(&mut |v| visit(std::slice::from_ref(&v)))
+    }
+
     /// Whether [`DataBlock::scan`] is expected to succeed.
     fn supports_scan(&self) -> bool {
         true
+    }
+
+    /// A zero-copy scalar block over column `col`, when this block can
+    /// provide one more cheaply than a generic row-tuple view (e.g. a
+    /// columnar block handing out its column storage, or a zip handing
+    /// back the original scalar block). `None` falls back to a wrapper
+    /// view.
+    fn project(&self, _col: usize) -> Option<std::sync::Arc<dyn DataBlock>> {
+        None
     }
 
     /// A short human-readable description (block kind and size) for
@@ -71,6 +133,9 @@ impl<T: DataBlock + ?Sized> DataBlock for &T {
     fn len(&self) -> u64 {
         (**self).len()
     }
+    fn width(&self) -> usize {
+        (**self).width()
+    }
     fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
         (**self).sample_one(rng)
     }
@@ -80,8 +145,20 @@ impl<T: DataBlock + ?Sized> DataBlock for &T {
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
         (**self).scan(visit)
     }
+    fn sample_row(&self, rng: &mut dyn RngCore, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        (**self).sample_row(rng, out)
+    }
+    fn row_tuple(&self, idx: u64, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        (**self).row_tuple(idx, out)
+    }
+    fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        (**self).scan_rows(visit)
+    }
     fn supports_scan(&self) -> bool {
         (**self).supports_scan()
+    }
+    fn project(&self, col: usize) -> Option<std::sync::Arc<dyn DataBlock>> {
+        (**self).project(col)
     }
     fn describe(&self) -> String {
         (**self).describe()
@@ -92,6 +169,9 @@ impl DataBlock for std::sync::Arc<dyn DataBlock> {
     fn len(&self) -> u64 {
         (**self).len()
     }
+    fn width(&self) -> usize {
+        (**self).width()
+    }
     fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
         (**self).sample_one(rng)
     }
@@ -101,8 +181,20 @@ impl DataBlock for std::sync::Arc<dyn DataBlock> {
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
         (**self).scan(visit)
     }
+    fn sample_row(&self, rng: &mut dyn RngCore, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        (**self).sample_row(rng, out)
+    }
+    fn row_tuple(&self, idx: u64, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        (**self).row_tuple(idx, out)
+    }
+    fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        (**self).scan_rows(visit)
+    }
     fn supports_scan(&self) -> bool {
         (**self).supports_scan()
+    }
+    fn project(&self, col: usize) -> Option<std::sync::Arc<dyn DataBlock>> {
+        (**self).project(col)
     }
     fn describe(&self) -> String {
         (**self).describe()

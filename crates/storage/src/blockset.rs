@@ -114,6 +114,26 @@ impl BlockSet {
         Ok(())
     }
 
+    /// Scans every block in order, visiting every row *tuple*. Fails if
+    /// any block does not support scanning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first block error.
+    pub fn scan_all_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        for block in &self.blocks {
+            block.scan_rows(visit)?;
+        }
+        Ok(())
+    }
+
+    /// The row tuple width shared by the blocks (the maximum across
+    /// blocks; homogeneous sets — the only kind the catalog builds —
+    /// have one width).
+    pub fn width(&self) -> usize {
+        self.blocks.iter().map(|b| b.width()).max().unwrap_or(1)
+    }
+
     /// Exact mean over all rows by full scan — the evaluation's ground
     /// truth for materialized datasets.
     ///

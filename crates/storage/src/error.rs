@@ -37,6 +37,13 @@ pub enum StorageError {
         /// Why the scan is refused.
         detail: String,
     },
+    /// Rejection sampling on a filtered view exhausted its attempt
+    /// budget without drawing a matching row (the predicate's
+    /// selectivity is effectively zero).
+    FilterExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
     /// An operation required a non-empty block or block set.
     Empty,
 }
@@ -63,6 +70,10 @@ impl fmt::Display for StorageError {
             StorageError::ScanUnsupported { len, detail } => {
                 write!(f, "cannot scan block of declared length {len}: {detail}")
             }
+            StorageError::FilterExhausted { attempts } => write!(
+                f,
+                "no row matched the predicate in {attempts} draws; selectivity is effectively zero"
+            ),
             StorageError::Empty => write!(f, "operation requires a non-empty block"),
         }
     }
@@ -105,6 +116,9 @@ mod tests {
             detail: "virtual".into(),
         };
         assert!(scan.to_string().contains("declared length 10"));
+        assert!(StorageError::FilterExhausted { attempts: 7 }
+            .to_string()
+            .contains("7 draws"));
         assert!(StorageError::Empty.to_string().contains("non-empty"));
         let corrupt = StorageError::Corrupt {
             path: PathBuf::from("b.blk"),

@@ -1,0 +1,210 @@
+//! Compiled row predicates: the storage-level form of a `WHERE` clause.
+//!
+//! The query layer resolves column *names* to positional indices against
+//! a [`crate::Schema`] and compiles the textual predicate into a
+//! [`RowFilter`] — a conjunction of comparisons evaluated directly
+//! against each sampled or scanned row tuple, so filtering happens where
+//! the rows are produced instead of in a post-pass.
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluates `lhs op rhs`.
+    #[inline]
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+        }
+    }
+
+    /// The SQL spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Gt => ">",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            CmpOp::Gt => 0,
+            CmpOp::Lt => 1,
+            CmpOp::Ge => 2,
+            CmpOp::Le => 3,
+            CmpOp::Eq => 4,
+            CmpOp::Ne => 5,
+        }
+    }
+}
+
+/// One compiled comparison against a positional column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnPredicate {
+    /// Positional column index into the row tuple.
+    pub column: usize,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub value: f64,
+}
+
+impl ColumnPredicate {
+    /// Evaluates the predicate against a row tuple.
+    #[inline]
+    pub fn matches(&self, row: &[f64]) -> bool {
+        self.op.eval(row[self.column], self.value)
+    }
+}
+
+/// A conjunction of column predicates (`a AND b AND …`).
+///
+/// An empty filter matches every row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowFilter {
+    predicates: Vec<ColumnPredicate>,
+}
+
+impl RowFilter {
+    /// A filter that matches every row.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Builds a conjunction of predicates.
+    pub fn new(predicates: Vec<ColumnPredicate>) -> Self {
+        Self { predicates }
+    }
+
+    /// The conjuncts.
+    pub fn predicates(&self) -> &[ColumnPredicate] {
+        &self.predicates
+    }
+
+    /// Whether the filter is trivial (matches everything).
+    pub fn is_trivial(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// The largest column index referenced, if any.
+    pub fn max_column(&self) -> Option<usize> {
+        self.predicates.iter().map(|p| p.column).max()
+    }
+
+    /// Evaluates the conjunction against a row tuple.
+    #[inline]
+    pub fn matches(&self, row: &[f64]) -> bool {
+        self.predicates.iter().all(|p| p.matches(row))
+    }
+
+    /// A stable digest of the compiled predicate, for cache keys: two
+    /// filters fingerprint equal exactly when every conjunct is
+    /// bit-identical.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.predicates.len().hash(&mut h);
+        for p in &self.predicates {
+            p.column.hash(&mut h);
+            p.op.tag().hash(&mut h);
+            p.value.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_evaluate() {
+        assert!(CmpOp::Gt.eval(2.0, 1.0));
+        assert!(!CmpOp::Gt.eval(1.0, 1.0));
+        assert!(CmpOp::Ge.eval(1.0, 1.0));
+        assert!(CmpOp::Lt.eval(0.0, 1.0));
+        assert!(CmpOp::Le.eval(1.0, 1.0));
+        assert!(CmpOp::Eq.eval(3.0, 3.0));
+        assert!(CmpOp::Ne.eval(3.0, 4.0));
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let filter = RowFilter::new(vec![
+            ColumnPredicate {
+                column: 0,
+                op: CmpOp::Gt,
+                value: 10.0,
+            },
+            ColumnPredicate {
+                column: 1,
+                op: CmpOp::Eq,
+                value: 2.0,
+            },
+        ]);
+        assert!(filter.matches(&[11.0, 2.0]));
+        assert!(!filter.matches(&[9.0, 2.0]));
+        assert!(!filter.matches(&[11.0, 3.0]));
+        assert_eq!(filter.max_column(), Some(1));
+        assert!(!filter.is_trivial());
+        assert!(RowFilter::all().matches(&[1.0]));
+        assert!(RowFilter::all().is_trivial());
+        assert_eq!(RowFilter::all().max_column(), None);
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_filters() {
+        let base = RowFilter::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            value: 10.0,
+        }]);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let variants = [
+            RowFilter::all(),
+            RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: 10.0,
+            }]),
+            RowFilter::new(vec![ColumnPredicate {
+                column: 0,
+                op: CmpOp::Ge,
+                value: 10.0,
+            }]),
+            RowFilter::new(vec![ColumnPredicate {
+                column: 0,
+                op: CmpOp::Gt,
+                value: 11.0,
+            }]),
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
+        }
+    }
+}

@@ -18,9 +18,24 @@
 //!   size, uniform sampling from an i.i.d.-populated block is
 //!   indistinguishable from sampling the distribution directly.
 //!
+//! Blocks are **row-model**: every [`DataBlock`] yields row tuples of
+//! [`DataBlock::width`] values (scalar blocks are width 1). The
+//! schema-aware layer on top:
+//!
+//! * [`Schema`] — named, typed columns describing the tuple shape;
+//! * [`RowsBlock`] — a columnar in-memory multi-column block, and
+//!   [`ZipBlock`] — equally-sized scalar blocks zipped into one logical
+//!   multi-column block;
+//! * [`RowFilter`] — a compiled `WHERE` conjunction evaluated against
+//!   each row where the rows are produced (predicate pushdown);
+//! * [`ColumnView`] / [`FilteredColumnView`] — width-1 projections that
+//!   let scalar consumers run over one column of a table, optionally
+//!   under a pushed-down filter.
+//!
 //! [`BlockSet`] groups blocks into a dataset, and [`sampler`] provides
-//! uniform with-replacement sampling, proportional allocation across
-//! blocks, and reservoir sampling for streams.
+//! uniform with-replacement sampling (values and row tuples),
+//! proportional allocation across blocks, and reservoir sampling for
+//! streams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,16 +44,28 @@ pub mod binary_file;
 pub mod block;
 pub mod blockset;
 pub mod error;
+pub mod filter;
 pub mod generator;
 pub mod memory;
+pub mod rows;
 pub mod sampler;
+pub mod schema;
 pub mod text_file;
 
 pub use binary_file::BinaryBlock;
 pub use block::DataBlock;
 pub use blockset::BlockSet;
 pub use error::StorageError;
+pub use filter::{CmpOp, ColumnPredicate, RowFilter};
 pub use generator::GeneratorBlock;
 pub use memory::MemBlock;
-pub use sampler::{proportional_allocation, sample_from_block, sample_proportional, Reservoir};
+pub use rows::{
+    pool_filtered_column, project_column, project_filtered_column, ColumnView, FilteredColumnView,
+    PooledFilteredColumn, RowsBlock, ZipBlock,
+};
+pub use sampler::{
+    proportional_allocation, sample_from_block, sample_proportional, sample_rows_from_block,
+    sample_rows_proportional, Reservoir,
+};
+pub use schema::{ColumnDef, ColumnType, Schema};
 pub use text_file::TextBlock;

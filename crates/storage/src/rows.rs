@@ -1,0 +1,1009 @@
+//! Multi-column row blocks and column/filter views.
+//!
+//! Three block kinds make [`crate::DataBlock`]'s row model concrete:
+//!
+//! * [`RowsBlock`] — a columnar in-memory table block: `width` columns of
+//!   equal length, one uniform index draw per sampled row;
+//! * [`ZipBlock`] — zips equally-sized scalar blocks into one logical
+//!   multi-column block (how legacy per-column tables join the row
+//!   model without rewriting their storage);
+//! * [`ColumnView`] / [`FilteredColumnView`] — width-1 projections of a
+//!   multi-column block, the adapters that let every scalar consumer
+//!   (baseline estimators, MAX/MIN, the classic ISLA path) run over one
+//!   column of a schema-aware table, optionally under a pushed-down
+//!   [`RowFilter`] (rejection sampling for draws, predicate-filtered
+//!   scans).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::RngCore;
+use rand::SeedableRng;
+
+use crate::block::DataBlock;
+use crate::blockset::BlockSet;
+use crate::error::StorageError;
+use crate::filter::RowFilter;
+
+/// Maximum rejection-sampling attempts per draw on a
+/// [`FilteredColumnView`] before the draw fails. At the default, a
+/// predicate needs selectivity below ~10⁻³ for a draw to fail with
+/// probability ~e⁻¹⁰.
+pub const FILTER_MAX_ATTEMPTS: u32 = 10_000;
+
+thread_local! {
+    /// Scratch row tuple reused by the view adapters' per-draw reads —
+    /// projections sit on the engine's hottest sampling path, and a
+    /// fresh allocation per drawn value would dominate the read itself.
+    static ROW_BUF: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with the thread's scratch row buffer. The buffer is *taken*
+/// out of the slot for the duration (no borrow held), so nested view
+/// reads — e.g. a view over a [`ZipBlock`] whose columns are themselves
+/// views — fall back to a fresh allocation instead of panicking.
+fn with_row_buf<R>(f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+    let mut buf = ROW_BUF.with_borrow_mut(std::mem::take);
+    let out = f(&mut buf);
+    ROW_BUF.with_borrow_mut(|slot| {
+        if buf.capacity() > slot.capacity() {
+            *slot = buf;
+        }
+    });
+    out
+}
+
+/// SplitMix64 finalizer: decorrelates the per-index probe streams of
+/// [`FilteredColumnView::row_at`].
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A columnar in-memory multi-column block: the workhorse of
+/// schema-aware tables. Columns are reference-counted so a projection
+/// ([`DataBlock::project`]) shares the storage instead of copying it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsBlock {
+    columns: Vec<Arc<Vec<f64>>>,
+    rows: usize,
+}
+
+impl RowsBlock {
+    /// Wraps columnar data as a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given, the columns disagree on length,
+    /// or any value is not finite (as [`crate::MemBlock`]).
+    pub fn new(columns: Vec<Vec<f64>>) -> Self {
+        assert!(
+            !columns.is_empty(),
+            "a rows block needs at least one column"
+        );
+        let rows = columns[0].len();
+        for (i, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), rows, "column {i} disagrees on the row count");
+            assert!(
+                col.iter().all(|v| v.is_finite()),
+                "block values must be finite"
+            );
+        }
+        Self {
+            columns: columns.into_iter().map(Arc::new).collect(),
+            rows,
+        }
+    }
+
+    /// Read-only view of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn column(&self, col: usize) -> &[f64] {
+        &self.columns[col]
+    }
+
+    /// Splits columnar data row-wise into `block_count` [`RowsBlock`]s,
+    /// the multi-column analogue of [`BlockSet::from_values`] (the first
+    /// `rows % block_count` blocks receive one extra row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_count == 0`, the columns are empty or disagree on
+    /// length.
+    pub fn split(columns: Vec<Vec<f64>>, block_count: usize) -> BlockSet {
+        assert!(block_count > 0, "block count must be positive");
+        assert!(
+            !columns.is_empty(),
+            "a rows block needs at least one column"
+        );
+        let n = columns[0].len();
+        assert!(n > 0, "cannot build a block set from no data");
+        let base = n / block_count;
+        let extra = n % block_count;
+        let mut blocks: Vec<Arc<dyn DataBlock>> = Vec::with_capacity(block_count);
+        let mut start = 0usize;
+        for i in 0..block_count {
+            let take = base + usize::from(i < extra);
+            let chunk: Vec<Vec<f64>> = columns
+                .iter()
+                .map(|col| col[start..start + take].to_vec())
+                .collect();
+            start += take;
+            blocks.push(Arc::new(RowsBlock::new(chunk)));
+        }
+        BlockSet::new(blocks)
+    }
+}
+
+impl DataBlock for RowsBlock {
+    fn len(&self) -> u64 {
+        self.rows as u64
+    }
+
+    fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        let idx = rng.random_range(0..self.rows as u64);
+        Ok(self.columns[0][idx as usize])
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        self.columns[0]
+            .get(idx as usize)
+            .copied()
+            .ok_or(StorageError::Empty)
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        for &v in self.columns[0].iter() {
+            visit(v);
+        }
+        Ok(())
+    }
+
+    fn sample_row(&self, rng: &mut dyn RngCore, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        let idx = rng.random_range(0..self.rows as u64) as usize;
+        out.clear();
+        out.extend(self.columns.iter().map(|col| col[idx]));
+        Ok(())
+    }
+
+    fn row_tuple(&self, idx: u64, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        if idx >= self.rows as u64 {
+            return Err(StorageError::Empty);
+        }
+        out.clear();
+        out.extend(self.columns.iter().map(|col| col[idx as usize]));
+        Ok(())
+    }
+
+    fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        let mut row = vec![0.0; self.columns.len()];
+        for idx in 0..self.rows {
+            for (slot, col) in row.iter_mut().zip(&self.columns) {
+                *slot = col[idx];
+            }
+            visit(&row);
+        }
+        Ok(())
+    }
+
+    fn project(&self, col: usize) -> Option<Arc<dyn DataBlock>> {
+        self.columns
+            .get(col)
+            .map(|c| Arc::new(SharedColumn(Arc::clone(c))) as Arc<dyn DataBlock>)
+    }
+
+    fn describe(&self) -> String {
+        format!("rows({} rows × {} cols)", self.rows, self.columns.len())
+    }
+}
+
+/// A scalar block borrowing one reference-counted column of a
+/// [`RowsBlock`] — what [`DataBlock::project`] hands to scalar
+/// consumers, so the classic pipeline reads the column directly instead
+/// of materializing row tuples.
+#[derive(Debug, Clone)]
+struct SharedColumn(Arc<Vec<f64>>);
+
+impl DataBlock for SharedColumn {
+    fn len(&self) -> u64 {
+        self.0.len() as u64
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        if self.0.is_empty() {
+            return Err(StorageError::Empty);
+        }
+        let idx = rng.random_range(0..self.0.len() as u64);
+        Ok(self.0[idx as usize])
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        self.0.get(idx as usize).copied().ok_or(StorageError::Empty)
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        for &v in self.0.iter() {
+            visit(v);
+        }
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("shared column({} rows)", self.0.len())
+    }
+}
+
+/// Zips equally-sized scalar blocks into one logical multi-column block.
+///
+/// Row `i` of the zip is `(col₀[i], col₁[i], …)`. Sampling draws one
+/// uniform index and reads it positionally from every column, so
+/// file-backed and virtual columns compose without materialization.
+pub struct ZipBlock {
+    cols: Vec<Arc<dyn DataBlock>>,
+    rows: u64,
+}
+
+impl std::fmt::Debug for ZipBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZipBlock")
+            .field("rows", &self.rows)
+            .field("width", &self.cols.len())
+            .finish()
+    }
+}
+
+impl ZipBlock {
+    /// Zips `cols` into a multi-column block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given, a column is itself multi-column,
+    /// or the columns disagree on the row count.
+    pub fn new(cols: Vec<Arc<dyn DataBlock>>) -> Self {
+        assert!(!cols.is_empty(), "a zip block needs at least one column");
+        let rows = cols[0].len();
+        for (i, col) in cols.iter().enumerate() {
+            assert_eq!(col.width(), 1, "zipped column {i} must be scalar");
+            assert_eq!(col.len(), rows, "zipped column {i} disagrees on rows");
+        }
+        Self { cols, rows }
+    }
+}
+
+impl DataBlock for ZipBlock {
+    fn len(&self) -> u64 {
+        self.rows
+    }
+
+    fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        let idx = rng.random_range(0..self.rows);
+        self.cols[0].row_at(idx)
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        self.cols[0].row_at(idx)
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        self.cols[0].scan(visit)
+    }
+
+    fn sample_row(&self, rng: &mut dyn RngCore, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        let idx = rng.random_range(0..self.rows);
+        self.row_tuple(idx, out)
+    }
+
+    fn row_tuple(&self, idx: u64, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        out.clear();
+        for col in &self.cols {
+            out.push(col.row_at(idx)?);
+        }
+        Ok(())
+    }
+
+    fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        let mut row = vec![0.0; self.cols.len()];
+        for idx in 0..self.rows {
+            for (slot, col) in row.iter_mut().zip(&self.cols) {
+                *slot = col.row_at(idx)?;
+            }
+            visit(&row);
+        }
+        Ok(())
+    }
+
+    fn supports_scan(&self) -> bool {
+        self.cols.iter().all(|c| c.supports_scan())
+    }
+
+    fn project(&self, col: usize) -> Option<Arc<dyn DataBlock>> {
+        // A zip's columns ARE scalar blocks: hand the original back.
+        self.cols.get(col).map(Arc::clone)
+    }
+
+    fn describe(&self) -> String {
+        format!("zip({} rows × {} cols)", self.rows, self.cols.len())
+    }
+}
+
+/// A width-1 projection of one column of a multi-column block.
+pub struct ColumnView {
+    inner: Arc<dyn DataBlock>,
+    col: usize,
+}
+
+impl std::fmt::Debug for ColumnView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnView")
+            .field("col", &self.col)
+            .field("rows", &self.inner.len())
+            .finish()
+    }
+}
+
+impl ColumnView {
+    /// Projects column `col` of `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of the inner block's width.
+    pub fn new(inner: Arc<dyn DataBlock>, col: usize) -> Self {
+        assert!(col < inner.width(), "column {col} out of range");
+        Self { inner, col }
+    }
+}
+
+impl DataBlock for ColumnView {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        with_row_buf(|row| {
+            self.inner.sample_row(rng, row)?;
+            Ok(row[self.col])
+        })
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        with_row_buf(|row| {
+            self.inner.row_tuple(idx, row)?;
+            Ok(row[self.col])
+        })
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        let col = self.col;
+        self.inner.scan_rows(&mut |row| visit(row[col]))
+    }
+
+    fn supports_scan(&self) -> bool {
+        self.inner.supports_scan()
+    }
+
+    fn describe(&self) -> String {
+        format!("col {} of {}", self.col, self.inner.describe())
+    }
+}
+
+/// A width-1 projection of one column *under a pushed-down predicate*.
+///
+/// Draws use rejection sampling (rows are redrawn until the filter
+/// matches), so a sample is uniform over the *matching* rows; scans
+/// visit only matching rows. [`DataBlock::len`] reports the unfiltered
+/// row count — the matching count is unknown without a scan — so
+/// consumers that weight by block size treat it as an upper bound
+/// (acceptable for the baseline estimators this view serves; the ISLA
+/// row path estimates per-block matched counts from its own draws
+/// instead).
+pub struct FilteredColumnView {
+    inner: Arc<dyn DataBlock>,
+    col: usize,
+    filter: Arc<RowFilter>,
+}
+
+impl std::fmt::Debug for FilteredColumnView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilteredColumnView")
+            .field("col", &self.col)
+            .field("rows", &self.inner.len())
+            .field("predicates", &self.filter.predicates().len())
+            .finish()
+    }
+}
+
+impl FilteredColumnView {
+    /// Projects column `col` of `inner`, restricted to rows matching
+    /// `filter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` or a filter column is out of the inner block's
+    /// width.
+    pub fn new(inner: Arc<dyn DataBlock>, col: usize, filter: Arc<RowFilter>) -> Self {
+        assert!(col < inner.width(), "column {col} out of range");
+        if let Some(max) = filter.max_column() {
+            assert!(max < inner.width(), "filter column {max} out of range");
+        }
+        Self { inner, col, filter }
+    }
+}
+
+impl DataBlock for FilteredColumnView {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        with_row_buf(|row| {
+            for _ in 0..FILTER_MAX_ATTEMPTS {
+                self.inner.sample_row(rng, row)?;
+                if self.filter.matches(row) {
+                    return Ok(row[self.col]);
+                }
+            }
+            Err(StorageError::FilterExhausted {
+                attempts: FILTER_MAX_ATTEMPTS,
+            })
+        })
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        // Positional access resolves to a *matching* row: `idx` itself
+        // when it matches, otherwise a pseudo-random matching row drawn
+        // by rejection from an `idx`-seeded stream (deterministic:
+        // repeated reads of the same index agree). Under a uniform
+        // `idx`, redirects land uniformly on the matching rows, so each
+        // matching row carries identical total probability regardless
+        // of how matches cluster physically — estimators that read
+        // uniform positions (e.g. the US baseline) stay uniform over
+        // the filtered population even on sorted data.
+        let len = self.inner.len();
+        if idx >= len {
+            return Err(StorageError::Empty);
+        }
+        with_row_buf(|row| {
+            self.inner.row_tuple(idx, row)?;
+            if self.filter.matches(row) {
+                return Ok(row[self.col]);
+            }
+            let mut probe_rng = StdRng::seed_from_u64(splitmix64(idx));
+            for _ in 0..FILTER_MAX_ATTEMPTS {
+                let probe = probe_rng.random_range(0..len);
+                self.inner.row_tuple(probe, row)?;
+                if self.filter.matches(row) {
+                    return Ok(row[self.col]);
+                }
+            }
+            Err(StorageError::FilterExhausted {
+                attempts: FILTER_MAX_ATTEMPTS,
+            })
+        })
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        let col = self.col;
+        let filter = Arc::clone(&self.filter);
+        self.inner.scan_rows(&mut |row| {
+            if filter.matches(row) {
+                visit(row[col]);
+            }
+        })
+    }
+
+    fn supports_scan(&self) -> bool {
+        self.inner.supports_scan()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "col {} of {} where {} predicate(s)",
+            self.col,
+            self.inner.describe(),
+            self.filter.predicates().len()
+        )
+    }
+}
+
+/// Projects one column of every block in `set` as width-1 scalar
+/// blocks: zero-copy where the block supports [`DataBlock::project`]
+/// (columnar and zipped blocks), a [`ColumnView`] wrapper otherwise.
+pub fn project_column(set: &BlockSet, col: usize) -> BlockSet {
+    BlockSet::new(
+        set.iter()
+            .map(|b| {
+                b.project(col).unwrap_or_else(|| {
+                    Arc::new(ColumnView::new(Arc::clone(b), col)) as Arc<dyn DataBlock>
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Projects one column of every block in `set`, restricted to rows
+/// matching `filter`, preserving the block structure (one
+/// [`FilteredColumnView`] per block).
+///
+/// Per-block rejection sampling fails on a block with *no* matching
+/// row; consumers whose data may be range-partitioned on the filtered
+/// column should prefer [`pool_filtered_column`], which rejects across
+/// the whole set.
+pub fn project_filtered_column(set: &BlockSet, col: usize, filter: RowFilter) -> BlockSet {
+    let filter = Arc::new(filter);
+    BlockSet::new(
+        set.iter()
+            .map(|b| {
+                Arc::new(FilteredColumnView::new(
+                    Arc::clone(b),
+                    col,
+                    Arc::clone(&filter),
+                )) as Arc<dyn DataBlock>
+            })
+            .collect(),
+    )
+}
+
+/// Projects one column of the whole set, restricted to rows matching
+/// `filter`, as a **single pooled block**.
+///
+/// Rejection sampling runs over the entire row population, so blocks
+/// without any matching row merely contribute rejections instead of
+/// failing the draw (range-partitioned data), and block-size weighting
+/// disappears along with the block structure — a stratified consumer
+/// sees one stratum and degrades to plain uniform sampling over the
+/// *matching* rows, which is unbiased regardless of how selectivity
+/// varies across the original blocks.
+pub fn pool_filtered_column(set: &BlockSet, col: usize, filter: RowFilter) -> BlockSet {
+    let mut cumulative = Vec::with_capacity(set.block_count());
+    let mut total = 0u64;
+    for block in set.iter() {
+        total += block.len();
+        cumulative.push(total);
+    }
+    BlockSet::single(PooledFilteredColumn {
+        blocks: set.iter().map(Arc::clone).collect(),
+        cumulative,
+        total,
+        col,
+        filter: Arc::new(filter),
+    })
+}
+
+/// The single logical block behind [`pool_filtered_column`]: one
+/// filtered scalar population over every row of a block set.
+pub struct PooledFilteredColumn {
+    blocks: Vec<Arc<dyn DataBlock>>,
+    /// Cumulative row counts, for O(log b) global-index resolution.
+    cumulative: Vec<u64>,
+    total: u64,
+    col: usize,
+    filter: Arc<RowFilter>,
+}
+
+impl std::fmt::Debug for PooledFilteredColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledFilteredColumn")
+            .field("col", &self.col)
+            .field("rows", &self.total)
+            .field("blocks", &self.blocks.len())
+            .field("predicates", &self.filter.predicates().len())
+            .finish()
+    }
+}
+
+impl PooledFilteredColumn {
+    /// Reads global row `idx` into `row`, returning the projected value
+    /// when the filter matches.
+    fn read_global(&self, idx: u64, row: &mut Vec<f64>) -> Result<Option<f64>, StorageError> {
+        let b = self.cumulative.partition_point(|&c| c <= idx);
+        let base = if b == 0 { 0 } else { self.cumulative[b - 1] };
+        self.blocks[b].row_tuple(idx - base, row)?;
+        Ok(self.filter.matches(row).then(|| row[self.col]))
+    }
+}
+
+impl DataBlock for PooledFilteredColumn {
+    fn len(&self) -> u64 {
+        self.total
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        if self.total == 0 {
+            return Err(StorageError::Empty);
+        }
+        with_row_buf(|row| {
+            for _ in 0..FILTER_MAX_ATTEMPTS {
+                let idx = rng.random_range(0..self.total);
+                if let Some(v) = self.read_global(idx, row)? {
+                    return Ok(v);
+                }
+            }
+            Err(StorageError::FilterExhausted {
+                attempts: FILTER_MAX_ATTEMPTS,
+            })
+        })
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        // As FilteredColumnView::row_at: a matching index reads through;
+        // a non-matching one redirects via an idx-seeded stream, landing
+        // uniformly on the matching rows of the whole set.
+        if idx >= self.total {
+            return Err(StorageError::Empty);
+        }
+        with_row_buf(|row| {
+            if let Some(v) = self.read_global(idx, row)? {
+                return Ok(v);
+            }
+            let mut probe_rng = StdRng::seed_from_u64(splitmix64(idx));
+            for _ in 0..FILTER_MAX_ATTEMPTS {
+                let probe = probe_rng.random_range(0..self.total);
+                if let Some(v) = self.read_global(probe, row)? {
+                    return Ok(v);
+                }
+            }
+            Err(StorageError::FilterExhausted {
+                attempts: FILTER_MAX_ATTEMPTS,
+            })
+        })
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        let col = self.col;
+        let filter = Arc::clone(&self.filter);
+        for block in &self.blocks {
+            block.scan_rows(&mut |row| {
+                if filter.matches(row) {
+                    visit(row[col]);
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    fn supports_scan(&self) -> bool {
+        self.blocks.iter().all(|b| b.supports_scan())
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "pooled col {} of {} blocks ({} rows) where {} predicate(s)",
+            self.col,
+            self.blocks.len(),
+            self.total,
+            self.filter.predicates().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CmpOp, ColumnPredicate};
+    use crate::memory::MemBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_col_block() -> RowsBlock {
+        RowsBlock::new(vec![
+            vec![1.0, 2.0, 3.0, 4.0],     // x
+            vec![10.0, 20.0, 30.0, 40.0], // y
+        ])
+    }
+
+    #[test]
+    fn rows_block_tuple_access() {
+        let b = two_col_block();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.width(), 2);
+        let mut row = Vec::new();
+        b.row_tuple(2, &mut row).unwrap();
+        assert_eq!(row, vec![3.0, 30.0]);
+        assert!(matches!(b.row_tuple(4, &mut row), Err(StorageError::Empty)));
+        assert_eq!(b.row_at(1).unwrap(), 2.0, "scalar access is column 0");
+        assert_eq!(b.column(1), &[10.0, 20.0, 30.0, 40.0]);
+        assert!(b.describe().contains("2 cols"));
+    }
+
+    #[test]
+    fn rows_block_scan_rows_in_order() {
+        let b = two_col_block();
+        let mut rows = Vec::new();
+        b.scan_rows(&mut |r| rows.push(r.to_vec())).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], vec![1.0, 10.0]);
+        assert_eq!(rows[3], vec![4.0, 40.0]);
+        // Scalar scan visits column 0 only.
+        let mut scalars = Vec::new();
+        b.scan(&mut |v| scalars.push(v)).unwrap();
+        assert_eq!(scalars, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn rows_block_sampling_keeps_tuples_aligned() {
+        let b = two_col_block();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut row = Vec::new();
+        for _ in 0..100 {
+            b.sample_row(&mut rng, &mut row).unwrap();
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[1], row[0] * 10.0, "columns of one row stay aligned");
+        }
+    }
+
+    #[test]
+    fn scalar_blocks_get_width_one_rows_for_free() {
+        let b = MemBlock::new(vec![5.0, 6.0]);
+        assert_eq!(DataBlock::width(&b), 1);
+        let mut row = Vec::new();
+        b.row_tuple(1, &mut row).unwrap();
+        assert_eq!(row, vec![6.0]);
+        let mut rows = Vec::new();
+        b.scan_rows(&mut |r| rows.push(r.to_vec())).unwrap();
+        assert_eq!(rows, vec![vec![5.0], vec![6.0]]);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.sample_row(&mut rng, &mut row).unwrap();
+        assert_eq!(row.len(), 1);
+    }
+
+    #[test]
+    fn split_distributes_rows_and_preserves_alignment() {
+        let n = 10;
+        let x: Vec<f64> = (0..n).map(f64::from).collect();
+        let y: Vec<f64> = (0..n).map(|i| f64::from(i) * 2.0).collect();
+        let set = RowsBlock::split(vec![x, y], 3);
+        assert_eq!(set.block_count(), 3);
+        assert_eq!(set.total_len(), 10);
+        let sizes: Vec<u64> = set.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        let mut seen = Vec::new();
+        for block in set.iter() {
+            block
+                .scan_rows(&mut |r| {
+                    assert_eq!(r[1], r[0] * 2.0);
+                    seen.push(r[0]);
+                })
+                .unwrap();
+        }
+        assert_eq!(seen, (0..n).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_block_reads_all_columns_positionally() {
+        let z = ZipBlock::new(vec![
+            Arc::new(MemBlock::new(vec![1.0, 2.0, 3.0])) as Arc<dyn DataBlock>,
+            Arc::new(MemBlock::new(vec![10.0, 20.0, 30.0])),
+        ]);
+        assert_eq!(z.len(), 3);
+        assert_eq!(z.width(), 2);
+        let mut row = Vec::new();
+        z.row_tuple(1, &mut row).unwrap();
+        assert_eq!(row, vec![2.0, 20.0]);
+        let mut rows = Vec::new();
+        z.scan_rows(&mut |r| rows.push(r.to_vec())).unwrap();
+        assert_eq!(rows[2], vec![3.0, 30.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            z.sample_row(&mut rng, &mut row).unwrap();
+            assert_eq!(row[1], row[0] * 10.0);
+        }
+        assert!(z.supports_scan());
+        assert!(z.describe().contains("zip"));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees on rows")]
+    fn zip_rejects_mismatched_columns() {
+        let _ = ZipBlock::new(vec![
+            Arc::new(MemBlock::new(vec![1.0])) as Arc<dyn DataBlock>,
+            Arc::new(MemBlock::new(vec![1.0, 2.0])),
+        ]);
+    }
+
+    #[test]
+    fn column_view_projects() {
+        let inner: Arc<dyn DataBlock> = Arc::new(two_col_block());
+        let view = ColumnView::new(Arc::clone(&inner), 1);
+        assert_eq!(view.len(), 4);
+        assert_eq!(DataBlock::width(&view), 1);
+        assert_eq!(view.row_at(2).unwrap(), 30.0);
+        let mut vals = Vec::new();
+        view.scan(&mut |v| vals.push(v)).unwrap();
+        assert_eq!(vals, vec![10.0, 20.0, 30.0, 40.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = view.sample_one(&mut rng).unwrap();
+        assert!([10.0, 20.0, 30.0, 40.0].contains(&v));
+        assert!(view.describe().contains("col 1"));
+    }
+
+    #[test]
+    fn filtered_view_samples_only_matching_rows() {
+        let inner: Arc<dyn DataBlock> = Arc::new(two_col_block());
+        let filter = Arc::new(RowFilter::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            value: 2.0,
+        }]));
+        let view = FilteredColumnView::new(Arc::clone(&inner), 1, Arc::clone(&filter));
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = view.sample_one(&mut rng).unwrap();
+            assert!(v == 30.0 || v == 40.0, "sampled filtered-out row: {v}");
+        }
+        let mut vals = Vec::new();
+        view.scan(&mut |v| vals.push(v)).unwrap();
+        assert_eq!(vals, vec![30.0, 40.0]);
+        assert_eq!(view.len(), 4, "len stays the unfiltered count");
+        assert!(view.supports_scan());
+        // Positional access: matching indices read through; non-matching
+        // indices redirect deterministically to some matching row.
+        assert_eq!(view.row_at(2).unwrap(), 30.0, "direct hit");
+        let redirected = view.row_at(0).unwrap();
+        assert!(
+            redirected == 30.0 || redirected == 40.0,
+            "redirect lands on a match: {redirected}"
+        );
+        assert_eq!(view.row_at(0).unwrap(), redirected, "redirect is stable");
+        assert!(matches!(view.row_at(4), Err(StorageError::Empty)));
+    }
+
+    #[test]
+    fn filtered_positional_reads_stay_uniform_on_sorted_data() {
+        // All matching rows sit in one contiguous run (sorted data, the
+        // clustered regime): positional reads over uniform indices must
+        // still weight every matching row equally, not by the length of
+        // the non-matching run preceding it.
+        let n = 1_000u64;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let inner: Arc<dyn DataBlock> = Arc::new(RowsBlock::new(vec![x]));
+        // Matches are the last 100 rows: 900..999.
+        let filter = Arc::new(RowFilter::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Ge,
+            value: 900.0,
+        }]));
+        let view = FilteredColumnView::new(inner, 0, filter);
+        let mut sum = 0.0;
+        for idx in 0..n {
+            sum += view.row_at(idx).unwrap();
+        }
+        let mean = sum / n as f64;
+        // Uniform weighting gives E = 949.5; the old forward-probe gave
+        // ~90% of the weight to row 900 alone (mean ≈ 905).
+        assert!(
+            (mean - 949.5).abs() < 3.0,
+            "positional mean {mean} biased away from 949.5"
+        );
+    }
+
+    #[test]
+    fn filtered_view_fails_on_impossible_predicates() {
+        let inner: Arc<dyn DataBlock> = Arc::new(two_col_block());
+        let filter = Arc::new(RowFilter::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            value: 100.0,
+        }]));
+        let view = FilteredColumnView::new(inner, 0, filter);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(matches!(
+            view.sample_one(&mut rng),
+            Err(StorageError::FilterExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn pooled_filter_survives_matchless_blocks_and_ignores_block_skew() {
+        // Range-partitioned data: all matching rows live in the last of
+        // four blocks. Per-block views would exhaust on the first three;
+        // the pooled view rejects across the set and keeps drawing.
+        let n = 4_000;
+        let x: Vec<f64> = (0..n).map(f64::from).collect();
+        let y = x.clone();
+        let set = RowsBlock::split(vec![x, y], 4);
+        let filter = RowFilter::new(vec![ColumnPredicate {
+            column: 1,
+            op: CmpOp::Ge,
+            value: 3_000.0,
+        }]);
+        let pooled = pool_filtered_column(&set, 0, filter.clone());
+        assert_eq!(pooled.block_count(), 1);
+        assert_eq!(pooled.total_len(), 4_000);
+
+        let block = pooled.block(0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut sum = 0.0;
+        let draws = 4_000;
+        for _ in 0..draws {
+            let v = block.sample_one(&mut rng).unwrap();
+            assert!(v >= 3_000.0, "sampled filtered-out row {v}");
+            sum += v;
+        }
+        let mean = sum / draws as f64;
+        assert!((mean - 3_499.5).abs() < 30.0, "sample mean {mean}");
+
+        // Positional reads stay uniform over the matches too.
+        let mut pos_sum = 0.0;
+        for idx in 0..4_000u64 {
+            pos_sum += block.row_at(idx).unwrap();
+        }
+        let pos_mean = pos_sum / 4_000.0;
+        assert!(
+            (pos_mean - 3_499.5).abs() < 15.0,
+            "positional mean {pos_mean}"
+        );
+        assert!(matches!(block.row_at(4_000), Err(StorageError::Empty)));
+
+        // Scans visit exactly the matching rows, in order.
+        let mut scanned = Vec::new();
+        pooled.scan_all(&mut |v| scanned.push(v)).unwrap();
+        assert_eq!(scanned.len(), 1_000);
+        assert_eq!(scanned[0], 3_000.0);
+        assert_eq!(*scanned.last().unwrap(), 3_999.0);
+
+        // The per-block variant fails exactly where the pooled one
+        // works: a matchless block exhausts its local rejection budget.
+        let per_block = project_filtered_column(&set, 0, filter);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(matches!(
+            per_block.block(0).sample_one(&mut rng),
+            Err(StorageError::FilterExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_helpers_cover_every_block() {
+        let set = RowsBlock::split(
+            vec![
+                (0..100).map(f64::from).collect(),
+                (0..100).map(|i| f64::from(i % 4)).collect(),
+            ],
+            4,
+        );
+        let ys = project_column(&set, 1);
+        assert_eq!(ys.block_count(), 4);
+        assert_eq!(ys.total_len(), 100);
+        let mean = ys.exact_mean().unwrap();
+        assert!((mean - 1.5).abs() < 1e-12);
+
+        let filtered = project_filtered_column(
+            &set,
+            0,
+            RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Eq,
+                value: 0.0,
+            }]),
+        );
+        let mut vals = Vec::new();
+        filtered.scan_all(&mut |v| vals.push(v)).unwrap();
+        assert_eq!(vals.len(), 25);
+        assert!(vals.iter().all(|v| (v % 4.0) == 0.0));
+    }
+}

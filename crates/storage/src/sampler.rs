@@ -37,6 +37,47 @@ pub fn sample_from_block(
     Ok(())
 }
 
+/// Draws `m` uniform row tuples (with replacement) from one block,
+/// passing each to `visit` — the row-model analogue of
+/// [`sample_from_block`].
+///
+/// # Errors
+///
+/// Propagates the first block error.
+pub fn sample_rows_from_block(
+    block: &dyn DataBlock,
+    m: u64,
+    rng: &mut dyn RngCore,
+    visit: &mut dyn FnMut(&[f64]),
+) -> Result<(), StorageError> {
+    let mut row = Vec::with_capacity(block.width());
+    for _ in 0..m {
+        block.sample_row(rng, &mut row)?;
+        visit(&row);
+    }
+    Ok(())
+}
+
+/// Draws `m` uniform row tuples across a block set, with per-block sizes
+/// proportional to block sizes — the row-model analogue of
+/// [`sample_proportional`], used by the predicate-aware pilot phase.
+///
+/// # Errors
+///
+/// Propagates block errors.
+pub fn sample_rows_proportional(
+    set: &BlockSet,
+    m: u64,
+    rng: &mut dyn RngCore,
+    visit: &mut dyn FnMut(&[f64]),
+) -> Result<(), StorageError> {
+    let allocation = proportional_allocation(set, m);
+    for (block, &take) in set.iter().zip(&allocation) {
+        sample_rows_from_block(block.as_ref(), take, rng, visit)?;
+    }
+    Ok(())
+}
+
 /// Splits a total sample size of `m` across blocks proportionally to their
 /// row counts, using the largest remainder method so the parts sum to
 /// exactly `m`. Blocks with zero rows receive zero samples.
@@ -222,6 +263,27 @@ mod tests {
         let twos = sample.iter().filter(|&&v| v == 2.0).count();
         let threes = sample.iter().filter(|&&v| v == 3.0).count();
         assert_eq!((ones, twos, threes), (600, 300, 100));
+    }
+
+    #[test]
+    fn row_sampling_keeps_tuples_and_proportions() {
+        use crate::rows::RowsBlock;
+        let set = RowsBlock::split(
+            vec![
+                (0..1000).map(f64::from).collect(),
+                (0..1000).map(|i| f64::from(i) * 3.0).collect(),
+            ],
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut n = 0u64;
+        sample_rows_proportional(&set, 200, &mut rng, &mut |row| {
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[1], row[0] * 3.0, "tuple stays aligned");
+            n += 1;
+        })
+        .unwrap();
+        assert_eq!(n, 200);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Table schemas: named, typed columns over multi-column row blocks.
+//!
+//! The paper's interface is a single numeric column; real aggregation
+//! workloads filter (`WHERE`) and group (`GROUP BY`) over *tables*. A
+//! [`Schema`] names the columns of a row block and records each column's
+//! role, so the query layer can resolve column names to positional
+//! indices once and push compiled predicates / group keys down to the
+//! storage scan.
+
+/// The role of a column within a schema.
+///
+/// Every value is physically an `f64`; the type records *intent* —
+/// dimensions carry a small set of distinct codes (e.g. region ids) and
+/// are the natural targets of `GROUP BY`, while measures are the targets
+/// of `AVG`/`SUM`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// A continuous numeric measure (aggregation target).
+    Float64,
+    /// A dictionary-coded categorical dimension (grouping target).
+    Categorical,
+}
+
+/// One named, typed column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name, as referenced by queries.
+    pub name: String,
+    /// Column role.
+    pub column_type: ColumnType,
+}
+
+impl ColumnDef {
+    /// A measure column.
+    pub fn float(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            column_type: ColumnType::Float64,
+        }
+    }
+
+    /// A categorical dimension column.
+    pub fn categorical(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            column_type: ColumnType::Categorical,
+        }
+    }
+}
+
+/// An ordered list of named, typed columns — the shape of every row
+/// tuple a multi-column block yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema from column definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty column list or duplicate column names —
+    /// schema construction errors are programming errors.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        assert!(!columns.is_empty(), "a schema needs at least one column");
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|p| p.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Self { columns }
+    }
+
+    /// A schema of measure columns with the given names.
+    pub fn of_floats<S: Into<String>>(names: Vec<S>) -> Self {
+        Self::new(names.into_iter().map(ColumnDef::float).collect())
+    }
+
+    /// Number of columns (the row tuple width).
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column definitions, in positional order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// The positional index of a named column.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The definition at a positional index.
+    pub fn column(&self, idx: usize) -> Option<&ColumnDef> {
+        self.columns.get(idx)
+    }
+
+    /// The column names, in positional order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_names_to_positions() {
+        let schema = Schema::new(vec![
+            ColumnDef::float("x"),
+            ColumnDef::float("y"),
+            ColumnDef::categorical("region"),
+        ]);
+        assert_eq!(schema.width(), 3);
+        assert_eq!(schema.index_of("y"), Some(1));
+        assert_eq!(schema.index_of("nope"), None);
+        assert_eq!(schema.column_names(), vec!["x", "y", "region"]);
+        assert_eq!(
+            schema.column(2).unwrap().column_type,
+            ColumnType::Categorical
+        );
+        assert!(schema.column(3).is_none());
+    }
+
+    #[test]
+    fn of_floats_builds_measures() {
+        let schema = Schema::of_floats(vec!["a", "b"]);
+        assert!(schema
+            .columns()
+            .iter()
+            .all(|c| c.column_type == ColumnType::Float64));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn rejects_duplicate_names() {
+        let _ = Schema::of_floats(vec!["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn rejects_empty_schemas() {
+        let _ = Schema::new(Vec::new());
+    }
+}

@@ -41,6 +41,10 @@ fn build_catalog() -> Catalog {
         "lineitem",
         Table::new(vec![("l_extendedprice", lineitem.blocks.clone())]),
     );
+    // A schema-aware multi-column table: amount per region, with a
+    // correlated margin — the predicate / GROUP BY demo.
+    let sales = isla::datagen::three_region_dataset(300_000, 10, 4);
+    catalog.register("sales", Table::from_rows(sales.schema, sales.blocks));
     catalog
 }
 
@@ -49,11 +53,15 @@ fn run_one(line: &str, catalog: &Catalog, rng: &mut StdRng) {
         Ok(query) => match isla::query::execute(&query, catalog, rng) {
             Ok(result) => {
                 println!(
-                    "  {:?} = {:.4}   [{:?}, {} rows{}{}, {:.1} ms]",
+                    "  {:?} = {:.4}   [{:?}, {} rows{}{}{}, {:.1} ms]",
                     result.agg,
                     result.value,
                     result.method,
                     result.rows,
+                    match result.matched_rows {
+                        Some(m) => format!(", ≈{m:.0} matched"),
+                        None => String::new(),
+                    },
                     match result.samples_used {
                         Some(s) => format!(", {s} samples"),
                         None => String::new(),
@@ -65,6 +73,14 @@ fn run_one(line: &str, catalog: &Catalog, rng: &mut StdRng) {
                     },
                     result.elapsed.as_secs_f64() * 1e3
                 );
+                if let Some(groups) = &result.groups {
+                    for g in groups {
+                        println!(
+                            "    group {:>6} : {:>12.4}  (≈{:.0} rows)",
+                            g.key, g.value, g.rows
+                        );
+                    }
+                }
             }
             Err(e) => println!("  error: {e}"),
         },
@@ -79,6 +95,7 @@ fn main() {
 
     println!("ISLA query shell — tables: {:?}", catalog.table_names());
     println!("grammar: SELECT AVG(col)|SUM(col)|MAX(col)|MIN(col)|COUNT(*) FROM table");
+    println!("         [WHERE col (>|<|>=|<=|=|!=) lit [AND ...]] [GROUP BY col]");
     println!("         [WITH PRECISION e] [CONFIDENCE b] [METHOD m] [SAMPLES n] [WITHIN t MS]");
     println!();
 
@@ -93,6 +110,12 @@ fn main() {
             "SELECT AVG(l_extendedprice) FROM lineitem WITH PRECISION 100 WITHIN 2000 MS",
             "SELECT MAX(l_extendedprice) FROM lineitem",
             "SELECT MAX(l_extendedprice) FROM lineitem METHOD EXACT",
+            // The row model: predicates and grouping over `sales`.
+            "SELECT AVG(x) FROM sales WHERE y > 50 WITH PRECISION 0.5",
+            "SELECT AVG(x) FROM sales WHERE y > 50 GROUP BY region WITH PRECISION 0.5",
+            "SELECT AVG(x) FROM sales WHERE y > 50 GROUP BY region METHOD EXACT",
+            "SELECT SUM(x) FROM sales WHERE y > 50 AND region != 2 WITH PRECISION 0.5",
+            "SELECT COUNT(*) FROM sales WHERE y > 50 GROUP BY region",
         ];
         for line in demo {
             println!("isla> {line}");

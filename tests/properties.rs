@@ -1,13 +1,18 @@
 //! Cross-crate property-based tests on ISLA's core invariants.
 
 use isla::core::accumulate::SampleAccumulator;
-use isla::core::engine::PartialAggregate;
+use isla::core::engine::{
+    self, GroupedPartial, PartialAggregate, RateSpec, RowPlan, RowSpec, SequentialScheduler,
+};
 use isla::core::{
     assess, combine_partials, iterate, BlockOutcome, DataBoundaries, IslaConfig,
     LeverageAllocation, LinearEstimator, ModulationCase, Region,
 };
 use isla::stats::PowerSums;
+use isla::storage::{CmpOp, ColumnPredicate, RowFilter, RowsBlock};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A synthetic block outcome carrying only the fields summarization
 /// reads (answer, rows, samples).
@@ -232,6 +237,79 @@ proptest! {
         }
     }
 
+    /// Grouped partials are merge-order invariant on *real* executions:
+    /// for random multi-column datasets and random predicates, any
+    /// rotation and chunking of the per-block grouped outcomes
+    /// finalizes to the bit-identical per-group estimates of the
+    /// in-order merge.
+    #[test]
+    fn grouped_partial_merge_is_order_invariant(
+        xs in proptest::collection::vec(0.0f64..100.0, 60..400),
+        threshold in 5.0f64..60.0,
+        group_count in 1usize..4,
+        rotation in 0usize..7,
+        chunk in 1usize..4,
+    ) {
+        let n = xs.len();
+        // Derive the other columns deterministically from x so the
+        // dataset stays interesting without extra strategies.
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.7 * x + 3.0).collect();
+        let regions: Vec<f64> = (0..n).map(|i| (i % group_count) as f64).collect();
+        let data = RowsBlock::split(vec![xs, ys, regions], 4);
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: threshold,
+            }]),
+            group_by: Some(2),
+        };
+        let config = IslaConfig::builder().precision(2.0).build().unwrap();
+        let mut rng = StdRng::seed_from_u64(rotation as u64 * 31 + chunk as u64);
+        // Tiny datasets can miss the predicate entirely in the pilots;
+        // those cases assert nothing.
+        let Ok(plan) = RowPlan::prepare(&data, &config, spec, RateSpec::Derived, &mut rng)
+        else {
+            return;
+        };
+        let seeds = engine::derive_block_seeds(&mut rng, data.block_count());
+        let outcomes: Vec<_> = (0..data.block_count())
+            .map(|i| {
+                engine::execute_row_block(&plan, data.block(i).as_ref(), i, seeds[i]).unwrap()
+            })
+            .collect();
+
+        let mut in_order = GroupedPartial::new();
+        for o in &outcomes {
+            in_order.absorb(o.clone());
+        }
+        let reference = in_order.finalize(&plan).unwrap();
+
+        let k = rotation % outcomes.len();
+        let rotated: Vec<_> = outcomes[k..].iter().chain(&outcomes[..k]).cloned().collect();
+        let mut merged = GroupedPartial::new();
+        for group in rotated.chunks(chunk) {
+            let mut partial = GroupedPartial::new();
+            for o in group {
+                partial.absorb(o.clone());
+            }
+            merged.merge(partial);
+        }
+        let shuffled = merged.finalize(&plan).unwrap();
+
+        prop_assert_eq!(shuffled.groups.len(), reference.groups.len());
+        for (s, r) in shuffled.groups.iter().zip(&reference.groups) {
+            prop_assert_eq!(s.key, r.key);
+            prop_assert_eq!(s.estimate, r.estimate, "bit-for-bit per group");
+            prop_assert_eq!(s.rows_estimate, r.rows_estimate);
+            prop_assert_eq!(s.matched_draws, r.matched_draws);
+        }
+        prop_assert_eq!(shuffled.estimate, reference.estimate);
+        prop_assert_eq!(shuffled.matched_rows, reference.matched_rows);
+        prop_assert_eq!(shuffled.total_samples, reference.total_samples);
+    }
+
     /// The leverage degree interface is a pure reparametrization: scaling
     /// k leaves the final answer unchanged (α rescales inversely).
     #[test]
@@ -247,4 +325,97 @@ proptest! {
         let b = iterate(&LinearEstimator { k: k * scale, c }, sketch0, case, &config);
         prop_assert!((a.answer - b.answer).abs() < 1e-6);
     }
+}
+
+/// The precision contract of the row pipeline, checked at its stated
+/// confidence: over many random multi-column datasets and random simple
+/// predicates, per-group ISLA estimates land within the stated
+/// precision of the `METHOD EXACT` ground truth in at least ~95% of the
+/// groups (asserted with a margin at ≥ 85%, binomially safe for this
+/// trial count), and *always* within a 2.5× hard envelope. Fully
+/// deterministic: every trial is seeded.
+#[test]
+fn grouped_filtered_estimates_meet_stated_precision_at_confidence() {
+    let precision = 1.0;
+    let config = IslaConfig::builder().precision(precision).build().unwrap();
+    let mut within = 0u32;
+    let mut total = 0u32;
+    for trial in 0..30u64 {
+        let mut setup = StdRng::seed_from_u64(900 + trial);
+        // Random shape: group count, per-group means/σ, predicate
+        // threshold, block count.
+        let group_count = setup.random_range(1..4u64) as usize;
+        let specs: Vec<(f64, f64)> = (0..group_count)
+            .map(|_| {
+                (
+                    setup.random_range(60.0..140.0),
+                    setup.random_range(6.0..14.0),
+                )
+            })
+            .collect();
+        let n = 60_000;
+        let blocks = setup.random_range(4..12u64) as usize;
+        let threshold = setup.random_range(20.0..55.0);
+
+        // Materialize (x, y, region): y loosely tracks x so the
+        // predicate tilts the per-group distributions.
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut region = Vec::with_capacity(n);
+        use isla::stats::distributions::{Distribution, Normal};
+        let noise = Normal::new(0.0, 6.0);
+        for _ in 0..n {
+            let r = setup.random_range(0..group_count as u64) as usize;
+            let dist = Normal::new(specs[r].0, specs[r].1);
+            let xv = dist.sample(&mut setup);
+            y.push(0.5 * xv + noise.sample(&mut setup));
+            x.push(xv);
+            region.push(r as f64);
+        }
+        let data = RowsBlock::split(vec![x, y, region], blocks);
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: threshold,
+            }]),
+            group_by: Some(2),
+        };
+
+        let exact = engine::scan_exact_groups(&data, &spec).unwrap();
+        if exact.iter().any(|g| g.count < 1_000) {
+            // A predicate that nearly empties a group is a different
+            // regime (the pilots would refuse or pin it); skip.
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(7_000 + trial);
+        let out = engine::run_rows(
+            &data,
+            &config,
+            spec,
+            RateSpec::Derived,
+            &SequentialScheduler,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.groups.len(), exact.len(), "trial {trial}");
+        for (g, x) in out.groups.iter().zip(&exact) {
+            assert_eq!(g.key, x.key);
+            let err = (g.estimate - x.mean).abs();
+            assert!(
+                err <= 2.5 * precision,
+                "trial {trial} group {}: error {err} beyond the hard envelope",
+                g.key
+            );
+            within += u32::from(err <= precision);
+            total += 1;
+        }
+    }
+    assert!(total >= 40, "enough grouped trials ran ({total})");
+    let frac = f64::from(within) / f64::from(total);
+    assert!(
+        frac >= 0.85,
+        "{within}/{total} group estimates within the stated precision ({frac:.2})"
+    );
 }

@@ -151,6 +151,55 @@ fn repeated_queries_hit_the_pre_estimation_cache() {
 }
 
 #[test]
+fn predicates_work_over_zipped_legacy_tables() {
+    // Tables assembled from per-column block sets (the pre-schema
+    // construction) expose the same row model: predicates on one
+    // column filter the aggregation of another.
+    let mut catalog = Catalog::new();
+    let readings = isla::datagen::normal_values(100.0, 20.0, 120_000, 5);
+    let hours: Vec<f64> = (0..120_000)
+        .map(|i| f64::from(u32::from(i % 4 == 0)))
+        .collect();
+    catalog.register(
+        "sensors",
+        Table::new(vec![
+            ("reading", BlockSet::from_values(readings, 8)),
+            ("peak", BlockSet::from_values(hours, 8)),
+        ]),
+    );
+    let exec = |sql: &str, seed: u64| {
+        let query = isla::query::parse(sql).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        isla::query::execute(&query, &catalog, &mut rng).unwrap()
+    };
+    let exact = exec(
+        "SELECT AVG(reading) FROM sensors WHERE peak = 1 METHOD EXACT",
+        40,
+    );
+    let approx = exec(
+        "SELECT AVG(reading) FROM sensors WHERE peak = 1 WITH PRECISION 0.5",
+        41,
+    );
+    assert!(
+        (approx.value - exact.value).abs() <= 0.5,
+        "approx {} vs exact {}",
+        approx.value,
+        exact.value
+    );
+    // A quarter of the rows are peak rows.
+    let matched = approx.matched_rows.unwrap();
+    assert!(
+        (matched - 30_000.0).abs() < 1_500.0,
+        "matched {matched} rows"
+    );
+    let grouped = exec(
+        "SELECT AVG(reading) FROM sensors GROUP BY peak WITH PRECISION 0.5",
+        42,
+    );
+    assert_eq!(grouped.groups.as_ref().unwrap().len(), 2);
+}
+
+#[test]
 fn query_errors_surface_cleanly() {
     assert!(run("SELECT AVG(reading) FROM nope WITH PRECISION 0.5", 11).is_err());
     assert!(run("SELECT AVG(nope) FROM sensors WITH PRECISION 0.5", 12).is_err());
