@@ -74,10 +74,14 @@ impl Estimator for Slev {
             // the scan must get the chance to refuse before we allocate.
             let mut values = Vec::with_capacity(block.len().min(1 << 20) as usize);
             let mut sum_sq = 0.0f64;
+            // Chunked scan kernel: whole slices append and fold, same
+            // value order as the scalar scan.
             block
-                .scan(&mut |v| {
-                    values.push(v);
-                    sum_sq += v * v;
+                .scan_chunks(&mut |chunk| {
+                    values.extend_from_slice(chunk);
+                    for &v in chunk {
+                        sum_sq += v * v;
+                    }
                 })
                 .map_err(IslaError::from)?;
             Ok((values, sum_sq))

@@ -1,0 +1,478 @@
+//! M4 — kernel throughput: scalar vs batched sampling & scan kernels.
+//!
+//! Not a paper experiment: this bench tracks the storage kernel layer.
+//! Every hot path is measured twice over the *same data* — once through
+//! the batched kernels (`sample_batch` sorted gather, `scan_chunks`
+//! contiguous slices, selection-vector filtered draws) and once through
+//! the scalar path they replaced (forced via `ScalarFallbackBlock` /
+//! rejection-sampling views) — so each row reports an honest same-run
+//! speedup. Four sweeps:
+//!
+//! 1. **sample_kernel** — uniform value draws across block sizes;
+//! 2. **scan_kernel** — full scans across block sizes;
+//! 3. **filtered_sampling** — filtered draws across selectivities:
+//!    compiled selection vectors vs per-draw rejection sampling;
+//! 4. **estimators** — end-to-end wall time for ISLA and all baselines
+//!    on batched vs scalar kernels, asserting the answers are
+//!    bit-identical (the kernels may never change an estimate).
+//!
+//! Results print as a table (CSV under `target/experiments/`) and are
+//! written machine-readable to `BENCH_kernels.json` at the workspace
+//! root. `--smoke` runs a seconds-scale configuration and validates the
+//! emitted JSON schema (the CI hook), skipping the speedup assertions
+//! that only make sense at full scale.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use isla_baselines::{
+    Estimator, MeasureBiasedBoundaries, MeasureBiasedValues, Slev, StratifiedSampling,
+    UniformSampling,
+};
+use isla_bench::json::{get, parse, Json};
+use isla_bench::{bench_json_path, fmt, Report};
+use isla_core::engine::{self, RateSpec, SequentialScheduler};
+use isla_core::IslaConfig;
+use isla_datagen::normal_values;
+use isla_storage::{
+    pool_filtered_column, sample_from_block, scalar_fallback_set, BlockSet, CmpOp, ColumnPredicate,
+    DataBlock, FilteredColumnView, MemBlock, RowFilter, RowsBlock, ScalarFallbackBlock,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 4_000;
+
+/// One sweep's scale knobs (full vs `--smoke`).
+struct Scale {
+    mode: &'static str,
+    block_rows: Vec<usize>,
+    sample_draws: u64,
+    filter_rows: usize,
+    filter_draws: u64,
+    estimator_rows: usize,
+    estimator_budget: u64,
+    runs: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            mode: "full",
+            block_rows: vec![65_536, 1_048_576],
+            sample_draws: 2_000_000,
+            filter_rows: 1_048_576,
+            filter_draws: 200_000,
+            estimator_rows: 1_000_000,
+            estimator_budget: 200_000,
+            runs: 5,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            mode: "smoke",
+            block_rows: vec![8_192],
+            sample_draws: 20_000,
+            filter_rows: 16_384,
+            filter_draws: 4_000,
+            estimator_rows: 20_000,
+            estimator_budget: 4_000,
+            runs: 2,
+        }
+    }
+}
+
+/// Median wall seconds of `runs` executions of `f` (which returns a
+/// checksum kept alive so the work cannot be optimized away).
+fn median_secs(runs: usize, mut f: impl FnMut() -> f64) -> (f64, f64) {
+    let mut times = Vec::with_capacity(runs);
+    let mut checksum = 0.0;
+    for _ in 0..runs {
+        let start = Instant::now();
+        checksum = f();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], checksum)
+}
+
+/// Sweep 1: uniform value draws, batched sorted gather vs scalar loop.
+fn sweep_sample_kernel(scale: &Scale, report: &mut Report) -> Vec<Json> {
+    let mut rows = Vec::new();
+    for &block_rows in &scale.block_rows {
+        let native: Arc<dyn DataBlock> =
+            Arc::new(MemBlock::new(normal_values(100.0, 20.0, block_rows, SEED)));
+        let scalar_block = ScalarFallbackBlock(Arc::clone(&native));
+        let draws = scale.sample_draws;
+        let time_draws = |block: &dyn DataBlock| {
+            median_secs(scale.runs, || {
+                let mut rng = StdRng::seed_from_u64(SEED + 1);
+                let mut sum = 0.0;
+                sample_from_block(block, draws, &mut rng, &mut |v| sum += v)
+                    .expect("sampling succeeds");
+                sum
+            })
+        };
+        let (scalar_s, scalar_sum) = time_draws(&scalar_block);
+        let (batched_s, batched_sum) = time_draws(native.as_ref());
+        assert_eq!(
+            scalar_sum.to_bits(),
+            batched_sum.to_bits(),
+            "batched draws must be bit-identical to scalar draws"
+        );
+        let scalar_rate = draws as f64 / scalar_s;
+        let batched_rate = draws as f64 / batched_s;
+        report.row(vec![
+            "sample".to_string(),
+            block_rows.to_string(),
+            "-".to_string(),
+            fmt(scalar_rate / 1e6, 2),
+            fmt(batched_rate / 1e6, 2),
+            fmt(batched_rate / scalar_rate, 2),
+        ]);
+        rows.push(Json::obj(vec![
+            ("block_rows", Json::num(block_rows as f64)),
+            ("draws", Json::num(draws as f64)),
+            ("scalar_samples_per_s", Json::num(scalar_rate)),
+            ("batched_samples_per_s", Json::num(batched_rate)),
+            ("speedup", Json::num(batched_rate / scalar_rate)),
+        ]));
+    }
+    rows
+}
+
+/// Sweep 2: full scans, chunked slices vs per-value dispatch.
+fn sweep_scan_kernel(scale: &Scale, report: &mut Report) -> Vec<Json> {
+    let mut rows = Vec::new();
+    for &block_rows in &scale.block_rows {
+        let native: Arc<dyn DataBlock> = Arc::new(MemBlock::new(normal_values(
+            50.0,
+            10.0,
+            block_rows,
+            SEED ^ 1,
+        )));
+        let (scalar_s, scalar_sum) = median_secs(scale.runs, || {
+            let mut sum = 0.0;
+            native.scan(&mut |v| sum += v).expect("scan succeeds");
+            sum
+        });
+        let (chunked_s, chunked_sum) = median_secs(scale.runs, || {
+            let mut sum = 0.0;
+            native
+                .scan_chunks(&mut |chunk| {
+                    for &v in chunk {
+                        sum += v;
+                    }
+                })
+                .expect("scan succeeds");
+            sum
+        });
+        assert_eq!(
+            scalar_sum.to_bits(),
+            chunked_sum.to_bits(),
+            "chunked scans must fold the identical value order"
+        );
+        let scalar_rate = block_rows as f64 / scalar_s;
+        let chunked_rate = block_rows as f64 / chunked_s;
+        report.row(vec![
+            "scan".to_string(),
+            block_rows.to_string(),
+            "-".to_string(),
+            fmt(scalar_rate / 1e6, 2),
+            fmt(chunked_rate / 1e6, 2),
+            fmt(chunked_rate / scalar_rate, 2),
+        ]);
+        rows.push(Json::obj(vec![
+            ("block_rows", Json::num(block_rows as f64)),
+            ("scalar_rows_per_s", Json::num(scalar_rate)),
+            ("batched_rows_per_s", Json::num(chunked_rate)),
+            ("speedup", Json::num(chunked_rate / scalar_rate)),
+        ]));
+    }
+    rows
+}
+
+/// Sweep 3: filtered draws — compiled selection vectors vs rejection
+/// sampling — across selectivities. Returns the JSON rows plus the
+/// speedup measured at the lowest selectivity (the acceptance metric).
+fn sweep_filtered(scale: &Scale, report: &mut Report) -> (Vec<Json>, f64) {
+    let n = scale.filter_rows;
+    let value = normal_values(100.0, 20.0, n, SEED ^ 2);
+    // Auxiliary predicate column: uniform in [0, 1), so `aux < s`
+    // selects an s-fraction of the rows.
+    let aux: Vec<f64> = {
+        let mut rng = StdRng::seed_from_u64(SEED ^ 3);
+        use rand::Rng;
+        (0..n).map(|_| rng.random_range(0.0..1.0)).collect()
+    };
+    let set = RowsBlock::split(vec![value, aux], 8);
+    let mut rows = Vec::new();
+    let mut low_sel_speedup = 0.0;
+    for &selectivity in &[0.5, 0.1, 0.01] {
+        let filter = RowFilter::new(vec![ColumnPredicate {
+            column: 1,
+            op: CmpOp::Lt,
+            value: selectivity,
+        }]);
+
+        // Rejection baseline: views constructed directly (no compiled
+        // selection), pooled over a single block so no block can run
+        // out of matches.
+        let inner: Vec<Arc<dyn DataBlock>> = set.iter().map(Arc::clone).collect();
+        let rejection: Vec<Arc<dyn DataBlock>> = inner
+            .iter()
+            .map(|b| {
+                Arc::new(FilteredColumnView::new(
+                    Arc::clone(b),
+                    0,
+                    Arc::new(filter.clone()),
+                )) as Arc<dyn DataBlock>
+            })
+            .collect();
+
+        // Compiled path: the helper builds (and caches) the selection.
+        let build_start = Instant::now();
+        let compiled = pool_filtered_column(&set, 0, filter.clone());
+        let build_s = build_start.elapsed().as_secs_f64();
+
+        let draws = scale.filter_draws;
+        let per_view = draws / rejection.len() as u64;
+        let (scalar_s, _) = median_secs(scale.runs, || {
+            let mut rng = StdRng::seed_from_u64(SEED + 9);
+            let mut sum = 0.0;
+            for view in &rejection {
+                sample_from_block(view.as_ref(), per_view, &mut rng, &mut |v| sum += v)
+                    .expect("rejection sampling succeeds");
+            }
+            sum
+        });
+        let (compiled_s, _) = median_secs(scale.runs, || {
+            let mut rng = StdRng::seed_from_u64(SEED + 9);
+            let mut sum = 0.0;
+            sample_from_block(compiled.block(0).as_ref(), draws, &mut rng, &mut |v| {
+                sum += v
+            })
+            .expect("selection sampling succeeds");
+            sum
+        });
+        let used = per_view * rejection.len() as u64;
+        let scalar_rate = used as f64 / scalar_s;
+        let compiled_rate = draws as f64 / compiled_s;
+        let speedup = compiled_rate / scalar_rate;
+        low_sel_speedup = speedup; // last iteration = lowest selectivity
+        report.row(vec![
+            "filtered".to_string(),
+            n.to_string(),
+            fmt(selectivity, 2),
+            fmt(scalar_rate / 1e6, 2),
+            fmt(compiled_rate / 1e6, 2),
+            fmt(speedup, 2),
+        ]);
+        rows.push(Json::obj(vec![
+            ("rows", Json::num(n as f64)),
+            ("selectivity", Json::num(selectivity)),
+            ("draws", Json::num(draws as f64)),
+            ("selection_build_s", Json::num(build_s)),
+            ("scalar_samples_per_s", Json::num(scalar_rate)),
+            ("batched_samples_per_s", Json::num(compiled_rate)),
+            ("speedup", Json::num(speedup)),
+        ]));
+    }
+    (rows, low_sel_speedup)
+}
+
+/// Sweep 4: end-to-end estimators on batched vs scalar kernels —
+/// answers must agree bit for bit; only the wall time may move.
+fn sweep_estimators(scale: &Scale, report: &mut Report) -> Vec<Json> {
+    let native = BlockSet::from_values(
+        normal_values(100.0, 20.0, scale.estimator_rows, SEED ^ 4),
+        16,
+    );
+    let fallback = scalar_fallback_set(&native);
+    let mut rows = Vec::new();
+
+    // ISLA runs the whole pipeline; its budget is set by the precision.
+    let cfg = IslaConfig::builder().precision(0.1).build().unwrap();
+    let isla_run = |data: &BlockSet| {
+        median_secs(scale.runs, || {
+            let mut rng = StdRng::seed_from_u64(SEED + 20);
+            engine::run(
+                data,
+                &cfg,
+                RateSpec::Derived,
+                &SequentialScheduler,
+                &mut rng,
+            )
+            .expect("engine run succeeds")
+            .estimate
+        })
+    };
+    let (scalar_s, scalar_est) = isla_run(&fallback);
+    let (batched_s, batched_est) = isla_run(&native);
+    assert_eq!(
+        scalar_est.to_bits(),
+        batched_est.to_bits(),
+        "ISLA answer moved"
+    );
+    report.row(vec![
+        "estimator/ISLA".to_string(),
+        scale.estimator_rows.to_string(),
+        "-".to_string(),
+        fmt(scalar_s * 1e3, 2),
+        fmt(batched_s * 1e3, 2),
+        fmt(scalar_s / batched_s, 2),
+    ]);
+    rows.push(Json::obj(vec![
+        ("name", Json::str("ISLA")),
+        ("scalar_ms", Json::num(scalar_s * 1e3)),
+        ("batched_ms", Json::num(batched_s * 1e3)),
+        ("speedup", Json::num(scalar_s / batched_s)),
+        ("estimates_match", Json::Bool(true)),
+    ]));
+
+    let estimators: Vec<Box<dyn Estimator>> = vec![
+        Box::new(UniformSampling),
+        Box::new(StratifiedSampling::proportional()),
+        Box::new(MeasureBiasedValues),
+        Box::new(MeasureBiasedBoundaries::default()),
+        Box::new(Slev::default()),
+    ];
+    for est in &estimators {
+        let run = |data: &BlockSet| {
+            median_secs(scale.runs, || {
+                let mut rng = StdRng::seed_from_u64(SEED + 21);
+                est.estimate(data, scale.estimator_budget, &mut rng)
+                    .expect("baseline estimate succeeds")
+            })
+        };
+        let (scalar_s, scalar_est) = run(&fallback);
+        let (batched_s, batched_est) = run(&native);
+        assert_eq!(
+            scalar_est.to_bits(),
+            batched_est.to_bits(),
+            "{} answer moved between kernel paths",
+            est.name()
+        );
+        report.row(vec![
+            format!("estimator/{}", est.name()),
+            scale.estimator_rows.to_string(),
+            "-".to_string(),
+            fmt(scalar_s * 1e3, 2),
+            fmt(batched_s * 1e3, 2),
+            fmt(scalar_s / batched_s, 2),
+        ]);
+        rows.push(Json::obj(vec![
+            ("name", Json::str(est.name())),
+            ("scalar_ms", Json::num(scalar_s * 1e3)),
+            ("batched_ms", Json::num(batched_s * 1e3)),
+            ("speedup", Json::num(scalar_s / batched_s)),
+            ("estimates_match", Json::Bool(true)),
+        ]));
+    }
+    rows
+}
+
+/// Validates the emitted artifact: parseable JSON carrying every
+/// section the downstream tooling reads.
+fn validate_artifact(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    for path in [
+        "bench",
+        "mode",
+        "sections.sample_kernel",
+        "sections.scan_kernel",
+        "sections.filtered_sampling",
+        "sections.estimators",
+    ] {
+        if get(&doc, path).is_none() {
+            return Err(format!("missing required key {path:?}"));
+        }
+    }
+    for section in [
+        "sample_kernel",
+        "scan_kernel",
+        "filtered_sampling",
+        "estimators",
+    ] {
+        match get(&doc, &format!("sections.{section}")) {
+            Some(Json::Arr(items)) if !items.is_empty() => {
+                for item in items {
+                    if get(item, "speedup").is_none() {
+                        return Err(format!("{section} row lacks a speedup field"));
+                    }
+                }
+            }
+            _ => return Err(format!("section {section:?} is not a non-empty array")),
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    println!(
+        "M4 (kernels): scalar vs batched kernels, mode = {}, {} sample draws",
+        scale.mode, scale.sample_draws
+    );
+
+    let mut report = Report::new(
+        "exp_kernel_throughput",
+        &[
+            "sweep",
+            "rows",
+            "selectivity",
+            "scalar M/s (or ms)",
+            "batched M/s (or ms)",
+            "speedup",
+        ],
+    );
+    let sample_rows = sweep_sample_kernel(&scale, &mut report);
+    let scan_rows = sweep_scan_kernel(&scale, &mut report);
+    let (filtered_rows, low_sel_speedup) = sweep_filtered(&scale, &mut report);
+    let estimator_rows = sweep_estimators(&scale, &mut report);
+    report.finish();
+
+    let doc = Json::obj(vec![
+        ("bench", Json::str("exp_kernel_throughput")),
+        ("mode", Json::str(scale.mode)),
+        ("low_selectivity_speedup", Json::num(low_sel_speedup)),
+        (
+            "sections",
+            Json::obj(vec![
+                ("sample_kernel", Json::Arr(sample_rows)),
+                ("scan_kernel", Json::Arr(scan_rows)),
+                ("filtered_sampling", Json::Arr(filtered_rows)),
+                ("estimators", Json::Arr(estimator_rows)),
+            ]),
+        ),
+    ]);
+    let text = doc.render();
+    validate_artifact(&text).expect("emitted JSON must satisfy the schema");
+    // Smoke results land under target/experiments — only full-scale
+    // runs may touch the committed repo-root perf artifact.
+    let path = if smoke {
+        isla_bench::experiments_dir().join("BENCH_kernels.smoke.json")
+    } else {
+        bench_json_path("kernels")
+    };
+    std::fs::write(&path, &text).expect("write BENCH_kernels.json");
+    println!("  [written {}]", path.display());
+
+    // Re-read what actually landed on disk: the artifact the driver
+    // consumes is the one that must validate.
+    let on_disk = std::fs::read_to_string(&path).expect("re-read artifact");
+    validate_artifact(&on_disk).expect("on-disk JSON must satisfy the schema");
+
+    if smoke {
+        println!("smoke mode: schema validated, speedup assertions skipped");
+    } else {
+        assert!(
+            low_sel_speedup >= 2.0,
+            "selection-vector sampling at the lowest selectivity must be ≥2× \
+             the rejection baseline, got {low_sel_speedup:.2}×"
+        );
+        println!("filtered low-selectivity sweep: {low_sel_speedup:.1}× the rejection baseline");
+    }
+}

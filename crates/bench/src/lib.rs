@@ -34,6 +34,14 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
+/// The path a machine-readable benchmark artifact is written to:
+/// `<workspace root>/BENCH_<name>.json`. Living at the repo root (not
+/// under `target/`), these files make the perf trajectory diffable
+/// across commits.
+pub fn bench_json_path(name: &str) -> PathBuf {
+    workspace_root().join(format!("BENCH_{name}.json"))
+}
+
 /// Finds the enclosing workspace root: the nearest ancestor of this
 /// crate's manifest directory whose `Cargo.toml` declares `[workspace]`.
 /// Falls back to the manifest directory itself if none is found.
@@ -128,6 +136,279 @@ impl Report {
 /// Formats a float with fixed precision for table cells.
 pub fn fmt(v: f64, digits: usize) -> String {
     format!("{v:.digits$}")
+}
+
+/// A dependency-free JSON value tree for benchmark artifacts, plus a
+/// minimal parser used to validate emitted files (the CI smoke step
+/// runs it so the schema cannot silently rot).
+pub mod json {
+    use std::fmt::Write as _;
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        /// A finite number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// A boolean.
+        Bool(bool),
+        /// An ordered array.
+        Arr(Vec<Json>),
+        /// An object with insertion-ordered keys.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Convenience: an object from key/value pairs.
+        pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+            Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+
+        /// Convenience: a string value.
+        pub fn str(s: impl Into<String>) -> Json {
+            Json::Str(s.into())
+        }
+
+        /// Convenience: a numeric value.
+        ///
+        /// # Panics
+        ///
+        /// Panics on a non-finite number — JSON has no encoding for it,
+        /// and a NaN in a perf artifact is always a harness bug.
+        pub fn num(v: f64) -> Json {
+            assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+            Json::Num(v)
+        }
+
+        /// Renders the value as pretty-printed JSON.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.render_into(&mut out, 0);
+            out.push('\n');
+            out
+        }
+
+        fn render_into(&self, out: &mut String, depth: usize) {
+            let pad = "  ".repeat(depth + 1);
+            let close = "  ".repeat(depth);
+            match self {
+                Json::Num(v) => {
+                    write!(out, "{v}").expect("string write");
+                }
+                Json::Bool(b) => {
+                    write!(out, "{b}").expect("string write");
+                }
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            c if (c as u32) < 0x20 => {
+                                write!(out, "\\u{:04x}", c as u32).expect("string write");
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(if i == 0 { "\n" } else { ",\n" });
+                        out.push_str(&pad);
+                        item.render_into(out, depth + 1);
+                    }
+                    out.push('\n');
+                    out.push_str(&close);
+                    out.push(']');
+                }
+                Json::Obj(pairs) => {
+                    if pairs.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push('{');
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        out.push_str(if i == 0 { "\n" } else { ",\n" });
+                        out.push_str(&pad);
+                        Json::Str(k.clone()).render_into(out, depth + 1);
+                        out.push_str(": ");
+                        v.render_into(out, depth + 1);
+                    }
+                    out.push('\n');
+                    out.push_str(&close);
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    /// Parses `text` as a single JSON value — the validation half of
+    /// the round trip. Accepts exactly what [`Json::render`] emits
+    /// (plus `null`, rejected as un-renderable) and nothing exotic.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&bytes, &mut pos)?;
+        skip_ws(&bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[char], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at offset {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_value(b: &[char], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some('{') => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let Json::Str(key) = parse_string(b, pos)? else {
+                        unreachable!("parse_string returns Str")
+                    };
+                    skip_ws(b, pos);
+                    expect(b, pos, ':')?;
+                    pairs.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some('}') => {
+                            *pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+                    }
+                }
+            }
+            Some('[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some(']') => {
+                            *pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+                    }
+                }
+            }
+            Some('"') => parse_string(b, pos),
+            Some('t') if b[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+                *pos += 4;
+                Ok(Json::Bool(true))
+            }
+            Some('f') if b[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+                *pos += 5;
+                Ok(Json::Bool(false))
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let start = *pos;
+                while *pos < b.len()
+                    && (b[*pos].is_ascii_digit() || matches!(b[*pos], '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    *pos += 1;
+                }
+                let text: String = b[start..*pos].iter().collect();
+                text.parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| format!("bad number {text:?} at offset {start}"))
+            }
+            other => Err(format!("unexpected {other:?} at offset {}", *pos)),
+        }
+    }
+
+    fn parse_string(b: &[char], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, '"')?;
+        let mut s = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                '"' => return Ok(Json::Str(s)),
+                '\\' => {
+                    let esc = b.get(*pos).copied().ok_or("truncated escape")?;
+                    *pos += 1;
+                    match esc {
+                        '"' => s.push('"'),
+                        '\\' => s.push('\\'),
+                        'n' => s.push('\n'),
+                        't' => s.push('\t'),
+                        'u' => {
+                            let hex: String = b
+                                .get(*pos..*pos + 4)
+                                .ok_or("truncated \\u escape")?
+                                .iter()
+                                .collect();
+                            *pos += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            s.push(char::from_u32(code).ok_or("invalid codepoint")?);
+                        }
+                        other => return Err(format!("unknown escape \\{other}")),
+                    }
+                }
+                c => s.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    /// Looks up a dotted path (`"sections.filtered_sampling"`) in a
+    /// parsed value, for schema validation.
+    pub fn get<'a>(value: &'a Json, path: &str) -> Option<&'a Json> {
+        let mut cur = value;
+        for part in path.split('.') {
+            match cur {
+                Json::Obj(pairs) => {
+                    cur = &pairs.iter().find(|(k, _)| k == part)?.1;
+                }
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
 }
 
 /// Mean absolute error of a set of estimates against a truth.
@@ -257,5 +538,43 @@ mod tests {
     fn report_rejects_ragged_rows() {
         let mut r = Report::new("ragged", &["a", "b"]);
         r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        use super::json::{get, parse, Json};
+        let doc = Json::obj(vec![
+            ("bench", Json::str("kernels")),
+            ("speedup", Json::num(2.5)),
+            ("ok", Json::Bool(true)),
+            (
+                "rows",
+                Json::Arr(vec![Json::num(1.0), Json::num(-2e3), Json::num(0.125)]),
+            ),
+            ("nested", Json::obj(vec![("k", Json::str("v \"quoted\""))])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = doc.render();
+        let parsed = parse(&text).expect("rendered JSON parses");
+        assert_eq!(parsed, doc);
+        assert_eq!(get(&parsed, "nested.k"), Some(&Json::str("v \"quoted\"")));
+        assert_eq!(get(&parsed, "speedup"), Some(&Json::Num(2.5)));
+        assert!(get(&parsed, "missing.path").is_none());
+        assert!(parse("{\"unterminated\": ").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn json_rejects_nan() {
+        let _ = super::json::Json::num(f64::NAN);
+    }
+
+    #[test]
+    fn bench_json_path_sits_at_the_workspace_root() {
+        let path = bench_json_path("unit_test");
+        assert_eq!(path.file_name().unwrap(), "BENCH_unit_test.json");
+        assert!(path.parent().unwrap().join("Cargo.toml").exists());
     }
 }

@@ -8,7 +8,7 @@
 
 use rand::RngCore;
 
-use isla_storage::{sample_from_block, DataBlock};
+use isla_storage::{with_sample_buf, DataBlock, SAMPLE_BATCH_ROWS};
 
 use crate::accumulate::SampleAccumulator;
 use crate::boundaries::DataBoundaries;
@@ -174,8 +174,22 @@ pub fn execute_block(
 ) -> Result<BlockOutcome, IslaError> {
     let mut accumulator = SampleAccumulator::new(boundaries);
     if sample_size > 0 {
-        sample_from_block(block, sample_size, rng, &mut |value| {
-            accumulator.offer(value + shift);
+        // Batched sampling kernel: whole chunks are drawn with a sorted
+        // gather on a reusable thread-local buffer, then folded in draw
+        // order — bit-identical values and RNG stream to the scalar
+        // per-sample loop this replaces, with statically dispatched
+        // accumulation.
+        with_sample_buf(|buf| {
+            let mut left = sample_size;
+            while left > 0 {
+                let take = left.min(SAMPLE_BATCH_ROWS);
+                block.sample_batch(take, rng, buf)?;
+                for &value in buf.values() {
+                    accumulator.offer(value + shift);
+                }
+                left -= take;
+            }
+            Ok::<(), IslaError>(())
         })?;
     }
     let phase = iteration_phase(&accumulator, sketch0_shifted, config);

@@ -21,6 +21,14 @@
 //!   combines in any completion order and finalizes into the
 //!   size-weighted Summarization answer.
 //!
+//! Sampling runs through the storage layer's **batch kernels**
+//! ([`isla_storage::kernel`]): the per-block Calculation phase draws
+//! whole batches on reusable thread-local buffers
+//! (`DataBlock::sample_batch` / `sample_rows_batch`), bit-identical in
+//! values and RNG stream to the scalar loops they replaced — so the
+//! determinism guarantees above survive the batching unchanged (pinned
+//! by `tests/kernel_identity.rs`).
+//!
 //! The [`rows`] module generalizes the pipeline to the **row model**:
 //! a [`RowSpec`] (aggregated column + compiled predicate + group key)
 //! plans per group ([`RowPlan`], with selectivity estimated by the

@@ -32,7 +32,10 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use isla_stats::{required_sample_size, NeumaierSum, WelfordMoments};
-use isla_storage::{sample_rows_proportional, BlockSet, DataBlock, RowFilter};
+use isla_storage::{
+    sample_rows_proportional, with_row_sample_buf, BlockSet, DataBlock, RowFilter,
+    SAMPLE_BATCH_ROWS,
+};
 
 use crate::accumulate::SampleAccumulator;
 use crate::block_exec::{iteration_phase, Fallback};
@@ -556,31 +559,43 @@ pub fn execute_row_block(
     // surface in the answer instead of silently vanishing.
     let mut extras: BTreeMap<u64, (NeumaierSum, u64)> = BTreeMap::new();
 
-    let mut row: Vec<f64> = Vec::new();
-    for _ in 0..draws {
-        block.sample_row(&mut rng, &mut row)?;
-        if !plan.spec().filter.matches(&row) {
-            continue;
-        }
-        let key_bits = plan.spec().group_key(&row);
-        let value = row[plan.spec().agg_column];
-        match plan.group_index(key_bits) {
-            Some(i) => {
-                matched[i] += 1;
-                match accs[i].as_mut() {
-                    Some(acc) => {
-                        acc.offer(value + plan.groups()[i].shift);
+    // Batched row sampling: tuples are drawn in chunks through the
+    // sorted-gather kernel on a reusable thread-local buffer, then
+    // folded in draw order — the identical rows, in the identical
+    // order, from the identical RNG stream as the scalar per-row loop,
+    // so pooled-vs-sequential bit-identity is untouched.
+    with_row_sample_buf(|buf| {
+        let mut left = draws;
+        while left > 0 {
+            let take = left.min(SAMPLE_BATCH_ROWS);
+            block.sample_rows_batch(take, &mut rng, buf)?;
+            for row in buf.iter_rows() {
+                if !plan.spec().filter.matches(row) {
+                    continue;
+                }
+                let key_bits = plan.spec().group_key(row);
+                let value = row[plan.spec().agg_column];
+                match plan.group_index(key_bits) {
+                    Some(i) => {
+                        matched[i] += 1;
+                        match accs[i].as_mut() {
+                            Some(acc) => {
+                                acc.offer(value + plan.groups()[i].shift);
+                            }
+                            None => raw[i].add(value),
+                        }
                     }
-                    None => raw[i].add(value),
+                    None => {
+                        let entry = extras.entry(key_bits).or_insert((NeumaierSum::new(), 0));
+                        entry.0.add(value);
+                        entry.1 += 1;
+                    }
                 }
             }
-            None => {
-                let entry = extras.entry(key_bits).or_insert((NeumaierSum::new(), 0));
-                entry.0.add(value);
-                entry.1 += 1;
-            }
+            left -= take;
         }
-    }
+        Ok::<(), IslaError>(())
+    })?;
 
     let mut groups: BTreeMap<u64, RowGroupOutcome> = BTreeMap::new();
     for (i, g) in plan.groups().iter().enumerate() {

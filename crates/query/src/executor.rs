@@ -747,13 +747,17 @@ fn extreme_value(
             f64::INFINITY
         };
         let mut any = false;
-        data.scan_all(&mut |v| {
-            any = true;
-            extreme = if kind == isla_core::ExtremeKind::Max {
-                extreme.max(v)
-            } else {
-                extreme.min(v)
-            };
+        // Chunked scan kernel: fold whole slices (autovectorizable
+        // min/max reduction) instead of one dyn call per value.
+        data.scan_all_chunks(&mut |chunk| {
+            any |= !chunk.is_empty();
+            for &v in chunk {
+                extreme = if kind == isla_core::ExtremeKind::Max {
+                    extreme.max(v)
+                } else {
+                    extreme.min(v)
+                };
+            }
         })
         .map_err(IslaError::from)?;
         if !any {

@@ -213,6 +213,21 @@ impl DataBlock for BinaryBlock {
         Ok(())
     }
 
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut crate::kernel::SampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        // Sorted gather: ascending file offsets turn a batch of random
+        // point reads into a near-sequential pass over the file.
+        out.draw_indices(n, self.rows, rng);
+        out.gather_with_sorted(|idx| self.read_row(idx))
+    }
+
     fn describe(&self) -> String {
         format!("binary({}, {} rows)", self.path.display(), self.rows)
     }

@@ -3,6 +3,7 @@
 use rand::RngCore;
 
 use crate::error::StorageError;
+use crate::kernel::{RowSampleBuf, SampleBuf, SCAN_CHUNK_ROWS};
 
 /// A block of numeric data, the unit of distribution in the paper's system
 /// model (Section II-C).
@@ -108,6 +109,92 @@ pub trait DataBlock: Send + Sync {
         self.scan(&mut |v| visit(std::slice::from_ref(&v)))
     }
 
+    /// Draws `n` values uniformly at random (with replacement) into
+    /// `out` — the batched form of [`DataBlock::sample_one`], the
+    /// engine's hot sampling kernel.
+    ///
+    /// The contract mirrors the scalar method exactly: implementations
+    /// must consume one uniform index draw from `rng` per value, in draw
+    /// order, and [`SampleBuf::values`] must hold the values in draw
+    /// order — so a batched draw is **bit-identical** (values and RNG
+    /// stream) to `n` scalar draws. The default delegates to
+    /// [`DataBlock::sample_one`]; in-memory blocks override it with a
+    /// sorted gather (see [`crate::kernel`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DataBlock::sample_one`].
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        out.begin_scalar(n as usize);
+        for _ in 0..n {
+            out.push_value(self.sample_one(rng)?);
+        }
+        Ok(())
+    }
+
+    /// Draws `n` row tuples uniformly at random (with replacement) into
+    /// `out` — the batched form of [`DataBlock::sample_row`], used by
+    /// the row-model (`WHERE`/`GROUP BY`) pipeline.
+    ///
+    /// Same contract as [`DataBlock::sample_batch`]: one index draw per
+    /// row, rows delivered in draw order, bit-identical to the scalar
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// As [`DataBlock::sample_row`].
+    fn sample_rows_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut RowSampleBuf,
+    ) -> Result<(), StorageError> {
+        out.begin_scalar(n as usize, self.width());
+        let mut row = out.take_scratch();
+        let mut result = Ok(());
+        for _ in 0..n {
+            if let Err(e) = self.sample_row(rng, &mut row) {
+                result = Err(e);
+                break;
+            }
+            out.push_row(&row);
+        }
+        out.put_scratch(row);
+        result
+    }
+
+    /// Visits every row in storage order as contiguous value slices —
+    /// the batched form of [`DataBlock::scan`], sized so downstream
+    /// folds autovectorize. Values arrive in exactly the scalar scan's
+    /// order; only the callback granularity changes.
+    ///
+    /// The default buffers the scalar scan into
+    /// [`SCAN_CHUNK_ROWS`]-value chunks; in-memory blocks override it to
+    /// hand out their storage slices zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// As [`DataBlock::scan`].
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        let mut chunk: Vec<f64> = Vec::with_capacity(SCAN_CHUNK_ROWS);
+        self.scan(&mut |v| {
+            chunk.push(v);
+            if chunk.len() == SCAN_CHUNK_ROWS {
+                visit(&chunk);
+                chunk.clear();
+            }
+        })?;
+        if !chunk.is_empty() {
+            visit(&chunk);
+        }
+        Ok(())
+    }
+
     /// Whether [`DataBlock::scan`] is expected to succeed.
     fn supports_scan(&self) -> bool {
         true
@@ -154,6 +241,25 @@ impl<T: DataBlock + ?Sized> DataBlock for &T {
     fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
         (**self).scan_rows(visit)
     }
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        (**self).sample_batch(n, rng, out)
+    }
+    fn sample_rows_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut RowSampleBuf,
+    ) -> Result<(), StorageError> {
+        (**self).sample_rows_batch(n, rng, out)
+    }
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        (**self).scan_chunks(visit)
+    }
     fn supports_scan(&self) -> bool {
         (**self).supports_scan()
     }
@@ -189,6 +295,25 @@ impl DataBlock for std::sync::Arc<dyn DataBlock> {
     }
     fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
         (**self).scan_rows(visit)
+    }
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        (**self).sample_batch(n, rng, out)
+    }
+    fn sample_rows_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut RowSampleBuf,
+    ) -> Result<(), StorageError> {
+        (**self).sample_rows_batch(n, rng, out)
+    }
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        (**self).scan_chunks(visit)
     }
     fn supports_scan(&self) -> bool {
         (**self).supports_scan()

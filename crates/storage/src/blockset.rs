@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use crate::block::DataBlock;
 use crate::error::StorageError;
+use crate::filter::RowFilter;
 use crate::memory::MemBlock;
+use crate::selection::{SelectionCache, SetSelection};
 
 /// An ordered collection of blocks forming one dataset (the paper's block
 /// set `B = {B₁, …, B_b}`).
@@ -15,6 +17,9 @@ pub struct BlockSet {
     // query, and re-summing virtual/generator block lengths on every
     // call is pure overhead. Blocks are immutable once in a set.
     total_rows: u64,
+    // Compiled WHERE selections, keyed by filter fingerprint; shared
+    // across clones so a predicate compiles at most once per dataset.
+    selections: Arc<SelectionCache>,
 }
 
 impl std::fmt::Debug for BlockSet {
@@ -35,7 +40,11 @@ impl BlockSet {
     pub fn new(blocks: Vec<Arc<dyn DataBlock>>) -> Self {
         assert!(!blocks.is_empty(), "a block set needs at least one block");
         let total_rows = blocks.iter().map(|b| b.len()).sum();
-        Self { blocks, total_rows }
+        Self {
+            blocks,
+            total_rows,
+            selections: Arc::new(SelectionCache::new()),
+        }
     }
 
     /// Splits `values` evenly into `block_count` in-memory blocks, the way
@@ -64,6 +73,7 @@ impl BlockSet {
         Self {
             blocks,
             total_rows: n as u64,
+            selections: Arc::new(SelectionCache::new()),
         }
     }
 
@@ -73,6 +83,7 @@ impl BlockSet {
         Self {
             blocks: vec![Arc::new(block)],
             total_rows,
+            selections: Arc::new(SelectionCache::new()),
         }
     }
 
@@ -127,6 +138,32 @@ impl BlockSet {
         Ok(())
     }
 
+    /// Scans every block in order as contiguous value chunks (the
+    /// batched form of [`BlockSet::scan_all`]; values arrive in the
+    /// identical order, only the callback granularity changes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first block error.
+    pub fn scan_all_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        for block in &self.blocks {
+            block.scan_chunks(visit)?;
+        }
+        Ok(())
+    }
+
+    /// The compiled selection of this set under `filter`, built (one
+    /// row scan per block) and cached on first use; later calls for a
+    /// fingerprint-equal filter return the cached structure. See
+    /// [`crate::SelectionVector`] for what compiles and what falls back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation scan failures.
+    pub fn selection_for(&self, filter: &RowFilter) -> Result<Arc<SetSelection>, StorageError> {
+        self.selections.get_or_build(&self.blocks, filter)
+    }
+
     /// The row tuple width shared by the blocks (the maximum across
     /// blocks; homogeneous sets — the only kind the catalog builds —
     /// have one width).
@@ -144,9 +181,13 @@ impl BlockSet {
     pub fn exact_mean(&self) -> Result<f64, StorageError> {
         let mut sum = isla_stats::NeumaierSum::new();
         let mut n = 0u64;
-        self.scan_all(&mut |v| {
-            sum.add(v);
-            n += 1;
+        // Chunked scan: same values in the same order as `scan_all`,
+        // amortizing the per-value dispatch over whole slices.
+        self.scan_all_chunks(&mut |chunk| {
+            for &v in chunk {
+                sum.add(v);
+            }
+            n += chunk.len() as u64;
         })?;
         if n == 0 {
             return Err(StorageError::Empty);

@@ -37,11 +37,14 @@ pub enum StorageError {
         /// Why the scan is refused.
         detail: String,
     },
-    /// Rejection sampling on a filtered view exhausted its attempt
-    /// budget without drawing a matching row (the predicate's
-    /// selectivity is effectively zero).
-    FilterExhausted {
-        /// Attempts made before giving up.
+    /// A filtered view could not produce a matching row: either
+    /// rejection sampling exhausted its attempt budget
+    /// ([`crate::RowFilter::MAX_REJECTION_ATTEMPTS`]), or a compiled
+    /// selection vector proves the predicate matches nothing. Either
+    /// way, the predicate's selectivity is too low to sample.
+    SelectivityTooLow {
+        /// Rejection attempts made before giving up (0 when a selection
+        /// vector established emptiness without sampling).
         attempts: u32,
     },
     /// An operation required a non-empty block or block set.
@@ -70,10 +73,19 @@ impl fmt::Display for StorageError {
             StorageError::ScanUnsupported { len, detail } => {
                 write!(f, "cannot scan block of declared length {len}: {detail}")
             }
-            StorageError::FilterExhausted { attempts } => write!(
-                f,
-                "no row matched the predicate in {attempts} draws; selectivity is effectively zero"
-            ),
+            StorageError::SelectivityTooLow { attempts } => {
+                if *attempts == 0 {
+                    write!(
+                        f,
+                        "no row matches the predicate (selection vector is empty)"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "no row matched the predicate in {attempts} draws; selectivity is effectively zero"
+                    )
+                }
+            }
             StorageError::Empty => write!(f, "operation requires a non-empty block"),
         }
     }
@@ -116,9 +128,12 @@ mod tests {
             detail: "virtual".into(),
         };
         assert!(scan.to_string().contains("declared length 10"));
-        assert!(StorageError::FilterExhausted { attempts: 7 }
+        assert!(StorageError::SelectivityTooLow { attempts: 7 }
             .to_string()
             .contains("7 draws"));
+        assert!(StorageError::SelectivityTooLow { attempts: 0 }
+            .to_string()
+            .contains("no row matches"));
         assert!(StorageError::Empty.to_string().contains("non-empty"));
         let corrupt = StorageError::Corrupt {
             path: PathBuf::from("b.blk"),

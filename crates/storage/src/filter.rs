@@ -89,6 +89,15 @@ pub struct RowFilter {
 }
 
 impl RowFilter {
+    /// Maximum rejection-sampling attempts per draw on a filtered view
+    /// before the draw fails with
+    /// [`crate::StorageError::SelectivityTooLow`]. At this budget, a
+    /// predicate needs selectivity below ~10⁻³ for a draw to fail with
+    /// probability ~e⁻¹⁰. The rejection path only runs when a
+    /// [`crate::SelectionVector`] could not be compiled (unscannable
+    /// blocks); compiled selections draw in O(1) and never trip this.
+    pub const MAX_REJECTION_ATTEMPTS: u32 = 10_000;
+
     /// A filter that matches every row.
     pub fn all() -> Self {
         Self::default()

@@ -1,0 +1,500 @@
+//! Batched sampling and scan kernels: the buffers and helpers behind
+//! [`DataBlock::sample_batch`], [`DataBlock::sample_rows_batch`] and
+//! [`DataBlock::scan_chunks`].
+//!
+//! The engine's hot loops used to move one value at a time through
+//! `dyn`-dispatched calls; the batch kernels amortize that dispatch over
+//! thousands of rows per call. A batch draws all of its indices first,
+//! then gathers the values — directly (memory-level parallelism) for
+//! in-memory storage, or through a *sorted gather* for positional and
+//! file-backed readers, where ascending index order means sequential
+//! I/O. Values are always delivered in **draw order**, so a batched
+//! draw produces the bit-identical value sequence, and consumes the
+//! bit-identical RNG stream, as the scalar path it replaces.
+//!
+//! The buffers ([`SampleBuf`], [`RowSampleBuf`]) are designed to be
+//! reused: the engine keeps one per thread (see [`with_sample_buf`] /
+//! [`with_row_sample_buf`]) so steady-state sampling performs no
+//! allocation at all.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use rand::Rng;
+use rand::RngCore;
+
+use crate::block::DataBlock;
+use crate::error::StorageError;
+
+/// Preferred number of value draws per [`DataBlock::sample_batch`] call
+/// on the engine's hot path. Large enough to amortize dispatch and make
+/// the sorted gather worthwhile, small enough that a batch's buffers
+/// (index + order + value ≈ 20 B/row) stay L2-resident.
+pub const SAMPLE_BATCH_ROWS: u64 = 8_192;
+
+/// Chunk size handed to [`DataBlock::scan_chunks`] visitors by the
+/// default (buffering) implementation. In-memory blocks ignore this and
+/// hand out their natural contiguous slices.
+pub const SCAN_CHUNK_ROWS: usize = 16_384;
+
+// Where the *sorted* gather applies: measured on in-memory slices,
+// out-of-order execution overlaps the independent random loads of a
+// batch so well that a comparison sort never pays for itself, at any
+// block size — so slice gathers run in draw order and lean on
+// memory-level parallelism. Positional readers are different: a
+// file-backed block turns ascending index order into (near-)sequential
+// reads and page-cache locality, which is worth far more than the sort
+// costs. Hence two gather flavors below: direct (slices) and sorted
+// (positional/file readers).
+
+/// Reusable state for one batched value draw: the drawn indices (in RNG
+/// draw order), a sort permutation for cache-friendly gathering, and
+/// the gathered values (back in draw order).
+#[derive(Debug, Default)]
+pub struct SampleBuf {
+    indices: Vec<u64>,
+    order: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SampleBuf {
+    /// An empty buffer; it grows to the first batch's size and is
+    /// reused thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The gathered values of the last batch, in **draw order** — the
+    /// exact sequence the scalar path would have produced.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Draws `n` uniform indices in `0..len` from `rng`, one
+    /// `random_range` call per draw — the identical RNG consumption of
+    /// `n` scalar [`DataBlock::sample_one`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` (callers check emptiness first) or if `n`
+    /// exceeds `u32::MAX` (batches are chunked far below that).
+    pub fn draw_indices(&mut self, n: u64, len: u64, rng: &mut dyn RngCore) {
+        assert!(len > 0, "cannot draw indices from an empty block");
+        assert!(u32::try_from(n).is_ok(), "batch too large for one draw");
+        self.indices.clear();
+        self.indices.reserve(n as usize);
+        for _ in 0..n {
+            self.indices.push(rng.random_range(0..len));
+        }
+    }
+
+    /// The drawn indices of the last batch, in draw order.
+    pub fn indices(&self) -> &[u64] {
+        &self.indices
+    }
+
+    /// Sorted-order permutation of the drawn indices: visiting
+    /// `indices()[order[k]]` for ascending `k` touches the block in
+    /// ascending position order.
+    fn gather_order(&mut self) -> &[u32] {
+        self.order.clear();
+        self.order.extend(0..self.indices.len() as u32);
+        let indices = &self.indices;
+        self.order.sort_unstable_by_key(|&j| indices[j as usize]);
+        &self.order
+    }
+
+    /// Gathers the drawn indices from a contiguous in-memory slice, in
+    /// draw order — independent loads pipeline through the core's
+    /// memory-level parallelism, which measures faster than any sorted
+    /// access pattern for RAM-resident data.
+    pub fn gather_from_slice(&mut self, data: &[f64]) {
+        let n = self.indices.len();
+        self.values.clear();
+        self.values.resize(n, 0.0);
+        for (slot, &idx) in self.values.iter_mut().zip(&self.indices) {
+            *slot = data[idx as usize];
+        }
+    }
+
+    /// Gathers the drawn indices through an arbitrary positional
+    /// reader, in draw order. For file-backed readers prefer
+    /// [`SampleBuf::gather_with_sorted`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first reader error.
+    pub fn gather_with(
+        &mut self,
+        mut read: impl FnMut(u64) -> Result<f64, StorageError>,
+    ) -> Result<(), StorageError> {
+        let n = self.indices.len();
+        self.values.clear();
+        self.values.resize(n, 0.0);
+        for k in 0..n {
+            self.values[k] = read(self.indices[k])?;
+        }
+        Ok(())
+    }
+
+    /// Gathers the drawn indices through a positional reader in
+    /// **ascending index order** (values still land in draw order) —
+    /// the right shape for file-backed blocks, where sorted access
+    /// means sequential reads and page-cache locality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first reader error.
+    pub fn gather_with_sorted(
+        &mut self,
+        mut read: impl FnMut(u64) -> Result<f64, StorageError>,
+    ) -> Result<(), StorageError> {
+        let n = self.indices.len();
+        self.values.clear();
+        self.values.resize(n, 0.0);
+        self.gather_order();
+        for k in 0..n {
+            let j = self.order[k] as usize;
+            self.values[j] = read(self.indices[j])?;
+        }
+        Ok(())
+    }
+
+    /// Prepares the buffer for `n` values pushed one at a time — the
+    /// scalar fallback used by the default [`DataBlock::sample_batch`].
+    pub fn begin_scalar(&mut self, n: usize) {
+        self.indices.clear();
+        self.order.clear();
+        self.values.clear();
+        self.values.reserve(n);
+    }
+
+    /// Appends one scalar-drawn value (fallback path).
+    pub fn push_value(&mut self, v: f64) {
+        self.values.push(v);
+    }
+}
+
+/// Reusable state for one batched *row tuple* draw: as [`SampleBuf`],
+/// with the gathered rows stored row-major (`width` values per row, in
+/// draw order).
+#[derive(Debug, Default)]
+pub struct RowSampleBuf {
+    indices: Vec<u64>,
+    order: Vec<u32>,
+    rows: Vec<f64>,
+    width: usize,
+    scratch: Vec<f64>,
+}
+
+impl RowSampleBuf {
+    /// An empty buffer; it grows to the first batch's size and is
+    /// reused thereafter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The tuple width of the last batch.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The gathered rows of the last batch, row-major in draw order.
+    pub fn rows(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// Iterates the gathered rows as `width`-sized tuples, in draw
+    /// order.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.rows.chunks_exact(self.width.max(1))
+    }
+
+    /// Draws `n` uniform row indices in `0..len`, one `random_range`
+    /// call per draw — the identical RNG consumption of `n` scalar
+    /// [`DataBlock::sample_row`] calls.
+    ///
+    /// # Panics
+    ///
+    /// As [`SampleBuf::draw_indices`].
+    pub fn draw_indices(&mut self, n: u64, len: u64, width: usize, rng: &mut dyn RngCore) {
+        assert!(len > 0, "cannot draw indices from an empty block");
+        assert!(u32::try_from(n).is_ok(), "batch too large for one draw");
+        self.width = width;
+        self.indices.clear();
+        self.indices.reserve(n as usize);
+        for _ in 0..n {
+            self.indices.push(rng.random_range(0..len));
+        }
+        self.rows.clear();
+        self.rows.resize(n as usize * width, 0.0);
+    }
+
+    /// Sorted-order permutation (see [`SampleBuf`]).
+    fn gather_order(&mut self) {
+        self.order.clear();
+        self.order.extend(0..self.indices.len() as u32);
+        let indices = &self.indices;
+        self.order.sort_unstable_by_key(|&j| indices[j as usize]);
+    }
+
+    /// Gathers the drawn indices from in-memory columnar storage,
+    /// column-at-a-time in draw order (memory-level parallelism, as
+    /// [`SampleBuf::gather_from_slice`]), values scattered to their
+    /// draw rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns.len()` disagrees with the drawn width.
+    pub fn gather_from_columns(&mut self, columns: &[&[f64]]) {
+        assert_eq!(columns.len(), self.width, "column count must match width");
+        let w = self.width;
+        for (c, col) in columns.iter().enumerate() {
+            for (j, &idx) in self.indices.iter().enumerate() {
+                self.rows[j * w + c] = col[idx as usize];
+            }
+        }
+    }
+
+    /// Gathers the drawn indices through a positional tuple reader in
+    /// **ascending index order** (rows still land in draw order) — for
+    /// zipped and file-backed blocks, where sorted positional reads
+    /// mean sequential I/O.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first reader error.
+    pub fn gather_with_sorted(
+        &mut self,
+        mut read: impl FnMut(u64, &mut Vec<f64>) -> Result<(), StorageError>,
+    ) -> Result<(), StorageError> {
+        self.gather_order();
+        let w = self.width;
+        let mut row = std::mem::take(&mut self.scratch);
+        let mut result = Ok(());
+        for k in 0..self.order.len() {
+            let j = self.order[k] as usize;
+            if let Err(e) = read(self.indices[j], &mut row) {
+                result = Err(e);
+                break;
+            }
+            self.rows[j * w..(j + 1) * w].copy_from_slice(&row);
+        }
+        self.scratch = row;
+        result
+    }
+
+    /// Prepares the buffer for `n` rows pushed one at a time — the
+    /// scalar fallback used by the default
+    /// [`DataBlock::sample_rows_batch`].
+    pub fn begin_scalar(&mut self, n: usize, width: usize) {
+        self.width = width;
+        self.indices.clear();
+        self.order.clear();
+        self.rows.clear();
+        self.rows.reserve(n * width);
+    }
+
+    /// Appends one scalar-drawn row (fallback path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with the batch width.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.width, "row width must match batch width");
+        self.rows.extend_from_slice(row);
+    }
+
+    /// Takes the internal scratch row (for scalar fallbacks that need a
+    /// temporary tuple without allocating); return it with
+    /// [`RowSampleBuf::put_scratch`].
+    pub fn take_scratch(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Returns a scratch row taken with [`RowSampleBuf::take_scratch`].
+    pub fn put_scratch(&mut self, row: Vec<f64>) {
+        self.scratch = row;
+    }
+}
+
+thread_local! {
+    static SAMPLE_BUF: RefCell<SampleBuf> = RefCell::new(SampleBuf::new());
+    static ROW_SAMPLE_BUF: RefCell<RowSampleBuf> = RefCell::new(RowSampleBuf::new());
+}
+
+/// Runs `f` with this thread's reusable [`SampleBuf`]. The buffer is
+/// *taken* out of its slot for the duration, so re-entrant use (a view
+/// sampling through another view) falls back to a fresh buffer instead
+/// of panicking.
+pub fn with_sample_buf<R>(f: impl FnOnce(&mut SampleBuf) -> R) -> R {
+    let mut buf = SAMPLE_BUF.with_borrow_mut(std::mem::take);
+    let out = f(&mut buf);
+    SAMPLE_BUF.with_borrow_mut(|slot| {
+        if buf.values.capacity() > slot.values.capacity() {
+            *slot = buf;
+        }
+    });
+    out
+}
+
+/// Runs `f` with this thread's reusable [`RowSampleBuf`] (take-based,
+/// as [`with_sample_buf`]).
+pub fn with_row_sample_buf<R>(f: impl FnOnce(&mut RowSampleBuf) -> R) -> R {
+    let mut buf = ROW_SAMPLE_BUF.with_borrow_mut(std::mem::take);
+    let out = f(&mut buf);
+    ROW_SAMPLE_BUF.with_borrow_mut(|slot| {
+        if buf.rows.capacity() > slot.rows.capacity() {
+            *slot = buf;
+        }
+    });
+    out
+}
+
+/// A forwarding wrapper that deliberately hides a block's batch-kernel
+/// overrides, so every batched entry point falls back to the scalar
+/// (`sample_one` / `sample_row` / `scan`) path.
+///
+/// Two uses: asserting that the batch kernels are bit-identical to the
+/// scalar path they replace (the kernel-identity tests), and measuring
+/// the scalar path in `exp_kernel_throughput` after the engine itself
+/// went batched.
+pub struct ScalarFallbackBlock(pub Arc<dyn DataBlock>);
+
+impl DataBlock for ScalarFallbackBlock {
+    fn len(&self) -> u64 {
+        self.0.len()
+    }
+    fn width(&self) -> usize {
+        self.0.width()
+    }
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        self.0.sample_one(rng)
+    }
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        self.0.row_at(idx)
+    }
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        self.0.scan(visit)
+    }
+    fn sample_row(&self, rng: &mut dyn RngCore, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        self.0.sample_row(rng, out)
+    }
+    fn row_tuple(&self, idx: u64, out: &mut Vec<f64>) -> Result<(), StorageError> {
+        self.0.row_tuple(idx, out)
+    }
+    fn scan_rows(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        self.0.scan_rows(visit)
+    }
+    fn supports_scan(&self) -> bool {
+        self.0.supports_scan()
+    }
+    // `sample_batch`, `sample_rows_batch` and `scan_chunks` are NOT
+    // forwarded: the trait defaults run the scalar methods above.
+    fn describe(&self) -> String {
+        format!("scalar-fallback over {}", self.0.describe())
+    }
+}
+
+/// Wraps every block of `set` in a [`ScalarFallbackBlock`], preserving
+/// block structure.
+pub fn scalar_fallback_set(set: &crate::blockset::BlockSet) -> crate::blockset::BlockSet {
+    crate::blockset::BlockSet::new(
+        set.iter()
+            .map(|b| Arc::new(ScalarFallbackBlock(Arc::clone(b))) as Arc<dyn DataBlock>)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draw_indices_consumes_the_scalar_stream() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut buf = SampleBuf::new();
+        buf.draw_indices(100, 1_000_000, &mut a);
+        let scalar: Vec<u64> = (0..100).map(|_| b.random_range(0..1_000_000u64)).collect();
+        assert_eq!(buf.indices(), &scalar[..]);
+        // Streams stay aligned after the batch.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gather_preserves_draw_order() {
+        let data: Vec<f64> = (0..1000).map(f64::from).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = SampleBuf::new();
+        buf.draw_indices(64, data.len() as u64, &mut rng);
+        let expected: Vec<f64> = buf.indices().iter().map(|&i| data[i as usize]).collect();
+        buf.gather_from_slice(&data);
+        assert_eq!(buf.values(), &expected[..]);
+    }
+
+    #[test]
+    fn gather_with_reader_matches_slice_gather() {
+        let data: Vec<f64> = (0..500).map(|i| f64::from(i) * 0.5).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = SampleBuf::new();
+        a.draw_indices(200, data.len() as u64, &mut rng);
+        let mut b = SampleBuf::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        b.draw_indices(200, data.len() as u64, &mut rng);
+        a.gather_from_slice(&data);
+        b.gather_with(|i| Ok(data[i as usize])).unwrap();
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn row_buf_gathers_aligned_tuples() {
+        let x: Vec<f64> = (0..300).map(f64::from).collect();
+        let y: Vec<f64> = (0..300).map(|i| f64::from(i) * 2.0).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = RowSampleBuf::new();
+        buf.draw_indices(50, 300, 2, &mut rng);
+        buf.gather_from_columns(&[&x, &y]);
+        assert_eq!(buf.width(), 2);
+        let mut n = 0;
+        for row in buf.iter_rows() {
+            assert_eq!(row[1], row[0] * 2.0);
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn scalar_fallback_forwards_scalar_methods_only() {
+        let inner: Arc<dyn DataBlock> = Arc::new(MemBlock::new(vec![1.0, 2.0, 3.0]));
+        let wrapped = ScalarFallbackBlock(Arc::clone(&inner));
+        assert_eq!(wrapped.len(), 3);
+        assert!(wrapped.describe().contains("scalar-fallback"));
+        // Batched draws agree with the native block under the same seed
+        // (the defaults fall back to the same scalar stream).
+        let mut buf = SampleBuf::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        wrapped.sample_batch(10, &mut rng, &mut buf).unwrap();
+        let scalar = buf.values().to_vec();
+        let mut rng = StdRng::seed_from_u64(5);
+        inner.sample_batch(10, &mut rng, &mut buf).unwrap();
+        assert_eq!(scalar, buf.values());
+    }
+
+    #[test]
+    fn thread_local_buffers_survive_reentrancy() {
+        let v = with_sample_buf(|outer| {
+            outer.begin_scalar(1);
+            outer.push_value(7.0);
+            with_sample_buf(|inner| {
+                inner.begin_scalar(1);
+                inner.push_value(8.0);
+                inner.values()[0]
+            }) + outer.values()[0]
+        });
+        assert_eq!(v, 15.0);
+    }
+}

@@ -36,6 +36,14 @@
 //! uniform with-replacement sampling (values and row tuples),
 //! proportional allocation across blocks, and reservoir sampling for
 //! streams.
+//!
+//! The hot paths run through **batch kernels** ([`kernel`]):
+//! [`DataBlock::sample_batch`] / [`DataBlock::sample_rows_batch`] draw
+//! whole batches with a sorted, cache-friendly gather (bit-identical to
+//! the scalar path), [`DataBlock::scan_chunks`] hands scans out as
+//! contiguous slices, and [`SelectionVector`]s compile a [`RowFilter`]
+//! into per-block matching-index lists so filtered draws are O(1)
+//! lookups instead of rejection loops.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,10 +54,12 @@ pub mod blockset;
 pub mod error;
 pub mod filter;
 pub mod generator;
+pub mod kernel;
 pub mod memory;
 pub mod rows;
 pub mod sampler;
 pub mod schema;
+pub mod selection;
 pub mod text_file;
 
 pub use binary_file::BinaryBlock;
@@ -58,6 +68,10 @@ pub use blockset::BlockSet;
 pub use error::StorageError;
 pub use filter::{CmpOp, ColumnPredicate, RowFilter};
 pub use generator::GeneratorBlock;
+pub use kernel::{
+    scalar_fallback_set, with_row_sample_buf, with_sample_buf, RowSampleBuf, SampleBuf,
+    ScalarFallbackBlock, SAMPLE_BATCH_ROWS, SCAN_CHUNK_ROWS,
+};
 pub use memory::MemBlock;
 pub use rows::{
     pool_filtered_column, project_column, project_filtered_column, ColumnView, FilteredColumnView,
@@ -68,4 +82,5 @@ pub use sampler::{
     sample_rows_proportional, Reservoir,
 };
 pub use schema::{ColumnDef, ColumnType, Schema};
+pub use selection::{SelectionCache, SelectionVector, SetSelection};
 pub use text_file::TextBlock;

@@ -5,6 +5,7 @@ use rand::RngCore;
 
 use crate::block::DataBlock;
 use crate::error::StorageError;
+use crate::kernel::{SampleBuf, SCAN_CHUNK_ROWS};
 
 /// A block whose rows live in memory.
 ///
@@ -73,6 +74,27 @@ impl DataBlock for MemBlock {
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
         for &v in &self.values {
             visit(v);
+        }
+        Ok(())
+    }
+
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.values.is_empty() {
+            return Err(StorageError::Empty);
+        }
+        out.draw_indices(n, self.values.len() as u64, rng);
+        out.gather_from_slice(&self.values);
+        Ok(())
+    }
+
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        for chunk in self.values.chunks(SCAN_CHUNK_ROWS) {
+            visit(chunk);
         }
         Ok(())
     }

@@ -11,8 +11,10 @@
 //!   multi-column block, the adapters that let every scalar consumer
 //!   (baseline estimators, MAX/MIN, the classic ISLA path) run over one
 //!   column of a schema-aware table, optionally under a pushed-down
-//!   [`RowFilter`] (rejection sampling for draws, predicate-filtered
-//!   scans).
+//!   [`RowFilter`]. Filtered draws go through a compiled
+//!   [`SelectionVector`] (O(1) index lookups, matchless blocks skipped
+//!   via their zone stat) wherever one can be built, falling back to
+//!   rejection sampling only for unscannable blocks.
 
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -26,12 +28,8 @@ use crate::block::DataBlock;
 use crate::blockset::BlockSet;
 use crate::error::StorageError;
 use crate::filter::RowFilter;
-
-/// Maximum rejection-sampling attempts per draw on a
-/// [`FilteredColumnView`] before the draw fails. At the default, a
-/// predicate needs selectivity below ~10⁻³ for a draw to fail with
-/// probability ~e⁻¹⁰.
-pub const FILTER_MAX_ATTEMPTS: u32 = 10_000;
+use crate::kernel::{RowSampleBuf, SampleBuf, SCAN_CHUNK_ROWS};
+use crate::selection::{SelectionVector, SetSelection};
 
 thread_local! {
     /// Scratch row tuple reused by the view adapters' per-draw reads —
@@ -202,6 +200,42 @@ impl DataBlock for RowsBlock {
         Ok(())
     }
 
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        out.draw_indices(n, self.rows as u64, rng);
+        out.gather_from_slice(&self.columns[0]);
+        Ok(())
+    }
+
+    fn sample_rows_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut RowSampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        out.draw_indices(n, self.rows as u64, self.columns.len(), rng);
+        let cols: Vec<&[f64]> = self.columns.iter().map(|c| c.as_slice()).collect();
+        out.gather_from_columns(&cols);
+        Ok(())
+    }
+
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        for chunk in self.columns[0].chunks(SCAN_CHUNK_ROWS) {
+            visit(chunk);
+        }
+        Ok(())
+    }
+
     fn project(&self, col: usize) -> Option<Arc<dyn DataBlock>> {
         self.columns
             .get(col)
@@ -240,6 +274,27 @@ impl DataBlock for SharedColumn {
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
         for &v in self.0.iter() {
             visit(v);
+        }
+        Ok(())
+    }
+
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.0.is_empty() {
+            return Err(StorageError::Empty);
+        }
+        out.draw_indices(n, self.0.len() as u64, rng);
+        out.gather_from_slice(&self.0);
+        Ok(())
+    }
+
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        for chunk in self.0.chunks(SCAN_CHUNK_ROWS) {
+            visit(chunk);
         }
         Ok(())
     }
@@ -342,6 +397,36 @@ impl DataBlock for ZipBlock {
         self.cols.iter().all(|c| c.supports_scan())
     }
 
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        out.draw_indices(n, self.rows, rng);
+        out.gather_with_sorted(|idx| self.cols[0].row_at(idx))
+    }
+
+    fn sample_rows_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut RowSampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        out.draw_indices(n, self.rows, self.cols.len(), rng);
+        out.gather_with_sorted(|idx, row| self.row_tuple(idx, row))
+    }
+
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
+        self.cols[0].scan_chunks(visit)
+    }
+
     fn project(&self, col: usize) -> Option<Arc<dyn DataBlock>> {
         // A zip's columns ARE scalar blocks: hand the original back.
         self.cols.get(col).map(Arc::clone)
@@ -403,6 +488,25 @@ impl DataBlock for ColumnView {
         self.inner.scan_rows(&mut |row| visit(row[col]))
     }
 
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        // One index draw per row through the inner batch kernel — the
+        // identical stream as repeated scalar `sample_one` calls.
+        crate::kernel::with_row_sample_buf(|rows| {
+            self.inner.sample_rows_batch(n, rng, rows)?;
+            out.begin_scalar(n as usize);
+            let (w, col) = (rows.width(), self.col);
+            for row in rows.rows().chunks_exact(w) {
+                out.push_value(row[col]);
+            }
+            Ok(())
+        })
+    }
+
     fn supports_scan(&self) -> bool {
         self.inner.supports_scan()
     }
@@ -414,18 +518,23 @@ impl DataBlock for ColumnView {
 
 /// A width-1 projection of one column *under a pushed-down predicate*.
 ///
-/// Draws use rejection sampling (rows are redrawn until the filter
-/// matches), so a sample is uniform over the *matching* rows; scans
-/// visit only matching rows. [`DataBlock::len`] reports the unfiltered
-/// row count — the matching count is unknown without a scan — so
-/// consumers that weight by block size treat it as an upper bound
-/// (acceptable for the baseline estimators this view serves; the ISLA
-/// row path estimates per-block matched counts from its own draws
-/// instead).
+/// With a compiled [`SelectionVector`] (the default when the helpers
+/// build the view over scannable blocks), a draw is one uniform index
+/// into the matching rows — O(1), and a matchless block fails
+/// immediately via its zone stat instead of burning a rejection budget.
+/// Without one (unscannable blocks), draws fall back to rejection
+/// sampling: rows are redrawn until the filter matches, up to
+/// [`RowFilter::MAX_REJECTION_ATTEMPTS`]. Either way a sample is
+/// uniform over the *matching* rows; scans visit only matching rows.
+/// [`DataBlock::len`] reports the unfiltered row count — consumers that
+/// weight by block size treat it as an upper bound (acceptable for the
+/// baseline estimators this view serves; the ISLA row path estimates
+/// per-block matched counts from its own draws instead).
 pub struct FilteredColumnView {
     inner: Arc<dyn DataBlock>,
     col: usize,
     filter: Arc<RowFilter>,
+    selection: Option<Arc<SelectionVector>>,
 }
 
 impl std::fmt::Debug for FilteredColumnView {
@@ -440,7 +549,7 @@ impl std::fmt::Debug for FilteredColumnView {
 
 impl FilteredColumnView {
     /// Projects column `col` of `inner`, restricted to rows matching
-    /// `filter`.
+    /// `filter`, drawing by rejection sampling (no compiled selection).
     ///
     /// # Panics
     ///
@@ -451,7 +560,31 @@ impl FilteredColumnView {
         if let Some(max) = filter.max_column() {
             assert!(max < inner.width(), "filter column {max} out of range");
         }
-        Self { inner, col, filter }
+        Self {
+            inner,
+            col,
+            filter,
+            selection: None,
+        }
+    }
+
+    /// As [`FilteredColumnView::new`], drawing through a compiled
+    /// selection vector (O(1) draws, zone-stat skip). `selection` must
+    /// have been built for `inner` under `filter`.
+    pub fn with_selection(
+        inner: Arc<dyn DataBlock>,
+        col: usize,
+        filter: Arc<RowFilter>,
+        selection: Arc<SelectionVector>,
+    ) -> Self {
+        let mut view = Self::new(inner, col, filter);
+        view.selection = Some(selection);
+        view
+    }
+
+    /// The number of matching rows, when a selection is compiled.
+    pub fn match_count(&self) -> Option<u64> {
+        self.selection.as_ref().map(|s| s.match_count())
     }
 }
 
@@ -461,15 +594,27 @@ impl DataBlock for FilteredColumnView {
     }
 
     fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        if let Some(sel) = &self.selection {
+            // O(1): one uniform index into the matching rows. The zone
+            // stat catches a matchless block before any draw is spent.
+            if sel.is_empty() {
+                return Err(StorageError::SelectivityTooLow { attempts: 0 });
+            }
+            let k = rng.random_range(0..sel.match_count());
+            return with_row_buf(|row| {
+                self.inner.row_tuple(sel.row_index(k), row)?;
+                Ok(row[self.col])
+            });
+        }
         with_row_buf(|row| {
-            for _ in 0..FILTER_MAX_ATTEMPTS {
+            for _ in 0..RowFilter::MAX_REJECTION_ATTEMPTS {
                 self.inner.sample_row(rng, row)?;
                 if self.filter.matches(row) {
                     return Ok(row[self.col]);
                 }
             }
-            Err(StorageError::FilterExhausted {
-                attempts: FILTER_MAX_ATTEMPTS,
+            Err(StorageError::SelectivityTooLow {
+                attempts: RowFilter::MAX_REJECTION_ATTEMPTS,
             })
         })
     }
@@ -477,13 +622,13 @@ impl DataBlock for FilteredColumnView {
     fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
         // Positional access resolves to a *matching* row: `idx` itself
         // when it matches, otherwise a pseudo-random matching row drawn
-        // by rejection from an `idx`-seeded stream (deterministic:
-        // repeated reads of the same index agree). Under a uniform
-        // `idx`, redirects land uniformly on the matching rows, so each
-        // matching row carries identical total probability regardless
-        // of how matches cluster physically — estimators that read
-        // uniform positions (e.g. the US baseline) stay uniform over
-        // the filtered population even on sorted data.
+        // from an `idx`-seeded stream (deterministic: repeated reads of
+        // the same index agree). Under a uniform `idx`, redirects land
+        // uniformly on the matching rows, so each matching row carries
+        // identical total probability regardless of how matches cluster
+        // physically — estimators that read uniform positions (e.g. the
+        // US baseline) stay uniform over the filtered population even
+        // on sorted data.
         let len = self.inner.len();
         if idx >= len {
             return Err(StorageError::Empty);
@@ -494,21 +639,42 @@ impl DataBlock for FilteredColumnView {
                 return Ok(row[self.col]);
             }
             let mut probe_rng = StdRng::seed_from_u64(splitmix64(idx));
-            for _ in 0..FILTER_MAX_ATTEMPTS {
+            if let Some(sel) = &self.selection {
+                // One probe draw lands directly on a matching row.
+                if sel.is_empty() {
+                    return Err(StorageError::SelectivityTooLow { attempts: 0 });
+                }
+                let k = probe_rng.random_range(0..sel.match_count());
+                self.inner.row_tuple(sel.row_index(k), row)?;
+                return Ok(row[self.col]);
+            }
+            for _ in 0..RowFilter::MAX_REJECTION_ATTEMPTS {
                 let probe = probe_rng.random_range(0..len);
                 self.inner.row_tuple(probe, row)?;
                 if self.filter.matches(row) {
                     return Ok(row[self.col]);
                 }
             }
-            Err(StorageError::FilterExhausted {
-                attempts: FILTER_MAX_ATTEMPTS,
+            Err(StorageError::SelectivityTooLow {
+                attempts: RowFilter::MAX_REJECTION_ATTEMPTS,
             })
         })
     }
 
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
         let col = self.col;
+        if let Some(sel) = &self.selection {
+            // Visit exactly the compiled matches, in storage order,
+            // without re-evaluating the predicate per row.
+            return with_row_buf(|row| {
+                for k in 0..sel.match_count() {
+                    self.inner.row_tuple(sel.row_index(k), row)?;
+                    debug_assert!(self.filter.matches(row));
+                    visit(row[col]);
+                }
+                Ok(())
+            });
+        }
         let filter = Arc::clone(&self.filter);
         self.inner.scan_rows(&mut |row| {
             if filter.matches(row) {
@@ -517,16 +683,67 @@ impl DataBlock for FilteredColumnView {
         })
     }
 
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        match &self.selection {
+            Some(sel) => {
+                // Same stream as n scalar selection draws: one uniform
+                // index over the matches per value. Reads stay in draw
+                // order — the matches of a selection-backed view are
+                // (near-)always memory-resident, where out-of-order
+                // execution beats a sorted gather (see crate::kernel).
+                if sel.is_empty() {
+                    return Err(StorageError::SelectivityTooLow { attempts: 0 });
+                }
+                out.draw_indices(n, sel.match_count(), rng);
+                with_row_buf(|row| {
+                    out.gather_with(|k| {
+                        self.inner.row_tuple(sel.row_index(k), row)?;
+                        Ok(row[self.col])
+                    })
+                })
+            }
+            None => {
+                // Rejection fallback with the row buffer hoisted across
+                // the whole batch.
+                out.begin_scalar(n as usize);
+                with_row_buf(|row| {
+                    'batch: for _ in 0..n {
+                        for _ in 0..RowFilter::MAX_REJECTION_ATTEMPTS {
+                            self.inner.sample_row(rng, row)?;
+                            if self.filter.matches(row) {
+                                out.push_value(row[self.col]);
+                                continue 'batch;
+                            }
+                        }
+                        return Err(StorageError::SelectivityTooLow {
+                            attempts: RowFilter::MAX_REJECTION_ATTEMPTS,
+                        });
+                    }
+                    Ok(())
+                })
+            }
+        }
+    }
+
     fn supports_scan(&self) -> bool {
         self.inner.supports_scan()
     }
 
     fn describe(&self) -> String {
         format!(
-            "col {} of {} where {} predicate(s)",
+            "col {} of {} where {} predicate(s){}",
             self.col,
             self.inner.describe(),
-            self.filter.predicates().len()
+            self.filter.predicates().len(),
+            match &self.selection {
+                Some(sel) => format!(" [{} matches compiled]", sel.match_count()),
+                None => String::new(),
+            }
         )
     }
 }
@@ -550,23 +767,54 @@ pub fn project_column(set: &BlockSet, col: usize) -> BlockSet {
 /// matching `filter`, preserving the block structure (one
 /// [`FilteredColumnView`] per block).
 ///
-/// Per-block rejection sampling fails on a block with *no* matching
-/// row; consumers whose data may be range-partitioned on the filtered
-/// column should prefer [`pool_filtered_column`], which rejects across
-/// the whole set.
+/// Each scannable block gets a compiled selection vector (built once
+/// and cached on the set — see [`BlockSet::selection_for`]), so draws
+/// are O(1) index lookups; unscannable blocks keep the rejection
+/// fallback. A block with *no* matching row fails its draws
+/// immediately; consumers whose data may be range-partitioned on the
+/// filtered column should prefer [`pool_filtered_column`], which draws
+/// across the whole set.
 pub fn project_filtered_column(set: &BlockSet, col: usize, filter: RowFilter) -> BlockSet {
+    let selection = compile_selection(set, &filter);
     let filter = Arc::new(filter);
     BlockSet::new(
         set.iter()
-            .map(|b| {
-                Arc::new(FilteredColumnView::new(
-                    Arc::clone(b),
-                    col,
-                    Arc::clone(&filter),
-                )) as Arc<dyn DataBlock>
+            .enumerate()
+            .map(|(i, b)| {
+                let view = match selection.as_ref().and_then(|s| s.block(i)) {
+                    Some(sel) => FilteredColumnView::with_selection(
+                        Arc::clone(b),
+                        col,
+                        Arc::clone(&filter),
+                        Arc::clone(sel),
+                    ),
+                    None => FilteredColumnView::new(Arc::clone(b), col, Arc::clone(&filter)),
+                };
+                Arc::new(view) as Arc<dyn DataBlock>
             })
             .collect(),
     )
+}
+
+/// Compiles (or fetches from the set's cache) the selection of `set`
+/// under `filter`. `None` for trivial filters — a selection listing
+/// every row would cost 4 bytes/row for nothing — and when compilation
+/// fails (the first scan error surfaces later through the fallback
+/// path, which hits the same storage fault).
+///
+/// Compilation is **eager** (one row scan per block at view
+/// construction): the deliberate trade of the precomputed-selection
+/// design — a first filtered query over a huge table pays a scan that
+/// per-draw rejection would not, and every later query over a
+/// fingerprint-equal filter (and every low-selectivity draw, where
+/// rejection degrades as 1/selectivity) gets O(1) draws from the
+/// set-level cache. Blocks that cannot scan keep the rejection path,
+/// so virtual/capped storage never pays this.
+fn compile_selection(set: &BlockSet, filter: &RowFilter) -> Option<Arc<SetSelection>> {
+    if filter.is_trivial() {
+        return None;
+    }
+    set.selection_for(filter).ok()
 }
 
 /// Projects one column of the whole set, restricted to rows matching
@@ -586,12 +834,17 @@ pub fn pool_filtered_column(set: &BlockSet, col: usize, filter: RowFilter) -> Bl
         total += block.len();
         cumulative.push(total);
     }
+    // A *complete* compiled selection (every block scannable) turns
+    // pooled draws into O(1) global match lookups; anything less keeps
+    // the whole-set rejection fallback.
+    let selection = compile_selection(set, &filter).filter(|s| s.is_complete());
     BlockSet::single(PooledFilteredColumn {
         blocks: set.iter().map(Arc::clone).collect(),
         cumulative,
         total,
         col,
         filter: Arc::new(filter),
+        selection,
     })
 }
 
@@ -604,6 +857,8 @@ pub struct PooledFilteredColumn {
     total: u64,
     col: usize,
     filter: Arc<RowFilter>,
+    /// Compiled whole-set selection, when every block supports one.
+    selection: Option<Arc<SetSelection>>,
 }
 
 impl std::fmt::Debug for PooledFilteredColumn {
@@ -626,6 +881,24 @@ impl PooledFilteredColumn {
         self.blocks[b].row_tuple(idx - base, row)?;
         Ok(self.filter.matches(row).then(|| row[self.col]))
     }
+
+    /// Reads the `k`-th global *match* through the compiled selection.
+    fn read_match(
+        &self,
+        sel: &SetSelection,
+        k: u64,
+        row: &mut Vec<f64>,
+    ) -> Result<f64, StorageError> {
+        let (b, local) = sel.locate(k);
+        self.blocks[b].row_tuple(local, row)?;
+        debug_assert!(self.filter.matches(row));
+        Ok(row[self.col])
+    }
+
+    /// The number of matching rows across the set, when compiled.
+    pub fn match_count(&self) -> Option<u64> {
+        self.selection.as_ref().map(|s| s.total_matches())
+    }
 }
 
 impl DataBlock for PooledFilteredColumn {
@@ -637,15 +910,25 @@ impl DataBlock for PooledFilteredColumn {
         if self.total == 0 {
             return Err(StorageError::Empty);
         }
+        if let Some(sel) = &self.selection {
+            // O(1): one uniform index over the set's matches, resolved
+            // by binary search over the per-block match counts —
+            // matchless blocks occupy no width and are never probed.
+            if sel.total_matches() == 0 {
+                return Err(StorageError::SelectivityTooLow { attempts: 0 });
+            }
+            let k = rng.random_range(0..sel.total_matches());
+            return with_row_buf(|row| self.read_match(sel, k, row));
+        }
         with_row_buf(|row| {
-            for _ in 0..FILTER_MAX_ATTEMPTS {
+            for _ in 0..RowFilter::MAX_REJECTION_ATTEMPTS {
                 let idx = rng.random_range(0..self.total);
                 if let Some(v) = self.read_global(idx, row)? {
                     return Ok(v);
                 }
             }
-            Err(StorageError::FilterExhausted {
-                attempts: FILTER_MAX_ATTEMPTS,
+            Err(StorageError::SelectivityTooLow {
+                attempts: RowFilter::MAX_REJECTION_ATTEMPTS,
             })
         })
     }
@@ -662,20 +945,44 @@ impl DataBlock for PooledFilteredColumn {
                 return Ok(v);
             }
             let mut probe_rng = StdRng::seed_from_u64(splitmix64(idx));
-            for _ in 0..FILTER_MAX_ATTEMPTS {
+            if let Some(sel) = &self.selection {
+                if sel.total_matches() == 0 {
+                    return Err(StorageError::SelectivityTooLow { attempts: 0 });
+                }
+                let k = probe_rng.random_range(0..sel.total_matches());
+                return self.read_match(sel, k, row);
+            }
+            for _ in 0..RowFilter::MAX_REJECTION_ATTEMPTS {
                 let probe = probe_rng.random_range(0..self.total);
                 if let Some(v) = self.read_global(probe, row)? {
                     return Ok(v);
                 }
             }
-            Err(StorageError::FilterExhausted {
-                attempts: FILTER_MAX_ATTEMPTS,
+            Err(StorageError::SelectivityTooLow {
+                attempts: RowFilter::MAX_REJECTION_ATTEMPTS,
             })
         })
     }
 
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
         let col = self.col;
+        if let Some(sel) = &self.selection {
+            // Walk only the compiled matches, block by block, skipping
+            // matchless blocks outright via their zone stat.
+            return with_row_buf(|row| {
+                for (b, block) in self.blocks.iter().enumerate() {
+                    let Some(block_sel) = sel.block(b) else {
+                        unreachable!("complete selections cover every block");
+                    };
+                    for &local in block_sel.indices() {
+                        block.row_tuple(u64::from(local), row)?;
+                        debug_assert!(self.filter.matches(row));
+                        visit(row[col]);
+                    }
+                }
+                Ok(())
+            });
+        }
         let filter = Arc::clone(&self.filter);
         for block in &self.blocks {
             block.scan_rows(&mut |row| {
@@ -687,17 +994,63 @@ impl DataBlock for PooledFilteredColumn {
         Ok(())
     }
 
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut SampleBuf,
+    ) -> Result<(), StorageError> {
+        if self.total == 0 {
+            return Err(StorageError::Empty);
+        }
+        match &self.selection {
+            Some(sel) => {
+                // Same stream as n scalar selection draws; reads stay
+                // in draw order (memory-resident matches — see
+                // crate::kernel on direct vs sorted gathers).
+                if sel.total_matches() == 0 {
+                    return Err(StorageError::SelectivityTooLow { attempts: 0 });
+                }
+                out.draw_indices(n, sel.total_matches(), rng);
+                with_row_buf(|row| out.gather_with(|k| self.read_match(sel, k, row)))
+            }
+            None => {
+                // Rejection fallback, row buffer hoisted over the batch.
+                out.begin_scalar(n as usize);
+                with_row_buf(|row| {
+                    'batch: for _ in 0..n {
+                        for _ in 0..RowFilter::MAX_REJECTION_ATTEMPTS {
+                            let idx = rng.random_range(0..self.total);
+                            if let Some(v) = self.read_global(idx, row)? {
+                                out.push_value(v);
+                                continue 'batch;
+                            }
+                        }
+                        return Err(StorageError::SelectivityTooLow {
+                            attempts: RowFilter::MAX_REJECTION_ATTEMPTS,
+                        });
+                    }
+                    Ok(())
+                })
+            }
+        }
+    }
+
     fn supports_scan(&self) -> bool {
         self.blocks.iter().all(|b| b.supports_scan())
     }
 
     fn describe(&self) -> String {
         format!(
-            "pooled col {} of {} blocks ({} rows) where {} predicate(s)",
+            "pooled col {} of {} blocks ({} rows) where {} predicate(s){}",
             self.col,
             self.blocks.len(),
             self.total,
-            self.filter.predicates().len()
+            self.filter.predicates().len(),
+            match &self.selection {
+                Some(sel) => format!(" [{} matches compiled]", sel.total_matches()),
+                None => String::new(),
+            }
         )
     }
 }
@@ -914,7 +1267,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         assert!(matches!(
             view.sample_one(&mut rng),
-            Err(StorageError::FilterExhausted { .. })
+            Err(StorageError::SelectivityTooLow { .. })
         ));
     }
 
@@ -973,7 +1326,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         assert!(matches!(
             per_block.block(0).sample_one(&mut rng),
-            Err(StorageError::FilterExhausted { .. })
+            Err(StorageError::SelectivityTooLow { .. })
         ));
     }
 

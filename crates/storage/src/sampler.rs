@@ -13,6 +13,7 @@ use rand::RngCore;
 use crate::block::DataBlock;
 use crate::blockset::BlockSet;
 use crate::error::StorageError;
+use crate::kernel::{with_row_sample_buf, with_sample_buf, SAMPLE_BATCH_ROWS};
 
 /// Draws `m` uniform samples (with replacement) from one block, passing
 /// each to `visit`.
@@ -21,6 +22,11 @@ use crate::error::StorageError;
 /// regardless of the sampling rate, and is the standard model for AQP
 /// estimators (every sample is an independent draw from the block's
 /// empirical distribution).
+///
+/// Internally batched through [`DataBlock::sample_batch`] in
+/// [`SAMPLE_BATCH_ROWS`]-sized chunks on a reusable thread-local buffer
+/// — values reach `visit` in the identical order, from the identical
+/// RNG stream, as the scalar loop this replaces.
 ///
 /// # Errors
 ///
@@ -31,15 +37,24 @@ pub fn sample_from_block(
     rng: &mut dyn RngCore,
     visit: &mut dyn FnMut(f64),
 ) -> Result<(), StorageError> {
-    for _ in 0..m {
-        visit(block.sample_one(rng)?);
-    }
-    Ok(())
+    with_sample_buf(|buf| {
+        let mut left = m;
+        while left > 0 {
+            let take = left.min(SAMPLE_BATCH_ROWS);
+            block.sample_batch(take, rng, buf)?;
+            for &v in buf.values() {
+                visit(v);
+            }
+            left -= take;
+        }
+        Ok(())
+    })
 }
 
 /// Draws `m` uniform row tuples (with replacement) from one block,
 /// passing each to `visit` — the row-model analogue of
-/// [`sample_from_block`].
+/// [`sample_from_block`], batched the same way through
+/// [`DataBlock::sample_rows_batch`].
 ///
 /// # Errors
 ///
@@ -50,12 +65,18 @@ pub fn sample_rows_from_block(
     rng: &mut dyn RngCore,
     visit: &mut dyn FnMut(&[f64]),
 ) -> Result<(), StorageError> {
-    let mut row = Vec::with_capacity(block.width());
-    for _ in 0..m {
-        block.sample_row(rng, &mut row)?;
-        visit(&row);
-    }
-    Ok(())
+    with_row_sample_buf(|buf| {
+        let mut left = m;
+        while left > 0 {
+            let take = left.min(SAMPLE_BATCH_ROWS);
+            block.sample_rows_batch(take, rng, buf)?;
+            for row in buf.iter_rows() {
+                visit(row);
+            }
+            left -= take;
+        }
+        Ok(())
+    })
 }
 
 /// Draws `m` uniform row tuples across a block set, with per-block sizes

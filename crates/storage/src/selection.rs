@@ -1,0 +1,372 @@
+//! Compiled selection vectors: precomputed per-block match structures
+//! for a [`RowFilter`], the standard fix for expensive-predicate
+//! sampling (cf. Kang et al., accelerating approximate aggregation with
+//! expensive predicates).
+//!
+//! A [`SelectionVector`] lists one block's matching row indices in
+//! ascending order, plus the match count as a zone statistic. With one
+//! in hand, a filtered draw becomes a single uniform index into the
+//! matching rows — O(1), no rejection loop — and a block whose count is
+//! zero is skipped outright. [`SetSelection`] aggregates the per-block
+//! vectors over a [`crate::BlockSet`] with cumulative match counts, so
+//! a pooled filtered population draws globally in O(log b).
+//!
+//! Building a vector costs one full scan of the block; the result is
+//! cached **on the block set** ([`SelectionCache`], keyed by the
+//! filter's fingerprint), so repeated queries over the same predicate
+//! never rescan. Memory cost is 4 bytes per *matching* row (indices are
+//! `u32`; blocks longer than `u32::MAX` rows, and blocks that cannot
+//! scan at all — virtual generator blocks past their cap — simply skip
+//! compilation and keep the rejection-sampling fallback).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::block::DataBlock;
+use crate::error::StorageError;
+use crate::filter::RowFilter;
+
+/// One block's compiled selection: the matching row indices, ascending.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionVector {
+    indices: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// Compiles the selection vector of `block` under `filter` with one
+    /// full row scan. Returns `None` when the block cannot support one
+    /// (no scan, or more rows than `u32` indexes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scan failures (I/O, parse).
+    pub fn build(block: &dyn DataBlock, filter: &RowFilter) -> Result<Option<Self>, StorageError> {
+        if !block.supports_scan() || block.len() > u64::from(u32::MAX) {
+            return Ok(None);
+        }
+        let mut indices = Vec::new();
+        let mut row_idx: u32 = 0;
+        block.scan_rows(&mut |row| {
+            if filter.matches(row) {
+                indices.push(row_idx);
+            }
+            row_idx += 1;
+        })?;
+        Ok(Some(Self { indices }))
+    }
+
+    /// Number of matching rows — the block's match-count zone stat.
+    pub fn match_count(&self) -> u64 {
+        self.indices.len() as u64
+    }
+
+    /// True when no row of the block matches (the block can be skipped
+    /// outright).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The `k`-th matching row's index within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= match_count()`.
+    pub fn row_index(&self, k: u64) -> u64 {
+        u64::from(self.indices[k as usize])
+    }
+
+    /// The matching indices, ascending.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+}
+
+/// A block set's compiled selection under one filter: per-block vectors
+/// plus cumulative match counts for global draws.
+#[derive(Debug, Clone)]
+pub struct SetSelection {
+    /// Per-block selection vectors, in block order (`None`: the block
+    /// could not compile one and keeps the rejection fallback).
+    blocks: Vec<Option<Arc<SelectionVector>>>,
+    /// Cumulative match counts over the compiled blocks (uncompiled
+    /// blocks contribute zero here).
+    cumulative: Vec<u64>,
+    total_matches: u64,
+    complete: bool,
+}
+
+impl SetSelection {
+    /// Compiles the selection of every block in `blocks` under `filter`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first block scan failure.
+    pub fn build(blocks: &[Arc<dyn DataBlock>], filter: &RowFilter) -> Result<Self, StorageError> {
+        let mut per_block = Vec::with_capacity(blocks.len());
+        let mut cumulative = Vec::with_capacity(blocks.len());
+        let mut total = 0u64;
+        let mut complete = true;
+        for block in blocks {
+            match SelectionVector::build(block.as_ref(), filter)? {
+                Some(sel) => {
+                    total += sel.match_count();
+                    per_block.push(Some(Arc::new(sel)));
+                }
+                None => {
+                    complete = false;
+                    per_block.push(None);
+                }
+            }
+            cumulative.push(total);
+        }
+        Ok(Self {
+            blocks: per_block,
+            cumulative,
+            total_matches: total,
+            complete,
+        })
+    }
+
+    /// Whether every block compiled a vector — only then can a pooled
+    /// population draw through the selection.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Total matching rows across the compiled blocks.
+    pub fn total_matches(&self) -> u64 {
+        self.total_matches
+    }
+
+    /// The selection vector of block `i`, when compiled.
+    pub fn block(&self, i: usize) -> Option<&Arc<SelectionVector>> {
+        self.blocks[i].as_ref()
+    }
+
+    /// Number of blocks covered.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Resolves the `k`-th global match (`0 ≤ k < total_matches`) to
+    /// `(block_index, row_index_within_block)` by binary search over the
+    /// cumulative counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= total_matches()`.
+    pub fn locate(&self, k: u64) -> (usize, u64) {
+        assert!(k < self.total_matches, "match index out of range");
+        let b = self.cumulative.partition_point(|&c| c <= k);
+        let base = if b == 0 { 0 } else { self.cumulative[b - 1] };
+        let sel = self.blocks[b]
+            .as_ref()
+            .expect("cumulative only advances over compiled blocks");
+        (b, sel.row_index(k - base))
+    }
+}
+
+/// Maximum compiled filters a [`SelectionCache`] retains; the
+/// oldest-inserted entry is evicted beyond this, bounding the cache at
+/// `cap × matches × 4 B` even under endless ad-hoc predicates.
+pub const SELECTION_CACHE_CAP: usize = 64;
+
+/// The per-block-set cache of compiled selections, keyed by the
+/// filter's fingerprint *and verified against the stored filter* (a
+/// fingerprint collision can therefore never serve the wrong
+/// selection). Shared (via `Arc`) across clones of the block set, so a
+/// `WHERE` clause is compiled at most once per dataset no matter how
+/// many queries reuse it; insertion-order eviction caps retention at
+/// [`SELECTION_CACHE_CAP`] filters.
+#[derive(Debug, Default)]
+pub struct SelectionCache {
+    inner: Mutex<CacheState>,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<u64, Vec<(RowFilter, Arc<SetSelection>)>>,
+    /// Fingerprints in insertion order, for bounded FIFO eviction.
+    order: std::collections::VecDeque<u64>,
+    len: usize,
+}
+
+impl SelectionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached selection for `filter`, compiling and caching
+    /// it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation scan failures (nothing is cached then).
+    pub fn get_or_build(
+        &self,
+        blocks: &[Arc<dyn DataBlock>],
+        filter: &RowFilter,
+    ) -> Result<Arc<SetSelection>, StorageError> {
+        let key = filter.fingerprint();
+        {
+            let state = self
+                .inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(bucket) = state.entries.get(&key) {
+                // Equality check, not just the 64-bit digest: colliding
+                // filters land in the same bucket but never alias.
+                if let Some((_, sel)) = bucket.iter().find(|(f, _)| f == filter) {
+                    return Ok(Arc::clone(sel));
+                }
+            }
+        }
+        // Built outside the lock: compilation scans the whole set and
+        // must not serialize unrelated lookups. A racing duplicate build
+        // is idempotent.
+        let built = Arc::new(SetSelection::build(blocks, filter)?);
+        let mut state = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state
+            .entries
+            .entry(key)
+            .or_default()
+            .push((filter.clone(), Arc::clone(&built)));
+        state.order.push_back(key);
+        state.len += 1;
+        while state.len > SELECTION_CACHE_CAP {
+            let Some(evict) = state.order.pop_front() else {
+                break;
+            };
+            let mut removed = false;
+            let mut bucket_empty = false;
+            if let Some(bucket) = state.entries.get_mut(&evict) {
+                if !bucket.is_empty() {
+                    bucket.remove(0);
+                    removed = true;
+                }
+                bucket_empty = bucket.is_empty();
+            }
+            if removed {
+                state.len -= 1;
+            }
+            if bucket_empty {
+                state.entries.remove(&evict);
+            }
+        }
+        Ok(built)
+    }
+
+    /// Number of compiled filters currently cached.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{CmpOp, ColumnPredicate};
+    use crate::rows::RowsBlock;
+
+    fn filter_gt(column: usize, value: f64) -> RowFilter {
+        RowFilter::new(vec![ColumnPredicate {
+            column,
+            op: CmpOp::Gt,
+            value,
+        }])
+    }
+
+    #[test]
+    fn selection_vector_matches_brute_force() {
+        let block = RowsBlock::new(vec![
+            (0..100).map(f64::from).collect(),
+            (0..100).map(|i| f64::from(i % 7)).collect(),
+        ]);
+        let filter = filter_gt(1, 3.0);
+        let sel = SelectionVector::build(&block, &filter).unwrap().unwrap();
+        let brute: Vec<u32> = (0..100u32).filter(|i| f64::from(i % 7) > 3.0).collect();
+        assert_eq!(sel.indices(), &brute[..]);
+        assert_eq!(sel.match_count(), brute.len() as u64);
+        assert!(!sel.is_empty());
+        assert_eq!(sel.row_index(0), u64::from(brute[0]));
+    }
+
+    #[test]
+    fn set_selection_locates_global_matches() {
+        let set = RowsBlock::split(vec![(0..1000).map(f64::from).collect()], 4);
+        let filter = filter_gt(0, 899.5); // matches rows 900..999, all in the last block
+        let blocks: Vec<_> = set.iter().map(std::sync::Arc::clone).collect();
+        let sel = SetSelection::build(&blocks, &filter).unwrap();
+        assert!(sel.is_complete());
+        assert_eq!(sel.total_matches(), 100);
+        assert_eq!(sel.block_count(), 4);
+        assert!(sel.block(0).unwrap().is_empty(), "matchless zone stat");
+        let (b, row) = sel.locate(0);
+        assert_eq!(b, 3);
+        assert_eq!(set.block(b).row_at(row).unwrap(), 900.0);
+        let (b, row) = sel.locate(99);
+        assert_eq!(set.block(b).row_at(row).unwrap(), 999.0);
+    }
+
+    #[test]
+    fn cache_compiles_once_per_fingerprint() {
+        let set = RowsBlock::split(vec![(0..100).map(f64::from).collect()], 2);
+        let blocks: Vec<_> = set.iter().map(std::sync::Arc::clone).collect();
+        let cache = SelectionCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get_or_build(&blocks, &filter_gt(0, 50.0)).unwrap();
+        let b = cache.get_or_build(&blocks, &filter_gt(0, 50.0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup hits the cache");
+        let _ = cache.get_or_build(&blocks, &filter_gt(0, 60.0)).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_is_bounded_by_insertion_order_eviction() {
+        let set = RowsBlock::split(vec![(0..50).map(f64::from).collect()], 2);
+        let blocks: Vec<_> = set.iter().map(std::sync::Arc::clone).collect();
+        let cache = SelectionCache::new();
+        for i in 0..(SELECTION_CACHE_CAP + 10) {
+            cache
+                .get_or_build(&blocks, &filter_gt(0, i as f64))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), SELECTION_CACHE_CAP, "oldest entries evicted");
+        // The newest filter is still cached (pointer-equal on re-lookup);
+        // the very first was evicted and rebuilds to a distinct Arc.
+        let newest = filter_gt(0, (SELECTION_CACHE_CAP + 9) as f64);
+        let a = cache.get_or_build(&blocks, &newest).unwrap();
+        let b = cache.get_or_build(&blocks, &newest).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn unscannable_blocks_skip_compilation() {
+        use crate::generator::GeneratorBlock;
+        use isla_stats::distributions::Normal;
+        let gen = GeneratorBlock::new(std::sync::Arc::new(Normal::new(0.0, 1.0)), 100, 1)
+            .with_scan_cap(10);
+        assert!(SelectionVector::build(&gen, &filter_gt(0, 0.0))
+            .unwrap()
+            .is_none());
+        let blocks: Vec<Arc<dyn DataBlock>> = vec![
+            Arc::new(RowsBlock::new(vec![vec![1.0, 5.0]])),
+            Arc::new(gen),
+        ];
+        let sel = SetSelection::build(&blocks, &filter_gt(0, 2.0)).unwrap();
+        assert!(!sel.is_complete());
+        assert_eq!(sel.total_matches(), 1, "compiled blocks still counted");
+    }
+}

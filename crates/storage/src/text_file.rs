@@ -238,6 +238,22 @@ impl DataBlock for TextBlock {
         Ok(())
     }
 
+    fn sample_batch(
+        &self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut crate::kernel::SampleBuf,
+    ) -> Result<(), StorageError> {
+        let rows = (self.offsets.len() - 1) as u64;
+        if rows == 0 {
+            return Err(StorageError::Empty);
+        }
+        // Sorted gather: ascending line offsets keep a batch of point
+        // reads within the page cache's sequential sweet spot.
+        out.draw_indices(n, rows, rng);
+        out.gather_with_sorted(|idx| self.read_row(idx as usize))
+    }
+
     fn describe(&self) -> String {
         format!("text({}, {} rows)", self.path.display(), self.len())
     }

@@ -1,0 +1,315 @@
+//! Kernel-identity tests: the batched sampling/scan kernels must be
+//! **bit-identical** to the scalar path they replaced — same seed, same
+//! values, same RNG stream, same `BlockOutcome`s — across tuple widths
+//! and worker counts; and compiled selection vectors must agree exactly
+//! with brute-force filtering.
+//!
+//! The scalar reference is [`ScalarFallbackBlock`]: a forwarding wrapper
+//! that hides every batch-kernel override, so the trait defaults run the
+//! old one-value-at-a-time path over the very same data.
+
+use std::sync::Arc;
+
+use isla::core::engine::{self, PooledScheduler, RateSpec, RowSpec, SequentialScheduler};
+use isla::core::IslaConfig;
+use isla::storage::{
+    pool_filtered_column, scalar_fallback_set, BlockSet, CmpOp, ColumnPredicate, DataBlock,
+    MemBlock, RowFilter, RowSampleBuf, RowsBlock, SampleBuf, SelectionVector, StorageError,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic multi-column block set: `width` columns over `n`
+/// rows, column `c` of row `i` holding a distinct affine mix of both.
+fn columns(n: usize, width: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..100.0)).collect();
+    (0..width)
+        .map(|c| {
+            base.iter()
+                .enumerate()
+                .map(|(i, &v)| v * (c + 1) as f64 + (i % 13) as f64)
+                .collect()
+        })
+        .collect()
+}
+
+fn native_set(n: usize, width: usize, blocks: usize, seed: u64) -> BlockSet {
+    RowsBlock::split(columns(n, width, seed), blocks)
+}
+
+#[test]
+fn sample_batch_is_bit_identical_to_scalar_for_widths_1_2_4() {
+    for width in [1usize, 2, 4] {
+        let native = native_set(20_000, width, 1, 42);
+        let fallback = scalar_fallback_set(&native);
+        for (b, (nb, fb)) in native.iter().zip(fallback.iter()).enumerate() {
+            for n in [1u64, 7, 100, 5_000] {
+                let mut buf = SampleBuf::new();
+                let mut rng = StdRng::seed_from_u64(n ^ (width as u64) << 8);
+                nb.sample_batch(n, &mut rng, &mut buf).unwrap();
+                let batched = buf.values().to_vec();
+                let stream_after_batched = rng.next_u64();
+
+                let mut rng = StdRng::seed_from_u64(n ^ (width as u64) << 8);
+                fb.sample_batch(n, &mut rng, &mut buf).unwrap();
+                assert_eq!(
+                    batched,
+                    buf.values(),
+                    "width {width} block {b} n {n}: batched != scalar"
+                );
+                assert_eq!(
+                    stream_after_batched,
+                    rng.next_u64(),
+                    "width {width} block {b} n {n}: RNG streams diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sample_rows_batch_is_bit_identical_to_scalar_for_widths_1_2_4() {
+    for width in [1usize, 2, 4] {
+        let native = native_set(10_000, width, 1, 7);
+        let fallback = scalar_fallback_set(&native);
+        for (nb, fb) in native.iter().zip(fallback.iter()) {
+            let mut buf = RowSampleBuf::new();
+            let mut rng = StdRng::seed_from_u64(99);
+            nb.sample_rows_batch(3_000, &mut rng, &mut buf).unwrap();
+            let batched = buf.rows().to_vec();
+            assert_eq!(buf.width(), width);
+
+            let mut rng = StdRng::seed_from_u64(99);
+            fb.sample_rows_batch(3_000, &mut rng, &mut buf).unwrap();
+            assert_eq!(batched, buf.rows(), "width {width}: batched rows != scalar");
+        }
+    }
+}
+
+#[test]
+fn scan_chunks_visits_the_scalar_scan_order() {
+    let native = native_set(50_000, 2, 4, 11);
+    let mut chunked = Vec::new();
+    native
+        .scan_all_chunks(&mut |chunk| chunked.extend_from_slice(chunk))
+        .unwrap();
+    let mut scalar = Vec::new();
+    native.scan_all(&mut |v| scalar.push(v)).unwrap();
+    assert_eq!(chunked, scalar);
+}
+
+#[test]
+fn engine_is_bit_identical_on_batched_and_scalar_kernels_for_workers_1_2_4_7() {
+    // The full pipeline (pilots + Algorithm 1 + Algorithm 2) over the
+    // batched kernels must reproduce the scalar path bit for bit, on
+    // every scheduler.
+    let native = BlockSet::from_values(isla::datagen::normal_values(100.0, 20.0, 200_000, 77), 9);
+    let fallback = scalar_fallback_set(&native);
+    let cfg = IslaConfig::builder().precision(0.5).build().unwrap();
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let batched = engine::run(
+        &native,
+        &cfg,
+        RateSpec::Derived,
+        &SequentialScheduler,
+        &mut rng,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let scalar = engine::run(
+        &fallback,
+        &cfg,
+        RateSpec::Derived,
+        &SequentialScheduler,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(batched.estimate, scalar.estimate);
+    assert_eq!(batched.total_samples, scalar.total_samples);
+    assert_eq!(batched.blocks.len(), scalar.blocks.len());
+    for (b, s) in batched.blocks.iter().zip(&scalar.blocks) {
+        assert_eq!(b.answer, s.answer, "block {} answer", b.block_id);
+        assert_eq!((b.u, b.v), (s.u, s.v), "block {} regions", b.block_id);
+        assert_eq!(b.samples_drawn, s.samples_drawn);
+        assert_eq!(b.iterations, s.iterations);
+        assert_eq!(b.fallback, s.fallback);
+    }
+
+    for workers in [1usize, 2, 4, 7] {
+        let pooled_scheduler = PooledScheduler::new(workers).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pooled = engine::run(
+            &fallback,
+            &cfg,
+            RateSpec::Derived,
+            &pooled_scheduler,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(
+            batched.estimate, pooled.estimate,
+            "{workers} workers on the scalar path diverge from the batched answer"
+        );
+        assert_eq!(batched.total_samples, pooled.total_samples);
+    }
+}
+
+#[test]
+fn row_pipeline_is_bit_identical_on_batched_and_scalar_kernels() {
+    let native = native_set(60_000, 3, 8, 23);
+    let fallback = scalar_fallback_set(&native);
+    let cfg = IslaConfig::builder().precision(1.0).build().unwrap();
+    let spec = RowSpec {
+        agg_column: 0,
+        filter: RowFilter::new(vec![ColumnPredicate {
+            column: 1,
+            op: CmpOp::Gt,
+            value: 60.0,
+        }]),
+        group_by: Some(2),
+    };
+    let run = |data: &BlockSet, workers: Option<usize>| {
+        let mut rng = StdRng::seed_from_u64(31);
+        match workers {
+            None => engine::run_rows(
+                data,
+                &cfg,
+                spec.clone(),
+                RateSpec::Derived,
+                &SequentialScheduler,
+                &mut rng,
+            ),
+            Some(w) => engine::run_rows(
+                data,
+                &cfg,
+                spec.clone(),
+                RateSpec::Derived,
+                &PooledScheduler::new(w).unwrap(),
+                &mut rng,
+            ),
+        }
+        .unwrap()
+    };
+    let batched = run(&native, None);
+    for workers in [None, Some(1), Some(2), Some(4), Some(7)] {
+        let scalar = run(&fallback, workers);
+        assert_eq!(batched.groups.len(), scalar.groups.len());
+        for (b, s) in batched.groups.iter().zip(&scalar.groups) {
+            assert_eq!(b.key, s.key, "workers {workers:?}");
+            assert_eq!(b.estimate, s.estimate, "workers {workers:?}");
+            assert_eq!(b.rows_estimate, s.rows_estimate, "workers {workers:?}");
+            assert_eq!(b.matched_draws, s.matched_draws, "workers {workers:?}");
+        }
+        assert_eq!(batched.estimate, scalar.estimate);
+        assert_eq!(batched.total_samples, scalar.total_samples);
+    }
+}
+
+/// Brute-force filter application: the reference for selection vectors.
+fn brute_force_matches(cols: &[Vec<f64>], filter: &RowFilter) -> Vec<u32> {
+    let n = cols[0].len();
+    let mut row = Vec::with_capacity(cols.len());
+    (0..n as u32)
+        .filter(|&i| {
+            row.clear();
+            row.extend(cols.iter().map(|c| c[i as usize]));
+            filter.matches(&row)
+        })
+        .collect()
+}
+
+proptest! {
+    /// A compiled selection vector lists exactly the brute-force
+    /// matching indices, and every selection-backed access path (draws,
+    /// positional reads, scans) touches matching rows only.
+    #[test]
+    fn selection_vector_agrees_with_brute_force(
+        n in 1usize..400,
+        blocks in 1usize..6,
+        threshold in 0.0f64..110.0,
+        op_pick in 0usize..4,
+        seed in 0u64..u64::MAX,
+    ) {
+        let blocks = blocks.min(n);
+        let cols = columns(n, 2, seed);
+        let op = [CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le][op_pick];
+        let filter = RowFilter::new(vec![ColumnPredicate { column: 1, op, value: threshold * 2.0 }]);
+
+        // Per-block vectors match per-block brute force.
+        let set = RowsBlock::split(cols.clone(), blocks);
+        let mut offset = 0usize;
+        for block in set.iter() {
+            let len = block.len() as usize;
+            let block_cols: Vec<Vec<f64>> = cols
+                .iter()
+                .map(|c| c[offset..offset + len].to_vec())
+                .collect();
+            let sel = SelectionVector::build(block.as_ref(), &filter).unwrap().unwrap();
+            prop_assert_eq!(sel.indices(), &brute_force_matches(&block_cols, &filter)[..]);
+            offset += len;
+        }
+
+        // The pooled view built over the compiled selection scans
+        // exactly the brute-force matching values, in order, and its
+        // draws/positional reads stay inside the matching set.
+        let global_matches = brute_force_matches(&cols, &filter);
+        let expected: Vec<f64> = global_matches.iter().map(|&i| cols[0][i as usize]).collect();
+        let pooled = pool_filtered_column(&set, 0, filter.clone());
+        let block = pooled.block(0);
+        let mut scanned = Vec::new();
+        block.scan(&mut |v| scanned.push(v)).unwrap();
+        prop_assert_eq!(&scanned, &expected);
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        if expected.is_empty() {
+            prop_assert!(matches!(
+                block.sample_one(&mut rng),
+                Err(StorageError::SelectivityTooLow { attempts: 0 })
+            ));
+        } else {
+            for _ in 0..32 {
+                let v = block.sample_one(&mut rng).unwrap();
+                prop_assert!(expected.contains(&v), "sampled non-matching value {}", v);
+            }
+            let mut buf = SampleBuf::new();
+            let mut rng_a = StdRng::seed_from_u64(seed ^ 0x1234);
+            block.sample_batch(64, &mut rng_a, &mut buf).unwrap();
+            let batched = buf.values().to_vec();
+            // Batched filtered draws are bit-identical to scalar
+            // selection draws under the same seed.
+            let mut rng_b = StdRng::seed_from_u64(seed ^ 0x1234);
+            let scalar: Vec<f64> = (0..64)
+                .map(|_| block.sample_one(&mut rng_b).unwrap())
+                .collect();
+            prop_assert_eq!(batched, scalar);
+            for idx in 0..block.len().min(64) {
+                let v = block.row_at(idx).unwrap();
+                prop_assert!(expected.contains(&v), "positional read left the matches");
+                prop_assert_eq!(v.to_bits(), block.row_at(idx).unwrap().to_bits());
+            }
+        }
+    }
+
+    /// Batched draws from a plain memory block reproduce the scalar
+    /// stream exactly, for any data, draw count and seed.
+    #[test]
+    fn mem_block_batches_reproduce_scalar_draws(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        n in 1u64..256,
+        seed in 0u64..u64::MAX,
+    ) {
+        let native = MemBlock::new(values);
+        let wrapped =
+            isla::storage::ScalarFallbackBlock(Arc::new(native.clone()) as Arc<dyn DataBlock>);
+        let mut buf = SampleBuf::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        native.sample_batch(n, &mut rng, &mut buf).unwrap();
+        let batched = buf.values().to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        wrapped.sample_batch(n, &mut rng, &mut buf).unwrap();
+        prop_assert_eq!(batched, buf.values());
+    }
+}
