@@ -1,0 +1,14 @@
+//! Known-bad fixture: RNG construction outside the seed module.
+
+pub fn bad_seed() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+pub fn bad_entropy() -> StdRng {
+    StdRng::from_entropy()
+}
+
+pub fn bad_thread() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.random()
+}

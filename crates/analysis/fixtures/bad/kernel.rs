@@ -1,0 +1,17 @@
+//! Known-bad fixture: a kernel override with no identity coverage.
+
+pub struct UncoveredBlock {
+    values: Vec<f64>,
+}
+
+impl DataBlock for UncoveredBlock {
+    fn len(&self) -> u64 {
+        self.values.len() as u64
+    }
+    fn sample_batch(&self, n: u64, rng: &mut dyn RngCore, out: &mut SampleBuf) {
+        gather(&self.values, n, rng, out)
+    }
+    fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) {
+        visit(&self.values)
+    }
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture: guards held across block execution.
+
+pub fn guard_across_execute(cache: &Mutex<Vec<u64>>, exec: &BlockExecution) {
+    let guard = cache.lock();
+    let n = guard.len();
+    execute_block(exec, n);
+}
+
+pub fn read_guard_across_run(shared: &RwLock<State>, data: &BlockSet) {
+    let state = shared.read();
+    run(data, &state.config);
+}
+
+pub fn unwrapped_guard(cache: &std::sync::Mutex<Vec<u64>>, exec: &BlockExecution) {
+    let guard = cache.lock().unwrap();
+    execute_row_block(exec, guard.len());
+}

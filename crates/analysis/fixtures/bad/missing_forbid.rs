@@ -1,0 +1,6 @@
+//! Known-bad fixture: no unsafe anywhere, but the crate root does not
+//! declare the forbid gate.
+
+pub fn tidy() -> u64 {
+    11
+}

@@ -1,0 +1,25 @@
+//! Known-bad fixture: panicking calls in library code.
+
+pub fn unwraps(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn expects(x: Option<u64>) -> u64 {
+    x.expect("should be present")
+}
+
+pub fn panics() {
+    panic!("boom");
+}
+
+pub fn unreachable_arm(x: u64) -> u64 {
+    match x {
+        0 => 1,
+        _ => unreachable!("handled above"),
+    }
+}
+
+pub fn reasonless_allow(x: Option<u64>) -> u64 {
+    // isla-lint: allow(panic-freedom)
+    x.unwrap()
+}

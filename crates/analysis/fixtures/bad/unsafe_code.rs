@@ -1,0 +1,6 @@
+//! Known-bad fixture: a crate root using unsafe with no
+//! justification comment above the block.
+
+pub fn raw_read(ptr: *const f64) -> f64 {
+    unsafe { *ptr }
+}

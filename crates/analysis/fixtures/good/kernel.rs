@@ -1,0 +1,32 @@
+//! Known-good fixture: covered override, non-overriding impl, and
+//! forwarding impls that are exempt by construction.
+
+pub struct CoveredBlock {
+    values: Vec<f64>,
+}
+
+impl DataBlock for CoveredBlock {
+    fn sample_batch(&self, n: u64, rng: &mut dyn RngCore, out: &mut SampleBuf) {
+        gather(&self.values, n, rng, out)
+    }
+}
+
+pub struct ScalarOnlyBlock;
+
+impl DataBlock for ScalarOnlyBlock {
+    fn sample_one(&self, rng: &mut dyn RngCore) -> f64 {
+        0.0
+    }
+}
+
+impl<T: DataBlock + ?Sized> DataBlock for &T {
+    fn sample_batch(&self, n: u64, rng: &mut dyn RngCore, out: &mut SampleBuf) {
+        (**self).sample_batch(n, rng, out)
+    }
+}
+
+impl DataBlock for std::sync::Arc<dyn DataBlock> {
+    fn sample_batch(&self, n: u64, rng: &mut dyn RngCore, out: &mut SampleBuf) {
+        (**self).sample_batch(n, rng, out)
+    }
+}

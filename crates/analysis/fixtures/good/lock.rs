@@ -1,0 +1,27 @@
+//! Known-good fixture: guards die before block execution.
+
+pub fn narrowed_scope(cache: &Mutex<Vec<u64>>, exec: &BlockExecution) {
+    let n = {
+        let guard = cache.lock();
+        guard.len()
+    };
+    execute_block(exec, n);
+}
+
+pub fn dropped_before(shared: &RwLock<State>, data: &BlockSet) {
+    let state = shared.read();
+    let config = state.config.clone();
+    drop(state);
+    run(data, &config);
+}
+
+pub fn temporary_guard(cache: &Mutex<Vec<u64>>, exec: &BlockExecution) {
+    let n = cache.lock().len();
+    execute_block(exec, n);
+}
+
+pub fn io_read_is_not_a_guard(file: &mut File, exec: &BlockExecution) {
+    let mut buf = [0u8; 16];
+    let n = file.read(&mut buf);
+    execute_block(exec, n);
+}

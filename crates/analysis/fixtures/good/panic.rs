@@ -1,0 +1,24 @@
+//! Known-good fixture: no panics in library code.
+
+pub fn fallible(x: Option<u64>) -> Result<u64, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+pub fn defaulted(x: Option<u64>) -> u64 {
+    x.unwrap_or_default()
+}
+
+pub fn justified(x: Option<u64>) -> u64 {
+    // isla-lint: allow(panic-freedom, reason = "index bounded by the loop above")
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        Some(3).unwrap();
+        None::<u64>.expect("fine in tests");
+        panic!("also fine");
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-good fixture: unsafe-free crate root with the gate declared.
+
+#![forbid(unsafe_code)]
+
+pub fn safe() -> u64 {
+    7
+}

@@ -1,0 +1,6 @@
+//! Known-good fixture: justified unsafe — inventoried, not an error.
+
+pub fn gathered(values: &[f64], idx: usize) -> f64 {
+    // SAFETY: idx was bounds-checked by the caller against values.len().
+    unsafe { *values.get_unchecked(idx) }
+}

@@ -1,0 +1,63 @@
+//! Findings and their human/machine renderings.
+
+use isla_bench::json::Json;
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// A violated invariant: fails `--ci`.
+    Error,
+    /// Informational (e.g. a justified unsafe block, an unused allow).
+    Note,
+}
+
+impl Level {
+    /// The lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Note => "note",
+        }
+    }
+}
+
+/// One diagnostic, anchored to a file and line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The lint that produced it (e.g. `panic-freedom`).
+    pub lint: String,
+    /// Error or note.
+    pub level: Level,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the finding in the conventional `file:line: level[lint]:
+    /// message` shape (clickable in most terminals and editors).
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}[{}]: {}",
+            self.file,
+            self.line,
+            self.level.label(),
+            self.lint,
+            self.message
+        )
+    }
+
+    /// The finding as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lint", Json::str(self.lint.clone())),
+            ("level", Json::str(self.level.label())),
+            ("file", Json::str(self.file.clone())),
+            ("line", Json::num(f64::from(self.line))),
+            ("message", Json::str(self.message.clone())),
+        ])
+    }
+}

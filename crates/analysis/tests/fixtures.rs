@@ -1,0 +1,202 @@
+//! Fixture tests for the lint pass: one known-bad and one known-good
+//! snippet per lint, asserting exact finding counts and lines, plus
+//! the escape-hatch rules (a reasonless allow is rejected).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use isla_analysis::lints::{self, LintRun};
+use isla_analysis::scanner;
+use isla_analysis::{Level, SourceFile};
+
+/// Loads a fixture as a library source file of its own little crate.
+fn fixture(name: &str, crate_name: &str, is_crate_root: bool) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    SourceFile {
+        rel: format!("fixtures/{name}"),
+        crate_name: crate_name.to_string(),
+        is_crate_root,
+        is_seed_module: false,
+        panic_exempt: false,
+        scan: scanner::scan(&source),
+    }
+}
+
+fn run_on(file: SourceFile, identity: &[&str]) -> LintRun {
+    let idents: BTreeSet<String> = identity.iter().map(|s| s.to_string()).collect();
+    lints::run(&[file], Some(&idents))
+}
+
+/// `(line, lint)` pairs of the error-level findings.
+fn error_lines(run: &LintRun) -> Vec<(u32, String)> {
+    run.findings
+        .iter()
+        .filter(|f| f.level == Level::Error)
+        .map(|f| (f.line, f.lint.clone()))
+        .collect()
+}
+
+#[test]
+fn bad_determinism_fixture_yields_three_findings_at_exact_lines() {
+    let run = run_on(fixture("bad/determinism.rs", "fx", false), &[]);
+    let d = "determinism".to_string();
+    assert_eq!(
+        error_lines(&run),
+        vec![(4, d.clone()), (8, d.clone()), (12, d)]
+    );
+}
+
+#[test]
+fn good_determinism_fixture_is_clean_and_its_allow_is_used() {
+    let run = run_on(fixture("good/determinism.rs", "fx", false), &[]);
+    assert_eq!(error_lines(&run), vec![]);
+    assert!(
+        run.findings.is_empty(),
+        "no unused-allow notes either: {:?}",
+        run.findings
+    );
+}
+
+#[test]
+fn bad_panic_fixture_yields_findings_including_the_reasonless_allow() {
+    let run = run_on(fixture("bad/panic.rs", "fx", false), &[]);
+    let errors = error_lines(&run);
+    let panic_lines: Vec<u32> = errors
+        .iter()
+        .filter(|(_, l)| l == "panic-freedom")
+        .map(|(line, _)| *line)
+        .collect();
+    assert_eq!(panic_lines, vec![4, 8, 12, 18, 24]);
+    let annotation_lines: Vec<u32> = errors
+        .iter()
+        .filter(|(_, l)| l == "annotation")
+        .map(|(line, _)| *line)
+        .collect();
+    assert_eq!(
+        annotation_lines,
+        vec![23],
+        "allow without a reason is rejected"
+    );
+}
+
+#[test]
+fn good_panic_fixture_is_clean() {
+    let run = run_on(fixture("good/panic.rs", "fx", false), &[]);
+    assert_eq!(error_lines(&run), vec![]);
+    assert!(run.findings.is_empty(), "{:?}", run.findings);
+}
+
+#[test]
+fn bad_lock_fixture_flags_each_live_guard_at_the_execution_call() {
+    let run = run_on(fixture("bad/lock.rs", "fx", false), &[]);
+    let lock_lines: Vec<u32> = error_lines(&run)
+        .iter()
+        .filter(|(_, l)| l == "lock-discipline")
+        .map(|(line, _)| *line)
+        .collect();
+    assert_eq!(lock_lines, vec![6, 11, 16]);
+}
+
+#[test]
+fn good_lock_fixture_is_clean() {
+    let run = run_on(fixture("good/lock.rs", "fx", false), &[]);
+    assert_eq!(error_lines(&run), vec![]);
+}
+
+#[test]
+fn uncovered_kernel_override_is_flagged() {
+    let run = run_on(fixture("bad/kernel.rs", "fx", false), &["RowsBlock"]);
+    let errors = error_lines(&run);
+    assert_eq!(errors, vec![(7, "kernel-coverage".to_string())]);
+    let message = &run.findings[0].message;
+    assert!(message.contains("UncoveredBlock"), "{message}");
+    assert!(message.contains("sample_batch, scan_chunks"), "{message}");
+}
+
+#[test]
+fn covered_and_forwarding_kernel_impls_are_clean() {
+    let run = run_on(fixture("good/kernel.rs", "fx", false), &["CoveredBlock"]);
+    assert_eq!(error_lines(&run), vec![]);
+}
+
+#[test]
+fn missing_identity_file_is_itself_a_finding() {
+    let file = fixture("bad/kernel.rs", "fx", false);
+    let run = lints::run(&[file], None);
+    assert!(run
+        .findings
+        .iter()
+        .any(|f| f.lint == "kernel-coverage" && f.message.contains("not found")));
+}
+
+#[test]
+fn unjustified_unsafe_is_an_error_justified_is_a_note() {
+    let run = run_on(fixture("bad/unsafe_code.rs", "fx", true), &[]);
+    assert_eq!(error_lines(&run), vec![(5, "unsafe-code".to_string())]);
+
+    let run = run_on(fixture("good/unsafe_justified.rs", "fx", false), &[]);
+    assert_eq!(error_lines(&run), vec![]);
+    let notes: Vec<&str> = run
+        .findings
+        .iter()
+        .filter(|f| f.level == Level::Note)
+        .map(|f| f.lint.as_str())
+        .collect();
+    assert_eq!(notes, vec!["unsafe-code"], "inventoried, not failed");
+}
+
+#[test]
+fn unsafe_free_crate_without_the_gate_is_flagged_with_it_is_clean() {
+    let run = run_on(fixture("bad/missing_forbid.rs", "fx", true), &[]);
+    assert_eq!(error_lines(&run), vec![(1, "unsafe-code".to_string())]);
+
+    let run = run_on(fixture("good/unsafe_code.rs", "fx", true), &[]);
+    assert_eq!(error_lines(&run), vec![]);
+}
+
+#[test]
+fn unknown_lint_names_and_unused_allows_are_reported() {
+    let source = "// isla-lint: allow(speling-mistake, reason = \"oops\")\n\
+                  pub fn f() {}\n\
+                  // isla-lint: allow(panic-freedom, reason = \"nothing here panics\")\n\
+                  pub fn g() {}\n";
+    let file = SourceFile {
+        rel: "inline.rs".to_string(),
+        crate_name: "fx".to_string(),
+        is_crate_root: false,
+        is_seed_module: false,
+        panic_exempt: false,
+        scan: scanner::scan(source),
+    };
+    let run = lints::run(&[file], Some(&BTreeSet::new()));
+    assert!(run
+        .findings
+        .iter()
+        .any(|f| f.level == Level::Error && f.message.contains("unknown lint")));
+    assert!(
+        run.findings
+            .iter()
+            .any(|f| f.level == Level::Note && f.message.contains("did not suppress")),
+        "{:?}",
+        run.findings
+    );
+}
+
+#[test]
+fn seed_module_itself_may_construct_rngs() {
+    let source = "pub fn seeded_rng(seed: u64) -> StdRng { StdRng::seed_from_u64(seed) }\n";
+    let file = SourceFile {
+        rel: "crates/core/src/engine/seed.rs".to_string(),
+        crate_name: "core".to_string(),
+        is_crate_root: false,
+        is_seed_module: true,
+        panic_exempt: false,
+        scan: scanner::scan(source),
+    };
+    let run = lints::run(&[file], Some(&BTreeSet::new()));
+    assert_eq!(error_lines(&run), vec![]);
+}

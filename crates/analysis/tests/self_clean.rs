@@ -1,0 +1,29 @@
+//! The analyzer must pass over the workspace it ships in: zero errors
+//! on the real tree. This is the same bar `--ci` enforces.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_errors() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root above crates/analysis");
+    let analysis = isla_analysis::analyze(root).expect("analysis runs");
+    assert!(
+        analysis.files_scanned > 40,
+        "expected to scan the whole workspace, saw {}",
+        analysis.files_scanned
+    );
+    let errors: Vec<String> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.level == isla_analysis::Level::Error)
+        .map(|f| f.render())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "lint errors in the workspace:\n{}",
+        errors.join("\n")
+    );
+}

@@ -42,6 +42,7 @@ impl IslaEstimator {
 
 impl Default for IslaEstimator {
     fn default() -> Self {
+        // isla-lint: allow(panic-freedom, reason = "Default cannot return Result; IslaConfig::default() validity is pinned by a unit test in isla_core")
         Self::new(IslaConfig::default()).expect("default config is valid")
     }
 }
@@ -73,11 +74,13 @@ impl Estimator for IslaEstimator {
         }
         let pilot = sample_proportional(data, sigma_pilot, rng)?;
         let moments: WelfordMoments = pilot.into_iter().collect();
-        let sigma = moments
-            .std_dev_sample()
-            .expect("σ pilot has at least 2 samples");
+        let sigma = moments.std_dev_sample().ok_or_else(|| {
+            IslaError::InsufficientData("σ pilot drew fewer than 2 samples".to_string())
+        })?;
         if sigma == 0.0 {
-            return Ok(moments.mean().expect("pilot non-empty"));
+            return moments
+                .mean()
+                .ok_or_else(|| IslaError::InsufficientData("σ pilot drew no samples".to_string()));
         }
 
         // Split the remainder between the sketch pilot and the

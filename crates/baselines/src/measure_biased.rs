@@ -14,10 +14,9 @@
 //!   mass `n_R/m`, distributed within the region proportionally to value:
 //!   estimate `Σ_R (n_R/m)·(Σ_R a²/Σ_R a)`.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
-use isla_core::engine::{derive_block_seeds, scan_blocks, BlockScheduler};
+use isla_core::engine::{derive_block_seeds, scan_blocks, seeded_rng, BlockScheduler};
 use isla_core::{DataBoundaries, IslaConfig, IslaError, Region};
 use isla_stats::NeumaierSum;
 use isla_storage::{proportional_allocation, sample_from_block, sample_proportional, BlockSet};
@@ -44,7 +43,7 @@ impl Estimator for MeasureBiasedValues {
         let allocation = proportional_allocation(data, sample_budget);
         let seeds = derive_block_seeds(rng, data.block_count());
         let partials = scan_blocks(scheduler.parallelism(), data, |i, block| {
-            let mut block_rng = StdRng::seed_from_u64(seeds[i]);
+            let mut block_rng = seeded_rng(seeds[i]);
             let mut sum = NeumaierSum::new();
             let mut sum_sq = NeumaierSum::new();
             sample_from_block(block, allocation[i], &mut block_rng, &mut |v| {
@@ -121,7 +120,9 @@ impl Estimator for MeasureBiasedBoundaries {
         let sigma_moments: isla_stats::WelfordMoments = sigma_samples.into_iter().collect();
         let sigma = sigma_moments.std_dev_sample().unwrap_or(0.0);
         if sigma == 0.0 {
-            return Ok(sigma_moments.mean().expect("pilot non-empty"));
+            return sigma_moments
+                .mean()
+                .ok_or_else(|| IslaError::InsufficientData("σ pilot drew no samples".to_string()));
         }
         let sketch_samples = sample_proportional(data, sketch_pilot, rng)?;
         let sketch0 = sketch_samples.iter().sum::<f64>() / sketch_samples.len() as f64;
@@ -140,7 +141,7 @@ impl Estimator for MeasureBiasedBoundaries {
         let allocation = proportional_allocation(data, remaining);
         let seeds = derive_block_seeds(rng, data.block_count());
         let partials = scan_blocks(scheduler.parallelism(), data, |i, block| {
-            let mut block_rng = StdRng::seed_from_u64(seeds[i]);
+            let mut block_rng = seeded_rng(seeds[i]);
             let mut counts = [0u64; 5];
             let mut sums = [NeumaierSum::new(); 5];
             let mut sums_sq = [NeumaierSum::new(); 5];

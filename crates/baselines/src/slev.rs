@@ -116,9 +116,7 @@ impl Estimator for Slev {
         let mut estimate = isla_stats::NeumaierSum::new();
         for _ in 0..sample_budget {
             let u: f64 = rng.random_range(0.0..total);
-            let idx = match cumulative
-                .binary_search_by(|c| c.partial_cmp(&u).expect("finite cumulative weights"))
-            {
+            let idx = match cumulative.binary_search_by(|c| c.total_cmp(&u)) {
                 Ok(i) => (i + 1).min(n - 1),
                 Err(i) => i.min(n - 1),
             };

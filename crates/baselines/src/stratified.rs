@@ -1,9 +1,8 @@
 //! Stratified sampling (STS): per-block strata.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
-use isla_core::engine::{derive_block_seeds, scan_blocks, BlockScheduler};
+use isla_core::engine::{derive_block_seeds, scan_blocks, seeded_rng, BlockScheduler};
 use isla_core::IslaError;
 use isla_stats::WelfordMoments;
 use isla_storage::{proportional_allocation, sample_from_block, BlockSet};
@@ -116,7 +115,7 @@ impl Estimator for StratifiedSampling {
             if block.is_empty() {
                 return Ok(None);
             }
-            let mut block_rng = StdRng::seed_from_u64(seeds[i]);
+            let mut block_rng = seeded_rng(seeds[i]);
             let take = allocation[i];
             let mut w = WelfordMoments::new();
             if take > 0 {
@@ -125,7 +124,9 @@ impl Estimator for StratifiedSampling {
                 // A stratum with no sample still needs a mean; draw one.
                 w.update(block.sample_one(&mut block_rng)?);
             }
-            let mean = w.mean().expect("stratum sample non-empty");
+            let mean = w.mean().ok_or_else(|| {
+                IslaError::InsufficientData("stratum sample is empty".to_string())
+            })?;
             Ok(Some(mean * (block.len() as f64 / total_rows as f64)))
         })?;
         let mut acc = isla_stats::NeumaierSum::new();

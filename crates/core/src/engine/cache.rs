@@ -9,8 +9,8 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
+use parking_lot::Mutex;
 use rand::RngCore;
 
 use isla_storage::BlockSet;
@@ -141,16 +141,13 @@ impl PreEstimateCache {
         config: &IslaConfig,
         rng: &mut dyn RngCore,
     ) -> Result<CacheLookup, IslaError> {
-        if let Some(pre) = self.entries.lock().expect("cache lock").get(&key).cloned() {
+        if let Some(pre) = self.entries.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(CacheLookup { pre, hit: true });
         }
         let pre = pre_estimate(data, config, rng)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .insert(key, pre.clone());
+        self.entries.lock().insert(key, pre.clone());
         Ok(CacheLookup { pre, hit: false })
     }
 
@@ -172,19 +169,13 @@ impl PreEstimateCache {
         spec: &RowSpec,
         rng: &mut dyn RngCore,
     ) -> Result<RowCacheLookup, IslaError> {
-        if let Some(pre) = self
-            .row_entries
-            .lock()
-            .expect("cache lock")
-            .get(&key)
-            .cloned()
-        {
+        if let Some(pre) = self.row_entries.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(RowCacheLookup { pre, hit: true });
         }
         let pre = row_pre_estimate(data, config, spec, rng)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.row_entries.lock().expect("cache lock");
+        let mut entries = self.row_entries.lock();
         if entries.len() >= MAX_ROW_ENTRIES {
             // Arbitrary eviction bounds the map when query shapes carry
             // per-request literals; any victim is merely a future miss.
@@ -207,8 +198,7 @@ impl PreEstimateCache {
 
     /// Number of cached entries (scalar + row).
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache lock").len()
-            + self.row_entries.lock().expect("cache lock").len()
+        self.entries.lock().len() + self.row_entries.lock().len()
     }
 
     /// Whether the cache holds no entries.
@@ -223,27 +213,21 @@ impl PreEstimateCache {
     /// [`PreEstimateCache::invalidate_table`], which drops *every*
     /// shape's entries for that table.
     pub fn invalidate(&self, key: &CacheKey) {
-        self.entries.lock().expect("cache lock").remove(key);
-        self.row_entries.lock().expect("cache lock").remove(key);
+        self.entries.lock().remove(key);
+        self.row_entries.lock().remove(key);
     }
 
     /// Drops every entry — scalar and row, all query shapes — for a
     /// table, the invalidation to use after mutating its data in place.
     pub fn invalidate_table(&self, table: &str) {
-        self.entries
-            .lock()
-            .expect("cache lock")
-            .retain(|k, _| k.table != table);
-        self.row_entries
-            .lock()
-            .expect("cache lock")
-            .retain(|k, _| k.table != table);
+        self.entries.lock().retain(|k, _| k.table != table);
+        self.row_entries.lock().retain(|k, _| k.table != table);
     }
 
     /// Drops every entry. Counters are preserved.
     pub fn clear(&self) {
-        self.entries.lock().expect("cache lock").clear();
-        self.row_entries.lock().expect("cache lock").clear();
+        self.entries.lock().clear();
+        self.row_entries.lock().clear();
     }
 }
 

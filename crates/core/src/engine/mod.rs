@@ -75,7 +75,7 @@ pub use scheduler::{
     execute_planned_block, scan_blocks, BlockExecution, BlockScheduler, DeadlineScheduler,
     EngineRun, PooledScheduler, SequentialScheduler, WorkerStats,
 };
-pub use seed::derive_block_seeds;
+pub use seed::{derive_block_seeds, seeded_rng};
 
 use rand::RngCore;
 

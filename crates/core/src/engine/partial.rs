@@ -243,7 +243,7 @@ impl GroupedPartial {
             })
             .filter(|g| g.rows_estimate > 0.0)
             .collect();
-        groups.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite group keys"));
+        groups.sort_by(|a, b| a.key.total_cmp(&b.key));
         let matched_rows: f64 = groups.iter().map(|g| g.rows_estimate).sum();
         if matched_rows <= 0.0 || groups.is_empty() {
             return Err(IslaError::InsufficientData(

@@ -197,6 +197,7 @@ impl QueryPlan {
     /// [`crate::engine::run_plan`] and never reach block execution.
     pub fn boundaries(&self) -> DataBoundaries {
         self.boundaries
+            // isla-lint: allow(panic-freedom, reason = "documented # Panics contract: run_plan short-circuits degenerate plans before any block executes")
             .expect("degenerate plans never reach block execution")
     }
 

@@ -28,8 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
 use isla_stats::{required_sample_size, NeumaierSum, WelfordMoments};
 use isla_storage::{
@@ -308,7 +307,9 @@ pub fn row_pre_estimate_capped(
             key_bits,
             key,
             sigma,
-            sketch0: m.mean().expect("group has at least one matched sample"),
+            sketch0: m.mean().ok_or_else(|| {
+                IslaError::Internal("pilot group tracked with no matched samples".to_string())
+            })?,
             share,
             pilot_matched: m.count(),
             required_samples: required,
@@ -543,7 +544,7 @@ pub fn execute_row_block(
     seed: u64,
 ) -> Result<RowBlockOutcome, IslaError> {
     let draws = plan.sample_size_for(block.len());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = super::seed::seeded_rng(seed);
     let mut accs: Vec<Option<SampleAccumulator>> = plan
         .groups()
         .iter()
@@ -806,7 +807,7 @@ pub fn scan_exact_groups(data: &BlockSet, spec: &RowSpec) -> Result<Vec<GroupExa
             count,
         })
         .collect();
-    out.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite group keys"));
+    out.sort_by(|a, b| a.key.total_cmp(&b.key));
     Ok(out)
 }
 
@@ -815,7 +816,9 @@ mod tests {
     use super::*;
     use crate::engine::{PooledScheduler, SequentialScheduler};
     use isla_storage::{CmpOp, ColumnPredicate, RowsBlock};
+    use rand::rngs::StdRng;
     use rand::Rng;
+    use rand::SeedableRng;
 
     fn config(e: f64) -> IslaConfig {
         IslaConfig::builder().precision(e).build().unwrap()

@@ -19,8 +19,6 @@
 //! it, so US/STS/MV/MVB/SLEV parallelize with the same worker pool.
 
 use crossbeam::channel;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use isla_storage::{BlockSet, DataBlock};
 
@@ -106,7 +104,7 @@ pub fn execute_planned_block(
     block_id: usize,
 ) -> Result<BlockOutcome, IslaError> {
     let block = exec.data.block(block_id);
-    let mut block_rng = StdRng::seed_from_u64(exec.seeds[block_id]);
+    let mut block_rng = super::seed::seeded_rng(exec.seeds[block_id]);
     execute_block(
         block.as_ref(),
         block_id,
@@ -211,7 +209,9 @@ impl BlockScheduler for PooledScheduler {
         let (task_tx, task_rx) = channel::unbounded::<usize>();
         let (reply_tx, reply_rx) = channel::unbounded::<PooledReply>();
         for block_id in 0..block_count {
-            task_tx.send(block_id).expect("receiver alive");
+            task_tx
+                .send(block_id)
+                .map_err(|_| IslaError::Internal("pooled task queue closed early".to_string()))?;
         }
         drop(task_tx); // workers drain the queue, then exit
 
@@ -257,7 +257,7 @@ impl BlockScheduler for PooledScheduler {
                 }
             }
         })
-        .expect("worker threads do not panic");
+        .map_err(|_| IslaError::Internal("a pooled worker thread panicked".to_string()))?;
 
         if let Some((block_id, error)) = first_failure {
             return Err(IslaError::InsufficientData(format!(
@@ -265,8 +265,10 @@ impl BlockScheduler for PooledScheduler {
             )));
         }
         let mut partial = PartialAggregate::new();
-        for outcome in outcomes {
-            partial.absorb(outcome.expect("every block either succeeded or reported failure"));
+        for (block_id, outcome) in outcomes.into_iter().enumerate() {
+            partial.absorb(outcome.ok_or_else(|| {
+                IslaError::Internal(format!("block {block_id} neither succeeded nor failed"))
+            })?);
         }
         Ok(EngineRun {
             partial,
@@ -382,7 +384,9 @@ where
     let (task_tx, task_rx) = channel::unbounded::<usize>();
     let (reply_tx, reply_rx) = channel::unbounded::<(usize, Result<T, IslaError>)>();
     for block_id in 0..block_count {
-        task_tx.send(block_id).expect("receiver alive");
+        task_tx
+            .send(block_id)
+            .map_err(|_| IslaError::Internal("scan task queue closed early".to_string()))?;
     }
     drop(task_tx);
 
@@ -411,15 +415,20 @@ where
             }
         }
     })
-    .expect("scan workers do not panic");
+    .map_err(|_| IslaError::Internal("a scan worker thread panicked".to_string()))?;
 
     if let Some(e) = first_error {
         return Err(e);
     }
-    Ok(slots
+    slots
         .into_iter()
-        .map(|slot| slot.expect("every block produced a result"))
-        .collect())
+        .enumerate()
+        .map(|(block_id, slot)| {
+            slot.ok_or_else(|| {
+                IslaError::Internal(format!("block {block_id} produced no scan result"))
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -429,6 +438,8 @@ mod tests {
     use crate::engine::plan::RateSpec;
     use crate::engine::seed::derive_block_seeds;
     use isla_datagen::normal_dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     fn config(e: f64) -> IslaConfig {
         IslaConfig::builder().precision(e).build().unwrap()

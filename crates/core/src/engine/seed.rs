@@ -7,7 +7,20 @@
 //! the seeds are fixed before any block executes, so a pooled run is
 //! bit-identical to a sequential one.
 
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Constructs the engine's RNG from an explicit seed.
+///
+/// This is the only place the workspace's engine-facing crates are
+/// allowed to build an RNG (`isla-analysis` enforces it): funnelling
+/// every construction through one function keeps the seed-to-stream
+/// mapping single-sourced, so a pooled run stays bit-identical to a
+/// sequential one and a change of generator is a one-line, loudly
+/// test-breaking event rather than a scattered drift.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
 
 /// Draws one seed per block from `rng`, in block order.
 ///

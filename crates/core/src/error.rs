@@ -14,6 +14,9 @@ pub enum IslaError {
     /// The data (or pilot sample) cannot support the computation,
     /// e.g. fewer than two pilot samples to estimate σ.
     InsufficientData(String),
+    /// An internal invariant the engine relies on was violated — e.g. a
+    /// worker thread disappeared mid-run. Always a bug, never bad input.
+    Internal(String),
 }
 
 impl fmt::Display for IslaError {
@@ -22,6 +25,7 @@ impl fmt::Display for IslaError {
             IslaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             IslaError::Storage(e) => write!(f, "storage error: {e}"),
             IslaError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            IslaError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

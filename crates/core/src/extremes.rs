@@ -24,8 +24,7 @@
 //! well-defined guarantee sampling can give without distributional
 //! extrapolation.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
 use isla_stats::WelfordMoments;
 use isla_storage::{sample_from_block, BlockSet};
@@ -145,7 +144,9 @@ impl ExtremeAggregator {
             })?;
             locals.push((
                 w.std_dev_sample().unwrap_or(0.0),
-                w.mean().expect("pilot non-empty"),
+                w.mean().ok_or_else(|| {
+                    IslaError::InsufficientData("extreme pilot drew no samples".to_string())
+                })?,
             ));
         }
         let pooled_mean = pooled
@@ -199,7 +200,7 @@ impl ExtremeAggregator {
             let take = ((rate * rows as f64).round() as u64).max(1);
             // "only the extreme value is recorded in each block".
             let mut extreme = kind.identity();
-            let mut block_rng = StdRng::seed_from_u64(rng.next_u64());
+            let mut block_rng = crate::engine::seed::seeded_rng(rng.next_u64());
             sample_from_block(block.as_ref(), take, &mut block_rng, &mut |v| {
                 extreme = kind.fold(extreme, v);
             })?;

@@ -11,8 +11,7 @@
 //! * each block gets its own pilot, `sketch0ᵢ`, and boundaries, and runs
 //!   the standard Algorithm 1 + 2 against them.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
 use isla_stats::{required_sample_size, WelfordMoments};
 use isla_storage::{sample_from_block, BlockSet};
@@ -116,7 +115,9 @@ impl NonIidAggregator {
         })?;
         if overall_sigma == 0.0 {
             // Constant data across all blocks: the answer is exact.
-            let value = pooled.mean().expect("pooled pilot is non-empty");
+            let value = pooled.mean().ok_or_else(|| {
+                IslaError::InsufficientData("pooled pilot drew no samples".to_string())
+            })?;
             let pre = sigmas
                 .iter()
                 .map(|&s| BlockPreEstimate {
@@ -163,7 +164,7 @@ impl NonIidAggregator {
 
             if sigma_i == 0.0 {
                 // Locally constant block: one probe pins its mean exactly.
-                let mut probe_rng = StdRng::seed_from_u64(rng.next_u64());
+                let mut probe_rng = crate::engine::seed::seeded_rng(rng.next_u64());
                 let value = block.sample_one(&mut probe_rng)?;
                 pre.push(BlockPreEstimate {
                     sigma: sigma_i,
@@ -181,7 +182,9 @@ impl NonIidAggregator {
             let pilot = required_sample_size(sigma_i, relaxed_e, cfg.confidence).min(rows);
             let mut local = WelfordMoments::new();
             sample_from_block(block.as_ref(), pilot, rng, &mut |v| local.update(v))?;
-            let sketch0 = local.mean().expect("pilot non-empty");
+            let sketch0 = local.mean().ok_or_else(|| {
+                IslaError::InsufficientData("per-block pilot drew no samples".to_string())
+            })?;
             pre.push(BlockPreEstimate {
                 sigma: sigma_i,
                 sketch0,
@@ -192,7 +195,7 @@ impl NonIidAggregator {
             let sample_size = (rate * rows as f64).round() as u64;
             let shift = compute_shift(cfg.shift_policy, sketch0, sigma_i, cfg.p2);
             let boundaries = DataBoundaries::new(sketch0 + shift, sigma_i, cfg.p1, cfg.p2);
-            let mut block_rng = StdRng::seed_from_u64(rng.next_u64());
+            let mut block_rng = crate::engine::seed::seeded_rng(rng.next_u64());
             let outcome = execute_block(
                 block.as_ref(),
                 block_id,

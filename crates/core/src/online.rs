@@ -12,8 +12,7 @@
 //! draws additional samples into the same accumulators and re-runs only
 //! the (cheap) iteration phase.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
 use isla_storage::{sample_from_block, BlockSet};
 
@@ -120,7 +119,7 @@ impl OnlineAggregator {
             if take == 0 {
                 continue;
             }
-            let mut block_rng = StdRng::seed_from_u64(rng.next_u64());
+            let mut block_rng = crate::engine::seed::seeded_rng(rng.next_u64());
             let shift = self.plan.shift();
             sample_from_block(block.as_ref(), take, &mut block_rng, &mut |v| {
                 acc.offer(v + shift);

@@ -72,9 +72,9 @@ pub fn pre_estimate(
             }
             let pilot = sample_proportional(data, pilot_size, rng)?;
             let moments: WelfordMoments = pilot.into_iter().collect();
-            let sigma = moments
-                .std_dev_sample()
-                .expect("pilot size >= 2 guarantees a sample std-dev");
+            let sigma = moments.std_dev_sample().ok_or_else(|| {
+                IslaError::InsufficientData("σ pilot produced fewer than 2 samples".to_string())
+            })?;
             (sigma, pilot_size)
         }
     };
@@ -103,7 +103,9 @@ pub fn pre_estimate(
     let sketch_pilot = required_sample_size(sigma, relaxed_e, config.confidence).min(data_size);
     let samples = sample_proportional(data, sketch_pilot, rng)?;
     let moments: WelfordMoments = samples.into_iter().collect();
-    let sketch0 = moments.mean().expect("sketch pilot is non-empty");
+    let sketch0 = moments
+        .mean()
+        .ok_or_else(|| IslaError::InsufficientData("sketch pilot drew no samples".to_string()))?;
 
     let required_samples = required_sample_size(sigma, config.precision, config.confidence);
     let rate = sampling_rate(sigma, config.precision, config.confidence, data_size);

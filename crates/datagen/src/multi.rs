@@ -71,6 +71,7 @@ pub fn regional_dataset(
         .map(|r| Normal::new(r.mean, r.std_dev))
         .collect();
 
+    // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
     let mut rng = StdRng::seed_from_u64(seed);
     let mut x = Vec::with_capacity(n);
     let mut y = Vec::with_capacity(n);

@@ -61,6 +61,7 @@ pub fn salary_dataset(blocks: usize, seed: u64) -> Dataset {
 /// Materializes a salary-like dataset of `n` rows.
 pub fn salary_dataset_sized(n: usize, blocks: usize, seed: u64) -> Dataset {
     let dist = salary_distribution();
+    // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
     let mut rng = StdRng::seed_from_u64(seed);
     let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
     Dataset::materialized(

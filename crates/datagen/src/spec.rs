@@ -29,6 +29,7 @@ impl Dataset {
     pub fn materialized(name: impl Into<String>, blocks: BlockSet) -> Self {
         let true_mean = blocks
             .exact_mean()
+            // isla-lint: allow(panic-freedom, reason = "documented # Panics contract on a test-workload constructor: materialized datasets are built from scannable blocks")
             .expect("materialized dataset must be scannable for its ground truth");
         Self {
             name: name.into(),

@@ -13,6 +13,7 @@ use crate::spec::Dataset;
 /// Generates `n` values from `N(mean, std_dev²)` with a fixed seed.
 pub fn normal_values(mean: f64, std_dev: f64, n: usize, seed: u64) -> Vec<f64> {
     let dist = Normal::new(mean, std_dev);
+    // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| dist.sample(&mut rng)).collect()
 }
@@ -36,6 +37,7 @@ pub fn normal_dataset(mean: f64, std_dev: f64, n: usize, blocks: usize, seed: u6
 /// `blocks` blocks — the Table VI workload.
 pub fn exponential_dataset(rate: f64, n: usize, blocks: usize, seed: u64) -> Dataset {
     let dist = Exponential::new(rate);
+    // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
     let mut rng = StdRng::seed_from_u64(seed);
     let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
     let mut ds = Dataset::materialized(
@@ -50,6 +52,7 @@ pub fn exponential_dataset(rate: f64, n: usize, blocks: usize, seed: u64) -> Dat
 /// blocks — the Table VII workload (`[1, 199]`).
 pub fn uniform_dataset(low: f64, high: f64, n: usize, blocks: usize, seed: u64) -> Dataset {
     let dist = UniformRange::new(low, high);
+    // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
     let mut rng = StdRng::seed_from_u64(seed);
     let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
     let mut ds = Dataset::materialized(
@@ -74,6 +77,7 @@ pub fn mixture_dataset(
             .map(|&(w, m, s)| (w, Box::new(Normal::new(m, s)) as Box<dyn Distribution>))
             .collect(),
     );
+    // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
     let mut rng = StdRng::seed_from_u64(seed);
     let values: Vec<f64> = (0..n).map(|_| mixture.sample(&mut rng)).collect();
     let mut ds = Dataset::materialized(

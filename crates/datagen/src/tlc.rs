@@ -73,6 +73,7 @@ pub fn tlc_dataset(blocks: usize, seed: u64) -> Dataset {
 /// Materializes a TLC-like dataset of `n` rows.
 pub fn tlc_dataset_sized(n: usize, blocks: usize, seed: u64) -> Dataset {
     let dist = tlc_distribution();
+    // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
     let mut rng = StdRng::seed_from_u64(seed);
     let values: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
     Dataset::materialized(

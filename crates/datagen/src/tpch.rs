@@ -94,6 +94,7 @@ impl LineitemGenerator {
             "scale factor must be positive, got {scale_factor}"
         );
         Self {
+            // isla-lint: allow(determinism, reason = "dataset generation, not an engine stream: the workload is a pure function of its explicit seed parameter")
             rng: StdRng::seed_from_u64(seed),
             next_orderkey: 1,
             // dbgen: 200k parts per scale factor.

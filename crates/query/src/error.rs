@@ -35,6 +35,10 @@ pub enum QueryError {
     Invalid(String),
     /// The underlying aggregation failed.
     Engine(IslaError),
+    /// An internal invariant of the executor was violated — e.g. a
+    /// dispatch arm reached with an aggregate it never handles. Always a
+    /// bug in the dispatch logic, never a user error.
+    Internal(String),
 }
 
 impl fmt::Display for QueryError {
@@ -52,6 +56,7 @@ impl fmt::Display for QueryError {
             }
             QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
             QueryError::Engine(e) => write!(f, "execution failed: {e}"),
+            QueryError::Internal(msg) => write!(f, "internal executor invariant violated: {msg}"),
         }
     }
 }

@@ -211,7 +211,11 @@ impl QuerySession {
         let value = match query.agg {
             AggFunc::Avg => avg,
             AggFunc::Sum => avg * rows as f64,
-            AggFunc::Count | AggFunc::Max | AggFunc::Min => unreachable!("handled above"),
+            AggFunc::Count | AggFunc::Max | AggFunc::Min => {
+                return Err(QueryError::Internal(
+                    "COUNT/MAX/MIN reached the AVG/SUM dispatch arm".to_string(),
+                ))
+            }
         };
 
         Ok(QueryResult {
@@ -286,7 +290,11 @@ impl QuerySession {
                         AggFunc::Avg => g.mean,
                         AggFunc::Sum => g.mean * g.count as f64,
                         AggFunc::Count => g.count as f64,
-                        _ => unreachable!("MAX/MIN handled above"),
+                        // MAX/MIN never reach the grouped-exact path;
+                        // an impossible arm yields NaN rather than a
+                        // process abort, and the outer dispatch below
+                        // rejects it.
+                        _ => f64::NAN,
                     },
                     rows: g.count as f64,
                 })
@@ -297,7 +305,11 @@ impl QuerySession {
                 }
                 AggFunc::Sum => per_group.iter().map(|g| g.value).sum(),
                 AggFunc::Count => matched as f64,
-                _ => unreachable!(),
+                _ => {
+                    return Err(QueryError::Internal(
+                        "MAX/MIN reached the grouped-exact path".to_string(),
+                    ))
+                }
             };
             return Ok(QueryResult {
                 value,
@@ -357,7 +369,11 @@ impl QuerySession {
                 let matched = rows as f64 * counts.values().sum::<u64>() as f64 / drawn as f64;
                 (avg * matched, Some(matched), budget + drawn)
             }
-            _ => unreachable!("COUNT/MAX/MIN handled above"),
+            _ => {
+                return Err(QueryError::Internal(
+                    "COUNT/MAX/MIN reached the scalar AVG/SUM arm".to_string(),
+                ))
+            }
         };
         Ok(QueryResult {
             value,
@@ -469,7 +485,11 @@ impl QuerySession {
         let value = match query.agg {
             AggFunc::Avg => out.estimate,
             AggFunc::Sum => out.estimate * out.matched_rows,
-            _ => unreachable!("only AVG/SUM reach the ISLA row path"),
+            _ => {
+                return Err(QueryError::Internal(
+                    "only AVG/SUM may reach the ISLA row path".to_string(),
+                ))
+            }
         };
         Ok(QueryResult {
             value,
@@ -711,7 +731,7 @@ fn count_estimate(
             rows: n as f64 * scale,
         })
         .collect();
-    per_group.sort_by(|a, b| a.key.partial_cmp(&b.key).expect("finite group keys"));
+    per_group.sort_by(|a, b| a.key.total_cmp(&b.key));
     let value = matched as f64 * scale;
     Ok(QueryResult {
         value,
@@ -804,7 +824,11 @@ fn run_baseline(
             MeasureBiasedBoundaries::new(config)?.estimate(data, budget, rng)?
         }
         Method::Slev => Slev::default().estimate(data, budget, rng)?,
-        Method::Isla | Method::Exact => unreachable!("handled by the callers"),
+        Method::Isla | Method::Exact => {
+            return Err(QueryError::Internal(
+                "ISLA/EXACT are dispatched before the baseline runner".to_string(),
+            ))
+        }
     })
 }
 

@@ -39,7 +39,7 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, want: &Token, expected: &str) -> Result<(), QueryError> {
+    fn expect_token(&mut self, want: &Token, expected: &str) -> Result<(), QueryError> {
         let got = self.advance();
         if &got == want {
             Ok(())
@@ -117,37 +117,37 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
         tokens: tokenize(input)?,
         pos: 0,
     };
-    p.expect(&Token::Select, "SELECT")?;
+    p.expect_token(&Token::Select, "SELECT")?;
 
     let (agg, column) = match p.advance() {
         Token::Avg => {
-            p.expect(&Token::LParen, "(")?;
+            p.expect_token(&Token::LParen, "(")?;
             let column = p.ident("a column name")?;
-            p.expect(&Token::RParen, ")")?;
+            p.expect_token(&Token::RParen, ")")?;
             (AggFunc::Avg, column)
         }
         Token::Sum => {
-            p.expect(&Token::LParen, "(")?;
+            p.expect_token(&Token::LParen, "(")?;
             let column = p.ident("a column name")?;
-            p.expect(&Token::RParen, ")")?;
+            p.expect_token(&Token::RParen, ")")?;
             (AggFunc::Sum, column)
         }
         Token::Max => {
-            p.expect(&Token::LParen, "(")?;
+            p.expect_token(&Token::LParen, "(")?;
             let column = p.ident("a column name")?;
-            p.expect(&Token::RParen, ")")?;
+            p.expect_token(&Token::RParen, ")")?;
             (AggFunc::Max, column)
         }
         Token::Min => {
-            p.expect(&Token::LParen, "(")?;
+            p.expect_token(&Token::LParen, "(")?;
             let column = p.ident("a column name")?;
-            p.expect(&Token::RParen, ")")?;
+            p.expect_token(&Token::RParen, ")")?;
             (AggFunc::Min, column)
         }
         Token::Count => {
-            p.expect(&Token::LParen, "(")?;
-            p.expect(&Token::Star, "*")?;
-            p.expect(&Token::RParen, ")")?;
+            p.expect_token(&Token::LParen, "(")?;
+            p.expect_token(&Token::Star, "*")?;
+            p.expect_token(&Token::RParen, ")")?;
             (AggFunc::Count, String::new())
         }
         other => {
@@ -158,7 +158,7 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
         }
     };
 
-    p.expect(&Token::From, "FROM")?;
+    p.expect_token(&Token::From, "FROM")?;
     let table = p.ident("a table name")?;
 
     let mut query = Query {
@@ -196,7 +196,7 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
             }
             Token::Group => {
                 p.advance();
-                p.expect(&Token::By, "BY")?;
+                p.expect_token(&Token::By, "BY")?;
                 let column = p.ident("a grouping column name")?;
                 if let Some(previous) = &query.group_by {
                     return Err(QueryError::Parse {
@@ -243,7 +243,7 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
             Token::Within => {
                 p.advance();
                 let ms = p.positive_integer("a time budget")?;
-                p.expect(&Token::Ms, "MS")?;
+                p.expect_token(&Token::Ms, "MS")?;
                 query.within_ms = Some(ms);
             }
             Token::Semicolon => {

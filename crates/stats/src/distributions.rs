@@ -402,10 +402,7 @@ impl Distribution for Mixture {
 
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         let u: f64 = rng.random();
-        let idx = match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
-        {
+        let idx = match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.components.len() - 1),
             Err(i) => i.min(self.components.len() - 1),
         };

@@ -64,10 +64,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| {
-        a.partial_cmp(b)
-            .expect("quantile input must not contain NaN")
-    });
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;

@@ -49,6 +49,10 @@ pub enum StorageError {
     },
     /// An operation required a non-empty block or block set.
     Empty,
+    /// An internal invariant of the storage layer was violated — e.g. a
+    /// selection vector claimed completeness but skipped a block. Always
+    /// a bug, never bad input.
+    Internal(String),
 }
 
 impl fmt::Display for StorageError {
@@ -72,6 +76,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::ScanUnsupported { len, detail } => {
                 write!(f, "cannot scan block of declared length {len}: {detail}")
+            }
+            StorageError::Internal(msg) => {
+                write!(f, "internal storage invariant violated: {msg}")
             }
             StorageError::SelectivityTooLow { attempts } => {
                 if *attempts == 0 {

@@ -106,6 +106,7 @@ impl DataBlock for GeneratorBlock {
         // Deterministic row content: mix (seed, idx) into a one-shot RNG
         // so every read of the same virtual row agrees.
         let mixed = splitmix64(self.scan_seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // isla-lint: allow(determinism, reason = "content derivation, not an engine stream: a virtual row is a pure function of (block seed, idx)")
         let mut rng = StdRng::seed_from_u64(mixed);
         Ok(self.dist.sample(&mut rng))
     }
@@ -120,6 +121,7 @@ impl DataBlock for GeneratorBlock {
                 ),
             });
         }
+        // isla-lint: allow(determinism, reason = "content derivation, not an engine stream: the scan replays the block's fixed virtual contents")
         let mut rng = StdRng::seed_from_u64(self.scan_seed);
         for _ in 0..self.len {
             visit(self.dist.sample(&mut rng));

@@ -75,7 +75,7 @@ pub use kernel::{
 pub use memory::MemBlock;
 pub use rows::{
     pool_filtered_column, project_column, project_filtered_column, ColumnView, FilteredColumnView,
-    PooledFilteredColumn, RowsBlock, ZipBlock,
+    PooledFilteredColumn, RowsBlock, SharedColumn, ZipBlock,
 };
 pub use sampler::{
     proportional_allocation, sample_from_block, sample_proportional, sample_rows_from_block,

@@ -252,7 +252,14 @@ impl DataBlock for RowsBlock {
 /// consumers, so the classic pipeline reads the column directly instead
 /// of materializing row tuples.
 #[derive(Debug, Clone)]
-struct SharedColumn(Arc<Vec<f64>>);
+pub struct SharedColumn(Arc<Vec<f64>>);
+
+impl SharedColumn {
+    /// Wraps a reference-counted column as a scalar block.
+    pub fn new(col: Arc<Vec<f64>>) -> Self {
+        Self(col)
+    }
+}
 
 impl DataBlock for SharedColumn {
     fn len(&self) -> u64 {
@@ -638,6 +645,7 @@ impl DataBlock for FilteredColumnView {
             if self.filter.matches(row) {
                 return Ok(row[self.col]);
             }
+            // isla-lint: allow(determinism, reason = "content derivation, not an engine stream: the redirect target is a pure function of idx, so every scheduler reads the same row")
             let mut probe_rng = StdRng::seed_from_u64(splitmix64(idx));
             if let Some(sel) = &self.selection {
                 // One probe draw lands directly on a matching row.
@@ -828,24 +836,7 @@ fn compile_selection(set: &BlockSet, filter: &RowFilter) -> Option<Arc<SetSelect
 /// *matching* rows, which is unbiased regardless of how selectivity
 /// varies across the original blocks.
 pub fn pool_filtered_column(set: &BlockSet, col: usize, filter: RowFilter) -> BlockSet {
-    let mut cumulative = Vec::with_capacity(set.block_count());
-    let mut total = 0u64;
-    for block in set.iter() {
-        total += block.len();
-        cumulative.push(total);
-    }
-    // A *complete* compiled selection (every block scannable) turns
-    // pooled draws into O(1) global match lookups; anything less keeps
-    // the whole-set rejection fallback.
-    let selection = compile_selection(set, &filter).filter(|s| s.is_complete());
-    BlockSet::single(PooledFilteredColumn {
-        blocks: set.iter().map(Arc::clone).collect(),
-        cumulative,
-        total,
-        col,
-        filter: Arc::new(filter),
-        selection,
-    })
+    BlockSet::single(PooledFilteredColumn::build(set, col, filter))
 }
 
 /// The single logical block behind [`pool_filtered_column`]: one
@@ -873,6 +864,29 @@ impl std::fmt::Debug for PooledFilteredColumn {
 }
 
 impl PooledFilteredColumn {
+    /// Builds the pooled filtered projection of `set.column(col)` under
+    /// `filter` — the typed form of [`pool_filtered_column`].
+    pub fn build(set: &BlockSet, col: usize, filter: RowFilter) -> Self {
+        let mut cumulative = Vec::with_capacity(set.block_count());
+        let mut total = 0u64;
+        for block in set.iter() {
+            total += block.len();
+            cumulative.push(total);
+        }
+        // A *complete* compiled selection (every block scannable) turns
+        // pooled draws into O(1) global match lookups; anything less
+        // keeps the whole-set rejection fallback.
+        let selection = compile_selection(set, &filter).filter(|s| s.is_complete());
+        Self {
+            blocks: set.iter().map(Arc::clone).collect(),
+            cumulative,
+            total,
+            col,
+            filter: Arc::new(filter),
+            selection,
+        }
+    }
+
     /// Reads global row `idx` into `row`, returning the projected value
     /// when the filter matches.
     fn read_global(&self, idx: u64, row: &mut Vec<f64>) -> Result<Option<f64>, StorageError> {
@@ -944,6 +958,7 @@ impl DataBlock for PooledFilteredColumn {
             if let Some(v) = self.read_global(idx, row)? {
                 return Ok(v);
             }
+            // isla-lint: allow(determinism, reason = "content derivation, not an engine stream: the redirect target is a pure function of idx, so every scheduler reads the same row")
             let mut probe_rng = StdRng::seed_from_u64(splitmix64(idx));
             if let Some(sel) = &self.selection {
                 if sel.total_matches() == 0 {
@@ -972,7 +987,9 @@ impl DataBlock for PooledFilteredColumn {
             return with_row_buf(|row| {
                 for (b, block) in self.blocks.iter().enumerate() {
                     let Some(block_sel) = sel.block(b) else {
-                        unreachable!("complete selections cover every block");
+                        return Err(StorageError::Internal(format!(
+                            "complete selection skipped block {b}"
+                        )));
                     };
                     for &local in block_sel.indices() {
                         block.row_tuple(u64::from(local), row)?;

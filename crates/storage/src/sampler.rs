@@ -128,7 +128,7 @@ pub fn proportional_allocation(set: &BlockSet, m: u64) -> Vec<u64> {
     let mut remainder = m - assigned;
     // Hand the leftover samples to the blocks with the largest fractional
     // parts (ties broken by index for determinism).
-    shares.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+    shares.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
     let mut result = vec![0u64; set.block_count()];
     for (i, floor, _) in &shares {
         result[*i] = *floor;

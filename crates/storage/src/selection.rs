@@ -161,6 +161,7 @@ impl SetSelection {
         let base = if b == 0 { 0 } else { self.cumulative[b - 1] };
         let sel = self.blocks[b]
             .as_ref()
+            // isla-lint: allow(panic-freedom, reason = "locate() is infallible by contract: the asserted bound above guarantees k lands in a compiled block")
             .expect("cumulative only advances over compiled blocks");
         (b, sel.row_index(k - base))
     }

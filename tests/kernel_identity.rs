@@ -13,8 +13,10 @@ use std::sync::Arc;
 use isla::core::engine::{self, PooledScheduler, RateSpec, RowSpec, SequentialScheduler};
 use isla::core::IslaConfig;
 use isla::storage::{
-    pool_filtered_column, scalar_fallback_set, BlockSet, CmpOp, ColumnPredicate, DataBlock,
-    MemBlock, RowFilter, RowSampleBuf, RowsBlock, SampleBuf, SelectionVector, StorageError,
+    pool_filtered_column, scalar_fallback_set, BinaryBlock, BlockSet, CmpOp, ColumnPredicate,
+    ColumnView, DataBlock, FilteredColumnView, MemBlock, PooledFilteredColumn, RowFilter,
+    RowSampleBuf, RowsBlock, SampleBuf, ScalarFallbackBlock, SelectionVector, SharedColumn,
+    StorageError, TextBlock, ZipBlock,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -206,6 +208,125 @@ fn row_pipeline_is_bit_identical_on_batched_and_scalar_kernels() {
         assert_eq!(batched.estimate, scalar.estimate);
         assert_eq!(batched.total_samples, scalar.total_samples);
     }
+}
+
+/// Asserts every batch kernel a block overrides is bit-identical to the
+/// scalar trait defaults over the same data and seed: same values, same
+/// RNG stream position afterwards, same chunked scan order.
+fn assert_kernel_identity(block: Arc<dyn DataBlock>, label: &str) {
+    let scalar = ScalarFallbackBlock(Arc::clone(&block));
+    for n in [1u64, 7, 100, 1_000] {
+        let mut buf = SampleBuf::new();
+        let mut rng = StdRng::seed_from_u64(n ^ 0x5EED);
+        block.sample_batch(n, &mut rng, &mut buf).unwrap();
+        let batched = buf.values().to_vec();
+        let stream_after = rng.next_u64();
+
+        let mut rng = StdRng::seed_from_u64(n ^ 0x5EED);
+        scalar.sample_batch(n, &mut rng, &mut buf).unwrap();
+        assert_eq!(batched, buf.values(), "{label} n {n}: batched != scalar");
+        assert_eq!(
+            stream_after,
+            rng.next_u64(),
+            "{label} n {n}: RNG streams diverged"
+        );
+    }
+
+    let mut chunked = Vec::new();
+    block
+        .scan_chunks(&mut |c| chunked.extend_from_slice(c))
+        .unwrap();
+    let mut scanned = Vec::new();
+    scalar.scan(&mut |v| scanned.push(v)).unwrap();
+    assert_eq!(chunked, scanned, "{label}: chunked scan != scalar scan");
+}
+
+#[test]
+fn text_block_kernels_match_scalar() {
+    let dir = std::env::temp_dir().join(format!("isla-kid-text-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("col.txt");
+    let values: Vec<f64> = columns(4_000, 1, 3)[0].clone();
+    let text: String = values.iter().map(|v| format!("{v}\n")).collect();
+    std::fs::write(&path, text).unwrap();
+    let block = TextBlock::open(&path).unwrap();
+    assert_kernel_identity(Arc::new(block), "TextBlock");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn binary_block_kernels_match_scalar() {
+    let dir = std::env::temp_dir().join(format!("isla-kid-bin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("col.blk");
+    let values: Vec<f64> = columns(4_000, 1, 5)[0].clone();
+    BinaryBlock::create(&path, &values).unwrap();
+    let block = BinaryBlock::open(&path).unwrap();
+    assert_kernel_identity(Arc::new(block), "BinaryBlock");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shared_column_kernels_match_scalar() {
+    let values = columns(8_000, 1, 9)[0].clone();
+    let block = SharedColumn::new(Arc::new(values));
+    assert_kernel_identity(Arc::new(block), "SharedColumn");
+}
+
+#[test]
+fn zip_block_kernels_match_scalar() {
+    let cols = columns(6_000, 3, 13);
+    let zipped: Vec<Arc<dyn DataBlock>> = cols
+        .iter()
+        .map(|c| Arc::new(MemBlock::new(c.clone())) as Arc<dyn DataBlock>)
+        .collect();
+    let block = Arc::new(ZipBlock::new(zipped));
+    assert_kernel_identity(Arc::clone(&block) as Arc<dyn DataBlock>, "ZipBlock");
+
+    // The zip's row-tuple kernel as well: same rows, same stream.
+    let scalar = ScalarFallbackBlock(Arc::clone(&block) as Arc<dyn DataBlock>);
+    let mut buf = RowSampleBuf::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    block.sample_rows_batch(2_000, &mut rng, &mut buf).unwrap();
+    let batched = buf.rows().to_vec();
+    assert_eq!(buf.width(), 3);
+    let mut rng = StdRng::seed_from_u64(17);
+    scalar.sample_rows_batch(2_000, &mut rng, &mut buf).unwrap();
+    assert_eq!(batched, buf.rows(), "ZipBlock rows: batched != scalar");
+}
+
+#[test]
+fn column_view_kernels_match_scalar() {
+    let native = native_set(6_000, 3, 1, 19);
+    let inner = Arc::clone(native.iter().next().unwrap());
+    let block = ColumnView::new(inner, 2);
+    assert_kernel_identity(Arc::new(block), "ColumnView");
+}
+
+#[test]
+fn filtered_column_view_kernels_match_scalar() {
+    let native = native_set(6_000, 2, 1, 29);
+    let inner = Arc::clone(native.iter().next().unwrap());
+    let filter = RowFilter::new(vec![ColumnPredicate {
+        column: 1,
+        op: CmpOp::Gt,
+        value: 60.0,
+    }]);
+    let block = FilteredColumnView::new(inner, 0, Arc::new(filter));
+    assert_kernel_identity(Arc::new(block), "FilteredColumnView");
+}
+
+#[test]
+fn pooled_filtered_column_kernels_match_scalar() {
+    let native = native_set(6_000, 2, 4, 37);
+    let filter = RowFilter::new(vec![ColumnPredicate {
+        column: 1,
+        op: CmpOp::Le,
+        value: 120.0,
+    }]);
+    let block = PooledFilteredColumn::build(&native, 0, filter);
+    assert!(block.match_count().is_some(), "in-memory rows compile");
+    assert_kernel_identity(Arc::new(block), "PooledFilteredColumn");
 }
 
 /// Brute-force filter application: the reference for selection vectors.
