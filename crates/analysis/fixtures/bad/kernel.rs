@@ -14,4 +14,7 @@ impl DataBlock for UncoveredBlock {
     fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) {
         visit(&self.values)
     }
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        Some(Arc::new(BlockSketch::from_values(&self.values)))
+    }
 }

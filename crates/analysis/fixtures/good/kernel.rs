@@ -9,6 +9,9 @@ impl DataBlock for CoveredBlock {
     fn sample_batch(&self, n: u64, rng: &mut dyn RngCore, out: &mut SampleBuf) {
         gather(&self.values, n, rng, out)
     }
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        Some(Arc::new(BlockSketch::from_values(&self.values)))
+    }
 }
 
 pub struct ScalarOnlyBlock;
@@ -23,10 +26,16 @@ impl<T: DataBlock + ?Sized> DataBlock for &T {
     fn sample_batch(&self, n: u64, rng: &mut dyn RngCore, out: &mut SampleBuf) {
         (**self).sample_batch(n, rng, out)
     }
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        (**self).sketch()
+    }
 }
 
 impl DataBlock for std::sync::Arc<dyn DataBlock> {
     fn sample_batch(&self, n: u64, rng: &mut dyn RngCore, out: &mut SampleBuf) {
         (**self).sample_batch(n, rng, out)
+    }
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        (**self).sketch()
     }
 }

@@ -54,8 +54,11 @@ const EXECUTION_ENTRY_POINTS: &[&str] = &[
     "scan_blocks",
 ];
 
-/// Batch kernels whose overrides must be identity-tested.
-const KERNEL_METHODS: &[&str] = &["sample_batch", "sample_rows_batch", "scan_chunks"];
+/// Batch kernels whose overrides must be identity-tested. `sketch` is a
+/// metadata hook rather than a kernel, but it carries the same
+/// obligation: a hook-provided sketch must be bit-identical to a
+/// scan-computed one.
+const KERNEL_METHODS: &[&str] = &["sample_batch", "sample_rows_batch", "scan_chunks", "sketch"];
 
 /// Shared mutable state for one lint run: findings plus which allow
 /// annotations actually suppressed something.

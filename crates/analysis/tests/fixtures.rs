@@ -114,7 +114,10 @@ fn uncovered_kernel_override_is_flagged() {
     assert_eq!(errors, vec![(7, "kernel-coverage".to_string())]);
     let message = &run.findings[0].message;
     assert!(message.contains("UncoveredBlock"), "{message}");
-    assert!(message.contains("sample_batch, scan_chunks"), "{message}");
+    assert!(
+        message.contains("sample_batch, scan_chunks, sketch"),
+        "{message}"
+    );
 }
 
 #[test]

@@ -14,7 +14,17 @@
 //!    compiled selection vectors vs per-draw rejection sampling;
 //! 4. **estimators** — end-to-end wall time for ISLA and all baselines
 //!    on batched vs scalar kernels, asserting the answers are
-//!    bit-identical (the kernels may never change an estimate).
+//!    bit-identical (the kernels may never change an estimate). SLEV is
+//!    the exception by design: its `scalar_ms` is the dense two-scan
+//!    algorithm and its `batched_ms` the sketch-backed mixture sampler —
+//!    different sampling schemes, so the answers are asserted within a
+//!    tolerance instead of bit-for-bit;
+//! 5. **sketched_slev** — SLEV with moment sketches: the dense
+//!    full-scan algorithm vs the mixture sampler on hook-provided vs
+//!    scan-computed sketches (the latter two must agree bit for bit);
+//! 6. **zone_map** — selection-vector compilation with and without
+//!    min/max zone-map pruning on range-partitioned data, reporting how
+//!    many blocks the sketches proved matchless.
 //!
 //! Results print as a table (CSV under `target/experiments/`) and are
 //! written machine-readable to `BENCH_kernels.json` at the workspace
@@ -37,6 +47,7 @@ use isla_datagen::normal_values;
 use isla_storage::{
     pool_filtered_column, sample_from_block, scalar_fallback_set, BlockSet, CmpOp, ColumnPredicate,
     DataBlock, FilteredColumnView, MemBlock, RowFilter, RowsBlock, ScalarFallbackBlock,
+    SetSelection,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +63,10 @@ struct Scale {
     filter_draws: u64,
     estimator_rows: usize,
     estimator_budget: u64,
+    /// Max |dense − sketched| SLEV estimate disagreement: the two are
+    /// different unbiased samplers, so they agree statistically, not bit
+    /// for bit. Sized ≫ the standard error at the sweep's budget.
+    slev_tolerance: f64,
     runs: usize,
 }
 
@@ -65,6 +80,7 @@ impl Scale {
             filter_draws: 200_000,
             estimator_rows: 1_000_000,
             estimator_budget: 200_000,
+            slev_tolerance: 0.5,
             runs: 5,
         }
     }
@@ -78,6 +94,7 @@ impl Scale {
             filter_draws: 4_000,
             estimator_rows: 20_000,
             estimator_budget: 4_000,
+            slev_tolerance: 3.0,
             runs: 2,
         }
     }
@@ -283,8 +300,10 @@ fn sweep_filtered(scale: &Scale, report: &mut Report) -> (Vec<Json>, f64) {
 }
 
 /// Sweep 4: end-to-end estimators on batched vs scalar kernels —
-/// answers must agree bit for bit; only the wall time may move.
-fn sweep_estimators(scale: &Scale, report: &mut Report) -> Vec<Json> {
+/// answers must agree bit for bit; only the wall time may move. SLEV is
+/// special-cased (dense algorithm vs sketch-backed sampler, tolerance
+/// check); returns the JSON rows plus its measured speedup.
+fn sweep_estimators(scale: &Scale, report: &mut Report) -> (Vec<Json>, f64) {
     let native = BlockSet::from_values(
         normal_values(100.0, 20.0, scale.estimator_rows, SEED ^ 4),
         16,
@@ -336,7 +355,6 @@ fn sweep_estimators(scale: &Scale, report: &mut Report) -> Vec<Json> {
         Box::new(StratifiedSampling::proportional()),
         Box::new(MeasureBiasedValues),
         Box::new(MeasureBiasedBoundaries::default()),
-        Box::new(Slev::default()),
     ];
     for est in &estimators {
         let run = |data: &BlockSet| {
@@ -370,7 +388,169 @@ fn sweep_estimators(scale: &Scale, report: &mut Report) -> Vec<Json> {
             ("estimates_match", Json::Bool(true)),
         ]));
     }
+
+    // SLEV: `scalar_ms` is the dense two-scan algorithm on scalar
+    // kernels (the pre-sketch reality this row historically recorded);
+    // `batched_ms` is the sketch-backed mixture sampler. The algorithms
+    // draw different samples, so the answers agree within a statistical
+    // tolerance rather than bit for bit.
+    let slev = Slev::default();
+    let (dense_s, dense_est) = median_secs(scale.runs, || {
+        let mut rng = StdRng::seed_from_u64(SEED + 22);
+        slev.estimate_dense(
+            &fallback,
+            scale.estimator_budget,
+            &SequentialScheduler,
+            &mut rng,
+        )
+        .expect("dense SLEV succeeds")
+    });
+    let (sketched_s, sketched_est) = median_secs(scale.runs, || {
+        let mut rng = StdRng::seed_from_u64(SEED + 22);
+        slev.estimate(&native, scale.estimator_budget, &mut rng)
+            .expect("sketched SLEV succeeds")
+    });
+    let delta = (dense_est - sketched_est).abs();
+    assert!(
+        delta <= scale.slev_tolerance,
+        "dense ({dense_est}) and sketched ({sketched_est}) SLEV disagree beyond tolerance"
+    );
+    let slev_speedup = dense_s / sketched_s;
+    report.row(vec![
+        "estimator/SLEV".to_string(),
+        scale.estimator_rows.to_string(),
+        "-".to_string(),
+        fmt(dense_s * 1e3, 2),
+        fmt(sketched_s * 1e3, 2),
+        fmt(slev_speedup, 2),
+    ]);
+    rows.push(Json::obj(vec![
+        ("name", Json::str("SLEV")),
+        ("scalar_ms", Json::num(dense_s * 1e3)),
+        ("batched_ms", Json::num(sketched_s * 1e3)),
+        ("speedup", Json::num(slev_speedup)),
+        ("estimates_match", Json::Bool(true)),
+        ("estimate_delta", Json::num(delta)),
+    ]));
+    (rows, slev_speedup)
+}
+
+/// Sweep 5: SLEV with moment sketches — the dense full-scan algorithm
+/// vs the mixture sampler, the latter on both sketch provenances
+/// (constructor hooks and lazy scan computation). The two sketched runs
+/// must agree bit for bit: the one-fold law makes hook and scanned
+/// sketches identical, and the sampler is deterministic given the
+/// sketches and the seed.
+fn sweep_sketched_slev(scale: &Scale, report: &mut Report) -> Vec<Json> {
+    let native = BlockSet::from_values(
+        normal_values(100.0, 20.0, scale.estimator_rows, SEED ^ 4),
+        16,
+    );
+    let slev = Slev::default();
+    let budget = scale.estimator_budget;
+    let (dense_s, _) = median_secs(scale.runs, || {
+        let mut rng = StdRng::seed_from_u64(SEED + 23);
+        slev.estimate_dense(&native, budget, &SequentialScheduler, &mut rng)
+            .expect("dense SLEV succeeds")
+    });
+    let (hook_s, hook_est) = median_secs(scale.runs, || {
+        let mut rng = StdRng::seed_from_u64(SEED + 23);
+        slev.estimate(&native, budget, &mut rng)
+            .expect("sketched SLEV succeeds")
+    });
+    let (scanned_s, scanned_est) = median_secs(scale.runs, || {
+        // A fresh fallback set every run: empty sketch cache, no hooks,
+        // so the estimator scan-computes every sketch within the timed
+        // region.
+        let fresh = scalar_fallback_set(&native);
+        let mut rng = StdRng::seed_from_u64(SEED + 23);
+        slev.estimate(&fresh, budget, &mut rng)
+            .expect("scan-sketched SLEV succeeds")
+    });
+    assert_eq!(
+        hook_est.to_bits(),
+        scanned_est.to_bits(),
+        "hook-provided and scan-computed sketches must yield the identical estimate"
+    );
+    let mut rows = Vec::new();
+    for (path, secs) in [
+        ("dense_full_scan", dense_s),
+        ("sketched_metadata", hook_s),
+        ("scan_computed_sketches", scanned_s),
+    ] {
+        report.row(vec![
+            format!("slev/{path}"),
+            scale.estimator_rows.to_string(),
+            "-".to_string(),
+            fmt(dense_s * 1e3, 2),
+            fmt(secs * 1e3, 2),
+            fmt(dense_s / secs, 2),
+        ]);
+        rows.push(Json::obj(vec![
+            ("path", Json::str(path)),
+            ("ms", Json::num(secs * 1e3)),
+            ("speedup", Json::num(dense_s / secs)),
+        ]));
+    }
     rows
+}
+
+/// Sweep 6: zone-map pruning — selection-vector compilation over
+/// range-partitioned data with and without sketches. The compiled
+/// selections must be identical; only the scan work may differ.
+fn sweep_zone_map(scale: &Scale, report: &mut Report) -> (Vec<Json>, usize) {
+    let n = scale.filter_rows;
+    // Sorted values: each of the 16 blocks covers a contiguous range,
+    // so a high-range predicate is provably matchless on all but the
+    // last block.
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let set = RowsBlock::split(vec![values], 16);
+    let blocks: Vec<Arc<dyn DataBlock>> = set.iter().map(Arc::clone).collect();
+    let cutoff = n as f64 * 0.95 - 0.5;
+    let filter = RowFilter::new(vec![ColumnPredicate {
+        column: 0,
+        op: CmpOp::Gt,
+        value: cutoff,
+    }]);
+    let sketches = set.ready_sketches();
+
+    let (scan_s, scan_matches) = median_secs(scale.runs, || {
+        let sel = SetSelection::build(&blocks, &filter, None).expect("selection builds");
+        sel.total_matches() as f64
+    });
+    let (pruned_s, pruned_matches) = median_secs(scale.runs, || {
+        let sel = SetSelection::build(&blocks, &filter, Some(&sketches)).expect("selection builds");
+        sel.total_matches() as f64
+    });
+    assert_eq!(
+        scan_matches.to_bits(),
+        pruned_matches.to_bits(),
+        "pruning may never change which rows match"
+    );
+    let pruned_blocks = SetSelection::build(&blocks, &filter, Some(&sketches))
+        .expect("selection builds")
+        .pruned_blocks();
+
+    let speedup = scan_s / pruned_s;
+    report.row(vec![
+        "zone_map".to_string(),
+        n.to_string(),
+        fmt(0.05, 2),
+        fmt(scan_s * 1e3, 2),
+        fmt(pruned_s * 1e3, 2),
+        fmt(speedup, 2),
+    ]);
+    let rows = vec![Json::obj(vec![
+        ("rows", Json::num(n as f64)),
+        ("blocks", Json::num(blocks.len() as f64)),
+        ("selectivity", Json::num(0.05)),
+        ("scan_build_ms", Json::num(scan_s * 1e3)),
+        ("pruned_build_ms", Json::num(pruned_s * 1e3)),
+        ("pruned_blocks", Json::num(pruned_blocks as f64)),
+        ("matches", Json::num(scan_matches)),
+        ("speedup", Json::num(speedup)),
+    ])];
+    (rows, pruned_blocks)
 }
 
 /// Validates the emitted artifact: parseable JSON carrying every
@@ -384,6 +564,8 @@ fn validate_artifact(text: &str) -> Result<(), String> {
         "sections.scan_kernel",
         "sections.filtered_sampling",
         "sections.estimators",
+        "sections.sketched_slev",
+        "sections.zone_map",
     ] {
         if get(&doc, path).is_none() {
             return Err(format!("missing required key {path:?}"));
@@ -394,6 +576,8 @@ fn validate_artifact(text: &str) -> Result<(), String> {
         "scan_kernel",
         "filtered_sampling",
         "estimators",
+        "sketched_slev",
+        "zone_map",
     ] {
         match get(&doc, &format!("sections.{section}")) {
             Some(Json::Arr(items)) if !items.is_empty() => {
@@ -431,7 +615,9 @@ fn main() {
     let sample_rows = sweep_sample_kernel(&scale, &mut report);
     let scan_rows = sweep_scan_kernel(&scale, &mut report);
     let (filtered_rows, low_sel_speedup) = sweep_filtered(&scale, &mut report);
-    let estimator_rows = sweep_estimators(&scale, &mut report);
+    let (estimator_rows, slev_speedup) = sweep_estimators(&scale, &mut report);
+    let sketched_slev_rows = sweep_sketched_slev(&scale, &mut report);
+    let (zone_map_rows, pruned_blocks) = sweep_zone_map(&scale, &mut report);
     report.finish();
 
     let doc = Json::obj(vec![
@@ -445,6 +631,8 @@ fn main() {
                 ("scan_kernel", Json::Arr(scan_rows)),
                 ("filtered_sampling", Json::Arr(filtered_rows)),
                 ("estimators", Json::Arr(estimator_rows)),
+                ("sketched_slev", Json::Arr(sketched_slev_rows)),
+                ("zone_map", Json::Arr(zone_map_rows)),
             ]),
         ),
     ]);
@@ -474,5 +662,15 @@ fn main() {
              the rejection baseline, got {low_sel_speedup:.2}×"
         );
         println!("filtered low-selectivity sweep: {low_sel_speedup:.1}× the rejection baseline");
+        assert!(
+            slev_speedup >= 5.0,
+            "sketch-backed SLEV must be ≥5× the dense scalar algorithm, got {slev_speedup:.2}×"
+        );
+        println!("sketched SLEV: {slev_speedup:.1}× the dense scalar algorithm");
+        assert!(
+            pruned_blocks > 0,
+            "zone maps must prune at least one block on range-partitioned data"
+        );
+        println!("zone maps pruned {pruned_blocks}/16 blocks at 5% selectivity");
     }
 }

@@ -93,6 +93,12 @@ pub struct IslaConfig {
     /// Known standard deviation: when set, the σ-estimation pilot is
     /// skipped. Default `None`.
     pub known_sigma: Option<f64>,
+    /// Derive σ from cached per-block moment sketches when the data
+    /// exposes them (single-column, all-finite, no filtering applied):
+    /// the exact population variance replaces the σ pilot sample
+    /// entirely. Falls back to the pilot whenever the sketches are
+    /// incomplete or inapplicable. Default false.
+    pub sketch_sigma: bool,
     /// Record per-iteration traces in block outcomes (diagnostics).
     /// Default false.
     pub record_trace: bool,
@@ -120,6 +126,7 @@ impl Default for IslaConfig {
             clamp_to_sketch_interval: true,
             shift_policy: ShiftPolicy::Auto,
             known_sigma: None,
+            sketch_sigma: false,
             record_trace: false,
         }
     }
@@ -172,6 +179,7 @@ impl IslaConfig {
             }
         }
         self.known_sigma.map(f64::to_bits).hash(&mut h);
+        self.sketch_sigma.hash(&mut h);
         self.record_trace.hash(&mut h);
         h.finish()
     }
@@ -363,6 +371,11 @@ impl IslaConfigBuilder {
         known_sigma: Option<f64>
     );
     setter!(
+        /// Enables sketch-derived σ (skips the pilot when per-block
+        /// moment sketches cover the data).
+        sketch_sigma: bool
+    );
+    setter!(
         /// Enables per-iteration trace recording.
         record_trace: bool
     );
@@ -459,6 +472,7 @@ mod tests {
                 .modulation_style(ModulationStyle::PaperLiteral)
                 .build()
                 .unwrap(),
+            IslaConfig::builder().sketch_sigma(true).build().unwrap(),
         ];
         for v in &variants {
             assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");

@@ -12,6 +12,12 @@
 //!    `sketch0` with the relaxed confidence interval
 //!    `(sketch0 − tₑ·e, sketch0 + tₑ·e)` — the precision assurance that
 //!    later bounds the modulation (Section VII-B).
+//!
+//! When [`IslaConfig::sketch_sigma`] is set and every block exposes a
+//! width-1, all-finite moment sketch, pilot 1 is replaced outright: the
+//! exact variance follows from the cached `Σa`/`Σa²` metadata without
+//! drawing a single sample. The paper observes that σ error "hardly has
+//! any effect on the answers"; here σ becomes exact *and* free.
 
 use rand::RngCore;
 
@@ -60,23 +66,28 @@ pub fn pre_estimate(
         ));
     }
 
-    // Pilot 1: estimate σ (skipped when configured).
+    // Pilot 1: estimate σ. Skipped when configured; replaced by the
+    // exact sketch-derived value when enabled and the metadata covers
+    // the whole set.
     let (sigma, sigma_pilot_used) = match config.known_sigma {
         Some(s) => (s, 0),
-        None => {
-            let pilot_size = config.sigma_pilot_size.min(data_size);
-            if pilot_size < 2 {
-                return Err(IslaError::InsufficientData(format!(
-                    "σ pilot needs at least 2 samples, data has {data_size} rows"
-                )));
+        None => match sketch_derived_sigma(data, config) {
+            Some(s) => (s, 0),
+            None => {
+                let pilot_size = config.sigma_pilot_size.min(data_size);
+                if pilot_size < 2 {
+                    return Err(IslaError::InsufficientData(format!(
+                        "σ pilot needs at least 2 samples, data has {data_size} rows"
+                    )));
+                }
+                let pilot = sample_proportional(data, pilot_size, rng)?;
+                let moments: WelfordMoments = pilot.into_iter().collect();
+                let sigma = moments.std_dev_sample().ok_or_else(|| {
+                    IslaError::InsufficientData("σ pilot produced fewer than 2 samples".to_string())
+                })?;
+                (sigma, pilot_size)
             }
-            let pilot = sample_proportional(data, pilot_size, rng)?;
-            let moments: WelfordMoments = pilot.into_iter().collect();
-            let sigma = moments.std_dev_sample().ok_or_else(|| {
-                IslaError::InsufficientData("σ pilot produced fewer than 2 samples".to_string())
-            })?;
-            (sigma, pilot_size)
-        }
+        },
     };
 
     // Degenerate data (σ = 0): one sample pins the answer exactly; the
@@ -125,6 +136,56 @@ pub fn pre_estimate(
     })
 }
 
+/// The exact σ from complete per-block moment sketches, when
+/// [`IslaConfig::sketch_sigma`] is set and the metadata suffices: every
+/// block must expose a width-1, all-finite sketch and the set must hold
+/// at least 2 rows. Uses the sample variance `(Σa² − (Σa)²/n)/(n−1)` so
+/// the value is on the same scale as the pilot's `std_dev_sample`.
+/// Returns `None` — fall back to the pilot — when any sketch is missing
+/// or inapplicable, or when cancellation drives the variance negative
+/// (the `min == max` constant-data case is detected exactly first).
+fn sketch_derived_sigma(data: &BlockSet, config: &IslaConfig) -> Option<f64> {
+    if !config.sketch_sigma {
+        return None;
+    }
+    let sketches = data.ready_sketches();
+    if sketches.is_empty() || !sketches.is_complete() {
+        return None;
+    }
+    let mut n = 0u64;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for sketch in sketches.iter().flatten() {
+        if sketch.width() != 1 {
+            return None;
+        }
+        let m = sketch.column(0)?;
+        if m.non_finite > 0 {
+            return None;
+        }
+        n += sketch.rows;
+        sum += m.sum;
+        sum_sq += m.sum_sq;
+        min = min.min(m.min);
+        max = max.max(m.max);
+    }
+    if n < 2 {
+        return None;
+    }
+    if min == max {
+        return Some(0.0);
+    }
+    let nf = n as f64;
+    let var = (sum_sq - sum * sum / nf) / (nf - 1.0);
+    if var > 0.0 {
+        Some(var.sqrt())
+    } else {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +230,67 @@ mod tests {
         let pre = pre_estimate(&data, &cfg, &mut rng).unwrap();
         assert_eq!(pre.sigma, 20.0);
         assert_eq!(pre.sigma_pilot_used, 0);
+    }
+
+    #[test]
+    fn sketch_sigma_skips_the_pilot_with_exact_moments() {
+        let values = normal_values(100.0, 20.0, 40_000, 11);
+        let data = BlockSet::from_values(values.clone(), 8);
+        let cfg = IslaConfig::builder()
+            .precision(0.5)
+            .sketch_sigma(true)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let pre = pre_estimate(&data, &cfg, &mut rng).unwrap();
+        assert_eq!(pre.sigma_pilot_used, 0, "sketches replace the σ pilot");
+        let moments: WelfordMoments = values.into_iter().collect();
+        let exact = moments.std_dev_sample().unwrap();
+        assert!(
+            (pre.sigma - exact).abs() <= 1e-9 * exact,
+            "sketch σ {} vs exact {exact}",
+            pre.sigma
+        );
+        assert_eq!(
+            pre.required_samples,
+            isla_stats::required_sample_size(pre.sigma, 0.5, 0.95)
+        );
+    }
+
+    #[test]
+    fn sketch_sigma_detects_constant_data_exactly() {
+        let data = BlockSet::from_values(vec![7.5; 1000], 4);
+        let cfg = IslaConfig::builder()
+            .precision(0.1)
+            .sketch_sigma(true)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let pre = pre_estimate(&data, &cfg, &mut rng).unwrap();
+        assert_eq!(pre.sigma, 0.0, "min == max proves σ = 0 from metadata");
+        assert_eq!(pre.sigma_pilot_used, 0);
+        assert_eq!(pre.sketch0, 7.5);
+        assert_eq!(pre.required_samples, 1);
+    }
+
+    #[test]
+    fn sketch_sigma_falls_back_to_the_pilot_without_sketches() {
+        let data = isla_storage::scalar_fallback_set(&BlockSet::from_values(
+            normal_values(100.0, 20.0, 40_000, 14),
+            8,
+        ));
+        let cfg = IslaConfig::builder()
+            .precision(0.5)
+            .sketch_sigma(true)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(15);
+        let pre = pre_estimate(&data, &cfg, &mut rng).unwrap();
+        assert_eq!(
+            pre.sigma_pilot_used, 1000,
+            "sketch-less blocks fall back to the sampling pilot"
+        );
+        assert!((pre.sigma - 20.0).abs() < 2.0, "σ̂ = {}", pre.sigma);
     }
 
     #[test]

@@ -529,7 +529,14 @@ impl QuerySession {
             return Ok((value, Some(budget), false));
         }
 
-        let config = isla_config(query, confidence)?;
+        let mut config = isla_config(query, confidence)?;
+        // Let pre-estimation take σ from per-block moment sketches when
+        // the block set carries them: exact σ, zero pilot draws. Filtered
+        // views expose no sketches (their population is the matching
+        // subset), so predicated queries fall back to the pilot on their
+        // own. The flag is part of the config fingerprint, so cache
+        // entries never cross between the two σ sources.
+        config.sketch_sigma = true;
 
         // Time-constrained execution (paper §VII-F): the deadline clock
         // starts *before* any sampling — calibrate throughput first, so

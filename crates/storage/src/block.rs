@@ -200,6 +200,19 @@ pub trait DataBlock: Send + Sync {
         true
     }
 
+    /// This block's precomputed moment sketch, when one is available in
+    /// O(1) — in-memory blocks compute it once at construction; lazy
+    /// (file-backed or virtual) blocks return `None` and are sketched
+    /// on demand through [`crate::sketch::scan_sketch`].
+    ///
+    /// Contract: the returned sketch must be **bit-identical** to
+    /// [`crate::sketch::scan_sketch`] of the same block — both fold the
+    /// same values in storage order through the same update law — so
+    /// consumers may treat the two provenances interchangeably.
+    fn sketch(&self) -> Option<std::sync::Arc<crate::sketch::BlockSketch>> {
+        None
+    }
+
     /// A zero-copy scalar block over column `col`, when this block can
     /// provide one more cheaply than a generic row-tuple view (e.g. a
     /// columnar block handing out its column storage, or a zip handing
@@ -263,6 +276,9 @@ impl<T: DataBlock + ?Sized> DataBlock for &T {
     fn supports_scan(&self) -> bool {
         (**self).supports_scan()
     }
+    fn sketch(&self) -> Option<std::sync::Arc<crate::sketch::BlockSketch>> {
+        (**self).sketch()
+    }
     fn project(&self, col: usize) -> Option<std::sync::Arc<dyn DataBlock>> {
         (**self).project(col)
     }
@@ -317,6 +333,9 @@ impl DataBlock for std::sync::Arc<dyn DataBlock> {
     }
     fn supports_scan(&self) -> bool {
         (**self).supports_scan()
+    }
+    fn sketch(&self) -> Option<std::sync::Arc<crate::sketch::BlockSketch>> {
+        (**self).sketch()
     }
     fn project(&self, col: usize) -> Option<std::sync::Arc<dyn DataBlock>> {
         (**self).project(col)

@@ -7,6 +7,7 @@ use crate::error::StorageError;
 use crate::filter::RowFilter;
 use crate::memory::MemBlock;
 use crate::selection::{SelectionCache, SetSelection};
+use crate::sketch::{self, SetSketches, SketchCache};
 
 /// An ordered collection of blocks forming one dataset (the paper's block
 /// set `B = {B₁, …, B_b}`).
@@ -20,6 +21,9 @@ pub struct BlockSet {
     // Compiled WHERE selections, keyed by filter fingerprint; shared
     // across clones so a predicate compiles at most once per dataset.
     selections: Arc<SelectionCache>,
+    // Per-block moment sketches, keyed by block index; shared across
+    // clones so a lazy block is sketched at most once per dataset.
+    sketches: Arc<SketchCache>,
 }
 
 impl std::fmt::Debug for BlockSet {
@@ -44,6 +48,7 @@ impl BlockSet {
             blocks,
             total_rows,
             selections: Arc::new(SelectionCache::new()),
+            sketches: Arc::new(SketchCache::new()),
         }
     }
 
@@ -74,6 +79,7 @@ impl BlockSet {
             blocks,
             total_rows: n as u64,
             selections: Arc::new(SelectionCache::new()),
+            sketches: Arc::new(SketchCache::new()),
         }
     }
 
@@ -84,6 +90,7 @@ impl BlockSet {
             blocks: vec![Arc::new(block)],
             total_rows,
             selections: Arc::new(SelectionCache::new()),
+            sketches: Arc::new(SketchCache::new()),
         }
     }
 
@@ -161,7 +168,52 @@ impl BlockSet {
     ///
     /// Propagates compilation scan failures.
     pub fn selection_for(&self, filter: &RowFilter) -> Result<Arc<SetSelection>, StorageError> {
-        self.selections.get_or_build(&self.blocks, filter)
+        // Zone maps: whatever sketches are available in O(1) let the
+        // builder prove blocks matchless before scanning them. Never
+        // forces a sketch scan — pruning is an opportunistic win.
+        self.selections
+            .get_or_build(&self.blocks, filter, Some(&self.ready_sketches()))
+    }
+
+    /// The per-block sketches available **without scanning**: cached
+    /// entries plus [`DataBlock::sketch`] hooks (cached on first sight).
+    /// Blocks with neither get a `None` entry. O(blocks), never touches
+    /// block data.
+    pub fn ready_sketches(&self) -> SetSketches {
+        let entries = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(idx, block)| match self.sketches.get(idx) {
+                Some(s) => Some(s),
+                None => block.sketch().map(|s| self.sketches.insert(idx, s)),
+            })
+            .collect();
+        SetSketches::new(entries)
+    }
+
+    /// The per-block sketches, computing (and caching) missing ones by
+    /// scanning — the forcing form of [`BlockSet::ready_sketches`].
+    /// Only blocks that do not support scanning at all keep a `None`
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a block's scan failure (I/O, parse).
+    pub fn sketches(&self) -> Result<SetSketches, StorageError> {
+        let mut entries = Vec::with_capacity(self.blocks.len());
+        for (idx, block) in self.blocks.iter().enumerate() {
+            let entry = match self.sketches.get(idx) {
+                Some(s) => Some(s),
+                None => match block.sketch() {
+                    Some(s) => Some(self.sketches.insert(idx, s)),
+                    None => sketch::scan_sketch(block.as_ref())?
+                        .map(|s| self.sketches.insert(idx, Arc::new(s))),
+                },
+            };
+            entries.push(entry);
+        }
+        Ok(SetSketches::new(entries))
     }
 
     /// The row tuple width shared by the blocks (the maximum across

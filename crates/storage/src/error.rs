@@ -47,6 +47,13 @@ pub enum StorageError {
         /// vector established emptiness without sampling).
         attempts: u32,
     },
+    /// A block is too long for a compiled selection vector: matching
+    /// rows are indexed as `u32`, so blocks beyond `u32::MAX` rows
+    /// cannot be compiled without silently truncating indices.
+    BlockTooLarge {
+        /// Declared length of the offending block.
+        rows: u64,
+    },
     /// An operation required a non-empty block or block set.
     Empty,
     /// An internal invariant of the storage layer was violated — e.g. a
@@ -93,6 +100,10 @@ impl fmt::Display for StorageError {
                     )
                 }
             }
+            StorageError::BlockTooLarge { rows } => write!(
+                f,
+                "cannot compile a selection vector over {rows} rows: u32 index space exceeded"
+            ),
             StorageError::Empty => write!(f, "operation requires a non-empty block"),
         }
     }
@@ -142,6 +153,9 @@ mod tests {
             .to_string()
             .contains("no row matches"));
         assert!(StorageError::Empty.to_string().contains("non-empty"));
+        assert!(StorageError::BlockTooLarge { rows: u64::MAX }
+            .to_string()
+            .contains("u32 index space"));
         let corrupt = StorageError::Corrupt {
             path: PathBuf::from("b.blk"),
             detail: "bad magic".into(),

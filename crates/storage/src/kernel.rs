@@ -389,8 +389,11 @@ impl DataBlock for ScalarFallbackBlock {
     fn supports_scan(&self) -> bool {
         self.0.supports_scan()
     }
-    // `sample_batch`, `sample_rows_batch` and `scan_chunks` are NOT
-    // forwarded: the trait defaults run the scalar methods above.
+    // `sample_batch`, `sample_rows_batch`, `scan_chunks` and `sketch`
+    // are NOT forwarded: the batched entry points fall back to the
+    // scalar defaults, and the wrapped set stays sketch-less so
+    // consumers exercise their metadata-free paths (the throughput
+    // bench leans on this to measure the pre-sketch SLEV scan).
     fn describe(&self) -> String {
         format!("scalar-fallback over {}", self.0.describe())
     }
@@ -473,6 +476,10 @@ mod tests {
         let wrapped = ScalarFallbackBlock(Arc::clone(&inner));
         assert_eq!(wrapped.len(), 3);
         assert!(wrapped.describe().contains("scalar-fallback"));
+        assert!(
+            wrapped.sketch().is_none(),
+            "fallback wrappers hide the sketch hook"
+        );
         // Batched draws agree with the native block under the same seed
         // (the defaults fall back to the same scalar stream).
         let mut buf = SampleBuf::new();

@@ -60,6 +60,7 @@ pub mod rows;
 pub mod sampler;
 pub mod schema;
 pub mod selection;
+pub mod sketch;
 pub mod text_file;
 
 pub use binary_file::BinaryBlock;
@@ -83,4 +84,5 @@ pub use sampler::{
 };
 pub use schema::{ColumnDef, ColumnType, Schema};
 pub use selection::{SelectionCache, SelectionVector, SetSelection};
+pub use sketch::{scan_sketch, BlockSketch, ColumnMoments, SetSketches, SketchCache};
 pub use text_file::TextBlock;

@@ -1,11 +1,14 @@
 //! In-memory blocks.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use rand::RngCore;
 
 use crate::block::DataBlock;
 use crate::error::StorageError;
 use crate::kernel::{SampleBuf, SCAN_CHUNK_ROWS};
+use crate::sketch::BlockSketch;
 
 /// A block whose rows live in memory.
 ///
@@ -14,6 +17,9 @@ use crate::kernel::{SampleBuf, SCAN_CHUNK_ROWS};
 #[derive(Debug, Clone, PartialEq)]
 pub struct MemBlock {
     values: Vec<f64>,
+    // Eager moment sketch, computed by the same pass that validates
+    // finiteness — so the `sketch()` hook is an O(1) Arc clone.
+    sketch: Arc<BlockSketch>,
 }
 
 impl MemBlock {
@@ -25,11 +31,14 @@ impl MemBlock {
     /// real measurements, and a NaN would silently poison every downstream
     /// moment.
     pub fn new(values: Vec<f64>) -> Self {
-        assert!(
-            values.iter().all(|v| v.is_finite()),
-            "block values must be finite"
-        );
-        Self { values }
+        // One pass both validates and sketches: the fold counts
+        // non-finite values, which is exactly the finiteness check.
+        let sketch = BlockSketch::from_values(&values);
+        assert!(sketch.all_finite(), "block values must be finite");
+        Self {
+            values,
+            sketch: Arc::new(sketch),
+        }
     }
 
     /// Read-only view of the values.
@@ -97,6 +106,10 @@ impl DataBlock for MemBlock {
             visit(chunk);
         }
         Ok(())
+    }
+
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        Some(Arc::clone(&self.sketch))
     }
 
     fn describe(&self) -> String {

@@ -30,6 +30,7 @@ use crate::error::StorageError;
 use crate::filter::RowFilter;
 use crate::kernel::{RowSampleBuf, SampleBuf, SCAN_CHUNK_ROWS};
 use crate::selection::{SelectionVector, SetSelection};
+use crate::sketch::BlockSketch;
 
 thread_local! {
     /// Scratch row tuple reused by the view adapters' per-draw reads —
@@ -69,6 +70,9 @@ fn splitmix64(mut z: u64) -> u64 {
 pub struct RowsBlock {
     columns: Vec<Arc<Vec<f64>>>,
     rows: usize,
+    // Eager moment sketch, computed by the same pass that validates
+    // finiteness — the `sketch()` hook is an O(1) Arc clone.
+    sketch: Arc<BlockSketch>,
 }
 
 impl RowsBlock {
@@ -86,14 +90,15 @@ impl RowsBlock {
         let rows = columns[0].len();
         for (i, col) in columns.iter().enumerate() {
             assert_eq!(col.len(), rows, "column {i} disagrees on the row count");
-            assert!(
-                col.iter().all(|v| v.is_finite()),
-                "block values must be finite"
-            );
         }
+        // One pass both validates and sketches: the fold counts
+        // non-finite values, which is exactly the finiteness check.
+        let sketch = BlockSketch::from_columns(&columns);
+        assert!(sketch.all_finite(), "block values must be finite");
         Self {
             columns: columns.into_iter().map(Arc::new).collect(),
             rows,
+            sketch: Arc::new(sketch),
         }
     }
 
@@ -236,10 +241,20 @@ impl DataBlock for RowsBlock {
         Ok(())
     }
 
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        Some(Arc::clone(&self.sketch))
+    }
+
     fn project(&self, col: usize) -> Option<Arc<dyn DataBlock>> {
-        self.columns
-            .get(col)
-            .map(|c| Arc::new(SharedColumn(Arc::clone(c))) as Arc<dyn DataBlock>)
+        let c = self.columns.get(col)?;
+        // Slice the column's moments off the table sketch instead of
+        // re-folding the column (the projected entry was folded in the
+        // same storage order, so it is bit-identical to a re-fold).
+        let sketch = self.sketch.project(col)?;
+        Some(
+            Arc::new(SharedColumn::with_sketch(Arc::clone(c), Arc::new(sketch)))
+                as Arc<dyn DataBlock>,
+        )
     }
 
     fn describe(&self) -> String {
@@ -252,34 +267,49 @@ impl DataBlock for RowsBlock {
 /// consumers, so the classic pipeline reads the column directly instead
 /// of materializing row tuples.
 #[derive(Debug, Clone)]
-pub struct SharedColumn(Arc<Vec<f64>>);
+pub struct SharedColumn {
+    col: Arc<Vec<f64>>,
+    sketch: Arc<BlockSketch>,
+}
 
 impl SharedColumn {
-    /// Wraps a reference-counted column as a scalar block.
+    /// Wraps a reference-counted column as a scalar block, sketching it
+    /// eagerly (one fold over memory-resident values).
     pub fn new(col: Arc<Vec<f64>>) -> Self {
-        Self(col)
+        let sketch = Arc::new(BlockSketch::from_values(&col));
+        Self { col, sketch }
+    }
+
+    /// As [`SharedColumn::new`] with the sketch already computed — the
+    /// projection paths slice it off the parent block's sketch instead
+    /// of re-folding the column.
+    pub(crate) fn with_sketch(col: Arc<Vec<f64>>, sketch: Arc<BlockSketch>) -> Self {
+        Self { col, sketch }
     }
 }
 
 impl DataBlock for SharedColumn {
     fn len(&self) -> u64 {
-        self.0.len() as u64
+        self.col.len() as u64
     }
 
     fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
-        if self.0.is_empty() {
+        if self.col.is_empty() {
             return Err(StorageError::Empty);
         }
-        let idx = rng.random_range(0..self.0.len() as u64);
-        Ok(self.0[idx as usize])
+        let idx = rng.random_range(0..self.col.len() as u64);
+        Ok(self.col[idx as usize])
     }
 
     fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
-        self.0.get(idx as usize).copied().ok_or(StorageError::Empty)
+        self.col
+            .get(idx as usize)
+            .copied()
+            .ok_or(StorageError::Empty)
     }
 
     fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
-        for &v in self.0.iter() {
+        for &v in self.col.iter() {
             visit(v);
         }
         Ok(())
@@ -291,23 +321,27 @@ impl DataBlock for SharedColumn {
         rng: &mut dyn RngCore,
         out: &mut SampleBuf,
     ) -> Result<(), StorageError> {
-        if self.0.is_empty() {
+        if self.col.is_empty() {
             return Err(StorageError::Empty);
         }
-        out.draw_indices(n, self.0.len() as u64, rng);
-        out.gather_from_slice(&self.0);
+        out.draw_indices(n, self.col.len() as u64, rng);
+        out.gather_from_slice(&self.col);
         Ok(())
     }
 
     fn scan_chunks(&self, visit: &mut dyn FnMut(&[f64])) -> Result<(), StorageError> {
-        for chunk in self.0.chunks(SCAN_CHUNK_ROWS) {
+        for chunk in self.col.chunks(SCAN_CHUNK_ROWS) {
             visit(chunk);
         }
         Ok(())
     }
 
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        Some(Arc::clone(&self.sketch))
+    }
+
     fn describe(&self) -> String {
-        format!("shared column({} rows)", self.0.len())
+        format!("shared column({} rows)", self.col.len())
     }
 }
 
@@ -319,6 +353,9 @@ impl DataBlock for SharedColumn {
 pub struct ZipBlock {
     cols: Vec<Arc<dyn DataBlock>>,
     rows: u64,
+    // Composed from the columns' own sketch hooks at construction;
+    // `None` when any zipped column lacks one (e.g. file-backed).
+    sketch: Option<Arc<BlockSketch>>,
 }
 
 impl std::fmt::Debug for ZipBlock {
@@ -344,7 +381,16 @@ impl ZipBlock {
             assert_eq!(col.width(), 1, "zipped column {i} must be scalar");
             assert_eq!(col.len(), rows, "zipped column {i} disagrees on rows");
         }
-        Self { cols, rows }
+        // The zip's sketch is exactly its columns' scalar sketches side
+        // by side — each column moment was folded in the same storage
+        // order a row scan of the zip visits it, so composing hooks is
+        // bit-identical to scanning the zip.
+        let sketch = cols
+            .iter()
+            .map(|col| col.sketch().and_then(|s| s.column(0).copied()))
+            .collect::<Option<Vec<_>>>()
+            .map(|columns| Arc::new(BlockSketch { rows, columns }));
+        Self { cols, rows, sketch }
     }
 }
 
@@ -434,6 +480,10 @@ impl DataBlock for ZipBlock {
         self.cols[0].scan_chunks(visit)
     }
 
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        self.sketch.clone()
+    }
+
     fn project(&self, col: usize) -> Option<Arc<dyn DataBlock>> {
         // A zip's columns ARE scalar blocks: hand the original back.
         self.cols.get(col).map(Arc::clone)
@@ -448,6 +498,8 @@ impl DataBlock for ZipBlock {
 pub struct ColumnView {
     inner: Arc<dyn DataBlock>,
     col: usize,
+    // The inner block's sketch projected to `col`, when it has one.
+    sketch: Option<Arc<BlockSketch>>,
 }
 
 impl std::fmt::Debug for ColumnView {
@@ -467,7 +519,8 @@ impl ColumnView {
     /// Panics if `col` is out of the inner block's width.
     pub fn new(inner: Arc<dyn DataBlock>, col: usize) -> Self {
         assert!(col < inner.width(), "column {col} out of range");
-        Self { inner, col }
+        let sketch = inner.sketch().and_then(|s| s.project(col)).map(Arc::new);
+        Self { inner, col, sketch }
     }
 }
 
@@ -516,6 +569,10 @@ impl DataBlock for ColumnView {
 
     fn supports_scan(&self) -> bool {
         self.inner.supports_scan()
+    }
+
+    fn sketch(&self) -> Option<Arc<BlockSketch>> {
+        self.sketch.clone()
     }
 
     fn describe(&self) -> String {
@@ -1345,6 +1402,52 @@ mod tests {
             per_block.block(0).sample_one(&mut rng),
             Err(StorageError::SelectivityTooLow { .. })
         ));
+    }
+
+    #[test]
+    fn projections_and_zips_compose_sketches_without_rescanning() {
+        let b = two_col_block();
+        let parent = DataBlock::sketch(&b).unwrap();
+        assert_eq!(parent.width(), 2);
+        assert_eq!(parent.rows, 4);
+
+        // RowsBlock::project slices the parent sketch: bit-identical.
+        let col1 = b.project(1).unwrap();
+        let projected = col1.sketch().unwrap();
+        assert_eq!(projected.width(), 1);
+        assert_eq!(
+            projected.column(0).unwrap().sum_sq.to_bits(),
+            parent.column(1).unwrap().sum_sq.to_bits()
+        );
+
+        // SharedColumn::new folds eagerly to the same result.
+        let fresh = SharedColumn::new(Arc::new(vec![10.0, 20.0, 30.0, 40.0]));
+        assert_eq!(*DataBlock::sketch(&fresh).unwrap(), *projected);
+
+        // ZipBlock composes its columns' hooks side by side.
+        let z = ZipBlock::new(vec![
+            Arc::new(MemBlock::new(vec![1.0, 2.0, 3.0])) as Arc<dyn DataBlock>,
+            Arc::new(MemBlock::new(vec![10.0, 20.0, 30.0])),
+        ]);
+        let zs = DataBlock::sketch(&z).unwrap();
+        assert_eq!(zs.width(), 2);
+        assert_eq!(zs.rows, 3);
+        assert_eq!(zs.column(1).unwrap().sum, 60.0);
+
+        // ColumnView projects the inner hook.
+        let view = ColumnView::new(Arc::new(two_col_block()), 0);
+        let vs = DataBlock::sketch(&view).unwrap();
+        assert_eq!(vs.column(0).unwrap().sum, 10.0);
+
+        // Filtered views stay sketch-less: the inner sketch describes
+        // the unfiltered population, not the matching rows.
+        let filter = Arc::new(RowFilter::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            value: 2.0,
+        }]));
+        let fv = FilteredColumnView::new(Arc::new(two_col_block()), 1, filter);
+        assert!(DataBlock::sketch(&fv).is_none());
     }
 
     #[test]

@@ -11,20 +11,26 @@
 //! vectors over a [`crate::BlockSet`] with cumulative match counts, so
 //! a pooled filtered population draws globally in O(log b).
 //!
-//! Building a vector costs one full scan of the block; the result is
-//! cached **on the block set** ([`SelectionCache`], keyed by the
-//! filter's fingerprint), so repeated queries over the same predicate
-//! never rescan. Memory cost is 4 bytes per *matching* row (indices are
-//! `u32`; blocks longer than `u32::MAX` rows, and blocks that cannot
-//! scan at all — virtual generator blocks past their cap — simply skip
-//! compilation and keep the rejection-sampling fallback).
+//! Building a vector costs one full scan of the block — unless the
+//! block's moment sketch ([`crate::BlockSketch`]) proves the predicate
+//! matchless from its min/max **zone map**, in which case the empty
+//! vector compiles with zero scan. The result is cached **on the block
+//! set** ([`SelectionCache`], keyed by the filter's fingerprint), so
+//! repeated queries over the same predicate never rescan. Memory cost
+//! is 4 bytes per *matching* row: indices are `u32`, and a scannable
+//! block longer than `u32::MAX` rows is a structured
+//! [`StorageError::BlockTooLarge`] — never a silent index truncation.
+//! Blocks that cannot scan at all — virtual generator blocks past
+//! their cap — simply skip compilation and keep the rejection-sampling
+//! fallback.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::block::DataBlock;
 use crate::error::StorageError;
-use crate::filter::RowFilter;
+use crate::filter::{CmpOp, RowFilter};
+use crate::sketch::{BlockSketch, SetSketches};
 
 /// One block's compiled selection: the matching row indices, ascending.
 #[derive(Debug, Clone, Default)]
@@ -34,25 +40,42 @@ pub struct SelectionVector {
 
 impl SelectionVector {
     /// Compiles the selection vector of `block` under `filter` with one
-    /// full row scan. Returns `None` when the block cannot support one
-    /// (no scan, or more rows than `u32` indexes).
+    /// full row scan. Returns `None` when the block cannot scan at all.
     ///
     /// # Errors
     ///
-    /// Propagates scan failures (I/O, parse).
+    /// Propagates scan failures (I/O, parse), and returns
+    /// [`StorageError::BlockTooLarge`] for a scannable block with more
+    /// rows than the `u32` index space — whether declared by
+    /// [`DataBlock::len`] or discovered mid-scan on a block that
+    /// under-reports its length (the old code's `u32` row counter would
+    /// have wrapped there and silently aliased indices).
     pub fn build(block: &dyn DataBlock, filter: &RowFilter) -> Result<Option<Self>, StorageError> {
-        if !block.supports_scan() || block.len() > u64::from(u32::MAX) {
+        if !block.supports_scan() {
             return Ok(None);
         }
+        let declared = block.len();
+        if declared > u64::from(u32::MAX) {
+            return Err(StorageError::BlockTooLarge { rows: declared });
+        }
         let mut indices = Vec::new();
-        let mut row_idx: u32 = 0;
+        let mut rows_seen: u64 = 0;
         block.scan_rows(&mut |row| {
-            if filter.matches(row) {
-                indices.push(row_idx);
+            if rows_seen < u64::from(u32::MAX) && filter.matches(row) {
+                indices.push(rows_seen as u32);
             }
-            row_idx += 1;
+            rows_seen += 1;
         })?;
+        if rows_seen > u64::from(u32::MAX) {
+            return Err(StorageError::BlockTooLarge { rows: rows_seen });
+        }
         Ok(Some(Self { indices }))
+    }
+
+    /// The empty selection — zero matching rows, what a zone-map prune
+    /// compiles without scanning.
+    pub fn empty() -> Self {
+        Self::default()
     }
 
     /// Number of matching rows — the block's match-count zone stat.
@@ -93,20 +116,45 @@ pub struct SetSelection {
     cumulative: Vec<u64>,
     total_matches: u64,
     complete: bool,
+    /// Blocks whose zone map proved the filter matchless — their empty
+    /// vectors compiled with zero scan.
+    pruned: usize,
 }
 
 impl SetSelection {
     /// Compiles the selection of every block in `blocks` under `filter`.
     ///
+    /// When `sketches` are given, each block's min/max zone map is
+    /// consulted first: a block the sketch proves matchless compiles to
+    /// the empty vector without being scanned (see
+    /// [`SetSelection::pruned_blocks`]). Blocks without a sketch — or
+    /// whose sketch cannot decide — scan as before, so the result is
+    /// identical with or without sketches; only the work differs.
+    ///
     /// # Errors
     ///
-    /// Propagates the first block scan failure.
-    pub fn build(blocks: &[Arc<dyn DataBlock>], filter: &RowFilter) -> Result<Self, StorageError> {
+    /// Propagates the first block scan failure or
+    /// [`StorageError::BlockTooLarge`].
+    pub fn build(
+        blocks: &[Arc<dyn DataBlock>],
+        filter: &RowFilter,
+        sketches: Option<&SetSketches>,
+    ) -> Result<Self, StorageError> {
         let mut per_block = Vec::with_capacity(blocks.len());
         let mut cumulative = Vec::with_capacity(blocks.len());
         let mut total = 0u64;
         let mut complete = true;
-        for block in blocks {
+        let mut pruned = 0usize;
+        for (idx, block) in blocks.iter().enumerate() {
+            let matchless = sketches
+                .and_then(|s| s.block(idx))
+                .is_some_and(|sketch| proves_matchless(sketch, filter));
+            if matchless {
+                pruned += 1;
+                per_block.push(Some(Arc::new(SelectionVector::empty())));
+                cumulative.push(total);
+                continue;
+            }
             match SelectionVector::build(block.as_ref(), filter)? {
                 Some(sel) => {
                     total += sel.match_count();
@@ -124,7 +172,14 @@ impl SetSelection {
             cumulative,
             total_matches: total,
             complete,
+            pruned,
         })
+    }
+
+    /// Number of blocks whose zone map proved the filter matchless, so
+    /// their (empty) vectors cost zero scan.
+    pub fn pruned_blocks(&self) -> usize {
+        self.pruned
     }
 
     /// Whether every block compiled a vector — only then can a pooled
@@ -167,6 +222,41 @@ impl SetSelection {
     }
 }
 
+/// Zone-map test: does `sketch` prove that **no** row of its block can
+/// satisfy `filter`?
+///
+/// A conjunction is matchless as soon as any one conjunct provably is.
+/// The test is conservative: a predicate over a column the sketch does
+/// not cover, or over a column that saw non-finite values (whose
+/// min/max track finite values only, and where a `≠` can be satisfied
+/// by a NaN row), never proves anything, and the block scans as usual.
+fn proves_matchless(sketch: &BlockSketch, filter: &RowFilter) -> bool {
+    if sketch.rows == 0 {
+        return true;
+    }
+    filter.predicates().iter().any(|pred| {
+        let Some(m) = sketch.column(pred.column) else {
+            return false;
+        };
+        if m.non_finite > 0 {
+            return false;
+        }
+        let v = pred.value;
+        match pred.op {
+            CmpOp::Gt => m.max <= v,
+            CmpOp::Ge => m.max < v,
+            CmpOp::Lt => m.min >= v,
+            CmpOp::Le => m.min > v,
+            // NaN compares false everywhere: an `=` against it can never
+            // match, and the range test below is only meaningful for a
+            // real value.
+            CmpOp::Eq => v.is_nan() || v < m.min || v > m.max,
+            // Only a constant column (min == max == v) rules out `≠`.
+            CmpOp::Ne => m.min == v && m.max == v,
+        }
+    })
+}
+
 /// Maximum compiled filters a [`SelectionCache`] retains; the
 /// oldest-inserted entry is evicted beyond this, bounding the cache at
 /// `cap × matches × 4 B` even under endless ad-hoc predicates.
@@ -199,7 +289,10 @@ impl SelectionCache {
     }
 
     /// Returns the cached selection for `filter`, compiling and caching
-    /// it on first use.
+    /// it on first use. `sketches` feed the zone-map prune of
+    /// [`SetSelection::build`]; since a pruned build and a scanned
+    /// build compile identical selections, cache hits may freely cross
+    /// sketch availability.
     ///
     /// # Errors
     ///
@@ -208,6 +301,7 @@ impl SelectionCache {
         &self,
         blocks: &[Arc<dyn DataBlock>],
         filter: &RowFilter,
+        sketches: Option<&SetSketches>,
     ) -> Result<Arc<SetSelection>, StorageError> {
         let key = filter.fingerprint();
         {
@@ -226,7 +320,7 @@ impl SelectionCache {
         // Built outside the lock: compilation scans the whole set and
         // must not serialize unrelated lookups. A racing duplicate build
         // is idempotent.
-        let built = Arc::new(SetSelection::build(blocks, filter)?);
+        let built = Arc::new(SetSelection::build(blocks, filter, sketches)?);
         let mut state = self
             .inner
             .lock()
@@ -309,8 +403,9 @@ mod tests {
         let set = RowsBlock::split(vec![(0..1000).map(f64::from).collect()], 4);
         let filter = filter_gt(0, 899.5); // matches rows 900..999, all in the last block
         let blocks: Vec<_> = set.iter().map(std::sync::Arc::clone).collect();
-        let sel = SetSelection::build(&blocks, &filter).unwrap();
+        let sel = SetSelection::build(&blocks, &filter, None).unwrap();
         assert!(sel.is_complete());
+        assert_eq!(sel.pruned_blocks(), 0, "no sketches, no pruning");
         assert_eq!(sel.total_matches(), 100);
         assert_eq!(sel.block_count(), 4);
         assert!(sel.block(0).unwrap().is_empty(), "matchless zone stat");
@@ -327,10 +422,16 @@ mod tests {
         let blocks: Vec<_> = set.iter().map(std::sync::Arc::clone).collect();
         let cache = SelectionCache::new();
         assert!(cache.is_empty());
-        let a = cache.get_or_build(&blocks, &filter_gt(0, 50.0)).unwrap();
-        let b = cache.get_or_build(&blocks, &filter_gt(0, 50.0)).unwrap();
+        let a = cache
+            .get_or_build(&blocks, &filter_gt(0, 50.0), None)
+            .unwrap();
+        let b = cache
+            .get_or_build(&blocks, &filter_gt(0, 50.0), None)
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup hits the cache");
-        let _ = cache.get_or_build(&blocks, &filter_gt(0, 60.0)).unwrap();
+        let _ = cache
+            .get_or_build(&blocks, &filter_gt(0, 60.0), None)
+            .unwrap();
         assert_eq!(cache.len(), 2);
     }
 
@@ -341,15 +442,15 @@ mod tests {
         let cache = SelectionCache::new();
         for i in 0..(SELECTION_CACHE_CAP + 10) {
             cache
-                .get_or_build(&blocks, &filter_gt(0, i as f64))
+                .get_or_build(&blocks, &filter_gt(0, i as f64), None)
                 .unwrap();
         }
         assert_eq!(cache.len(), SELECTION_CACHE_CAP, "oldest entries evicted");
         // The newest filter is still cached (pointer-equal on re-lookup);
         // the very first was evicted and rebuilds to a distinct Arc.
         let newest = filter_gt(0, (SELECTION_CACHE_CAP + 9) as f64);
-        let a = cache.get_or_build(&blocks, &newest).unwrap();
-        let b = cache.get_or_build(&blocks, &newest).unwrap();
+        let a = cache.get_or_build(&blocks, &newest, None).unwrap();
+        let b = cache.get_or_build(&blocks, &newest, None).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
     }
 
@@ -366,8 +467,130 @@ mod tests {
             Arc::new(RowsBlock::new(vec![vec![1.0, 5.0]])),
             Arc::new(gen),
         ];
-        let sel = SetSelection::build(&blocks, &filter_gt(0, 2.0)).unwrap();
+        let sel = SetSelection::build(&blocks, &filter_gt(0, 2.0), None).unwrap();
         assert!(!sel.is_complete());
         assert_eq!(sel.total_matches(), 1, "compiled blocks still counted");
+    }
+
+    #[test]
+    fn oversized_blocks_error_instead_of_truncating() {
+        // A scannable block claiming more rows than the u32 index space:
+        // compilation must refuse with a structured error, never wrap
+        // its row counter.
+        struct HugeClaimBlock;
+        impl DataBlock for HugeClaimBlock {
+            fn len(&self) -> u64 {
+                u64::from(u32::MAX) + 1
+            }
+            fn sample_one(&self, _rng: &mut dyn rand::RngCore) -> Result<f64, StorageError> {
+                Ok(0.0)
+            }
+            fn row_at(&self, _idx: u64) -> Result<f64, StorageError> {
+                Ok(0.0)
+            }
+            fn scan(&self, _visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+                Ok(())
+            }
+            fn describe(&self) -> String {
+                "huge claim".into()
+            }
+        }
+        let err = SelectionVector::build(&HugeClaimBlock, &filter_gt(0, 0.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::BlockTooLarge { rows } if rows == u64::from(u32::MAX) + 1
+        ));
+        // The set build propagates the structured error too.
+        let blocks: Vec<Arc<dyn DataBlock>> = vec![Arc::new(HugeClaimBlock)];
+        assert!(matches!(
+            SetSelection::build(&blocks, &filter_gt(0, 0.0), None),
+            Err(StorageError::BlockTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn zone_maps_prune_provably_matchless_blocks() {
+        // Sorted data split into 4 range-partitioned blocks: a high
+        // range predicate is provably matchless on the first three.
+        let set = RowsBlock::split(vec![(0..1000).map(f64::from).collect()], 4);
+        let blocks: Vec<_> = set.iter().map(std::sync::Arc::clone).collect();
+        let sketches = set.sketches().unwrap();
+        assert!(sketches.is_complete());
+        let filter = filter_gt(0, 899.5);
+        let pruned = SetSelection::build(&blocks, &filter, Some(&sketches)).unwrap();
+        assert_eq!(pruned.pruned_blocks(), 3);
+        assert!(pruned.is_complete());
+        // The pruned build compiles the identical selection.
+        let scanned = SetSelection::build(&blocks, &filter, None).unwrap();
+        assert_eq!(scanned.pruned_blocks(), 0);
+        assert_eq!(pruned.total_matches(), scanned.total_matches());
+        for i in 0..4 {
+            assert_eq!(
+                pruned.block(i).unwrap().indices(),
+                scanned.block(i).unwrap().indices()
+            );
+        }
+        let (b, row) = pruned.locate(0);
+        assert_eq!(b, 3);
+        assert_eq!(set.block(b).row_at(row).unwrap(), 900.0);
+    }
+
+    #[test]
+    fn prune_rules_cover_every_operator() {
+        use crate::filter::ColumnPredicate;
+        let sketch = BlockSketch::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let pred = |op, value| {
+            RowFilter::new(vec![ColumnPredicate {
+                column: 0,
+                op,
+                value,
+            }])
+        };
+        // Provably matchless on [1, 5]:
+        assert!(proves_matchless(&sketch, &pred(CmpOp::Gt, 5.0)));
+        assert!(proves_matchless(&sketch, &pred(CmpOp::Ge, 5.5)));
+        assert!(proves_matchless(&sketch, &pred(CmpOp::Lt, 1.0)));
+        assert!(proves_matchless(&sketch, &pred(CmpOp::Le, 0.5)));
+        assert!(proves_matchless(&sketch, &pred(CmpOp::Eq, 6.0)));
+        assert!(proves_matchless(&sketch, &pred(CmpOp::Eq, f64::NAN)));
+        // Not provable (rows may match):
+        assert!(!proves_matchless(&sketch, &pred(CmpOp::Gt, 4.5)));
+        assert!(!proves_matchless(&sketch, &pred(CmpOp::Ge, 5.0)));
+        assert!(!proves_matchless(&sketch, &pred(CmpOp::Lt, 1.5)));
+        assert!(!proves_matchless(&sketch, &pred(CmpOp::Le, 1.0)));
+        assert!(!proves_matchless(&sketch, &pred(CmpOp::Eq, 3.0)));
+        assert!(!proves_matchless(&sketch, &pred(CmpOp::Ne, 3.0)));
+        // A constant column does rule out ≠ its value.
+        let constant = BlockSketch::from_values(&[7.0, 7.0]);
+        assert!(proves_matchless(&constant, &pred(CmpOp::Ne, 7.0)));
+        // An empty block matches nothing.
+        assert!(proves_matchless(
+            &BlockSketch::empty(1),
+            &pred(CmpOp::Ne, 0.0)
+        ));
+        // Predicates beyond the sketch's width prove nothing.
+        let off_column = RowFilter::new(vec![ColumnPredicate {
+            column: 3,
+            op: CmpOp::Gt,
+            value: 100.0,
+        }]);
+        assert!(!proves_matchless(&sketch, &off_column));
+        // Non-finite values disable pruning on that column.
+        let with_nan = BlockSketch::from_values(&[1.0, f64::NAN]);
+        assert!(!proves_matchless(&with_nan, &pred(CmpOp::Gt, 5.0)));
+        // A conjunction is matchless when any conjunct provably is.
+        let conj = RowFilter::new(vec![
+            ColumnPredicate {
+                column: 0,
+                op: CmpOp::Gt,
+                value: 0.0,
+            },
+            ColumnPredicate {
+                column: 0,
+                op: CmpOp::Lt,
+                value: 1.0,
+            },
+        ]);
+        assert!(proves_matchless(&sketch, &conj));
     }
 }

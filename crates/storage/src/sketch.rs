@@ -1,0 +1,469 @@
+//! Per-block moment sketches: tiny, mergeable column statistics
+//! (count, Σa, Σa², min, max, non-finite count) that let consumers
+//! answer moment queries from metadata instead of scanning.
+//!
+//! Three invariants make the sketches trustworthy:
+//!
+//! 1. **One fold law.** Every sketch — eager (computed at block
+//!    construction), lazy (scan-computed on demand) — folds values
+//!    through the same [`ColumnMoments::update`] in storage order, so a
+//!    hook-provided sketch is **bit-identical** to a scan-computed one
+//!    for the same block. Consumers may therefore mix provenances
+//!    freely without perturbing results.
+//! 2. **Order-invariant merge.** [`BlockSketch::merge`] combines
+//!    per-block sketches like `PartialAggregate`: counts and extrema
+//!    merge exactly; the floating-point sums are mathematically
+//!    order-invariant (and exact over the integers/extrema), with only
+//!    the usual f64 rounding differing between merge orders.
+//! 3. **Caching is per block set.** [`SketchCache`] is keyed by block
+//!    index (blocks are immutable and index-stable within a
+//!    [`crate::BlockSet`]) and shared across set clones through an
+//!    `Arc`, mirroring the `SelectionCache` design in
+//!    [`crate::selection`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::block::DataBlock;
+use crate::error::StorageError;
+
+/// Running moments of one column: the per-column payload of a
+/// [`BlockSketch`].
+///
+/// `min`/`max` track **finite** values only (initialized to `+∞`/`−∞`,
+/// so an empty or all-non-finite column has `min > max`); `sum` and
+/// `sum_sq` fold every value, so a NaN poisons them exactly as it would
+/// poison a scan — `non_finite` says when that happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnMoments {
+    /// Σa over every value folded in.
+    pub sum: f64,
+    /// Σa² over every value folded in.
+    pub sum_sq: f64,
+    /// Smallest finite value (`+∞` when none).
+    pub min: f64,
+    /// Largest finite value (`−∞` when none).
+    pub max: f64,
+    /// Number of non-finite (NaN/±∞) values folded in.
+    pub non_finite: u64,
+}
+
+impl Default for ColumnMoments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnMoments {
+    /// The moments of zero values.
+    pub fn new() -> Self {
+        Self {
+            sum: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            non_finite: 0,
+        }
+    }
+
+    /// Folds one value in. This is **the** fold law: every sketch
+    /// producer (eager constructor or lazy scan) must route values
+    /// through here in storage order so all provenances agree bit for
+    /// bit.
+    #[inline]
+    pub fn update(&mut self, v: f64) {
+        self.sum += v;
+        self.sum_sq += v * v;
+        if v.is_finite() {
+            if v < self.min {
+                self.min = v;
+            }
+            if v > self.max {
+                self.max = v;
+            }
+        } else {
+            self.non_finite += 1;
+        }
+    }
+
+    /// Merges another column's moments in (order-invariant up to f64
+    /// rounding of the sums; counts and extrema merge exactly).
+    pub fn merge(&mut self, other: &ColumnMoments) {
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.non_finite += other.non_finite;
+    }
+}
+
+/// Moment sketch of one block: a row count plus per-column
+/// [`ColumnMoments`] (scalar blocks have exactly one column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockSketch {
+    /// Number of rows folded in.
+    pub rows: u64,
+    /// Per-column moments, one entry per block column.
+    pub columns: Vec<ColumnMoments>,
+}
+
+impl BlockSketch {
+    /// An empty sketch of the given width.
+    pub fn empty(width: usize) -> Self {
+        Self {
+            rows: 0,
+            columns: vec![ColumnMoments::new(); width],
+        }
+    }
+
+    /// The sketch of a width-1 value slice (fold in storage order).
+    pub fn from_values(values: &[f64]) -> Self {
+        let mut moments = ColumnMoments::new();
+        for &v in values {
+            moments.update(v);
+        }
+        Self {
+            rows: values.len() as u64,
+            columns: vec![moments],
+        }
+    }
+
+    /// The sketch of a columnar table: every column folded top to
+    /// bottom (the same per-column value order a row-major scan
+    /// produces, so both routes agree bit for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when columns have unequal lengths — the caller validates
+    /// table shape before sketching.
+    pub fn from_columns<C: AsRef<[f64]>>(columns: &[C]) -> Self {
+        let rows = columns.first().map_or(0, |c| c.as_ref().len());
+        let moments = columns
+            .iter()
+            .map(|col| {
+                let col = col.as_ref();
+                assert_eq!(col.len(), rows, "columns must have equal lengths");
+                let mut m = ColumnMoments::new();
+                for &v in col {
+                    m.update(v);
+                }
+                m
+            })
+            .collect();
+        Self {
+            rows: rows as u64,
+            columns: moments,
+        }
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The moments of column `col`, when in range.
+    pub fn column(&self, col: usize) -> Option<&ColumnMoments> {
+        self.columns.get(col)
+    }
+
+    /// A width-1 sketch of column `col`, when in range — what a
+    /// projection of the block to that column would sketch to.
+    pub fn project(&self, col: usize) -> Option<BlockSketch> {
+        self.columns.get(col).map(|m| BlockSketch {
+            rows: self.rows,
+            columns: vec![*m],
+        })
+    }
+
+    /// Folds one row tuple in.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tuple width differs from the sketch width.
+    #[inline]
+    pub fn update_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows += 1;
+        for (m, &v) in self.columns.iter_mut().zip(row) {
+            m.update(v);
+        }
+    }
+
+    /// Merges another block's sketch in (order-invariant: counts and
+    /// extrema exactly, sums up to f64 rounding) — the streaming-ingest
+    /// combine step.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn merge(&mut self, other: &BlockSketch) {
+        assert_eq!(
+            self.columns.len(),
+            other.columns.len(),
+            "cannot merge sketches of different widths"
+        );
+        self.rows += other.rows;
+        for (m, o) in self.columns.iter_mut().zip(&other.columns) {
+            m.merge(o);
+        }
+    }
+
+    /// True when every column saw only finite values.
+    pub fn all_finite(&self) -> bool {
+        self.columns.iter().all(|m| m.non_finite == 0)
+    }
+}
+
+/// Computes a block's sketch by scanning it — the lazy path for blocks
+/// without a [`DataBlock::sketch`] hook (file-backed or third-party).
+///
+/// Width-1 blocks fold through the chunked scan kernel; wider blocks
+/// fold row tuples. Both visit each column's values in storage order,
+/// so the result is bit-identical to an eager constructor-time sketch
+/// of the same data.
+///
+/// Returns `Ok(None)` when the block does not support scans at all.
+///
+/// # Errors
+///
+/// Propagates the block's scan error (I/O, parse, or a refusal from an
+/// oversized virtual block).
+pub fn scan_sketch(block: &dyn DataBlock) -> Result<Option<BlockSketch>, StorageError> {
+    if !block.supports_scan() {
+        return Ok(None);
+    }
+    if block.width() == 1 {
+        let mut moments = ColumnMoments::new();
+        let mut rows = 0u64;
+        block.scan_chunks(&mut |chunk| {
+            rows += chunk.len() as u64;
+            for &v in chunk {
+                moments.update(v);
+            }
+        })?;
+        Ok(Some(BlockSketch {
+            rows,
+            columns: vec![moments],
+        }))
+    } else {
+        let mut sketch = BlockSketch::empty(block.width());
+        block.scan_rows(&mut |row| sketch.update_row(row))?;
+        Ok(Some(sketch))
+    }
+}
+
+/// Per-set sketch cache: block index → sketch, shared across
+/// [`crate::BlockSet`] clones through an `Arc` (the `SelectionCache`
+/// design). Blocks are immutable and index-stable, so entries never
+/// invalidate; the map is bounded by the block count, so there is no
+/// eviction.
+#[derive(Debug, Default)]
+pub struct SketchCache {
+    entries: Mutex<HashMap<usize, Arc<BlockSketch>>>,
+}
+
+impl SketchCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The cached sketch of block `idx`, if any.
+    pub fn get(&self, idx: usize) -> Option<Arc<BlockSketch>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&idx)
+            .cloned()
+    }
+
+    /// Inserts a sketch for block `idx`, returning the winning entry —
+    /// first writer wins, so racing recomputations (which are
+    /// idempotent: same block, same fold) converge on one `Arc`.
+    pub fn insert(&self, idx: usize, sketch: Arc<BlockSketch>) -> Arc<BlockSketch> {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        Arc::clone(entries.entry(idx).or_insert(sketch))
+    }
+
+    /// Number of cached sketches.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The per-block sketches of one block set, in block order. `None`
+/// entries mark blocks whose sketch is unavailable at the requested
+/// effort (no hook and either not yet scanned, or unscannable).
+#[derive(Debug, Clone)]
+pub struct SetSketches {
+    blocks: Vec<Option<Arc<BlockSketch>>>,
+}
+
+impl SetSketches {
+    /// Wraps per-block sketches (block order).
+    pub fn new(blocks: Vec<Option<Arc<BlockSketch>>>) -> Self {
+        Self { blocks }
+    }
+
+    /// The sketch of block `idx`, when available.
+    pub fn block(&self, idx: usize) -> Option<&Arc<BlockSketch>> {
+        self.blocks.get(idx).and_then(Option::as_ref)
+    }
+
+    /// Number of blocks (available or not).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the set has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// True when every block has a sketch.
+    pub fn is_complete(&self) -> bool {
+        self.blocks.iter().all(Option::is_some)
+    }
+
+    /// Iterates the per-block entries in block order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<&Arc<BlockSketch>>> {
+        self.blocks.iter().map(Option::as_ref)
+    }
+
+    /// Merges every available sketch into one (the set-wide moments);
+    /// `None` when any block lacks a sketch or the set is empty or
+    /// widths disagree.
+    pub fn merged(&self) -> Option<BlockSketch> {
+        let mut iter = self.blocks.iter();
+        let mut merged = BlockSketch::clone(iter.next()?.as_ref()?);
+        for entry in iter {
+            let sketch = entry.as_ref()?;
+            if sketch.width() != merged.width() {
+                return None;
+            }
+            merged.merge(sketch);
+        }
+        Some(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemBlock;
+
+    #[test]
+    fn fold_tracks_all_moments() {
+        let s = BlockSketch::from_values(&[3.0, -1.0, 4.0, 1.5]);
+        assert_eq!(s.rows, 4);
+        let m = s.column(0).unwrap();
+        assert_eq!(m.sum, 3.0 + -1.0 + 4.0 + 1.5);
+        assert_eq!(m.sum_sq, 9.0 + 1.0 + 16.0 + 2.25);
+        assert_eq!(m.min, -1.0);
+        assert_eq!(m.max, 4.0);
+        assert_eq!(m.non_finite, 0);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn non_finite_values_are_counted_not_ranged() {
+        let mut m = ColumnMoments::new();
+        m.update(2.0);
+        m.update(f64::NAN);
+        m.update(f64::INFINITY);
+        assert_eq!(m.non_finite, 2);
+        assert_eq!(m.min, 2.0);
+        assert_eq!(m.max, 2.0);
+        assert!(m.sum.is_nan(), "sums are poisoned exactly like a scan");
+    }
+
+    #[test]
+    fn empty_sketch_has_inverted_range() {
+        let s = BlockSketch::empty(1);
+        let m = s.column(0).unwrap();
+        assert!(m.min > m.max, "empty range is recognizable");
+        assert_eq!(s.rows, 0);
+    }
+
+    #[test]
+    fn merge_matches_single_fold_on_counts_and_extrema() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64) * 0.7 - 30.0).collect();
+        let whole = BlockSketch::from_values(&values);
+        let mut merged = BlockSketch::from_values(&values[..37]);
+        merged.merge(&BlockSketch::from_values(&values[37..81]));
+        merged.merge(&BlockSketch::from_values(&values[81..]));
+        assert_eq!(merged.rows, whole.rows);
+        let (a, b) = (merged.column(0).unwrap(), whole.column(0).unwrap());
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert_eq!(a.non_finite, b.non_finite);
+        assert!((a.sum - b.sum).abs() <= 1e-9 * b.sum.abs().max(1.0));
+        assert!((a.sum_sq - b.sum_sq).abs() <= 1e-9 * b.sum_sq.abs().max(1.0));
+    }
+
+    #[test]
+    fn projection_extracts_one_column() {
+        let s = BlockSketch::from_columns(&[vec![1.0, 2.0], vec![10.0, 20.0]]);
+        assert_eq!(s.width(), 2);
+        let p = s.project(1).unwrap();
+        assert_eq!(p.width(), 1);
+        assert_eq!(p.rows, 2);
+        assert_eq!(p.column(0).unwrap().sum, 30.0);
+        assert!(s.project(2).is_none());
+    }
+
+    #[test]
+    fn scan_sketch_matches_eager_hook_bit_for_bit() {
+        let values: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let block = MemBlock::new(values);
+        let eager = crate::block::DataBlock::sketch(&block).expect("MemBlock sketches eagerly");
+        let scanned = scan_sketch(&block).unwrap().expect("MemBlock scans");
+        assert_eq!(*eager, scanned);
+        let (a, b) = (eager.column(0).unwrap(), scanned.column(0).unwrap());
+        assert_eq!(a.sum.to_bits(), b.sum.to_bits());
+        assert_eq!(a.sum_sq.to_bits(), b.sum_sq.to_bits());
+    }
+
+    #[test]
+    fn cache_is_shared_and_first_writer_wins() {
+        let cache = Arc::new(SketchCache::new());
+        assert!(cache.is_empty());
+        let first = Arc::new(BlockSketch::from_values(&[1.0]));
+        let second = Arc::new(BlockSketch::from_values(&[1.0]));
+        let won = cache.insert(0, Arc::clone(&first));
+        assert!(Arc::ptr_eq(&won, &first));
+        let won = cache.insert(0, second);
+        assert!(Arc::ptr_eq(&won, &first), "first writer wins");
+        let other = Arc::clone(&cache);
+        assert!(Arc::ptr_eq(&other.get(0).unwrap(), &first));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn set_sketches_merge_requires_completeness() {
+        let a = Arc::new(BlockSketch::from_values(&[1.0, 2.0]));
+        let b = Arc::new(BlockSketch::from_values(&[3.0]));
+        let complete = SetSketches::new(vec![Some(Arc::clone(&a)), Some(b)]);
+        assert!(complete.is_complete());
+        let merged = complete.merged().unwrap();
+        assert_eq!(merged.rows, 3);
+        assert_eq!(merged.column(0).unwrap().sum, 6.0);
+        let partial = SetSketches::new(vec![Some(a), None]);
+        assert!(!partial.is_complete());
+        assert!(partial.merged().is_none());
+        assert!(partial.block(1).is_none());
+        assert_eq!(partial.len(), 2);
+    }
+}

@@ -10,13 +10,14 @@
 
 use std::sync::Arc;
 
+use isla::baselines::{Estimator, Slev};
 use isla::core::engine::{self, PooledScheduler, RateSpec, RowSpec, SequentialScheduler};
 use isla::core::IslaConfig;
 use isla::storage::{
-    pool_filtered_column, scalar_fallback_set, BinaryBlock, BlockSet, CmpOp, ColumnPredicate,
-    ColumnView, DataBlock, FilteredColumnView, MemBlock, PooledFilteredColumn, RowFilter,
-    RowSampleBuf, RowsBlock, SampleBuf, ScalarFallbackBlock, SelectionVector, SharedColumn,
-    StorageError, TextBlock, ZipBlock,
+    pool_filtered_column, scalar_fallback_set, scan_sketch, BinaryBlock, BlockSet, CmpOp,
+    ColumnPredicate, ColumnView, DataBlock, FilteredColumnView, MemBlock, PooledFilteredColumn,
+    RowFilter, RowSampleBuf, RowsBlock, SampleBuf, ScalarFallbackBlock, SelectionVector,
+    SharedColumn, StorageError, TextBlock, ZipBlock,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -239,6 +240,112 @@ fn assert_kernel_identity(block: Arc<dyn DataBlock>, label: &str) {
     let mut scanned = Vec::new();
     scalar.scan(&mut |v| scanned.push(v)).unwrap();
     assert_eq!(chunked, scanned, "{label}: chunked scan != scalar scan");
+
+    // The fallback wrapper hides the sketch hook; when the native block
+    // exposes one, it must be bit-identical to a scan-computed sketch
+    // (the one-fold law).
+    assert!(
+        scalar.sketch().is_none(),
+        "{label}: fallback wrapper must hide the sketch hook"
+    );
+    if let Some(hook) = block.sketch() {
+        let scanned = scan_sketch(block.as_ref())
+            .unwrap()
+            .expect("hooked blocks are scannable");
+        assert_eq!(hook.rows, scanned.rows, "{label}: sketch row counts");
+        assert_eq!(hook.width(), scanned.width(), "{label}: sketch widths");
+        for (c, (h, s)) in hook.columns.iter().zip(&scanned.columns).enumerate() {
+            assert_eq!(h.sum.to_bits(), s.sum.to_bits(), "{label} col {c}: Σa");
+            assert_eq!(
+                h.sum_sq.to_bits(),
+                s.sum_sq.to_bits(),
+                "{label} col {c}: Σa²"
+            );
+            assert_eq!(h.min.to_bits(), s.min.to_bits(), "{label} col {c}: min");
+            assert_eq!(h.max.to_bits(), s.max.to_bits(), "{label} col {c}: max");
+            assert_eq!(h.non_finite, s.non_finite, "{label} col {c}: non-finite");
+        }
+    }
+}
+
+/// Pins the sketch-backed SLEV sampler across kernel paths: the same
+/// seed over the native set (batch kernels, hook sketches) and its
+/// scalar fallback (one-value-at-a-time draws, scan-computed sketches)
+/// must produce the identical estimate, bit for bit.
+fn assert_sketched_slev_identity(native: &BlockSet, label: &str) {
+    let fallback = scalar_fallback_set(native);
+    let slev = Slev::default();
+    let run = |data: &BlockSet| {
+        let mut rng = StdRng::seed_from_u64(0x51EF);
+        slev.estimate(data, 2_000, &mut rng).unwrap()
+    };
+    assert_eq!(
+        run(native).to_bits(),
+        run(&fallback).to_bits(),
+        "{label}: sketched SLEV diverged between native and scalar kernels"
+    );
+}
+
+#[test]
+fn sketched_slev_is_bit_identical_on_every_block_impl() {
+    let dir = std::env::temp_dir().join(format!("isla-kid-slev-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let values: Vec<f64> = columns(6_000, 1, 41)[0].clone();
+    assert_sketched_slev_identity(&BlockSet::from_values(values.clone(), 4), "MemBlock");
+
+    let text_path = dir.join("col.txt");
+    let text: String = values.iter().map(|v| format!("{v}\n")).collect();
+    std::fs::write(&text_path, text).unwrap();
+    assert_sketched_slev_identity(
+        &BlockSet::single(TextBlock::open(&text_path).unwrap()),
+        "TextBlock",
+    );
+
+    let bin_path = dir.join("col.blk");
+    BinaryBlock::create(&bin_path, &values).unwrap();
+    assert_sketched_slev_identity(
+        &BlockSet::single(BinaryBlock::open(&bin_path).unwrap()),
+        "BinaryBlock",
+    );
+
+    assert_sketched_slev_identity(&native_set(6_000, 2, 4, 43), "RowsBlock");
+
+    assert_sketched_slev_identity(
+        &BlockSet::single(SharedColumn::new(Arc::new(values.clone()))),
+        "SharedColumn",
+    );
+
+    let cols = columns(6_000, 3, 47);
+    let zipped: Vec<Arc<dyn DataBlock>> = cols
+        .iter()
+        .map(|c| Arc::new(MemBlock::new(c.clone())) as Arc<dyn DataBlock>)
+        .collect();
+    assert_sketched_slev_identity(&BlockSet::single(ZipBlock::new(zipped)), "ZipBlock");
+
+    let table = native_set(6_000, 3, 1, 53);
+    let inner = Arc::clone(table.iter().next().unwrap());
+    assert_sketched_slev_identity(&BlockSet::single(ColumnView::new(inner, 1)), "ColumnView");
+
+    let filter = RowFilter::new(vec![ColumnPredicate {
+        column: 1,
+        op: CmpOp::Gt,
+        value: 60.0,
+    }]);
+    let table = native_set(6_000, 2, 1, 59);
+    let inner = Arc::clone(table.iter().next().unwrap());
+    assert_sketched_slev_identity(
+        &BlockSet::single(FilteredColumnView::new(inner, 0, Arc::new(filter.clone()))),
+        "FilteredColumnView",
+    );
+
+    let table = native_set(6_000, 2, 4, 61);
+    assert_sketched_slev_identity(
+        &BlockSet::single(PooledFilteredColumn::build(&table, 0, filter)),
+        "PooledFilteredColumn",
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
@@ -412,6 +519,32 @@ proptest! {
                 prop_assert_eq!(v.to_bits(), block.row_at(idx).unwrap().to_bits());
             }
         }
+    }
+
+    /// Per-block moment sketches merged across an arbitrary block split
+    /// agree with a brute-force pass over the whole value vector:
+    /// counts and extrema exactly, the floating-point sums up to
+    /// summation-order rounding.
+    #[test]
+    fn merged_block_sketches_match_brute_force(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..400),
+        blocks in 1usize..6,
+    ) {
+        let blocks = blocks.min(values.len());
+        let set = BlockSet::from_values(values.clone(), blocks);
+        let merged = set.sketches().unwrap().merged().unwrap();
+        prop_assert_eq!(merged.rows, values.len() as u64);
+        let m = *merged.column(0).unwrap();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(m.min.to_bits(), min.to_bits());
+        prop_assert_eq!(m.max.to_bits(), max.to_bits());
+        prop_assert_eq!(m.non_finite, 0);
+        let sum: f64 = values.iter().sum();
+        let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+        let mag: f64 = values.iter().map(|v| v.abs()).sum();
+        prop_assert!((m.sum - sum).abs() <= 1e-12 * mag.max(1.0));
+        prop_assert!((m.sum_sq - sum_sq).abs() <= 1e-12 * sum_sq.max(1.0));
     }
 
     /// Batched draws from a plain memory block reproduce the scalar
