@@ -41,8 +41,11 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 /// Engine entry points a live lock guard must never span: anything that
 /// executes blocks can block on the worker pool (or, pooled, wait on
 /// other queries sharing the cache), turning a held guard into a
-/// deadlock.
+/// deadlock. `acquire` is the serving layer's admission gate — it
+/// parks the caller on a condvar until a slot frees, so a guard held
+/// across it deadlocks the moment the releasing thread needs that lock.
 const EXECUTION_ENTRY_POINTS: &[&str] = &[
+    "acquire",
     "execute",
     "execute_block",
     "execute_planned_block",

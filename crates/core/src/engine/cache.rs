@@ -71,6 +71,20 @@ impl CacheKey {
         self.query_shape = shape;
         self
     }
+
+    /// A stable 64-bit digest of the key — the seed material for
+    /// deterministic pilot derivation: a serving layer that seeds the
+    /// pilot RNG from `digest() ⊕ salt` makes the cached entry a pure
+    /// function of the key, so racing first computations are idempotent
+    /// and a query's answer no longer depends on whether *its own* RNG
+    /// paid for the pilots (hit) or not (miss).
+    pub fn digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Hit/miss counters, observable by callers (e.g. integration tests and
@@ -194,6 +208,15 @@ impl PreEstimateCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Whether an entry exists for exactly this key (scalar or row map,
+    /// decided by the key's query shape). A pure probe: no counters
+    /// move, nothing is computed — the tool for pinning *which* key a
+    /// caller populated (e.g. that an executor cached under its final
+    /// config, sketch-σ flag included, not a pre-toggle one).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entries.lock().contains_key(key) || self.row_entries.lock().contains_key(key)
     }
 
     /// Number of cached entries (scalar + row).
@@ -410,6 +433,40 @@ mod tests {
             )
             .unwrap();
         assert!(!after.hit, "invalidation forces a recompute");
+    }
+
+    #[test]
+    fn sketch_sigma_and_pilot_sigma_never_share_a_slot() {
+        // The σ-source flag is fingerprint-hashed: a query whose σ came
+        // from block sketches and one whose σ came from the sampling
+        // pilot describe different plans and must key separately — an
+        // executor that derived its key before toggling the flag would
+        // silently alias them.
+        let ds = normal_dataset(100.0, 20.0, 50_000, 5, 63);
+        let cache = PreEstimateCache::new();
+        let pilot_cfg = config(0.5);
+        let mut sketch_cfg = config(0.5);
+        sketch_cfg.sketch_sigma = true;
+        let pilot_key = CacheKey::new("t", "c", &pilot_cfg, &ds.blocks);
+        let sketch_key = CacheKey::new("t", "c", &sketch_cfg, &ds.blocks);
+        assert_ne!(pilot_key, sketch_key, "the flag is part of the key");
+        assert_ne!(pilot_key.digest(), sketch_key.digest());
+        let mut rng = StdRng::seed_from_u64(8);
+        cache
+            .get_or_compute(sketch_key.clone(), &ds.blocks, &sketch_cfg, &mut rng)
+            .unwrap();
+        assert!(cache.contains(&sketch_key));
+        assert!(
+            !cache.contains(&pilot_key),
+            "sketch-σ entry must not answer pilot-σ probes"
+        );
+        let pilot = cache
+            .get_or_compute(pilot_key.clone(), &ds.blocks, &pilot_cfg, &mut rng)
+            .unwrap();
+        assert!(!pilot.hit, "pilot-σ lookup misses, never aliases");
+        assert_eq!(cache.len(), 2);
+        // digest() is a stable function of the key alone.
+        assert_eq!(pilot_key.digest(), pilot_key.clone().digest());
     }
 
     #[test]

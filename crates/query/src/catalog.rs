@@ -130,6 +130,25 @@ impl Table {
         }
     }
 
+    /// Drop every derived cache (selections, sketches) attached to this
+    /// table's block sets — the row set and every scalar column set.
+    ///
+    /// Required after any in-place mutation of the underlying blocks:
+    /// the caches are `Arc`-shared across every `BlockSet` clone handed
+    /// out by [`Table::column`], so a clone obtained *before* the
+    /// mutation would otherwise keep serving selections and sketches
+    /// computed over the old data. Pre-estimation entries live in the
+    /// session-level cache and are invalidated separately by
+    /// [`crate::QuerySession::invalidate_table`], which calls this.
+    pub fn invalidate_caches(&self) {
+        self.data.invalidate_derived();
+        if let Some(sets) = &self.column_sets {
+            for set in sets {
+                set.invalidate_derived();
+            }
+        }
+    }
+
     /// The column names, sorted (for stable display).
     pub fn column_names(&self) -> Vec<&str> {
         let mut names = self.schema.column_names();

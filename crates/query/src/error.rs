@@ -35,6 +35,16 @@ pub enum QueryError {
     Invalid(String),
     /// The underlying aggregation failed.
     Engine(IslaError),
+    /// The serving layer's admission queue is full: every execution
+    /// slot is busy and the bounded wait queue has no room. A typed
+    /// backpressure signal — the client should retry later (or shed the
+    /// query), and the service stays responsive instead of wedging.
+    Overloaded {
+        /// Queries currently executing.
+        in_flight: usize,
+        /// Queries already waiting for a slot.
+        queued: usize,
+    },
     /// An internal invariant of the executor was violated — e.g. a
     /// dispatch arm reached with an aggregate it never handles. Always a
     /// bug in the dispatch logic, never a user error.
@@ -55,6 +65,10 @@ impl fmt::Display for QueryError {
                 write!(f, "unknown column {column:?} on table {table:?}")
             }
             QueryError::Invalid(msg) => write!(f, "invalid query: {msg}"),
+            QueryError::Overloaded { in_flight, queued } => write!(
+                f,
+                "service overloaded: {in_flight} queries in flight, {queued} queued — retry later"
+            ),
             QueryError::Engine(e) => write!(f, "execution failed: {e}"),
             QueryError::Internal(msg) => write!(f, "internal executor invariant violated: {msg}"),
         }
@@ -106,5 +120,12 @@ mod tests {
         let e: QueryError = IslaError::InsufficientData("x".into()).into();
         assert!(e.to_string().contains("execution failed"));
         assert!(std::error::Error::source(&e).is_some());
+        let overloaded = QueryError::Overloaded {
+            in_flight: 4,
+            queued: 16,
+        };
+        assert!(overloaded.to_string().contains("4 queries in flight"));
+        assert!(overloaded.to_string().contains("16 queued"));
+        assert!(std::error::Error::source(&overloaded).is_none());
     }
 }

@@ -16,6 +16,7 @@
 //! metadata. Baselines run over width-1 filtered projections
 //! (rejection sampling), and `METHOD EXACT` scans row tuples.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::RngCore;
@@ -25,8 +26,9 @@ use isla_baselines::{
     StratifiedSampling, UniformSampling,
 };
 use isla_core::engine::{
-    self, CacheKey, CacheStats, DeadlineScheduler, PreEstimateCache, QueryPlan, RateSpec, RowPlan,
-    RowSpec, SequentialScheduler,
+    self, CacheKey, CacheLookup, CacheStats, DeadlineScheduler, EngineResult, GroupedEngineResult,
+    PooledScheduler, PreEstimateCache, QueryPlan, RateSpec, RowCacheLookup, RowPlan, RowSpec,
+    SequentialScheduler,
 };
 use isla_core::{IslaConfig, IslaError};
 use isla_stats::{required_sample_size, WelfordMoments};
@@ -98,6 +100,79 @@ pub struct QueryResult {
     pub matched_rows: Option<f64>,
 }
 
+/// Which block scheduler a session runs the ISLA calculation phase on.
+///
+/// Per-block seeds are derived identically either way
+/// ([`engine::derive_block_seeds`]), so the pooled answer is
+/// bit-identical to the sequential one — the choice is purely a
+/// resource-placement policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Blocks execute in order on the calling thread (the default).
+    #[default]
+    Sequential,
+    /// Blocks scatter over a worker pool of this many threads.
+    Pooled(usize),
+}
+
+/// How a [`QuerySession`] executes the ISLA paths: which scheduler runs
+/// the calculation phase, an optional per-query admission budget, and
+/// an optional deterministic pilot seed.
+///
+/// The default policy reproduces the classic library behavior:
+/// sequential execution, no admission cap, pilots drawn from the
+/// query's own RNG.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecPolicy {
+    scheduler: SchedulerKind,
+    sample_budget: Option<u64>,
+    pilot_seed: Option<u64>,
+}
+
+impl ExecPolicy {
+    /// The default policy (sequential, uncapped, caller-seeded pilots).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the calculation phase on a worker pool of `workers`
+    /// threads (values below 1 are treated as 1).
+    #[must_use]
+    pub fn pooled(mut self, workers: usize) -> Self {
+        self.scheduler = SchedulerKind::Pooled(workers.max(1));
+        self
+    }
+
+    /// Caps every ISLA query at `budget` samples through the engine's
+    /// deadline-admission hook (pilots a cache hit skipped are credited
+    /// back, exactly as `WITHIN` budgets are). Queries the cap bites
+    /// report `time_limited`.
+    #[must_use]
+    pub fn sample_budget(mut self, budget: u64) -> Self {
+        self.sample_budget = Some(budget);
+        self
+    }
+
+    /// Derives pilot RNG streams from `(cache key, salt)` instead of
+    /// the query's own RNG. With this set, the cached pre-estimate is a
+    /// pure function of the key — racing first computations are
+    /// idempotent — and a query's answer no longer depends on whether
+    /// its own RNG paid for the pilots (miss) or not (hit): the
+    /// query stream reaches the calculation phase untouched either
+    /// way. This is what makes a shared-cache serving layer
+    /// bit-identical to sequential execution.
+    #[must_use]
+    pub fn pilot_seed(mut self, salt: u64) -> Self {
+        self.pilot_seed = Some(salt);
+        self
+    }
+
+    /// The configured scheduler kind.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+}
+
 /// A query-serving session: executes queries while keeping a
 /// pre-estimation cache across calls.
 ///
@@ -105,15 +180,41 @@ pub struct QueryResult {
 /// the pilot phase entirely — the cached σ̂/`sketch0` (per group, for
 /// filtered/grouped queries) feed straight into the engine's plan.
 /// Observe the effect through [`QuerySession::cache_stats`].
+///
+/// The cache is held through an [`Arc`], so sessions created with
+/// [`QuerySession::shared`] can serve many clients from one pool of
+/// amortized pilot work; [`ExecPolicy`] picks the scheduler, admission
+/// budget, and pilot-seeding discipline.
 #[derive(Debug, Default)]
 pub struct QuerySession {
-    pre_cache: PreEstimateCache,
+    pre_cache: Arc<PreEstimateCache>,
+    policy: ExecPolicy,
 }
 
 impl QuerySession {
-    /// Creates a session with an empty cache.
+    /// Creates a session with an empty cache and the default policy.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a session with an empty cache and `policy`.
+    pub fn with_policy(policy: ExecPolicy) -> Self {
+        Self {
+            pre_cache: Arc::new(PreEstimateCache::new()),
+            policy,
+        }
+    }
+
+    /// Creates a session over a shared pre-estimation cache — the
+    /// serving construction: every session handed the same `Arc` serves
+    /// hits from pilot work any of them paid for.
+    pub fn shared(pre_cache: Arc<PreEstimateCache>, policy: ExecPolicy) -> Self {
+        Self { pre_cache, policy }
+    }
+
+    /// The session's pre-estimation cache (shared handle).
+    pub fn pre_cache(&self) -> &Arc<PreEstimateCache> {
+        &self.pre_cache
     }
 
     /// Hit/miss counters of the pre-estimation cache.
@@ -126,11 +227,18 @@ impl QuerySession {
         self.pre_cache.clear();
     }
 
-    /// Drops every cached pre-estimate — all columns, configs, and
-    /// query shapes — for one table: the invalidation to use after
-    /// re-registering or mutating that table's data.
-    pub fn invalidate_table(&self, table: &str) {
+    /// Invalidates **everything** cached for one table after its data
+    /// changed in place: the pre-estimates (all columns, configs, and
+    /// query shapes) *and*, when the catalog still holds the table, the
+    /// derived caches living on its block sets — compiled selections
+    /// and per-block sketches. One entry point, all three caches: the
+    /// old per-cache invalidation dropped only the pre-estimates and
+    /// left stale selection vectors and sketch zone maps behind.
+    pub fn invalidate_table(&self, catalog: &Catalog, table: &str) {
         self.pre_cache.invalidate_table(table);
+        if let Ok(t) = catalog.table(table) {
+            t.invalidate_caches();
+        }
     }
 
     /// Executes a parsed query against a catalog.
@@ -145,9 +253,25 @@ impl QuerySession {
         catalog: &Catalog,
         rng: &mut dyn RngCore,
     ) -> Result<QueryResult, QueryError> {
+        self.execute_table(query, catalog.table(&query.table)?, rng)
+    }
+
+    /// Executes a parsed query against an already-resolved table — the
+    /// serving path, where the caller (e.g. a table registry) resolves
+    /// `query.table` itself. The table must be the one the query names:
+    /// cache keys are derived from `query.table`.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuerySession::execute`], minus the table resolution.
+    pub fn execute_table(
+        &self,
+        query: &Query,
+        table: &Table,
+        rng: &mut dyn RngCore,
+    ) -> Result<QueryResult, QueryError> {
         let start = Instant::now();
         let confidence = query.confidence.unwrap_or(DEFAULT_CONFIDENCE);
-        let table = catalog.table(&query.table)?;
 
         // Filtered or grouped queries run the row-model pipeline.
         if let Some(spec) = compile_row_spec(query, table)? {
@@ -172,7 +296,12 @@ impl QuerySession {
             });
         }
 
-        let data = catalog.column(&query.table, &query.column)?;
+        let data = table
+            .column(&query.column)
+            .ok_or_else(|| QueryError::UnknownColumn {
+                table: query.table.clone(),
+                column: query.column.clone(),
+            })?;
         let rows = data.total_len();
 
         // MAX/MIN go through the extreme-value extension (paper §VII-D):
@@ -419,8 +548,7 @@ impl QuerySession {
                 let key = CacheKey::new(&query.table, &query.column, &config, data)
                     .with_row_shape(spec.fingerprint());
                 let lookup = self
-                    .pre_cache
-                    .get_or_compute_rows(key, data, &config, &spec, rng)
+                    .pilot_lookup_rows(key, data, &config, &spec, rng)
                     .map_err(QueryError::from)?;
                 let pilot_cost = if lookup.hit { 0 } else { lookup.pre.pilot_rows };
                 (config, lookup.pre, pilot_cost, RateSpec::Derived)
@@ -457,19 +585,16 @@ impl QuerySession {
         // scalar path: pilots recorded in the plan but not actually
         // drawn this query (a cache hit) are credited back — the cache
         // makes the query cheaper, not more likely to be capped.
-        let out = match affordable {
-            Some(affordable) => {
-                let budget = if pilot_cost == 0 {
-                    affordable.saturating_add(plan.pilot_rows())
-                } else {
-                    affordable
-                };
-                let scheduler = DeadlineScheduler::new(SequentialScheduler, budget);
-                engine::run_row_plan(&plan, data, &scheduler, rng)
+        let budget = self.effective_budget(affordable).map(|b| {
+            if pilot_cost == 0 {
+                b.saturating_add(plan.pilot_rows())
+            } else {
+                b
             }
-            None => engine::run_row_plan(&plan, data, &SequentialScheduler, rng),
-        }
-        .map_err(QueryError::from)?;
+        });
+        let out = self
+            .run_row_plan_scheduled(&plan, data, budget, rng)
+            .map_err(QueryError::from)?;
         let per_group: Vec<GroupRow> = out
             .groups
             .iter()
@@ -516,17 +641,23 @@ impl QuerySession {
         confidence: f64,
         rng: &mut dyn RngCore,
     ) -> Result<(f64, Option<u64>, bool), QueryError> {
-        // Budget-driven (SAMPLES n, no precision): adapter path.
+        // Budget-driven (SAMPLES n, no precision): adapter path. The
+        // policy's admission budget caps the explicit one (admission
+        // protects the pool even from generous clients).
         if query.precision.is_none() {
-            let budget = query.samples.ok_or_else(|| {
+            let requested = query.samples.ok_or_else(|| {
                 QueryError::Invalid(
                     "ISLA needs WITH PRECISION e, or SAMPLES n as an explicit budget".to_string(),
                 )
             })?;
+            let budget = match self.policy.sample_budget {
+                Some(cap) => requested.min(cap),
+                None => requested,
+            };
             let config = IslaConfig::default();
             let estimator = IslaEstimator::new(config)?;
             let value = estimator.estimate(data, budget, rng)?;
-            return Ok((value, Some(budget), false));
+            return Ok((value, Some(budget), budget < requested));
         }
 
         let mut config = isla_config(query, confidence)?;
@@ -547,10 +678,13 @@ impl QuerySession {
             None => None,
         };
 
+        // NOTE: the key MUST be derived from the *final* config — the
+        // sketch-σ toggle above is fingerprint-hashed, so a key built
+        // before it would alias sketch-σ and pilot-σ entries (pinned by
+        // the `sketch_sigma_key_derives_from_the_final_config` test).
         let key = CacheKey::new(&query.table, &query.column, &config, data);
         let lookup = self
-            .pre_cache
-            .get_or_compute(key, data, &config, rng)
+            .pilot_lookup(key, data, &config, rng)
             .map_err(QueryError::from)?;
         // On a cache hit the pilots were not drawn this query — only
         // charge them when they actually ran.
@@ -559,29 +693,152 @@ impl QuerySession {
         let plan = QueryPlan::from_pre_estimate(data, &config, lookup.pre, RateSpec::Derived)
             .map_err(QueryError::from)?;
 
-        if let Some(affordable) = affordable {
-            // Deadline admission compares the budget against the plan's
-            // samples *including* its recorded pilots; on a hit those
-            // pilots were never drawn, so credit them back — the cache
-            // makes the query cheaper, not more likely to be capped.
-            let budget = if lookup.hit {
-                affordable.saturating_add(pilot_samples)
+        // Deadline admission compares the budget against the plan's
+        // samples *including* its recorded pilots; on a hit those
+        // pilots were never drawn, so credit them back — the cache
+        // makes the query cheaper, not more likely to be capped.
+        let budget = self.effective_budget(affordable).map(|b| {
+            if lookup.hit {
+                b.saturating_add(pilot_samples)
             } else {
-                affordable
-            };
-            let scheduler = DeadlineScheduler::new(SequentialScheduler, budget);
-            let out = engine::run_plan(plan, data, &scheduler, rng).map_err(QueryError::from)?;
-            return Ok((
-                out.estimate,
-                Some(out.total_samples + pilot_cost),
-                out.time_limited,
-            ));
-        }
-
-        let out =
-            engine::run_plan(plan, data, &SequentialScheduler, rng).map_err(QueryError::from)?;
-        Ok((out.estimate, Some(out.total_samples + pilot_cost), false))
+                b
+            }
+        });
+        let out = self
+            .run_plan_scheduled(plan, data, budget, rng)
+            .map_err(QueryError::from)?;
+        Ok((
+            out.estimate,
+            Some(out.total_samples + pilot_cost),
+            out.time_limited,
+        ))
     }
+
+    /// Scalar pre-estimate lookup honouring the pilot-seeding policy:
+    /// with a pilot seed, the pilots draw from a stream derived from
+    /// `(key, salt)` — never from the query's RNG — so a hit and a miss
+    /// leave the query stream in the identical state.
+    fn pilot_lookup(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<CacheLookup, IslaError> {
+        match self.policy.pilot_seed {
+            Some(salt) => {
+                let mut pilot_rng = engine::seeded_rng(pilot_stream_seed(key.digest(), salt));
+                self.pre_cache
+                    .get_or_compute(key, data, config, &mut pilot_rng)
+            }
+            None => self.pre_cache.get_or_compute(key, data, config, rng),
+        }
+    }
+
+    /// Row-model counterpart of [`QuerySession::pilot_lookup`].
+    fn pilot_lookup_rows(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        spec: &RowSpec,
+        rng: &mut dyn RngCore,
+    ) -> Result<RowCacheLookup, IslaError> {
+        match self.policy.pilot_seed {
+            Some(salt) => {
+                let mut pilot_rng = engine::seeded_rng(pilot_stream_seed(key.digest(), salt));
+                self.pre_cache
+                    .get_or_compute_rows(key, data, config, spec, &mut pilot_rng)
+            }
+            None => self
+                .pre_cache
+                .get_or_compute_rows(key, data, config, spec, rng),
+        }
+    }
+
+    /// The tightest applicable sample cap: the `WITHIN` deadline's
+    /// affordable budget, the policy's admission budget, or both
+    /// (minimum).
+    fn effective_budget(&self, affordable: Option<u64>) -> Option<u64> {
+        match (affordable, self.policy.sample_budget) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or(u64::MAX).min(b.unwrap_or(u64::MAX))),
+        }
+    }
+
+    /// Runs a scalar plan on the policy's scheduler, budget-capped when
+    /// a cap applies.
+    fn run_plan_scheduled(
+        &self,
+        plan: QueryPlan,
+        data: &BlockSet,
+        budget: Option<u64>,
+        rng: &mut dyn RngCore,
+    ) -> Result<EngineResult, IslaError> {
+        match (self.policy.scheduler, budget) {
+            (SchedulerKind::Sequential, None) => {
+                engine::run_plan(plan, data, &SequentialScheduler, rng)
+            }
+            (SchedulerKind::Sequential, Some(b)) => engine::run_plan(
+                plan,
+                data,
+                &DeadlineScheduler::new(SequentialScheduler, b),
+                rng,
+            ),
+            (SchedulerKind::Pooled(w), None) => {
+                engine::run_plan(plan, data, &PooledScheduler::new(w)?, rng)
+            }
+            (SchedulerKind::Pooled(w), Some(b)) => engine::run_plan(
+                plan,
+                data,
+                &DeadlineScheduler::new(PooledScheduler::new(w)?, b),
+                rng,
+            ),
+        }
+    }
+
+    /// Runs a row plan on the policy's scheduler, budget-capped when a
+    /// cap applies.
+    fn run_row_plan_scheduled(
+        &self,
+        plan: &RowPlan,
+        data: &BlockSet,
+        budget: Option<u64>,
+        rng: &mut dyn RngCore,
+    ) -> Result<GroupedEngineResult, IslaError> {
+        match (self.policy.scheduler, budget) {
+            (SchedulerKind::Sequential, None) => {
+                engine::run_row_plan(plan, data, &SequentialScheduler, rng)
+            }
+            (SchedulerKind::Sequential, Some(b)) => engine::run_row_plan(
+                plan,
+                data,
+                &DeadlineScheduler::new(SequentialScheduler, b),
+                rng,
+            ),
+            (SchedulerKind::Pooled(w), None) => {
+                engine::run_row_plan(plan, data, &PooledScheduler::new(w)?, rng)
+            }
+            (SchedulerKind::Pooled(w), Some(b)) => engine::run_row_plan(
+                plan,
+                data,
+                &DeadlineScheduler::new(PooledScheduler::new(w)?, b),
+                rng,
+            ),
+        }
+    }
+}
+
+/// Mixes a cache-key digest with the policy's salt into one pilot
+/// stream seed (splitmix-style finalizer so nearby digests land far
+/// apart).
+fn pilot_stream_seed(digest: u64, salt: u64) -> u64 {
+    let mut x = digest ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Compiles a query's `WHERE` / `GROUP BY` against the table schema into

@@ -29,9 +29,14 @@ pub mod error;
 pub mod executor;
 pub mod lexer;
 pub mod parser;
+pub mod service;
 
 pub use ast::{AggFunc, CmpOp, Method, Predicate, Query};
 pub use catalog::{Catalog, Table};
 pub use error::QueryError;
-pub use executor::{execute, GroupRow, QueryResult, QuerySession};
+pub use executor::{execute, ExecPolicy, GroupRow, QueryResult, QuerySession, SchedulerKind};
 pub use parser::parse;
+pub use service::{
+    AdmissionGate, Permit, QueryService, ServiceClient, ServiceConfig, ServiceStats,
+    TableCacheStats,
+};

@@ -1,0 +1,499 @@
+//! Integration tests for the multi-tenant serving layer: shared-cache
+//! determinism under concurrency, admission backpressure, cross-cache
+//! invalidation after in-place mutation, and the cache-key/config
+//! pinning regressions.
+
+use std::sync::{Arc, Barrier, RwLock};
+
+use isla_core::engine::CacheKey;
+use isla_core::IslaConfig;
+use isla_datagen::normal_values;
+use isla_query::{
+    parse, QueryError, QueryResult, QueryService, QuerySession, ServiceConfig, Table,
+};
+use isla_storage::{BlockSet, ColumnDef, DataBlock, RowsBlock, Schema, StorageError};
+use rand::{Rng, RngCore};
+
+/// The query mix every stress/identity test runs: scalar, filtered,
+/// and grouped shapes over two tables.
+const SHAPES: [&str; 4] = [
+    "SELECT AVG(distance) FROM trips WITH PRECISION 0.5",
+    "SELECT SUM(distance) FROM trips WITH PRECISION 0.5",
+    "SELECT AVG(amount) FROM sales WHERE margin > 25 WITH PRECISION 0.5",
+    "SELECT AVG(amount) FROM sales GROUP BY store WITH PRECISION 0.5",
+];
+
+fn register_tables(service: &QueryService) {
+    let values = normal_values(100.0, 20.0, 300_000, 1);
+    service.register_table(
+        "trips",
+        Table::new(vec![("distance", BlockSet::from_values(values, 10))]),
+    );
+    let n = 200_000usize;
+    let x = normal_values(50.0, 10.0, n, 2);
+    let noise = normal_values(0.0, 5.0, n, 3);
+    let region: Vec<f64> = (0..n).map(|i| f64::from(u32::from(i % 3 == 0))).collect();
+    let y: Vec<f64> = x.iter().zip(&noise).map(|(v, e)| 0.5 * v + e).collect();
+    service.register_table(
+        "sales",
+        Table::from_rows(
+            Schema::new(vec![
+                ColumnDef::float("amount"),
+                ColumnDef::float("margin"),
+                ColumnDef::categorical("store"),
+            ]),
+            RowsBlock::split(vec![x, y, region], 8),
+        ),
+    );
+}
+
+fn config(max_concurrent: usize, queue_depth: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers: max_concurrent,
+        max_concurrent,
+        queue_depth,
+        sample_budget: None,
+        pilot_seed: 0xDECADE,
+    }
+}
+
+/// Two results are the same answer, bit for bit.
+fn assert_identical(a: &QueryResult, b: &QueryResult, what: &str) {
+    assert_eq!(
+        a.value.to_bits(),
+        b.value.to_bits(),
+        "value differs: {what}"
+    );
+    match (&a.groups, &b.groups) {
+        (None, None) => {}
+        (Some(ga), Some(gb)) => {
+            assert_eq!(ga.len(), gb.len(), "group count differs: {what}");
+            for (x, y) in ga.iter().zip(gb) {
+                assert_eq!(x.key, y.key, "group key differs: {what}");
+                assert_eq!(
+                    x.value.to_bits(),
+                    y.value.to_bits(),
+                    "group value differs: {what}"
+                );
+                assert_eq!(
+                    x.rows.to_bits(),
+                    y.rows.to_bits(),
+                    "group rows differ: {what}"
+                );
+            }
+        }
+        _ => panic!("one result grouped, the other not: {what}"),
+    }
+    match (a.matched_rows, b.matched_rows) {
+        (None, None) => {}
+        (Some(x), Some(y)) => {
+            assert_eq!(x.to_bits(), y.to_bits(), "matched_rows differ: {what}");
+        }
+        _ => panic!("one result filtered, the other not: {what}"),
+    }
+}
+
+/// Satellite: 8 threads hammering the same tables through one shared
+/// service produce answers bit-identical to a single-threaded reference
+/// service, and a warm cache serves the whole storm without recomputing
+/// a single pre-estimate.
+#[test]
+fn concurrent_service_is_bit_identical_to_sequential() {
+    const THREADS: usize = 8;
+
+    // Reference: a fresh single-slot service, queried one at a time.
+    let reference = QueryService::new(config(1, 0));
+    register_tables(&reference);
+    let mut expected = Vec::new();
+    for (s, sql) in SHAPES.iter().enumerate() {
+        for t in 0..THREADS {
+            let seed = (t * 10 + s) as u64;
+            expected.push(reference.query("ref", sql, seed).unwrap());
+        }
+    }
+
+    // Subject: an 8-slot shared service. Warm each shape once…
+    let service = QueryService::new(config(THREADS, 64));
+    register_tables(&service);
+    for (s, sql) in SHAPES.iter().enumerate() {
+        service.query("warmup", sql, s as u64).unwrap();
+    }
+    // AVG and SUM over the same column share a key, so the warm-up can
+    // produce fewer misses than shapes — what matters is that the storm
+    // below adds none.
+    let warm = service.cache_stats();
+    assert!(warm.misses as usize <= SHAPES.len());
+
+    // …then storm it from 8 tenants at once.
+    let barrier = Barrier::new(THREADS);
+    let results: Vec<Vec<QueryResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let client = service.client(format!("tenant-{t}"));
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    SHAPES
+                        .iter()
+                        .enumerate()
+                        .map(|(s, sql)| client.query(sql, (t * 10 + s) as u64).unwrap())
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (s, sql) in SHAPES.iter().enumerate() {
+        for (t, thread_results) in results.iter().enumerate() {
+            let reference_result = &expected[s * THREADS + t];
+            assert_identical(
+                reference_result,
+                &thread_results[s],
+                &format!("shape {sql:?}, seed {}", t * 10 + s),
+            );
+        }
+    }
+
+    // The warm cache absorbed the storm: not one duplicated pilot.
+    let stats = service.cache_stats();
+    assert_eq!(
+        stats.misses, warm.misses,
+        "a warm shared cache must serve every concurrent repeat"
+    );
+    assert_eq!(
+        stats.hits - warm.hits,
+        (THREADS * SHAPES.len()) as u64,
+        "every stormed query must be a cache hit"
+    );
+}
+
+/// Satellite: a *cold* cache raced by 8 threads on the same shape stays
+/// consistent — one surviving entry, answers bit-identical — and the
+/// duplicate pilot work is bounded by the racing thread count (the
+/// benign first-writer window), never more.
+#[test]
+fn cold_cache_race_is_benign() {
+    const THREADS: usize = 8;
+    let service = QueryService::new(config(THREADS, 64));
+    register_tables(&service);
+    let sql = "SELECT AVG(distance) FROM trips WITH PRECISION 0.5";
+
+    let barrier = Barrier::new(THREADS);
+    let results: Vec<QueryResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let client = service.client(format!("tenant-{t}"));
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    client.query(sql, 42).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Key-seeded pilots make racing first computations idempotent, so
+    // every thread gets the same bits regardless of who wrote first.
+    for r in &results[1..] {
+        assert_identical(&results[0], r, "cold-race AVG");
+    }
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits + stats.misses, THREADS as u64);
+    assert!(
+        stats.misses >= 1 && stats.misses <= THREADS as u64,
+        "duplicate pilot work must be bounded by the race width, got {} misses",
+        stats.misses
+    );
+}
+
+/// Satellite: saturate the pool and the service *rejects* with the
+/// typed `Overloaded` — no panic, no `Internal`, no wedge — while
+/// admitted queries complete within their sample budgets.
+#[test]
+fn saturated_service_rejects_with_overloaded() {
+    let mut cfg = config(2, 2);
+    cfg.sample_budget = Some(50_000);
+    let service = QueryService::new(cfg);
+    register_tables(&service);
+    // Precision 0.05 plans ~450k samples at sigma 20 — the 50k budget
+    // bites, so admitted queries report time_limited. Warm the
+    // pre-estimate cache first: the waiters below then skip the pilot
+    // phase, and their sample count is exactly what the budget admits.
+    let sql = "SELECT AVG(distance) FROM trips WITH PRECISION 0.05";
+    service.query("warmup", sql, 0).unwrap();
+
+    // Occupy both execution slots directly, so queue/reject behavior
+    // below is deterministic.
+    let hog_a = service.gate().acquire("hog").unwrap();
+    let hog_b = service.gate().acquire("hog").unwrap();
+
+    std::thread::scope(|scope| {
+        // Two queries enter the bounded queue…
+        let waiter_a = {
+            let client = service.client("patient-a");
+            scope.spawn(move || client.query(sql, 1))
+        };
+        while service.gate().waiting() < 1 {
+            std::thread::yield_now();
+        }
+        let waiter_b = {
+            let client = service.client("patient-b");
+            scope.spawn(move || client.query(sql, 2))
+        };
+        while service.gate().waiting() < 2 {
+            std::thread::yield_now();
+        }
+
+        // …and every further arrival is refused, immediately and typed.
+        for t in 0..4 {
+            let err = service
+                .query(&format!("burst-{t}"), sql, 3 + t)
+                .unwrap_err();
+            match err {
+                QueryError::Overloaded { in_flight, queued } => {
+                    assert_eq!(in_flight, 2);
+                    assert_eq!(queued, 2);
+                }
+                other => panic!("expected Overloaded, got {other}"),
+            }
+        }
+
+        // Free the slots: the queued queries run and finish under the
+        // sample budget.
+        drop(hog_a);
+        drop(hog_b);
+        for waiter in [waiter_a, waiter_b] {
+            let r = waiter.join().unwrap().unwrap();
+            assert!(r.time_limited, "the 50k budget must bite this query");
+            let used = r.samples_used.unwrap();
+            assert!(used <= 60_000, "budget 50k, used {used}");
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 4);
+    assert_eq!(stats.completed, 3, "warm-up plus the two queued waiters");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.queued, 0);
+}
+
+/// A scalar block whose values can be swapped in place — the smallest
+/// stand-in for a table mutated underneath the caches.
+#[derive(Debug)]
+struct MutBlock {
+    values: Arc<RwLock<Vec<f64>>>,
+}
+
+impl DataBlock for MutBlock {
+    fn len(&self) -> u64 {
+        self.values.read().unwrap().len() as u64
+    }
+
+    fn sample_one(&self, rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        let values = self.values.read().unwrap();
+        if values.is_empty() {
+            return Err(StorageError::Empty);
+        }
+        let idx = rng.random_range(0..values.len() as u64);
+        Ok(values[idx as usize])
+    }
+
+    fn row_at(&self, idx: u64) -> Result<f64, StorageError> {
+        self.values
+            .read()
+            .unwrap()
+            .get(idx as usize)
+            .copied()
+            .ok_or(StorageError::Empty)
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        for &v in self.values.read().unwrap().iter() {
+            visit(v);
+        }
+        Ok(())
+    }
+
+    fn describe(&self) -> String {
+        format!("mut({} rows)", self.len())
+    }
+}
+
+/// Regression (pre-PR bug): `invalidate_table` dropped only the
+/// pre-estimation cache; compiled selections and per-block sketches
+/// survived an in-place mutation and kept answering for the old data.
+/// The unified entry point must clear all three, and the next filtered
+/// query must see the *new* rows.
+#[test]
+fn invalidation_reaches_selections_and_sketches() {
+    // Four blocks of 1000 rows, alternating 100.0 / 10.0.
+    let shared: Vec<Arc<RwLock<Vec<f64>>>> = (0..4)
+        .map(|_| {
+            let values: Vec<f64> = (0..1000)
+                .map(|i| if i % 2 == 0 { 100.0 } else { 10.0 })
+                .collect();
+            Arc::new(RwLock::new(values))
+        })
+        .collect();
+    let blocks: Vec<Arc<dyn DataBlock>> = shared
+        .iter()
+        .map(|v| Arc::new(MutBlock { values: v.clone() }) as Arc<dyn DataBlock>)
+        .collect();
+    let table = Table::from_rows(
+        Schema::new(vec![ColumnDef::float("x")]),
+        BlockSet::new(blocks),
+    );
+
+    let service = QueryService::new(config(1, 4));
+    service.register_table("t", table);
+
+    // Populate every cache layer: the ISLA row query leaves
+    // pre-estimates, the MAX query compiles a selection (through
+    // `pool_filtered_column`), and a sketch scan fills the sketch cache.
+    let sql = "SELECT AVG(x) FROM t WHERE x < 50 WITH PRECISION 0.5";
+    let max_sql = "SELECT MAX(x) FROM t WHERE x < 50 METHOD EXACT";
+    let before = service.query("tenant", sql, 7).unwrap();
+    assert!(
+        (before.value - 10.0).abs() < 0.5,
+        "rows under 50 average 10, got {}",
+        before.value
+    );
+    let max_before = service.query("tenant", max_sql, 8).unwrap();
+    assert!(
+        (max_before.value - 10.0).abs() < 1e-9,
+        "the largest matching row is 10.0, got {}",
+        max_before.value
+    );
+    let data = service.table("t").unwrap();
+    data.data().sketches().unwrap();
+    assert!(data.data().selection_cache_len() > 0, "selection cached");
+    assert_eq!(data.data().sketch_cache_len(), 4, "sketches cached");
+    let builds_before = data.data().selection_stats().builds;
+
+    // Mutate in place: every row becomes 30.0, so the predicate
+    // `x < 50` now matches ALL 4000 rows (it matched 2000 before).
+    for column in &shared {
+        for v in column.write().unwrap().iter_mut() {
+            *v = 30.0;
+        }
+    }
+
+    service.invalidate_table("t");
+    let data = service.table("t").unwrap();
+    assert_eq!(
+        data.data().selection_cache_len(),
+        0,
+        "stale selections must not survive invalidation"
+    );
+    assert_eq!(
+        data.data().sketch_cache_len(),
+        0,
+        "stale sketches must not survive invalidation"
+    );
+
+    let after = service.query("tenant", sql, 7).unwrap();
+    assert!(
+        (after.value - 30.0).abs() < 1e-9,
+        "all rows are 30.0 now, got {}",
+        after.value
+    );
+    // The discriminator: stale pre-estimates would still claim only the
+    // old ~2000 matching rows; a fresh pilot sees all 4000 match.
+    let matched = after.matched_rows.unwrap();
+    assert!(
+        matched > 3_000.0,
+        "the hit-rate pilot must rerun over the new data (matched {matched})"
+    );
+    // And the selection must recompile over the new rows, not serve the
+    // stale match list.
+    let max_after = service.query("tenant", max_sql, 8).unwrap();
+    assert!(
+        (max_after.value - 30.0).abs() < 1e-9,
+        "every row is 30.0 now, got {}",
+        max_after.value
+    );
+    assert!(
+        data.data().selection_stats().builds > builds_before,
+        "the selection must actually have been recompiled"
+    );
+}
+
+/// Regression (pre-PR bug): scalar ISLA queries flip `sketch_sigma` on
+/// *after* parsing, and the flag is part of the config fingerprint. The
+/// cache key must be derived from the final config — a key built before
+/// the toggle would file sketch-σ pre-estimates under the pilot-σ slot
+/// and serve them to queries that expect pilot-σ sizing.
+#[test]
+fn sketch_sigma_key_derives_from_the_final_config() {
+    let session = QuerySession::new();
+    let mut catalog = isla_query::Catalog::new();
+    let values = normal_values(100.0, 20.0, 100_000, 4);
+    catalog.register(
+        "trips",
+        Table::new(vec![("distance", BlockSet::from_values(values, 8))]),
+    );
+
+    let query =
+        parse("SELECT AVG(distance) FROM trips WITH PRECISION 0.5 CONFIDENCE 0.95").unwrap();
+    let mut rng = isla_core::engine::seeded_rng(11);
+    session.execute(&query, &catalog, &mut rng).unwrap();
+
+    let column = catalog.table("trips").unwrap().column("distance").unwrap();
+    let sketch_config = IslaConfig::builder()
+        .precision(0.5)
+        .confidence(0.95)
+        .sketch_sigma(true)
+        .build()
+        .unwrap();
+    let pilot_config = IslaConfig::builder()
+        .precision(0.5)
+        .confidence(0.95)
+        .build()
+        .unwrap();
+    let sketch_key = CacheKey::new("trips", "distance", &sketch_config, &column);
+    let pilot_key = CacheKey::new("trips", "distance", &pilot_config, &column);
+
+    assert_ne!(
+        sketch_key, pilot_key,
+        "the sketch_sigma flag must be part of the key"
+    );
+    assert!(
+        session.pre_cache().contains(&sketch_key),
+        "the executor must file the entry under the final (sketch-σ) config"
+    );
+    assert!(
+        !session.pre_cache().contains(&pilot_key),
+        "nothing may be filed under the pre-toggle (pilot-σ) config"
+    );
+}
+
+/// Acceptance: two distinct tenants, same query shape — the second hits
+/// the shared pre-estimate cache and skips the pilot phase, yet gets
+/// the bit-identical answer for the same seed.
+#[test]
+fn second_tenant_skips_the_pilot_phase() {
+    let service = QueryService::new(config(2, 8));
+    register_tables(&service);
+    let sql = "SELECT AVG(amount) FROM sales WHERE margin > 25 WITH PRECISION 0.5";
+
+    let first = service.client("analyst").query(sql, 99).unwrap();
+    let cold = service.cache_stats();
+    assert_eq!(cold.misses, 1);
+    assert_eq!(cold.hits, 0);
+
+    let second = service.client("dashboard").query(sql, 99).unwrap();
+    let warm = service.cache_stats();
+    assert_eq!(warm.hits, 1, "second tenant must hit the shared cache");
+    assert_eq!(warm.misses, 1);
+
+    assert_identical(&first, &second, "cross-tenant repeat");
+    assert!(
+        second.samples_used.unwrap() < first.samples_used.unwrap(),
+        "a hit skips the pilot rows: {} vs {}",
+        second.samples_used.unwrap(),
+        first.samples_used.unwrap()
+    );
+}

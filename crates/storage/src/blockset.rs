@@ -216,6 +216,40 @@ impl BlockSet {
         Ok(SetSketches::new(entries))
     }
 
+    /// Drops every derived structure cached on this set — compiled
+    /// selections and per-block sketches — across **all clones** (the
+    /// caches are `Arc`-shared). This is the invalidation to run after
+    /// mutating block contents in place: stale selection indices would
+    /// point at rows that no longer match, and stale sketch min/max
+    /// would let the zone-map prune wrongly discard matching blocks.
+    /// Eagerly hooked sketches ([`DataBlock::sketch`]) re-enter the
+    /// cache on next use — the hook, not the cache, is their source of
+    /// truth.
+    pub fn invalidate_derived(&self) {
+        self.selections.clear();
+        self.sketches.clear();
+    }
+
+    /// Hit/build counters of the compiled-selection cache.
+    pub fn selection_stats(&self) -> crate::selection::SelectionCacheStats {
+        self.selections.stats()
+    }
+
+    /// Number of compiled selections currently cached.
+    pub fn selection_cache_len(&self) -> usize {
+        self.selections.len()
+    }
+
+    /// Counters of the per-block sketch cache.
+    pub fn sketch_stats(&self) -> crate::sketch::SketchCacheStats {
+        self.sketches.stats()
+    }
+
+    /// Number of per-block sketches currently cached.
+    pub fn sketch_cache_len(&self) -> usize {
+        self.sketches.len()
+    }
+
     /// The row tuple width shared by the blocks (the maximum across
     /// blocks; homogeneous sets — the only kind the catalog builds —
     /// have one width).
@@ -304,6 +338,32 @@ mod tests {
         let set = BlockSet::from_values(vec![1.0, 2.0], 4);
         let sizes: Vec<u64> = set.iter().map(|b| b.len()).collect();
         assert_eq!(sizes, vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn invalidate_derived_reaches_every_clone() {
+        use crate::filter::{CmpOp, ColumnPredicate, RowFilter};
+        let set = BlockSet::from_values((0..100).map(f64::from).collect(), 4);
+        let clone = set.clone();
+        let filter = RowFilter::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            value: 50.0,
+        }]);
+        set.selection_for(&filter).unwrap();
+        set.sketches().unwrap();
+        assert_eq!(clone.selection_cache_len(), 1, "caches are shared");
+        assert_eq!(clone.sketch_cache_len(), 4);
+        // Invalidating through the clone clears the original's view too.
+        clone.invalidate_derived();
+        assert_eq!(set.selection_cache_len(), 0);
+        assert_eq!(set.sketch_cache_len(), 0);
+        // Next use rebuilds: one more selection build, fresh sketches.
+        let builds_before = set.selection_stats().builds;
+        set.selection_for(&filter).unwrap();
+        set.sketches().unwrap();
+        assert_eq!(set.selection_stats().builds, builds_before + 1);
+        assert_eq!(set.sketch_cache_len(), 4);
     }
 
     #[test]

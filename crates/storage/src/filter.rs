@@ -104,7 +104,16 @@ impl RowFilter {
     }
 
     /// Builds a conjunction of predicates.
-    pub fn new(predicates: Vec<ColumnPredicate>) -> Self {
+    ///
+    /// Conjuncts are stored in a canonical order — sorted by `(column,
+    /// operator, literal bits)` — because conjunction is commutative:
+    /// `a > 1 AND b < 2` and `b < 2 AND a > 1` select exactly the same
+    /// rows, so they must compare equal and fingerprint equal. Without
+    /// the canonicalization, permuted spellings of one predicate split
+    /// every fingerprint-keyed cache (selections, pre-estimates) into
+    /// needless duplicate slots.
+    pub fn new(mut predicates: Vec<ColumnPredicate>) -> Self {
+        predicates.sort_by_key(|p| (p.column, p.op.tag(), p.value.to_bits()));
         Self { predicates }
     }
 
@@ -184,6 +193,37 @@ mod tests {
         assert!(RowFilter::all().matches(&[1.0]));
         assert!(RowFilter::all().is_trivial());
         assert_eq!(RowFilter::all().max_column(), None);
+    }
+
+    #[test]
+    fn permuted_conjunctions_are_one_filter() {
+        // Conjunction is commutative: the same conjuncts in any textual
+        // order are the same predicate, so they must share equality,
+        // fingerprint — and therefore every fingerprint-keyed cache
+        // slot. (Regression: the order-sensitive fingerprint used to
+        // split `a > 1 AND b < 2` from `b < 2 AND a > 1`.)
+        let a = ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            value: 1.0,
+        };
+        let b = ColumnPredicate {
+            column: 1,
+            op: CmpOp::Lt,
+            value: 2.0,
+        };
+        let ab = RowFilter::new(vec![a, b]);
+        let ba = RowFilter::new(vec![b, a]);
+        assert_eq!(ab, ba, "permuted conjunctions compare equal");
+        assert_eq!(ab.fingerprint(), ba.fingerprint());
+        // Same rows either way.
+        assert!(ab.matches(&[2.0, 1.0]) && ba.matches(&[2.0, 1.0]));
+        assert!(!ab.matches(&[0.0, 1.0]) && !ba.matches(&[0.0, 1.0]));
+        // Canonicalization reorders but never drops or merges: a
+        // duplicated conjunct stays a distinct (if redundant) entry.
+        let dup = RowFilter::new(vec![a, a]);
+        assert_eq!(dup.predicates().len(), 2);
+        assert_ne!(dup.fingerprint(), RowFilter::new(vec![a]).fingerprint());
     }
 
     #[test]

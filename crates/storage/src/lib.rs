@@ -83,6 +83,8 @@ pub use sampler::{
     sample_rows_proportional, Reservoir,
 };
 pub use schema::{ColumnDef, ColumnType, Schema};
-pub use selection::{SelectionCache, SelectionVector, SetSelection};
-pub use sketch::{scan_sketch, BlockSketch, ColumnMoments, SetSketches, SketchCache};
+pub use selection::{SelectionCache, SelectionCacheStats, SelectionVector, SetSelection};
+pub use sketch::{
+    scan_sketch, BlockSketch, ColumnMoments, SetSketches, SketchCache, SketchCacheStats,
+};
 pub use text_file::TextBlock;

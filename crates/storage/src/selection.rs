@@ -25,6 +25,7 @@
 //! fallback.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::block::DataBlock;
@@ -272,6 +273,23 @@ pub const SELECTION_CACHE_CAP: usize = 64;
 #[derive(Debug, Default)]
 pub struct SelectionCache {
     inner: Mutex<CacheState>,
+    hits: AtomicU64,
+    builds: AtomicU64,
+}
+
+/// Hit/build counters of a [`SelectionCache`], observable by callers
+/// (serving stats, duplicate-work assertions in concurrency tests).
+///
+/// `builds` counts full compilations (one row scan per unpruned block
+/// each); concurrent first use of one filter may build more than once —
+/// the benign first-writer race, since duplicate builds are idempotent
+/// — but a warm cache adds hits only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectionCacheStats {
+    /// Lookups answered from the cache (no scan).
+    pub hits: u64,
+    /// Full selection compilations (cache misses).
+    pub builds: u64,
 }
 
 #[derive(Debug, Default)]
@@ -313,6 +331,7 @@ impl SelectionCache {
                 // Equality check, not just the 64-bit digest: colliding
                 // filters land in the same bucket but never alias.
                 if let Some((_, sel)) = bucket.iter().find(|(f, _)| f == filter) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::clone(sel));
                 }
             }
@@ -321,6 +340,7 @@ impl SelectionCache {
         // must not serialize unrelated lookups. A racing duplicate build
         // is idempotent.
         let built = Arc::new(SetSelection::build(blocks, filter, sketches)?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
         let mut state = self
             .inner
             .lock()
@@ -366,6 +386,27 @@ impl SelectionCache {
     /// True when nothing is cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Current hit/build counters.
+    pub fn stats(&self) -> SelectionCacheStats {
+        SelectionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every compiled selection (e.g. after the underlying blocks
+    /// changed in place — the indices would silently point at rows that
+    /// no longer match). Counters are preserved.
+    pub fn clear(&self) {
+        let mut state = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.entries.clear();
+        state.order.clear();
+        state.len = 0;
     }
 }
 
@@ -433,6 +474,27 @@ mod tests {
             .get_or_build(&blocks, &filter_gt(0, 60.0), None)
             .unwrap();
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_builds_and_clears() {
+        let set = RowsBlock::split(vec![(0..100).map(f64::from).collect()], 2);
+        let blocks: Vec<_> = set.iter().map(std::sync::Arc::clone).collect();
+        let cache = SelectionCache::new();
+        let filter = filter_gt(0, 50.0);
+        cache.get_or_build(&blocks, &filter, None).unwrap();
+        cache.get_or_build(&blocks, &filter, None).unwrap();
+        assert_eq!(
+            cache.stats(),
+            SelectionCacheStats { hits: 1, builds: 1 },
+            "one compilation, one cached answer"
+        );
+        // Clearing drops the entries (forcing a rebuild) but keeps the
+        // counters, like the pre-estimate cache.
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_build(&blocks, &filter, None).unwrap();
+        assert_eq!(cache.stats(), SelectionCacheStats { hits: 1, builds: 2 });
     }
 
     #[test]

@@ -258,12 +258,30 @@ pub fn scan_sketch(block: &dyn DataBlock) -> Result<Option<BlockSketch>, Storage
 
 /// Per-set sketch cache: block index → sketch, shared across
 /// [`crate::BlockSet`] clones through an `Arc` (the `SelectionCache`
-/// design). Blocks are immutable and index-stable, so entries never
-/// invalidate; the map is bounded by the block count, so there is no
-/// eviction.
+/// design). Blocks are index-stable, so entries only invalidate when a
+/// caller mutates block contents in place and says so
+/// ([`SketchCache::clear`]); the map is bounded by the block count, so
+/// there is no eviction.
 #[derive(Debug, Default)]
 pub struct SketchCache {
     entries: Mutex<HashMap<usize, Arc<BlockSketch>>>,
+    hits: std::sync::atomic::AtomicU64,
+    inserted: std::sync::atomic::AtomicU64,
+    raced: std::sync::atomic::AtomicU64,
+}
+
+/// Counters of a [`SketchCache`], observable by callers (serving stats,
+/// duplicate-work assertions in concurrency tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SketchCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Inserts that created the entry (the first writer).
+    pub inserted: u64,
+    /// Inserts that found the entry already present and adopted it —
+    /// the benign first-writer race (racing computations are
+    /// idempotent: same block, same fold).
+    pub raced: u64,
 }
 
 impl SketchCache {
@@ -274,11 +292,16 @@ impl SketchCache {
 
     /// The cached sketch of block `idx`, if any.
     pub fn get(&self, idx: usize) -> Option<Arc<BlockSketch>> {
-        self.entries
+        let found = self
+            .entries
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .get(&idx)
-            .cloned()
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        found
     }
 
     /// Inserts a sketch for block `idx`, returning the winning entry —
@@ -286,7 +309,32 @@ impl SketchCache {
     /// idempotent: same block, same fold) converge on one `Arc`.
     pub fn insert(&self, idx: usize, sketch: Arc<BlockSketch>) -> Arc<BlockSketch> {
         let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let counter = if entries.contains_key(&idx) {
+            &self.raced
+        } else {
+            &self.inserted
+        };
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Arc::clone(entries.entry(idx).or_insert(sketch))
+    }
+
+    /// Current hit/insert/race counters.
+    pub fn stats(&self) -> SketchCacheStats {
+        SketchCacheStats {
+            hits: self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            inserted: self.inserted.load(std::sync::atomic::Ordering::Relaxed),
+            raced: self.raced.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached sketch (e.g. after the underlying blocks
+    /// changed in place — stale min/max would let the zone-map prune
+    /// wrongly discard matching blocks). Counters are preserved.
+    pub fn clear(&self) {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// Number of cached sketches.
@@ -449,6 +497,31 @@ mod tests {
         let other = Arc::clone(&cache);
         assert!(Arc::ptr_eq(&other.get(0).unwrap(), &first));
         assert_eq!(cache.len(), 1);
+        // The losing insert is visible as a benign race, not duplicate
+        // state; the found lookup counts as a hit.
+        assert_eq!(
+            cache.stats(),
+            SketchCacheStats {
+                hits: 1,
+                inserted: 1,
+                raced: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn cache_clear_drops_entries_and_keeps_counters() {
+        let cache = SketchCache::new();
+        cache.insert(0, Arc::new(BlockSketch::from_values(&[1.0, 2.0])));
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(0).is_none(), "cleared entries are gone");
+        assert_eq!(cache.stats().inserted, 1, "counters survive clear");
+        // Re-inserting after a clear is a fresh first write.
+        cache.insert(0, Arc::new(BlockSketch::from_values(&[9.0])));
+        assert_eq!(cache.stats().inserted, 2);
+        assert_eq!(cache.stats().raced, 0);
     }
 
     #[test]
