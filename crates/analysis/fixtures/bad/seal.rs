@@ -1,0 +1,13 @@
+//! Known-bad fixture: guards held across seal-time derivation.
+
+pub fn guard_across_seal_block(catalog: &RwLock<Catalog>, rows: SealedRows) {
+    let table = catalog.write();
+    let sealed = table.seal_block(rows);
+    table.append_sealed(vec![sealed]);
+}
+
+pub fn guard_across_seal_derived(set: &Mutex<BlockSet>, block: Arc<dyn DataBlock>) {
+    let guard = set.lock();
+    let derived = seal_derived(&block);
+    guard.append_epoch(vec![(block, derived)]);
+}

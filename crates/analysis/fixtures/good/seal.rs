@@ -1,0 +1,14 @@
+//! Known-good fixture: sealing happens outside the guard; only the
+//! cheap merge runs under it.
+
+pub fn seal_then_merge(catalog: &RwLock<Catalog>, snapshot: &Table, rows: SealedRows) {
+    let sealed = snapshot.seal_block(rows);
+    let mut table = catalog.write();
+    table.append_sealed(vec![sealed]);
+}
+
+pub fn seal_before_locking(set: &Mutex<BlockSet>, block: Arc<dyn DataBlock>) {
+    let derived = seal_derived(&block);
+    let mut guard = set.lock();
+    guard.append_epoch(vec![(block, derived)]);
+}

@@ -57,6 +57,15 @@ const EXECUTION_ENTRY_POINTS: &[&str] = &[
     "scan_blocks",
 ];
 
+/// Seal-time entry points with the same obligation: sealing a block
+/// scans every row to compute its sketch, zone stats, and selection
+/// vectors, so a guard held across a seal stalls every reader of that
+/// lock for a full block scan. The ingest path must seal outside all
+/// locks and merge the precomputed results under the guard (the merges
+/// — `append_epoch` / `append_sealed` — are O(cached entries) and are
+/// fine to hold a guard across).
+const SEAL_ENTRY_POINTS: &[&str] = &["seal_block", "seal_derived"];
+
 /// Batch kernels whose overrides must be identity-tested. `sketch` is a
 /// metadata hook rather than a kernel, but it carries the same
 /// obligation: a hook-provided sketch must be bit-identical to a
@@ -263,21 +272,26 @@ fn lock_discipline(idx: usize, file: &SourceFile, run: &mut LintRun) {
             {
                 break;
             } else if let Some(name) = t.ident() {
-                if EXECUTION_ENTRY_POINTS.contains(&name)
-                    && toks.get(j + 1).is_some_and(|t| t.is_punct('('))
-                {
+                let is_exec = EXECUTION_ENTRY_POINTS.contains(&name);
+                let is_seal = SEAL_ENTRY_POINTS.contains(&name);
+                if (is_exec || is_seal) && toks.get(j + 1).is_some_and(|t| t.is_punct('(')) {
                     let lock_line = toks[i].line;
                     if !run.suppressed(idx, file, t.line, LOCK_DISCIPLINE)
                         && !run.suppressed(idx, file, lock_line, LOCK_DISCIPLINE)
                     {
+                        let advice = if is_seal {
+                            "seal outside the guard and merge the sealed results under it"
+                        } else {
+                            "narrow the guard's scope or `drop` it before entering block \
+                             execution"
+                        };
                         run.push(
                             LOCK_DISCIPLINE,
                             file,
                             t.line,
                             format!(
                                 "lock guard `{binding}` (acquired line {lock_line}) is still \
-                                 live across `{name}` — narrow the guard's scope or `drop` \
-                                 it before entering block execution"
+                                 live across `{name}` — {advice}"
                             ),
                         );
                     }

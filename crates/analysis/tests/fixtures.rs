@@ -102,6 +102,30 @@ fn bad_lock_fixture_flags_each_live_guard_at_the_execution_call() {
 }
 
 #[test]
+fn bad_seal_fixture_flags_each_guard_live_across_sealing() {
+    let run = run_on(fixture("bad/seal.rs", "fx", false), &[]);
+    let seal_lines: Vec<u32> = error_lines(&run)
+        .into_iter()
+        .filter(|(_, l)| l == "lock-discipline")
+        .map(|(line, _)| line)
+        .collect();
+    assert_eq!(seal_lines, vec![5, 11]);
+    assert!(
+        run.findings
+            .iter()
+            .all(|f| f.message.contains("merge the sealed results")),
+        "seal findings carry seal-specific advice: {:?}",
+        run.findings
+    );
+}
+
+#[test]
+fn good_seal_fixture_is_clean() {
+    let run = run_on(fixture("good/seal.rs", "fx", false), &[]);
+    assert_eq!(error_lines(&run), vec![]);
+}
+
+#[test]
 fn good_lock_fixture_is_clean() {
     let run = run_on(fixture("good/lock.rs", "fx", false), &[]);
     assert_eq!(error_lines(&run), vec![]);

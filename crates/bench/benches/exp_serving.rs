@@ -98,6 +98,7 @@ fn build_service(scale: &Scale) -> QueryService {
         queue_depth: 1_024,
         sample_budget: None,
         pilot_seed: SEED,
+        ..ServiceConfig::default()
     });
     let distance = normal_values(100.0, 20.0, scale.trips_rows, SEED);
     let fare: Vec<f64> = distance.iter().map(|v| v * 2.5 + 3.0).collect();

@@ -17,9 +17,14 @@ use isla_storage::BlockSet;
 
 use crate::config::IslaConfig;
 use crate::error::IslaError;
-use crate::pre_estimation::{pre_estimate, PreEstimate};
+use crate::pre_estimation::{
+    finish_pilot_fold, fold_pilot_segment, pre_estimate, PilotFold, PreEstimate,
+};
 
-use super::rows::{row_pre_estimate, RowPreEstimate, RowSpec};
+use super::rows::{
+    finish_row_pilot_fold, fold_row_pilot_segment, row_pre_estimate, RowPilotFold, RowPreEstimate,
+    RowSpec,
+};
 
 /// A cache key: the catalog coordinates of a column, the configuration
 /// fingerprint, the data's shape (row count + block count), and the
@@ -72,6 +77,20 @@ impl CacheKey {
         self
     }
 
+    /// The key with its data-shape fields zeroed: the *lineage* of a
+    /// column under a config and query shape, stable across appends.
+    /// Epoch-layer entries key by lineage because an append changes the
+    /// shape (so exact keys would always miss) while leaving every
+    /// already-folded segment's contribution valid — the lineage is the
+    /// identity that survives growth.
+    pub fn lineage(&self) -> Self {
+        Self {
+            rows: 0,
+            blocks: 0,
+            ..self.clone()
+        }
+    }
+
     /// A stable 64-bit digest of the key — the seed material for
     /// deterministic pilot derivation: a serving layer that seeds the
     /// pilot RNG from `digest() ⊕ salt` makes the cached entry a pure
@@ -104,6 +123,42 @@ impl CacheStats {
     }
 }
 
+/// Epoch-path counters: how lookups against appendable sets resolved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochCacheStats {
+    /// Entry covered the set's current epoch exactly — no folding at all.
+    pub exact_hits: u64,
+    /// Entry was valid for an older epoch — only the delta segments were
+    /// folded on top of the cached pilot state.
+    pub delta_folds: u64,
+    /// No usable entry — every segment was folded from scratch.
+    pub cold_folds: u64,
+}
+
+/// A cached epoch-fold: the pilot fold state and finished estimate as of
+/// `epoch`, plus the shape `(blocks, rows)` the set had then — checked
+/// against the set's [`isla_storage::EpochMark`] history on lookup so a
+/// re-registered (different-lineage-content) set can never resume a fold
+/// that doesn't describe its blocks.
+#[derive(Debug, Clone)]
+struct EpochEntry {
+    epoch: u64,
+    blocks: usize,
+    rows: u64,
+    fold: PilotFold,
+    pre: PreEstimate,
+}
+
+/// Row-model analog of [`EpochEntry`].
+#[derive(Debug, Clone)]
+struct RowEpochEntry {
+    epoch: u64,
+    blocks: usize,
+    rows: u64,
+    fold: RowPilotFold,
+    pre: RowPreEstimate,
+}
+
 /// The result of one cache lookup.
 #[derive(Debug, Clone)]
 pub struct CacheLookup {
@@ -132,8 +187,13 @@ pub struct RowCacheLookup {
 pub struct PreEstimateCache {
     entries: Mutex<HashMap<CacheKey, PreEstimate>>,
     row_entries: Mutex<HashMap<CacheKey, RowPreEstimate>>,
+    epoch_entries: Mutex<HashMap<CacheKey, EpochEntry>>,
+    row_epoch_entries: Mutex<HashMap<CacheKey, RowEpochEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    epoch_exact: AtomicU64,
+    epoch_delta: AtomicU64,
+    epoch_cold: AtomicU64,
 }
 
 impl PreEstimateCache {
@@ -202,6 +262,174 @@ impl PreEstimateCache {
         Ok(RowCacheLookup { pre, hit: false })
     }
 
+    /// Epoch-aware lookup for appendable sets: returns the cached
+    /// estimate when it covers `data`'s current epoch, resumes the
+    /// cached pilot fold over only the segments sealed since the entry's
+    /// epoch when it is older but still valid, and cold-folds every
+    /// segment otherwise. Entries key by [`CacheKey::lineage`] so an
+    /// append never orphans them.
+    ///
+    /// Each segment's pilots draw from an RNG seeded purely by
+    /// `(lineage digest, salt, segment index)`, so a delta-resumed fold
+    /// is bit-identical to a cold fold of the same history — callers
+    /// never pass an RNG, and a hit and a miss leave no stream anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Pre-estimation failures (the cache is left untouched).
+    pub fn get_or_compute_epoch(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        salt: u64,
+    ) -> Result<CacheLookup, IslaError> {
+        let epoch = data.epoch();
+        let blocks = data.block_count();
+        let rows = data.total_len();
+        let lineage = key.lineage();
+        let cached = self.epoch_entries.lock().get(&lineage).cloned();
+        let (mut fold, resume) = match cached {
+            Some(e) if e.epoch == epoch && e.blocks == blocks && e.rows == rows => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.epoch_exact.fetch_add(1, Ordering::Relaxed);
+                return Ok(CacheLookup {
+                    pre: e.pre,
+                    hit: true,
+                });
+            }
+            Some(e)
+                if entry_resumes(e.epoch, e.blocks, e.rows, epoch, data)
+                    && e.fold.segments() == e.epoch + 1 =>
+            {
+                self.epoch_delta.fetch_add(1, Ordering::Relaxed);
+                (e.fold, e.epoch + 1)
+            }
+            _ => {
+                self.epoch_cold.fetch_add(1, Ordering::Relaxed);
+                (PilotFold::new(), 0)
+            }
+        };
+        let digest = lineage.digest();
+        let mut start = 0usize;
+        for (si, mark) in data.epoch_marks().iter().enumerate() {
+            if si as u64 >= resume {
+                fold_pilot_segment(&mut fold, data, start..mark.blocks, config, digest, salt)?;
+            }
+            start = mark.blocks;
+        }
+        let pre = finish_pilot_fold(&fold, data, config)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.epoch_entries.lock();
+        match entries.get(&lineage) {
+            // A racing lookup against a *newer* snapshot already folded
+            // further; keep the longer fold — ours is merely a prefix.
+            Some(existing) if existing.epoch > epoch => {}
+            _ => {
+                entries.insert(
+                    lineage,
+                    EpochEntry {
+                        epoch,
+                        blocks,
+                        rows,
+                        fold,
+                        pre: pre.clone(),
+                    },
+                );
+            }
+        }
+        drop(entries);
+        Ok(CacheLookup { pre, hit: false })
+    }
+
+    /// Row-model analog of [`PreEstimateCache::get_or_compute_epoch`]:
+    /// epoch-aware lookup for filtered/grouped queries over appendable
+    /// sets, keyed by the lineage of a shape-bound key (carry the spec's
+    /// fingerprint via [`CacheKey::with_row_shape`]).
+    ///
+    /// # Errors
+    ///
+    /// Row pre-estimation failures (the cache is left untouched).
+    pub fn get_or_compute_rows_epoch(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        spec: &RowSpec,
+        salt: u64,
+    ) -> Result<RowCacheLookup, IslaError> {
+        let epoch = data.epoch();
+        let blocks = data.block_count();
+        let rows = data.total_len();
+        let lineage = key.lineage();
+        let cached = self.row_epoch_entries.lock().get(&lineage).cloned();
+        let (mut fold, resume) = match cached {
+            Some(e) if e.epoch == epoch && e.blocks == blocks && e.rows == rows => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.epoch_exact.fetch_add(1, Ordering::Relaxed);
+                return Ok(RowCacheLookup {
+                    pre: e.pre,
+                    hit: true,
+                });
+            }
+            Some(e)
+                if entry_resumes(e.epoch, e.blocks, e.rows, epoch, data)
+                    && e.fold.segments() == e.epoch + 1 =>
+            {
+                self.epoch_delta.fetch_add(1, Ordering::Relaxed);
+                (e.fold, e.epoch + 1)
+            }
+            _ => {
+                self.epoch_cold.fetch_add(1, Ordering::Relaxed);
+                (RowPilotFold::new(), 0)
+            }
+        };
+        let digest = lineage.digest();
+        let mut start = 0usize;
+        for (si, mark) in data.epoch_marks().iter().enumerate() {
+            if si as u64 >= resume {
+                fold_row_pilot_segment(
+                    &mut fold,
+                    data,
+                    start..mark.blocks,
+                    mark.rows,
+                    config,
+                    spec,
+                    digest,
+                    salt,
+                )?;
+            }
+            start = mark.blocks;
+        }
+        let pre = finish_row_pilot_fold(&fold, rows, config)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.row_epoch_entries.lock();
+        match entries.get(&lineage) {
+            Some(existing) if existing.epoch > epoch => {}
+            _ => {
+                if entries.len() >= MAX_ROW_ENTRIES && !entries.contains_key(&lineage) {
+                    // Same bound as the exact row map: per-request
+                    // predicate literals must not grow this without end.
+                    if let Some(victim) = entries.keys().next().cloned() {
+                        entries.remove(&victim);
+                    }
+                }
+                entries.insert(
+                    lineage,
+                    RowEpochEntry {
+                        epoch,
+                        blocks,
+                        rows,
+                        fold,
+                        pre: pre.clone(),
+                    },
+                );
+            }
+        }
+        drop(entries);
+        Ok(RowCacheLookup { pre, hit: false })
+    }
+
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -229,6 +457,15 @@ impl PreEstimateCache {
         self.len() == 0
     }
 
+    /// Current epoch-path counters.
+    pub fn epoch_stats(&self) -> EpochCacheStats {
+        EpochCacheStats {
+            exact_hits: self.epoch_exact.load(Ordering::Relaxed),
+            delta_folds: self.epoch_delta.load(Ordering::Relaxed),
+            cold_folds: self.epoch_cold.load(Ordering::Relaxed),
+        }
+    }
+
     /// Drops one entry (e.g. after the underlying table changed).
     ///
     /// Note a filtered/grouped entry is only reachable with its exact
@@ -238,20 +475,51 @@ impl PreEstimateCache {
     pub fn invalidate(&self, key: &CacheKey) {
         self.entries.lock().remove(key);
         self.row_entries.lock().remove(key);
+        let lineage = key.lineage();
+        self.epoch_entries.lock().remove(&lineage);
+        self.row_epoch_entries.lock().remove(&lineage);
     }
 
-    /// Drops every entry — scalar and row, all query shapes — for a
-    /// table, the invalidation to use after mutating its data in place.
+    /// Drops every entry — scalar and row, all query shapes, exact and
+    /// epoch maps — for a table, the invalidation to use after mutating
+    /// its data in place. Appends never need this: the epoch layer
+    /// validates its entries against the set's mark history itself.
     pub fn invalidate_table(&self, table: &str) {
         self.entries.lock().retain(|k, _| k.table != table);
         self.row_entries.lock().retain(|k, _| k.table != table);
+        self.epoch_entries.lock().retain(|k, _| k.table != table);
+        self.row_epoch_entries
+            .lock()
+            .retain(|k, _| k.table != table);
     }
 
     /// Drops every entry. Counters are preserved.
     pub fn clear(&self) {
         self.entries.lock().clear();
         self.row_entries.lock().clear();
+        self.epoch_entries.lock().clear();
+        self.row_epoch_entries.lock().clear();
     }
+}
+
+/// Whether a cached fold at `entry_epoch` with shape `(entry_blocks,
+/// entry_rows)` can be resumed against `data` at `current_epoch`: it
+/// must describe a strictly earlier epoch whose recorded mark matches —
+/// a mismatch means the set is a different lineage (re-registered,
+/// projected differently) and the fold's segments do not describe these
+/// blocks.
+fn entry_resumes(
+    entry_epoch: u64,
+    entry_blocks: usize,
+    entry_rows: u64,
+    current_epoch: u64,
+    data: &BlockSet,
+) -> bool {
+    entry_epoch < current_epoch
+        && usize::try_from(entry_epoch)
+            .ok()
+            .and_then(|i| data.epoch_marks().get(i))
+            .is_some_and(|m| m.blocks == entry_blocks && m.rows == entry_rows)
 }
 
 #[cfg(test)]
@@ -467,6 +735,174 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // digest() is a stable function of the key alone.
         assert_eq!(pilot_key.digest(), pilot_key.clone().digest());
+    }
+
+    #[test]
+    fn epoch_delta_fold_is_bit_identical_to_a_cold_fold() {
+        let mut ds = normal_dataset(100.0, 20.0, 60_000, 6, 70);
+        let extra = normal_dataset(105.0, 22.0, 20_000, 2, 71);
+        let cfg = config(0.5);
+        let warm = PreEstimateCache::new();
+        let key = |d: &BlockSet| CacheKey::new("t", "c", &cfg, d);
+        let salt = 0xA5;
+        let first = warm
+            .get_or_compute_epoch(key(&ds.blocks), &ds.blocks, &cfg, salt)
+            .unwrap();
+        assert!(!first.hit);
+        // Two sealed appends: two new epochs on top of the folded one.
+        for i in 0..extra.blocks.block_count() {
+            ds.blocks
+                .append_block(extra.blocks.block(i).clone())
+                .unwrap();
+        }
+        assert_eq!(ds.blocks.epoch(), 2);
+        let delta = warm
+            .get_or_compute_epoch(key(&ds.blocks), &ds.blocks, &cfg, salt)
+            .unwrap();
+        assert!(!delta.hit, "a grown set re-folds the delta");
+        // A cold cache replaying the full history must agree bit for bit.
+        let cold = PreEstimateCache::new();
+        let full = cold
+            .get_or_compute_epoch(key(&ds.blocks), &ds.blocks, &cfg, salt)
+            .unwrap();
+        assert_eq!(delta.pre, full.pre, "delta resume ≡ cold replay");
+        assert_eq!(
+            warm.epoch_stats(),
+            EpochCacheStats {
+                exact_hits: 0,
+                delta_folds: 1,
+                cold_folds: 1,
+            }
+        );
+        assert_eq!(cold.epoch_stats().cold_folds, 1);
+        // Repeating at the same epoch is an exact hit with no folding.
+        let hit = warm
+            .get_or_compute_epoch(key(&ds.blocks), &ds.blocks, &cfg, salt)
+            .unwrap();
+        assert!(hit.hit);
+        assert_eq!(hit.pre, full.pre);
+        assert_eq!(warm.epoch_stats().exact_hits, 1);
+        // A different salt is a different pilot stream.
+        let other = PreEstimateCache::new();
+        let salted = other
+            .get_or_compute_epoch(key(&ds.blocks), &ds.blocks, &cfg, salt + 1)
+            .unwrap();
+        assert_ne!(salted.pre, full.pre, "salt must move the streams");
+    }
+
+    proptest::proptest! {
+        /// Satellite invariant: for ANY append schedule, serving from the
+        /// cached fold plus a pilot over only the new epochs is
+        /// bit-identical to a cold full pre-estimate of the grown set.
+        #[test]
+        fn cached_delta_folds_match_cold_replay_for_any_append_schedule(
+            initial_blocks in 2usize..6,
+            schedule in proptest::collection::vec((1usize..4, 500usize..3_000), 1..5),
+            seed in 0u64..(1 << 48),
+        ) {
+            let cfg = config(0.5);
+            let mut ds = normal_dataset(100.0, 20.0, 24_000, initial_blocks, seed);
+            let warm = PreEstimateCache::new();
+            let salt = 0x5EED;
+            let mut latest = warm
+                .get_or_compute_epoch(CacheKey::new("t", "c", &cfg, &ds.blocks), &ds.blocks, &cfg, salt)
+                .unwrap();
+            for (i, (blocks, rows)) in schedule.iter().copied().enumerate() {
+                let extra = normal_dataset(
+                    100.0 + i as f64,
+                    20.0,
+                    rows.max(blocks),
+                    blocks,
+                    seed.wrapping_add(i as u64 + 1),
+                );
+                for b in 0..extra.blocks.block_count() {
+                    ds.blocks.append_block(extra.blocks.block(b).clone()).unwrap();
+                }
+                latest = warm
+                    .get_or_compute_epoch(
+                        CacheKey::new("t", "c", &cfg, &ds.blocks),
+                        &ds.blocks,
+                        &cfg,
+                        salt,
+                    )
+                    .unwrap();
+            }
+            let cold = PreEstimateCache::new()
+                .get_or_compute_epoch(CacheKey::new("t", "c", &cfg, &ds.blocks), &ds.blocks, &cfg, salt)
+                .unwrap();
+            proptest::prop_assert_eq!(latest.pre, cold.pre);
+            // Only the very first lookup folded from scratch; every
+            // post-append lookup resumed the cached fold.
+            proptest::prop_assert_eq!(warm.epoch_stats().cold_folds, 1);
+            proptest::prop_assert_eq!(warm.epoch_stats().delta_folds, schedule.len() as u64);
+            // One epoch per appended block, on top of the initial mark.
+            let appended: usize = schedule.iter().map(|(blocks, _)| blocks).sum();
+            proptest::prop_assert_eq!(ds.blocks.epoch(), appended as u64);
+        }
+    }
+
+    #[test]
+    fn epoch_row_delta_matches_cold_and_foreign_history_cold_folds() {
+        use crate::engine::rows::RowSpec;
+        use isla_storage::{CmpOp, ColumnPredicate, RowFilter, RowsBlock};
+        use std::sync::Arc;
+
+        let n = 40_000usize;
+        let x = isla_datagen::normal_values(100.0, 20.0, n, 72);
+        let y: Vec<f64> = x.iter().map(|v| v * 0.5).collect();
+        let mut data = RowsBlock::split(vec![x, y], 4);
+        let spec = RowSpec {
+            agg_column: 0,
+            filter: RowFilter::new(vec![ColumnPredicate {
+                column: 1,
+                op: CmpOp::Gt,
+                value: 45.0,
+            }]),
+            group_by: None,
+        };
+        let cfg = config(0.5);
+        let key =
+            |d: &BlockSet| CacheKey::new("t", "x", &cfg, d).with_row_shape(spec.fingerprint());
+        let warm = PreEstimateCache::new();
+        warm.get_or_compute_rows_epoch(key(&data), &data, &cfg, &spec, 7)
+            .unwrap();
+        let x2 = isla_datagen::normal_values(90.0, 15.0, 8_000, 73);
+        let y2: Vec<f64> = x2.iter().map(|v| v * 0.5).collect();
+        data.append_block(Arc::new(RowsBlock::new(vec![x2, y2])))
+            .unwrap();
+        let delta = warm
+            .get_or_compute_rows_epoch(key(&data), &data, &cfg, &spec, 7)
+            .unwrap();
+        let cold = PreEstimateCache::new();
+        let full = cold
+            .get_or_compute_rows_epoch(key(&data), &data, &cfg, &spec, 7)
+            .unwrap();
+        assert_eq!(delta.pre, full.pre, "row delta resume ≡ cold replay");
+        assert_eq!(warm.epoch_stats().delta_folds, 1);
+        let repeat = warm
+            .get_or_compute_rows_epoch(key(&data), &data, &cfg, &spec, 7)
+            .unwrap();
+        assert!(repeat.hit);
+
+        // A set whose mark history disagrees with the cached entry's
+        // shape (same lineage coordinates, different actual blocks)
+        // must cold-fold, never resume a fold that doesn't describe it.
+        let x3 = isla_datagen::normal_values(100.0, 20.0, n / 2, 74);
+        let y3: Vec<f64> = x3.iter().map(|v| v * 0.5).collect();
+        let mut foreign = RowsBlock::split(vec![x3, y3], 3);
+        let x4 = isla_datagen::normal_values(100.0, 20.0, 1_000, 75);
+        let y4: Vec<f64> = x4.iter().map(|v| v * 0.5).collect();
+        foreign
+            .append_block(Arc::new(RowsBlock::new(vec![x4, y4])))
+            .unwrap();
+        let before = warm.epoch_stats().cold_folds;
+        warm.get_or_compute_rows_epoch(key(&foreign), &foreign, &cfg, &spec, 7)
+            .unwrap();
+        assert_eq!(
+            warm.epoch_stats().cold_folds,
+            before + 1,
+            "mismatched epoch history must not resume the cached fold"
+        );
     }
 
     #[test]

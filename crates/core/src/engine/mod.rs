@@ -63,19 +63,22 @@ pub mod rows;
 pub mod scheduler;
 pub mod seed;
 
-pub use cache::{CacheKey, CacheLookup, CacheStats, PreEstimateCache, RowCacheLookup};
+pub use cache::{
+    CacheKey, CacheLookup, CacheStats, EpochCacheStats, PreEstimateCache, RowCacheLookup,
+};
 pub use partial::{FinalAggregate, GroupedAggregate, GroupedPartial, PartialAggregate};
 pub use plan::{QueryPlan, RateSpec};
 pub use rows::{
-    execute_row_block, row_pre_estimate, row_pre_estimate_capped, run_row_plan, run_rows,
-    scan_exact_groups, GroupEstimate, GroupExact, GroupPlan, GroupPre, GroupedEngineResult,
-    RowBlockOutcome, RowGroupOutcome, RowPlan, RowPreEstimate, RowSpec,
+    execute_row_block, finish_row_pilot_fold, fold_row_pilot_segment, row_pre_estimate,
+    row_pre_estimate_capped, run_row_plan, run_rows, scan_exact_groups, GroupEstimate, GroupExact,
+    GroupPlan, GroupPre, GroupedEngineResult, RowBlockOutcome, RowGroupOutcome, RowPilotFold,
+    RowPlan, RowPreEstimate, RowSpec,
 };
 pub use scheduler::{
     execute_planned_block, scan_blocks, BlockExecution, BlockScheduler, DeadlineScheduler,
     EngineRun, PooledScheduler, SequentialScheduler, WorkerStats,
 };
-pub use seed::{derive_block_seeds, seeded_rng};
+pub use seed::{derive_block_seeds, seeded_rng, stream_seed};
 
 use rand::RngCore;
 

@@ -36,6 +36,7 @@ use isla_storage::{
     SAMPLE_BATCH_ROWS,
 };
 
+use super::seed;
 use crate::accumulate::SampleAccumulator;
 use crate::block_exec::{iteration_phase, Fallback};
 use crate::boundaries::DataBoundaries;
@@ -213,38 +214,7 @@ pub fn row_pre_estimate_capped(
     }
     spec.validate(data)?;
 
-    struct PilotState {
-        moments: BTreeMap<u64, (f64, WelfordMoments)>,
-        drawn: u64,
-        matched: u64,
-    }
-    fn draw(
-        data: &BlockSet,
-        spec: &RowSpec,
-        n: u64,
-        rng: &mut dyn RngCore,
-        st: &mut PilotState,
-    ) -> Result<(), IslaError> {
-        sample_rows_proportional(data, n, rng, &mut |row| {
-            st.drawn += 1;
-            if spec.filter.matches(row) {
-                st.matched += 1;
-                let key = spec.group_key(row);
-                let entry = st
-                    .moments
-                    .entry(key)
-                    .or_insert_with(|| (f64::from_bits(key), WelfordMoments::new()));
-                entry.1.update(row[spec.agg_column]);
-            }
-        })
-        .map_err(IslaError::from)
-    }
-
-    let mut st = PilotState {
-        moments: BTreeMap::new(),
-        drawn: 0,
-        matched: 0,
-    };
+    let mut st = RowPilotFold::new();
 
     // Pilot 1: selectivity, group shares, first σ̂ per group.
     let pilot1 = config
@@ -252,7 +222,7 @@ pub fn row_pre_estimate_capped(
         .min(data_size)
         .min(max_pilot_rows)
         .max(2);
-    draw(data, spec, pilot1, rng, &mut st)?;
+    pilot_draw_rows(data, spec, pilot1, rng, &mut st)?;
     if st.matched == 0 {
         return Err(IslaError::InsufficientData(format!(
             "predicate matched none of {} pilot rows; selectivity is effectively zero",
@@ -266,6 +236,47 @@ pub fn row_pre_estimate_capped(
     // tight: the selectivity scales `SUM`/`COUNT`, so its relative
     // error (≈ √(1/draws) at moderate selectivity) must not dominate
     // the answer.
+    let pilot2 = pilot_extension_want(&st, config, spec)
+        .min(data_size)
+        .min(max_pilot_rows)
+        .saturating_sub(st.drawn);
+    if pilot2 > 0 {
+        pilot_draw_rows(data, spec, pilot2, rng, &mut st)?;
+    }
+
+    finish_row_pilot_state(st, data_size, config)
+}
+
+/// Draws `n` proportional pilot rows into the accumulated pilot state:
+/// the shared inner loop of the one-shot and epoch-fold row pilots.
+fn pilot_draw_rows(
+    data: &BlockSet,
+    spec: &RowSpec,
+    n: u64,
+    rng: &mut dyn RngCore,
+    st: &mut RowPilotFold,
+) -> Result<(), IslaError> {
+    sample_rows_proportional(data, n, rng, &mut |row| {
+        st.drawn += 1;
+        if spec.filter.matches(row) {
+            st.matched += 1;
+            let key = spec.group_key(row);
+            let entry = st
+                .moments
+                .entry(key)
+                .or_insert_with(|| (f64::from_bits(key), WelfordMoments::new()));
+            entry.1.update(row[spec.agg_column]);
+        }
+    })
+    .map_err(IslaError::from)
+}
+
+/// How many *raw* pilot rows the accumulated state wants in total: the
+/// second-pilot target (per-group relaxed-precision sample over the
+/// group's share, floored by the selectivity pilot under a non-trivial
+/// predicate). Pure function of the state — the one-shot and fold paths
+/// share it so their extension logic cannot drift.
+fn pilot_extension_want(st: &RowPilotFold, config: &IslaConfig, spec: &RowSpec) -> u64 {
     let relaxed_e = config.relaxation * config.precision;
     let mut want_raw = if spec.filter.is_trivial() {
         0
@@ -280,14 +291,19 @@ pub fn row_pre_estimate_capped(
             want_raw = want_raw.max((m_rel as f64 / share).ceil() as u64);
         }
     }
-    let pilot2 = want_raw
-        .min(data_size)
-        .min(max_pilot_rows)
-        .saturating_sub(st.drawn);
-    if pilot2 > 0 {
-        draw(data, spec, pilot2, rng, &mut st)?;
-    }
+    want_raw
+}
 
+/// Turns accumulated pilot state into the final [`RowPreEstimate`] for
+/// a data set of `data_size` rows. Shared by the one-shot pilot and the
+/// epoch fold's [`finish_row_pilot_fold`], so the two paths compute
+/// group estimates, selectivity, and the derived rate with the same
+/// arithmetic.
+fn finish_row_pilot_state(
+    st: RowPilotFold,
+    data_size: u64,
+    config: &IslaConfig,
+) -> Result<RowPreEstimate, IslaError> {
     let drawn = st.drawn;
     let selectivity = st.matched as f64 / drawn as f64;
     let mut groups = Vec::with_capacity(st.moments.len());
@@ -321,6 +337,113 @@ pub fn row_pre_estimate_capped(
         rate: rate.min(1.0),
         pilot_rows: drawn,
     })
+}
+
+/// Resumable state of the **epoch-segmented** row pilot fold — the
+/// row-model sibling of [`crate::pre_estimation::PilotFold`]. Per-group
+/// [`WelfordMoments`] (keyed by group bits), raw-draw and match
+/// counters, and the number of epoch segments folded. Segment pilot
+/// streams derive from *(lineage digest, salt, segment index)*, so a
+/// cold fold over segments `0..=E` and a cached fold resumed at `k+1`
+/// run the identical operation sequence — the bit-identity the
+/// epoch-delta cache relies on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RowPilotFold {
+    moments: BTreeMap<u64, (f64, WelfordMoments)>,
+    drawn: u64,
+    matched: u64,
+    segments: u64,
+}
+
+impl RowPilotFold {
+    /// The empty fold — the cold-run starting state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of epoch segments folded so far.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+}
+
+/// Folds one epoch segment — the blocks `blocks` of `data`, holding
+/// rows `..rows_through` cumulatively — into the row pilot state.
+///
+/// Every sizing decision here is a pure function of the fold state, the
+/// segment's own blocks, and `rows_through` (the set's row count *as of
+/// that epoch*, from [`isla_storage::EpochMark`]); never of the set's
+/// final shape. That is what keeps a cached fold (computed when the
+/// segment was the newest) bit-identical to a cold fold replaying the
+/// same segment after later appends.
+///
+/// # Errors
+///
+/// Storage errors from sampling, and [`IslaError::InvalidConfig`] when
+/// the spec does not fit the segment's blocks. The fold should be
+/// discarded on error.
+#[allow(clippy::too_many_arguments)]
+pub fn fold_row_pilot_segment(
+    fold: &mut RowPilotFold,
+    data: &BlockSet,
+    blocks: std::ops::Range<usize>,
+    rows_through: u64,
+    config: &IslaConfig,
+    spec: &RowSpec,
+    lineage: u64,
+    salt: u64,
+) -> Result<(), IslaError> {
+    let seg_rows: u64 = blocks.clone().map(|i| data.block(i).len()).sum();
+    let segment = fold.segments;
+    fold.segments += 1;
+    if seg_rows == 0 {
+        return Ok(());
+    }
+    let seg = data.subrange(blocks);
+    spec.validate(&seg)?;
+    let mut rng = seed::seeded_rng(seed::stream_seed(seed::stream_seed(lineage, salt), segment));
+    // Pilot 1 share: the configured pilot over this segment's rows.
+    let pilot1 = config.sigma_pilot_size.min(seg_rows).max(2);
+    pilot_draw_rows(&seg, spec, pilot1, &mut rng, fold)?;
+    // Pilot 2 share: extend toward the accumulated state's raw-row
+    // target, capped by the epoch's cumulative rows (the one-shot's
+    // data-size cap, frozen at this segment's epoch) and by the
+    // segment itself.
+    let pilot2 = pilot_extension_want(fold, config, spec)
+        .min(rows_through)
+        .saturating_sub(fold.drawn)
+        .min(seg_rows);
+    if pilot2 > 0 {
+        pilot_draw_rows(&seg, spec, pilot2, &mut rng, fold)?;
+    }
+    Ok(())
+}
+
+/// Finishes the row fold into a [`RowPreEstimate`] for the whole of a
+/// set with `data_size` rows — required samples and the derived rate
+/// come from the final shape, group moments from the accumulated fold.
+///
+/// # Errors
+///
+/// [`IslaError::InsufficientData`] when no folded pilot row matched the
+/// predicate (selectivity is effectively zero).
+pub fn finish_row_pilot_fold(
+    fold: &RowPilotFold,
+    data_size: u64,
+    config: &IslaConfig,
+) -> Result<RowPreEstimate, IslaError> {
+    if data_size == 0 || fold.drawn == 0 {
+        return Err(IslaError::InsufficientData(
+            "row pilot fold covered no rows".to_string(),
+        ));
+    }
+    if fold.matched == 0 {
+        return Err(IslaError::InsufficientData(format!(
+            "predicate matched none of {} pilot rows; selectivity is effectively zero",
+            fold.drawn
+        )));
+    }
+    finish_row_pilot_state(fold.clone(), data_size, config)
 }
 
 /// One group's resolved execution state inside a [`RowPlan`].

@@ -22,6 +22,21 @@ pub fn seeded_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Derives a child stream seed from a parent `digest` and a `salt` via
+/// a splitmix64 finalizer — the same mixing the query layer uses for
+/// key-derived pilot streams. Used wherever a deterministic stream must
+/// be a pure function of identity rather than of a caller RNG's
+/// position: epoch-segment pilot folds (`stream_seed(lineage, salt)`
+/// then once more with the segment index) and standing-query per-block
+/// streams. The finalizer's avalanche keeps sibling streams
+/// uncorrelated even for adjacent salts.
+pub fn stream_seed(digest: u64, salt: u64) -> u64 {
+    let mut z = digest ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Draws one seed per block from `rng`, in block order.
 ///
 /// The contract — exactly one `next_u64` call per block, block 0 first —

@@ -72,6 +72,7 @@ pub mod aggregator;
 pub mod block_exec;
 pub mod boundaries;
 pub mod config;
+pub mod continuous;
 pub mod deviation;
 pub mod engine;
 pub mod error;
@@ -90,11 +91,14 @@ pub use aggregator::{AggregateResult, IslaAggregator};
 pub use block_exec::{execute_block, iteration_phase, BlockOutcome, Fallback, IterationPhase};
 pub use boundaries::{DataBoundaries, Region};
 pub use config::{IslaConfig, IslaConfigBuilder, ModulationStyle, ShiftPolicy};
+pub use continuous::{ContinuousAnswer, ContinuousQuery};
 pub use deviation::{assess, DeviationAssessment, ModulationCase};
 pub use error::IslaError;
 pub use estimator::LinearEstimator;
 pub use extremes::{ExtremeAggregator, ExtremeKind, ExtremeResult};
 pub use leverage::{determine_q, LeverageAllocation};
 pub use modulation::{iterate, IterationStep, ModulationOutcome};
-pub use pre_estimation::{pre_estimate, PreEstimate};
+pub use pre_estimation::{
+    finish_pilot_fold, fold_pilot_segment, pre_estimate, PilotFold, PreEstimate,
+};
 pub use summarize::combine_partials;

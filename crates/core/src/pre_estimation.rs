@@ -22,9 +22,10 @@
 use rand::RngCore;
 
 use isla_stats::{required_sample_size, sampling_rate, ConfidenceInterval, WelfordMoments};
-use isla_storage::{sample_proportional, BlockSet};
+use isla_storage::{sample_proportional, BlockSet, DataBlock};
 
 use crate::config::IslaConfig;
+use crate::engine::seed::{seeded_rng, stream_seed};
 use crate::error::IslaError;
 
 /// Output of the Pre-estimation module.
@@ -134,6 +135,216 @@ pub fn pre_estimate(
             confidence: config.confidence,
         },
     })
+}
+
+/// Resumable state of the **epoch-segmented** scalar pilot fold.
+///
+/// An appendable [`BlockSet`] grows in sealed epochs; this fold runs
+/// the σ and sketch pilots one epoch segment at a time and accumulates
+/// their [`WelfordMoments`]. The segment streams are derived from the
+/// cache key's lineage digest and a salt — never from a caller RNG — so
+/// the draw sequence is a pure function of *(lineage, salt, segment
+/// index, segment blocks)*. That gives the central delta-maintenance
+/// property, pinned by tests: folding segments `0..=E` from an empty
+/// state (a cold run) and resuming a cached state at segment `k+1` are
+/// the **same** operation sequence, so the finished
+/// [`PreEstimate`]s are bit-identical.
+///
+/// Sequential [`WelfordMoments::update`] folds are exactly resumable
+/// (the state after n updates does not depend on where a snapshot was
+/// taken), which is what makes the cached state sufficient.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PilotFold {
+    sigma_pilot: WelfordMoments,
+    sketch_pilot: WelfordMoments,
+    sigma_pilot_used: u64,
+    sketch_pilot_used: u64,
+    segments: u64,
+}
+
+impl PilotFold {
+    /// The empty fold — the cold-run starting state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of epoch segments folded so far.
+    pub fn segments(&self) -> u64 {
+        self.segments
+    }
+}
+
+/// Folds one epoch segment — the blocks `blocks` of `data` — into the
+/// pilot state. `lineage` is the cache key's epoch-independent digest
+/// and `salt` the pilot-stream salt; together with the fold's segment
+/// counter they derive this segment's private RNG stream.
+///
+/// An empty segment (all its blocks hold zero rows) advances the
+/// segment counter and draws nothing.
+///
+/// # Errors
+///
+/// [`IslaError::Storage`] on block access failures; the fold's segment
+/// counter is advanced, pilot state is partial — discard the fold.
+pub fn fold_pilot_segment(
+    fold: &mut PilotFold,
+    data: &BlockSet,
+    blocks: std::ops::Range<usize>,
+    config: &IslaConfig,
+    lineage: u64,
+    salt: u64,
+) -> Result<(), IslaError> {
+    let seg_rows: u64 = blocks.clone().map(|i| data.block(i).len()).sum();
+    let segment = fold.segments;
+    fold.segments += 1;
+    if seg_rows == 0 {
+        return Ok(());
+    }
+    let seg = data.subrange(blocks);
+    let mut rng = seeded_rng(stream_seed(stream_seed(lineage, salt), segment));
+    // σ pilot share of the segment: the configured pilot size, capped
+    // by the segment (draws are with replacement, so a short segment
+    // just contributes fewer points to the accumulated moments).
+    if config.known_sigma.is_none() {
+        let n1 = config.sigma_pilot_size.min(seg_rows);
+        let pilot = sample_proportional(&seg, n1, &mut rng)?;
+        for v in pilot {
+            fold.sigma_pilot.update(v);
+        }
+        fold.sigma_pilot_used += n1;
+    }
+    // Sketch pilot share, sized from the σ̂ accumulated *so far* (a
+    // deterministic function of the fold state — both cold and delta
+    // runs see the same σ̂ here). At least one draw per non-empty
+    // segment keeps sketch0 defined even for degenerate σ.
+    let sigma_now = config
+        .known_sigma
+        .unwrap_or_else(|| fold.sigma_pilot.std_dev_sample().unwrap_or(0.0));
+    let relaxed_e = config.relaxation * config.precision;
+    let n2 = required_sample_size(sigma_now, relaxed_e, config.confidence).clamp(1, seg_rows);
+    let samples = sample_proportional(&seg, n2, &mut rng)?;
+    for v in samples {
+        fold.sketch_pilot.update(v);
+    }
+    fold.sketch_pilot_used += n2;
+    Ok(())
+}
+
+/// Finishes the fold into a [`PreEstimate`] for the *whole* of `data`.
+/// Pure function of the fold state, the set's current shape, and the
+/// config: `rate` and `required_samples` are recomputed from the final
+/// σ̂ and row count, and — when [`IslaConfig::sketch_sigma`] is set — σ
+/// comes exactly from the blocks' **hook** sketches (hooks are a pure
+/// function of the blocks, unlike the scan-backed sketch cache, whose
+/// warmth may differ between a cold and a delta run).
+///
+/// # Errors
+///
+/// [`IslaError::InsufficientData`] when the accumulated pilots cannot
+/// support an estimate (empty data, or fewer than 2 σ-pilot samples).
+pub fn finish_pilot_fold(
+    fold: &PilotFold,
+    data: &BlockSet,
+    config: &IslaConfig,
+) -> Result<PreEstimate, IslaError> {
+    let data_size = data.total_len();
+    if data_size == 0 {
+        return Err(IslaError::InsufficientData(
+            "block set holds no rows".to_string(),
+        ));
+    }
+    let sigma = match config.known_sigma {
+        Some(s) => s,
+        None => match hook_sketch_sigma(data, config) {
+            Some(s) => s,
+            None => fold.sigma_pilot.std_dev_sample().ok_or_else(|| {
+                IslaError::InsufficientData("σ pilot fold holds fewer than 2 samples".to_string())
+            })?,
+        },
+    };
+    if sigma == 0.0 {
+        // Degenerate data: any pilot sample pins the answer (every
+        // non-empty segment drew at least one sketch-pilot sample).
+        let value = fold
+            .sketch_pilot
+            .mean()
+            .or_else(|| fold.sigma_pilot.mean())
+            .ok_or_else(|| IslaError::InsufficientData("pilot fold drew no samples".to_string()))?;
+        return Ok(PreEstimate {
+            sigma,
+            sketch0: value,
+            rate: 1.0 / data_size as f64,
+            required_samples: 1,
+            sigma_pilot_used: fold.sigma_pilot_used,
+            sketch_pilot_used: fold.sketch_pilot_used,
+            sketch_interval: ConfidenceInterval {
+                center: value,
+                half_width: 0.0,
+                confidence: config.confidence,
+            },
+        });
+    }
+    let relaxed_e = config.relaxation * config.precision;
+    let sketch0 = fold.sketch_pilot.mean().ok_or_else(|| {
+        IslaError::InsufficientData("sketch pilot fold drew no samples".to_string())
+    })?;
+    Ok(PreEstimate {
+        sigma,
+        sketch0,
+        rate: sampling_rate(sigma, config.precision, config.confidence, data_size),
+        required_samples: required_sample_size(sigma, config.precision, config.confidence),
+        sigma_pilot_used: fold.sigma_pilot_used,
+        sketch_pilot_used: fold.sketch_pilot_used,
+        sketch_interval: ConfidenceInterval {
+            center: sketch0,
+            half_width: relaxed_e,
+            confidence: config.confidence,
+        },
+    })
+}
+
+/// [`sketch_derived_sigma`] restricted to the blocks' **hook** sketches
+/// ([`isla_storage::DataBlock::sketch`]): a pure function of the block
+/// list, independent of how warm the scan-backed sketch cache happens
+/// to be. The epoch fold uses this so a cold run and a delta run agree
+/// on σ's source bit-for-bit.
+fn hook_sketch_sigma(data: &BlockSet, config: &IslaConfig) -> Option<f64> {
+    if !config.sketch_sigma {
+        return None;
+    }
+    let mut n = 0u64;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for block in data.iter() {
+        let sketch = block.sketch()?;
+        if sketch.width() != 1 {
+            return None;
+        }
+        let m = sketch.column(0)?;
+        if m.non_finite > 0 {
+            return None;
+        }
+        n += sketch.rows;
+        sum += m.sum;
+        sum_sq += m.sum_sq;
+        min = min.min(m.min);
+        max = max.max(m.max);
+    }
+    if n < 2 {
+        return None;
+    }
+    if min == max {
+        return Some(0.0);
+    }
+    let nf = n as f64;
+    let var = (sum_sq - sum * sum / nf) / (nf - 1.0);
+    if var > 0.0 {
+        Some(var.sqrt())
+    } else {
+        None
+    }
 }
 
 /// The exact σ from complete per-block moment sketches, when

@@ -10,9 +10,44 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use isla_storage::{project_column, BlockSet, DataBlock, Schema, ZipBlock};
+use isla_storage::{
+    project_column, BlockSet, ColumnDef, ColumnView, DataBlock, Schema, SealedDerived, SealedRows,
+    ZipBlock,
+};
 
 use crate::error::QueryError;
+
+/// One sealed block plus every piece of derived state the table's block
+/// sets need to merge it in: the row block itself with the data set's
+/// seal-time sketch/selection state, and — when the table keeps scalar
+/// column sets — a width-1 view and derived state per column.
+///
+/// Produced by [`Table::seal_block`] (scan-heavy, run it with no lock
+/// held) and consumed by [`Table::append_sealed`] (cheap merges, safe
+/// under a catalog write guard).
+pub struct SealedIngest {
+    block: Arc<dyn DataBlock>,
+    derived: SealedDerived,
+    columns: Vec<(Arc<dyn DataBlock>, SealedDerived)>,
+    rows: u64,
+}
+
+impl std::fmt::Debug for SealedIngest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealedIngest")
+            .field("rows", &self.rows)
+            .field("columns", &self.columns.len())
+            .field("derived", &self.derived)
+            .finish()
+    }
+}
+
+impl SealedIngest {
+    /// Rows in the sealed block.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
 
 /// A table: a schema plus a block-partitioned set of row tuples.
 #[derive(Debug, Clone)]
@@ -149,6 +184,136 @@ impl Table {
         }
     }
 
+    /// Computes everything needed to append one sealed block —
+    /// the block's sketch and a selection vector for every filter
+    /// cached on the table's sets. Scan-heavy by design and takes
+    /// `&self`: run it with **no lock held**, then apply the result
+    /// under the catalog guard with [`Table::append_sealed`].
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Invalid`] on a width mismatch; storage errors from
+    /// the seal-time scans.
+    pub fn seal_block(&self, sealed: SealedRows) -> Result<SealedIngest, QueryError> {
+        if sealed.width() != self.schema.width() {
+            return Err(QueryError::Invalid(format!(
+                "sealed rows are {} wide but the table has {} columns",
+                sealed.width(),
+                self.schema.width()
+            )));
+        }
+        let rows = sealed.rows() as u64;
+        let block: Arc<dyn DataBlock> = Arc::new(sealed.into_block());
+        let derived = self.data.seal_derived(&block)?;
+        let columns = match &self.column_sets {
+            Some(sets) => sets
+                .iter()
+                .enumerate()
+                .map(|(i, set)| {
+                    // A width-1 table's data set IS its only column set;
+                    // reuse the block rather than viewing it.
+                    let view: Arc<dyn DataBlock> = if self.schema.width() == 1 {
+                        Arc::clone(&block)
+                    } else {
+                        Arc::new(ColumnView::new(Arc::clone(&block), i))
+                    };
+                    set.seal_derived(&view).map(|d| (view, d))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
+        Ok(SealedIngest {
+            block,
+            derived,
+            columns,
+            rows,
+        })
+    }
+
+    /// Appends sealed blocks as one epoch, merging their pre-computed
+    /// derived state into the data set and every scalar column set —
+    /// nothing cached is invalidated. O(blocks + cached entries): cheap
+    /// enough to run under the catalog write guard.
+    pub fn append_sealed(&mut self, batch: Vec<SealedIngest>) {
+        if batch.is_empty() {
+            return;
+        }
+        let col_count = self.column_sets.as_ref().map_or(0, Vec::len);
+        let mut data_batch = Vec::with_capacity(batch.len());
+        let mut col_batches: Vec<Vec<(Arc<dyn DataBlock>, SealedDerived)>> = (0..col_count)
+            .map(|_| Vec::with_capacity(batch.len()))
+            .collect();
+        for ingest in batch {
+            debug_assert_eq!(ingest.columns.len(), col_count);
+            self.rows += ingest.rows;
+            data_batch.push((ingest.block, ingest.derived));
+            for (per_column, entry) in col_batches.iter_mut().zip(ingest.columns) {
+                per_column.push(entry);
+            }
+        }
+        self.data.append_epoch(data_batch);
+        if let Some(sets) = &mut self.column_sets {
+            for (set, batch) in sets.iter_mut().zip(col_batches) {
+                set.append_epoch(batch);
+            }
+        }
+    }
+
+    /// Adds a new float column without disturbing anything derived for
+    /// the existing columns: the scalar column sets (and their sketch/
+    /// selection caches) are kept as-is, and the re-zipped row model
+    /// inherits the table's epoch history so epoch-cached pilot folds
+    /// over the old columns stay resumable. Nothing is invalidated —
+    /// pre-estimates for untouched column sets remain exactly as
+    /// reusable as before the addition.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Invalid`] when the column name is taken, the table
+    /// was not assembled from scalar columns, or `set` disagrees with
+    /// the table's row count or block layout.
+    pub fn add_column(&mut self, name: impl Into<String>, set: BlockSet) -> Result<(), QueryError> {
+        let name = name.into();
+        if self.schema.index_of(&name).is_some() {
+            return Err(QueryError::Invalid(format!("column {name} already exists")));
+        }
+        let Some(sets) = &mut self.column_sets else {
+            return Err(QueryError::Invalid(
+                "add_column needs a table assembled from scalar columns".to_string(),
+            ));
+        };
+        if set.total_len() != self.rows || set.block_count() != self.data.block_count() {
+            return Err(QueryError::Invalid(format!(
+                "new column has {} rows in {} blocks; the table has {} rows in {} blocks",
+                set.total_len(),
+                set.block_count(),
+                self.rows,
+                self.data.block_count()
+            )));
+        }
+        for b in 0..set.block_count() {
+            if set.block(b).len() != self.data.block(b).len() {
+                return Err(QueryError::Invalid(format!(
+                    "new column disagrees with the table's block layout at block {b}"
+                )));
+            }
+        }
+        let new_blocks: Vec<Arc<dyn DataBlock>> = (0..self.data.block_count())
+            .map(|b| {
+                let mut cols: Vec<Arc<dyn DataBlock>> =
+                    sets.iter().map(|s| Arc::clone(s.block(b))).collect();
+                cols.push(Arc::clone(set.block(b)));
+                Arc::new(ZipBlock::new(cols)) as Arc<dyn DataBlock>
+            })
+            .collect();
+        self.data = BlockSet::with_marks(new_blocks, self.data.epoch_marks().to_vec());
+        sets.push(set);
+        let mut columns = self.schema.columns().to_vec();
+        columns.push(ColumnDef::float(name));
+        self.schema = Schema::new(columns);
+        Ok(())
+    }
+
     /// The column names, sorted (for stable display).
     pub fn column_names(&self) -> Vec<&str> {
         let mut names = self.schema.column_names();
@@ -182,6 +347,18 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<&Table, QueryError> {
         self.tables
             .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable table lookup — the ingest path's handle for
+    /// [`Table::append_sealed`] / [`Table::add_column`].
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownTable`].
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, QueryError> {
+        self.tables
+            .get_mut(name)
             .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
     }
 

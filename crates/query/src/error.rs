@@ -90,6 +90,12 @@ impl From<IslaError> for QueryError {
     }
 }
 
+impl From<isla_storage::StorageError> for QueryError {
+    fn from(e: isla_storage::StorageError) -> Self {
+        QueryError::Engine(e.into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

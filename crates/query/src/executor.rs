@@ -58,6 +58,14 @@ const TIME_SAFETY: f64 = 0.8;
 /// gives no explicit `SAMPLES` budget.
 const COUNT_PILOT_ROWS: u64 = 10_000;
 
+/// Salt for the epoch-path pilot streams when the policy sets no
+/// [`ExecPolicy::pilot_seed`]. The epoch fold *must* seed from identity
+/// (lineage ⊕ salt ⊕ segment), never from the query's RNG — a
+/// delta-resumed fold has to replay the exact streams the cached
+/// segments drew — so a fixed default stands in when the caller didn't
+/// choose one.
+const EPOCH_PILOT_SALT: u64 = 0x1517_AB1E_5EA1_ED01;
+
 /// One group's row in a grouped query result.
 #[derive(Debug, Clone)]
 pub struct GroupRow {
@@ -725,6 +733,15 @@ impl QuerySession {
         config: &IslaConfig,
         rng: &mut dyn RngCore,
     ) -> Result<CacheLookup, IslaError> {
+        // Grown sets route through the epoch layer: the pilots fold per
+        // sealed segment (seeded purely from the key's lineage), so a
+        // query after ingest resumes the cached fold over only the new
+        // blocks instead of re-piloting the whole set. Epoch-0 sets keep
+        // the exact-key path (and its RNG semantics) unchanged.
+        if data.epoch() > 0 {
+            let salt = self.policy.pilot_seed.unwrap_or(EPOCH_PILOT_SALT);
+            return self.pre_cache.get_or_compute_epoch(key, data, config, salt);
+        }
         match self.policy.pilot_seed {
             Some(salt) => {
                 let mut pilot_rng = engine::seeded_rng(pilot_stream_seed(key.digest(), salt));
@@ -744,6 +761,12 @@ impl QuerySession {
         spec: &RowSpec,
         rng: &mut dyn RngCore,
     ) -> Result<RowCacheLookup, IslaError> {
+        if data.epoch() > 0 {
+            let salt = self.policy.pilot_seed.unwrap_or(EPOCH_PILOT_SALT);
+            return self
+                .pre_cache
+                .get_or_compute_rows_epoch(key, data, config, spec, salt);
+        }
         match self.policy.pilot_seed {
             Some(salt) => {
                 let mut pilot_rng = engine::seeded_rng(pilot_stream_seed(key.digest(), salt));

@@ -32,7 +32,7 @@ pub mod parser;
 pub mod service;
 
 pub use ast::{AggFunc, CmpOp, Method, Predicate, Query};
-pub use catalog::{Catalog, Table};
+pub use catalog::{Catalog, SealedIngest, Table};
 pub use error::QueryError;
 pub use executor::{execute, ExecPolicy, GroupRow, QueryResult, QuerySession, SchedulerKind};
 pub use parser::parse;

@@ -46,12 +46,15 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
-use isla_core::engine::{self, CacheStats, PreEstimateCache};
-use isla_storage::{SelectionCacheStats, SketchCacheStats};
+use isla_core::engine::{self, CacheStats, EpochCacheStats, PreEstimateCache};
+use isla_storage::{
+    BlockSet, IngestBuffer, SealedRows, SelectionCacheStats, SketchCacheStats,
+    DEFAULT_ROWS_PER_BLOCK,
+};
 use rand::RngCore;
 
 use crate::ast::Query;
-use crate::catalog::{Catalog, Table};
+use crate::catalog::{Catalog, SealedIngest, Table};
 use crate::error::QueryError;
 use crate::executor::{ExecPolicy, QueryResult, QuerySession};
 use crate::parser::parse;
@@ -76,6 +79,11 @@ pub struct ServiceConfig {
     /// [`ExecPolicy::pilot_seed`]). Any constant works; services that
     /// must agree on cached values byte-for-byte should share it.
     pub pilot_seed: u64,
+    /// Rows per sealed block on the ingest path: appended rows buffer
+    /// until this many accumulate, then seal into one immutable block
+    /// (the unit of incrementality) and merge into the table's cached
+    /// sampling state.
+    pub ingest_rows_per_block: usize,
 }
 
 impl Default for ServiceConfig {
@@ -87,6 +95,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             sample_budget: None,
             pilot_seed: 0x151A_5EED,
+            ingest_rows_per_block: DEFAULT_ROWS_PER_BLOCK,
         }
     }
 }
@@ -106,6 +115,12 @@ pub struct ServiceStats {
     pub in_flight: usize,
     /// Queries waiting for a slot right now.
     pub queued: usize,
+    /// Rows accepted through [`QueryService::ingest`].
+    pub ingested_rows: u64,
+    /// Ingest calls admitted (each is one gate permit).
+    pub ingest_batches: u64,
+    /// Blocks sealed and merged into tables (ingest + flush).
+    pub sealed_blocks: u64,
 }
 
 /// Combined derived-cache counters for one table: the selection and
@@ -298,10 +313,18 @@ struct ServiceInner {
     tables: RwLock<Catalog>,
     session: QuerySession,
     gate: AdmissionGate,
+    /// Per-table pending-row buffers for the ingest path. Its lock
+    /// guards pure memory moves only — sealing scans and catalog
+    /// mutation happen outside it.
+    buffers: Mutex<HashMap<String, IngestBuffer>>,
+    ingest_rows_per_block: usize,
     admitted: AtomicU64,
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    ingested_rows: AtomicU64,
+    ingest_batches: AtomicU64,
+    sealed_blocks: AtomicU64,
 }
 
 /// A long-lived, cloneable handle serving queries from many concurrent
@@ -339,10 +362,15 @@ impl QueryService {
                 tables: RwLock::new(Catalog::new()),
                 session,
                 gate: AdmissionGate::new(max_concurrent, config.queue_depth),
+                buffers: Mutex::new(HashMap::new()),
+                ingest_rows_per_block: config.ingest_rows_per_block.max(1),
                 admitted: AtomicU64::new(0),
                 rejected: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                ingested_rows: AtomicU64::new(0),
+                ingest_batches: AtomicU64::new(0),
+                sealed_blocks: AtomicU64::new(0),
             }),
         }
     }
@@ -353,6 +381,14 @@ impl QueryService {
     pub fn register_table(&self, name: impl Into<String>, table: Table) {
         let name = name.into();
         self.inner.session.pre_cache().invalidate_table(&name);
+        // A replaced table starts a fresh ingest stream: rows buffered
+        // for the old incarnation describe data the registry no longer
+        // serves (and may not even share its width).
+        self.inner
+            .buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&name);
         self.inner
             .tables
             .write()
@@ -424,6 +460,170 @@ impl QueryService {
         out
     }
 
+    /// Appends rows to a table as `tenant`, through the same admission
+    /// gate queries use — a chatty ingester competes for slots like any
+    /// other tenant and backpressures identically.
+    ///
+    /// Rows buffer per table and seal into immutable blocks of
+    /// [`ServiceConfig::ingest_rows_per_block`] rows; each sealed block's
+    /// sketch, zone stats, and per-cached-filter selection vectors are
+    /// computed **outside every lock** and then *merged* into the
+    /// table's cached sampling state under the registry guard — nothing
+    /// cached is invalidated, for this table or any other. Rows below
+    /// the seal threshold stay pending (invisible to queries) until a
+    /// later ingest or [`QueryService::flush`] seals them.
+    ///
+    /// Returns the number of blocks sealed by this call.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Overloaded`] on backpressure,
+    /// [`QueryError::UnknownTable`], or a typed rejection for a row of
+    /// the wrong width / with non-finite values (nothing seals then).
+    pub fn ingest(
+        &self,
+        tenant: &str,
+        table: &str,
+        rows: &[Vec<f64>],
+    ) -> Result<usize, QueryError> {
+        let permit = match self.inner.gate.acquire(tenant) {
+            Ok(permit) => permit,
+            Err(e) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let width = self.table_snapshot(table)?.schema().width();
+        let sealed = {
+            let mut buffers = self
+                .inner
+                .buffers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let buffer = buffers
+                .entry(table.to_string())
+                .or_insert_with(|| IngestBuffer::new(width, self.inner.ingest_rows_per_block));
+            buffer.push_rows(rows.iter().map(Vec::as_slice))?
+        };
+        self.inner
+            .ingested_rows
+            .fetch_add(rows.len() as u64, Ordering::Relaxed);
+        self.inner.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        let appended = self.append_sealed_rows(table, sealed)?;
+        drop(permit);
+        Ok(appended)
+    }
+
+    /// Seals whatever rows are pending for `table` into one (possibly
+    /// short) block and merges it in — the way to make a sub-threshold
+    /// tail visible to queries. Returns the number of blocks sealed (0
+    /// or 1). Gated like [`QueryService::ingest`].
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Overloaded`] or [`QueryError::UnknownTable`].
+    pub fn flush(&self, tenant: &str, table: &str) -> Result<usize, QueryError> {
+        let permit = match self.inner.gate.acquire(tenant) {
+            Ok(permit) => permit,
+            Err(e) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        let sealed = self
+            .inner
+            .buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get_mut(table)
+            .and_then(IngestBuffer::flush);
+        let appended = self.append_sealed_rows(table, sealed.into_iter().collect())?;
+        drop(permit);
+        Ok(appended)
+    }
+
+    /// Rows buffered for `table` but not yet sealed into a block.
+    pub fn pending_rows(&self, table: &str) -> usize {
+        self.inner
+            .buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(table)
+            .map_or(0, IngestBuffer::pending_rows)
+    }
+
+    /// Adds a new float column to a registered table **without
+    /// invalidating anything derived for the existing columns**: their
+    /// scalar sets keep their sketch/selection caches, their
+    /// pre-estimates stay served, and epoch-cached pilot folds remain
+    /// resumable (see [`Table::add_column`]).
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::UnknownTable`]; [`QueryError::Invalid`] when rows
+    /// are pending in the table's ingest buffer (their width predates
+    /// the new column — flush first), or as [`Table::add_column`].
+    pub fn add_column(
+        &self,
+        table: &str,
+        column: impl Into<String>,
+        set: BlockSet,
+    ) -> Result<(), QueryError> {
+        let pending = self.pending_rows(table);
+        if pending > 0 {
+            return Err(QueryError::Invalid(format!(
+                "table {table} has {pending} pending ingest rows of the old width; \
+                 flush before adding a column"
+            )));
+        }
+        let mut tables = self
+            .inner
+            .tables
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        tables.table_mut(table)?.add_column(column, set)?;
+        // The buffer (if any) was sized for the old width; it is empty,
+        // so just drop it and let the next ingest rebuild it.
+        drop(tables);
+        self.inner
+            .buffers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(table);
+        Ok(())
+    }
+
+    /// Seal-compute outside every lock, merge under the write guard.
+    fn append_sealed_rows(
+        &self,
+        table: &str,
+        sealed: Vec<SealedRows>,
+    ) -> Result<usize, QueryError> {
+        if sealed.is_empty() {
+            return Ok(0);
+        }
+        // The snapshot shares cache handles with the registry table, so
+        // seal-time selection vectors cover exactly the filters cached
+        // at this moment; filters cached concurrently heal on demand.
+        let snapshot = self.table_snapshot(table)?;
+        let batch: Vec<SealedIngest> = sealed
+            .into_iter()
+            .map(|rows| snapshot.seal_block(rows))
+            .collect::<Result<_, _>>()?;
+        let appended = batch.len();
+        let mut tables = self
+            .inner
+            .tables
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        tables.table_mut(table)?.append_sealed(batch);
+        drop(tables);
+        self.inner
+            .sealed_blocks
+            .fetch_add(appended as u64, Ordering::Relaxed);
+        Ok(appended)
+    }
+
     /// Parses and executes `sql` as `tenant`, from `seed`.
     ///
     /// # Errors
@@ -445,6 +645,13 @@ impl QueryService {
     /// Hit/miss counters of the shared pre-estimation cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.session.cache_stats()
+    }
+
+    /// Epoch-path counters of the shared pre-estimation cache: how
+    /// post-ingest lookups resolved (exact hit / delta fold / cold
+    /// fold).
+    pub fn epoch_cache_stats(&self) -> EpochCacheStats {
+        self.inner.session.pre_cache().epoch_stats()
     }
 
     /// Derived-cache counters (selections, sketches) summed over one
@@ -478,6 +685,9 @@ impl QueryService {
             failed: self.inner.failed.load(Ordering::Relaxed),
             in_flight: self.inner.gate.in_flight(),
             queued: self.inner.gate.waiting(),
+            ingested_rows: self.inner.ingested_rows.load(Ordering::Relaxed),
+            ingest_batches: self.inner.ingest_batches.load(Ordering::Relaxed),
+            sealed_blocks: self.inner.sealed_blocks.load(Ordering::Relaxed),
         }
     }
 
@@ -627,6 +837,7 @@ mod tests {
             queue_depth: 4,
             sample_budget: None,
             pilot_seed: 1,
+            ..ServiceConfig::default()
         });
         let client = service.client("t0");
         let r = client
@@ -661,6 +872,7 @@ mod tests {
             queue_depth: 4,
             sample_budget: None,
             pilot_seed: 9,
+            ..ServiceConfig::default()
         });
         let sql = "SELECT AVG(distance) FROM trips WITH PRECISION 0.5";
         let a = service.client("tenant-a").query(sql, 100).unwrap();
@@ -675,6 +887,219 @@ mod tests {
         assert_eq!(a.value.to_bits(), b.value.to_bits());
         // And the hit visibly skipped the pilot phase.
         assert!(b.samples_used.unwrap() <= a.samples_used.unwrap());
+    }
+
+    #[test]
+    fn ingest_seals_at_the_threshold_and_queries_see_the_rows() {
+        let service = QueryService::new(ServiceConfig {
+            ingest_rows_per_block: 1_000,
+            pilot_seed: 3,
+            ..ServiceConfig::default()
+        });
+        let values = normal_values(100.0, 20.0, 50_000, 31);
+        service.register_table(
+            "trips",
+            Table::new(vec![("distance", BlockSet::from_values(values, 8))]),
+        );
+        let rows: Vec<Vec<f64>> = normal_values(100.0, 20.0, 2_500, 32)
+            .into_iter()
+            .map(|v| vec![v])
+            .collect();
+        assert_eq!(service.ingest("feeder", "trips", &rows).unwrap(), 2);
+        assert_eq!(service.pending_rows("trips"), 500);
+        assert_eq!(service.table("trips").unwrap().rows(), 52_000);
+        assert_eq!(service.flush("feeder", "trips").unwrap(), 1);
+        assert_eq!(service.pending_rows("trips"), 0);
+        let table = service.table("trips").unwrap();
+        assert_eq!(table.rows(), 52_500);
+        assert_eq!(table.data().epoch(), 2, "one epoch per sealed batch");
+        let stats = service.stats();
+        assert_eq!(stats.ingested_rows, 2_500);
+        assert_eq!(stats.ingest_batches, 1);
+        assert_eq!(stats.sealed_blocks, 3);
+        let r = service
+            .query(
+                "t0",
+                "SELECT AVG(distance) FROM trips WITH PRECISION 0.5",
+                41,
+            )
+            .unwrap();
+        assert_eq!(r.rows, 52_500, "queries see every sealed row");
+        assert!((r.value - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn ingest_rejects_bad_rows_without_sealing() {
+        let service = service_with_table(ServiceConfig::default());
+        let err = service
+            .ingest("feeder", "trips", &[vec![1.0, 2.0]])
+            .unwrap_err();
+        assert!(err.to_string().contains("rejected"), "got {err}");
+        assert!(service
+            .ingest("feeder", "trips", &[vec![f64::NAN]])
+            .is_err());
+        assert_eq!(service.stats().sealed_blocks, 0);
+        assert_eq!(service.table("trips").unwrap().rows(), 100_000);
+        assert!(matches!(
+            service.ingest("feeder", "missing", &[vec![1.0]]),
+            Err(QueryError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn post_ingest_queries_are_bit_identical_to_invalidate_and_recompute() {
+        // The tentpole invariant: folding only the delta epochs on top
+        // of cached pilot state answers exactly what a cold recompute
+        // over the whole grown set answers.
+        let build = || {
+            let service = QueryService::new(ServiceConfig {
+                ingest_rows_per_block: 500,
+                pilot_seed: 77,
+                ..ServiceConfig::default()
+            });
+            let values = normal_values(100.0, 20.0, 40_000, 51);
+            service.register_table(
+                "trips",
+                Table::new(vec![("distance", BlockSet::from_values(values, 8))]),
+            );
+            service
+        };
+        let incremental = build();
+        let recompute = build();
+        let sql = "SELECT AVG(distance) FROM trips WITH PRECISION 0.5";
+        for round in 0..3u64 {
+            let rows: Vec<Vec<f64>> = normal_values(95.0, 18.0, 1_000, 60 + round)
+                .into_iter()
+                .map(|v| vec![v])
+                .collect();
+            incremental.ingest("feeder", "trips", &rows).unwrap();
+            recompute.ingest("feeder", "trips", &rows).unwrap();
+            // The strawman throws everything away after every append.
+            recompute.invalidate_table("trips");
+            let a = incremental.query("t", sql, 900 + round).unwrap();
+            let b = recompute.query("t", sql, 900 + round).unwrap();
+            assert_eq!(
+                a.value.to_bits(),
+                b.value.to_bits(),
+                "round {round}: incremental answer must match recompute"
+            );
+        }
+        // The incremental service resumed cached folds; the strawman
+        // cold-folded every round.
+        let warm = incremental.epoch_cache_stats();
+        assert_eq!(
+            warm.cold_folds, 1,
+            "only the first post-ingest query is cold"
+        );
+        assert_eq!(warm.delta_folds, 2);
+        assert_eq!(recompute.epoch_cache_stats().cold_folds, 3);
+        // A repeat without new data is an exact epoch hit.
+        let before = incremental.epoch_cache_stats().exact_hits;
+        incremental.query("t", sql, 1_234).unwrap();
+        assert_eq!(incremental.epoch_cache_stats().exact_hits, before + 1);
+    }
+
+    #[test]
+    fn ingest_leaves_other_tables_and_columns_untouched() {
+        let service = QueryService::new(ServiceConfig {
+            ingest_rows_per_block: 250,
+            pilot_seed: 13,
+            ..ServiceConfig::default()
+        });
+        let a = normal_values(100.0, 20.0, 30_000, 71);
+        let b = normal_values(50.0, 5.0, 30_000, 72);
+        service.register_table(
+            "trips",
+            Table::new(vec![
+                ("distance", BlockSet::from_values(a, 6)),
+                ("fare", BlockSet::from_values(b, 6)),
+            ]),
+        );
+        let other = normal_values(10.0, 1.0, 10_000, 73);
+        service.register_table(
+            "other",
+            Table::new(vec![("x", BlockSet::from_values(other, 4))]),
+        );
+        service
+            .query("t", "SELECT AVG(x) FROM other WITH PRECISION 0.5", 1)
+            .unwrap();
+        let len_before = service.inner.session.pre_cache().len();
+        let rows: Vec<Vec<f64>> = (0..250)
+            .map(|i| vec![100.0 + f64::from(i % 10), 50.0])
+            .collect();
+        service.ingest("feeder", "trips", &rows).unwrap();
+        assert_eq!(
+            service.inner.session.pre_cache().len(),
+            len_before,
+            "ingest must not invalidate anything for any table"
+        );
+        let hits_before = service.cache_stats().hits;
+        service
+            .query("t", "SELECT AVG(x) FROM other WITH PRECISION 0.5", 2)
+            .unwrap();
+        assert_eq!(
+            service.cache_stats().hits,
+            hits_before + 1,
+            "the untouched table's estimate still serves from cache"
+        );
+    }
+
+    #[test]
+    fn adding_a_column_keeps_derived_state_for_untouched_columns() {
+        // Regression (over-invalidation): adding a NEW column used to be
+        // served by invalidate_table, which dropped pre-estimates and
+        // derived caches for every existing column set too. The
+        // add_column path must leave untouched column state reusable.
+        let service = QueryService::new(ServiceConfig {
+            pilot_seed: 23,
+            ..ServiceConfig::default()
+        });
+        let dist = normal_values(100.0, 20.0, 40_000, 91);
+        let fare: Vec<f64> = dist.iter().map(|v| v * 2.5).collect();
+        service.register_table(
+            "trips",
+            Table::new(vec![
+                ("distance", BlockSet::from_values(dist.clone(), 8)),
+                ("fare", BlockSet::from_values(fare, 8)),
+            ]),
+        );
+        let sql = "SELECT AVG(distance) FROM trips WITH PRECISION 0.5";
+        let first = service.query("t", sql, 7).unwrap();
+        assert_eq!(service.cache_stats().misses, 1);
+        let tip: Vec<f64> = dist.iter().map(|v| v * 0.15).collect();
+        service
+            .add_column("trips", "tip", BlockSet::from_values(tip, 8))
+            .unwrap();
+        // The untouched column's pre-estimate still serves — and the
+        // answer is the bit-identical one from before the addition.
+        let second = service.query("t", sql, 7).unwrap();
+        assert_eq!(service.cache_stats().hits, 1, "no over-invalidation");
+        assert_eq!(first.value.to_bits(), second.value.to_bits());
+        // The new column is immediately queryable...
+        let tip_avg = service
+            .query("t", "SELECT AVG(tip) FROM trips WITH PRECISION 0.5", 9)
+            .unwrap();
+        assert!(
+            (tip_avg.value - 15.0).abs() < 1.0,
+            "value {}",
+            tip_avg.value
+        );
+        // ...including through the row model over the re-zipped tuples.
+        let filtered = service
+            .query(
+                "t",
+                "SELECT AVG(fare) FROM trips WHERE tip > 15 WITH PRECISION 0.5",
+                10,
+            )
+            .unwrap();
+        assert!(filtered.value > 250.0, "value {}", filtered.value);
+        // Duplicate names and layout mismatches are typed errors.
+        assert!(service
+            .add_column("trips", "tip", BlockSet::from_values(vec![0.0; 40_000], 8))
+            .is_err());
+        assert!(service
+            .add_column("trips", "oops", BlockSet::from_values(vec![0.0; 7], 7))
+            .is_err());
     }
 
     #[test]

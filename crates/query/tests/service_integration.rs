@@ -54,6 +54,7 @@ fn config(max_concurrent: usize, queue_depth: usize) -> ServiceConfig {
         queue_depth,
         sample_budget: None,
         pilot_seed: 0xDECADE,
+        ..ServiceConfig::default()
     }
 }
 

@@ -6,18 +6,70 @@ use crate::block::DataBlock;
 use crate::error::StorageError;
 use crate::filter::RowFilter;
 use crate::memory::MemBlock;
-use crate::selection::{SelectionCache, SetSelection};
-use crate::sketch::{self, SetSketches, SketchCache};
+use crate::selection::{self, SelectionCache, SelectionTail, SelectionVector, SetSelection};
+use crate::sketch::{self, BlockSketch, SetSketches, SketchCache};
+
+/// The shape of a block set at one epoch: how many blocks and rows it
+/// held after that epoch's seal. `epoch_marks()[e]` is the shape after
+/// epoch `e`; epoch 0 is the constructed set, every append bumps the
+/// epoch by one. Cached derived state records the epoch it covers and
+/// validates against the mark, so a consumer can fold exactly the
+/// blocks `marks[e-1].blocks..marks[e].blocks` as epoch `e`'s delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochMark {
+    /// Blocks in the set after this epoch.
+    pub blocks: usize,
+    /// Rows in the set after this epoch.
+    pub rows: u64,
+}
+
+/// Seal-time derived state of one block about to be appended: its
+/// moment sketch and one compiled selection vector per filter cached on
+/// the target set. Computed by [`BlockSet::seal_derived`] **without any
+/// lock held** (it scans the block), then merged cheaply into the
+/// shared caches by [`BlockSet::append_epoch`].
+pub struct SealedDerived {
+    sketch: Option<Arc<BlockSketch>>,
+    /// Per cached filter: the new block's compiled vector (`None` when
+    /// the block cannot scan) and whether the zone map pruned the scan.
+    selections: Vec<(RowFilter, Option<Arc<SelectionVector>>, bool)>,
+}
+
+impl std::fmt::Debug for SealedDerived {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SealedDerived")
+            .field("sketch", &self.sketch.is_some())
+            .field("selections", &self.selections.len())
+            .finish()
+    }
+}
+
+impl SealedDerived {
+    /// Derived state carrying only what the block declares for free:
+    /// its [`DataBlock::sketch`] hook, no compiled selections. The
+    /// right choice for projected column views, whose sketches project
+    /// from the parent block in O(1) and whose selections are rebuilt
+    /// on demand.
+    pub fn hook_only(block: &Arc<dyn DataBlock>) -> Self {
+        Self {
+            sketch: block.sketch(),
+            selections: Vec::new(),
+        }
+    }
+}
 
 /// An ordered collection of blocks forming one dataset (the paper's block
 /// set `B = {B₁, …, B_b}`).
 #[derive(Clone)]
 pub struct BlockSet {
     blocks: Vec<Arc<dyn DataBlock>>,
-    // Cached at construction: `total_len()` is hit once per phase per
-    // query, and re-summing virtual/generator block lengths on every
-    // call is pure overhead. Blocks are immutable once in a set.
+    // Cached at construction and maintained by appends: `total_len()`
+    // is hit once per phase per query, and re-summing virtual/generator
+    // block lengths on every call is pure overhead.
     total_rows: u64,
+    // Epoch history: marks[e] is the (blocks, rows) shape after epoch
+    // e. Appends push a mark; clones snapshot the history.
+    marks: Vec<EpochMark>,
     // Compiled WHERE selections, keyed by filter fingerprint; shared
     // across clones so a predicate compiles at most once per dataset.
     selections: Arc<SelectionCache>,
@@ -44,9 +96,43 @@ impl BlockSet {
     pub fn new(blocks: Vec<Arc<dyn DataBlock>>) -> Self {
         assert!(!blocks.is_empty(), "a block set needs at least one block");
         let total_rows = blocks.iter().map(|b| b.len()).sum();
+        Self::assemble(blocks, total_rows)
+    }
+
+    fn assemble(blocks: Vec<Arc<dyn DataBlock>>, total_rows: u64) -> Self {
+        let marks = vec![EpochMark {
+            blocks: blocks.len(),
+            rows: total_rows,
+        }];
         Self {
             blocks,
             total_rows,
+            marks,
+            selections: Arc::new(SelectionCache::new()),
+            sketches: Arc::new(SketchCache::new()),
+        }
+    }
+
+    /// Builds a block set that inherits an existing epoch history —
+    /// used by column projections (and catalog layers rebuilding a
+    /// set's blocks 1:1, e.g. re-zipping rows after a column addition)
+    /// so the derived set folds the same epoch segments as its parent.
+    /// The last mark must describe `blocks` exactly.
+    pub fn with_marks(blocks: Vec<Arc<dyn DataBlock>>, marks: Vec<EpochMark>) -> Self {
+        assert!(!blocks.is_empty(), "a block set needs at least one block");
+        let total_rows = blocks.iter().map(|b| b.len()).sum();
+        debug_assert_eq!(
+            marks.last(),
+            Some(&EpochMark {
+                blocks: blocks.len(),
+                rows: total_rows,
+            }),
+            "epoch history must end at the set's current shape"
+        );
+        Self {
+            blocks,
+            total_rows,
+            marks,
             selections: Arc::new(SelectionCache::new()),
             sketches: Arc::new(SketchCache::new()),
         }
@@ -75,23 +161,13 @@ impl BlockSet {
             let chunk: Vec<f64> = iter.by_ref().take(take).collect();
             blocks.push(Arc::new(MemBlock::new(chunk)));
         }
-        Self {
-            blocks,
-            total_rows: n as u64,
-            selections: Arc::new(SelectionCache::new()),
-            sketches: Arc::new(SketchCache::new()),
-        }
+        Self::assemble(blocks, n as u64)
     }
 
     /// A block set with a single block.
     pub fn single(block: impl DataBlock + 'static) -> Self {
         let total_rows = block.len();
-        Self {
-            blocks: vec![Arc::new(block)],
-            total_rows,
-            selections: Arc::new(SelectionCache::new()),
-            sketches: Arc::new(SketchCache::new()),
-        }
+        Self::assemble(vec![Arc::new(block)], total_rows)
     }
 
     /// Number of blocks `b`.
@@ -100,9 +176,135 @@ impl BlockSet {
     }
 
     /// Total number of rows `M` across all blocks (cached at
-    /// construction — blocks are immutable once in a set).
+    /// construction and maintained by appends — individual blocks are
+    /// immutable once sealed into the set).
     pub fn total_len(&self) -> u64 {
         self.total_rows
+    }
+
+    /// The set's epoch: 0 as constructed, +1 per sealed append batch.
+    /// Derived caches record the epoch they cover; a query after ingest
+    /// folds only the blocks of newer epochs.
+    pub fn epoch(&self) -> u64 {
+        (self.marks.len() - 1) as u64
+    }
+
+    /// The shape history: `epoch_marks()[e]` is the (blocks, rows)
+    /// shape after epoch `e`; the last mark is the current shape.
+    pub fn epoch_marks(&self) -> &[EpochMark] {
+        &self.marks
+    }
+
+    /// Computes the seal-time derived state of a block about to be
+    /// appended: its moment sketch (the block's own hook, else one
+    /// scan) and a compiled selection vector for every filter currently
+    /// cached on this set (zone-pruned against the fresh sketch where
+    /// provable). This scans block data, so callers must not hold any
+    /// lock across it — the cheap merge happens in
+    /// [`BlockSet::append_epoch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the block's scan failure.
+    pub fn seal_derived(&self, block: &Arc<dyn DataBlock>) -> Result<SealedDerived, StorageError> {
+        let sketch = match block.sketch() {
+            Some(s) => Some(s),
+            None => sketch::scan_sketch(block.as_ref())?.map(Arc::new),
+        };
+        let mut selections = Vec::new();
+        for filter in self.selections.cached_filters() {
+            let pruned = sketch
+                .as_ref()
+                .is_some_and(|s| selection::proves_matchless(s, &filter));
+            let vector = if pruned {
+                Some(Arc::new(SelectionVector::empty()))
+            } else {
+                SelectionVector::build(block.as_ref(), &filter)?.map(Arc::new)
+            };
+            selections.push((filter, vector, pruned));
+        }
+        Ok(SealedDerived { sketch, selections })
+    }
+
+    /// Appends a sealed batch as one new epoch, **merging** the seal-time
+    /// derived state into the shared caches instead of invalidating
+    /// them. The work here is O(blocks appended + filters cached) map
+    /// operations — all scanning already happened in
+    /// [`BlockSet::seal_derived`].
+    ///
+    /// Clones taken before the append keep seeing their own (shorter)
+    /// block list; the shared caches stay sound for them because
+    /// lookups are index-keyed (sketches) or prefix-corrected
+    /// (selections). An empty batch is a no-op and does not bump the
+    /// epoch.
+    pub fn append_epoch(&mut self, batch: Vec<(Arc<dyn DataBlock>, SealedDerived)>) {
+        if batch.is_empty() {
+            return;
+        }
+        let base_count = self.blocks.len();
+        let mut sketches = Vec::new();
+        // One selection tail per filter covered by *every* batch entry;
+        // a filter cached mid-seal (seen by some entries only) is left
+        // stale-short and healed on demand by the selection cache.
+        let mut tails: Vec<(RowFilter, SelectionTail)> = batch
+            .first()
+            .map(|(_, derived)| {
+                derived
+                    .selections
+                    .iter()
+                    .map(|(f, _, _)| (f.clone(), Vec::new()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (offset, (block, derived)) in batch.into_iter().enumerate() {
+            if let Some(sketch) = derived.sketch {
+                sketches.push((base_count + offset, sketch));
+            }
+            tails.retain_mut(|(filter, tail)| {
+                match derived.selections.iter().find(|(f, _, _)| f == filter) {
+                    Some((_, vector, pruned)) => {
+                        tail.push((vector.clone(), *pruned));
+                        true
+                    }
+                    None => false,
+                }
+            });
+            self.total_rows += block.len();
+            self.blocks.push(block);
+        }
+        self.marks.push(EpochMark {
+            blocks: self.blocks.len(),
+            rows: self.total_rows,
+        });
+        self.sketches.merge_sealed(sketches);
+        self.selections.merge_sealed(base_count, tails);
+    }
+
+    /// Seals one block into the set as a new epoch: computes its
+    /// derived state ([`BlockSet::seal_derived`]) and merges it
+    /// ([`BlockSet::append_epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the block's scan failure; the set is unchanged then.
+    pub fn append_block(&mut self, block: Arc<dyn DataBlock>) -> Result<(), StorageError> {
+        let derived = self.seal_derived(&block)?;
+        self.append_epoch(vec![(block, derived)]);
+        Ok(())
+    }
+
+    /// A fresh set over the blocks `range` of this one (fresh caches,
+    /// epoch 0) — the segment view an epoch-delta fold pilots over.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty or out of bounds.
+    pub fn subrange(&self, range: std::ops::Range<usize>) -> BlockSet {
+        assert!(
+            range.start < range.end && range.end <= self.blocks.len(),
+            "subrange out of bounds"
+        );
+        BlockSet::new(self.blocks[range].to_vec())
     }
 
     /// The `i`-th block.
@@ -364,6 +566,182 @@ mod tests {
         set.sketches().unwrap();
         assert_eq!(set.selection_stats().builds, builds_before + 1);
         assert_eq!(set.sketch_cache_len(), 4);
+    }
+
+    fn gt(value: f64) -> RowFilter {
+        use crate::filter::{CmpOp, ColumnPredicate};
+        RowFilter::new(vec![ColumnPredicate {
+            column: 0,
+            op: CmpOp::Gt,
+            value,
+        }])
+    }
+
+    #[test]
+    fn append_merges_caches_instead_of_invalidating() {
+        let mut set = BlockSet::from_values((0..100).map(f64::from).collect(), 4);
+        assert_eq!(set.epoch(), 0);
+        let filter = gt(49.5);
+        let before = set.selection_for(&filter).unwrap();
+        assert_eq!(before.total_matches(), 50);
+        set.sketches().unwrap();
+        let builds = set.selection_stats().builds;
+
+        let block: Arc<dyn DataBlock> =
+            Arc::new(MemBlock::new((100..120).map(f64::from).collect()));
+        set.append_block(block).unwrap();
+        assert_eq!(set.epoch(), 1);
+        assert_eq!(set.block_count(), 5);
+        assert_eq!(set.total_len(), 120);
+        assert_eq!(
+            set.epoch_marks(),
+            &[
+                EpochMark {
+                    blocks: 4,
+                    rows: 100
+                },
+                EpochMark {
+                    blocks: 5,
+                    rows: 120
+                },
+            ]
+        );
+        // The cached selection was extended at seal time: the next
+        // lookup is a hit covering all five blocks, no rebuild.
+        let after = set.selection_for(&filter).unwrap();
+        assert_eq!(set.selection_stats().builds, builds, "no recompilation");
+        assert_eq!(after.block_count(), 5);
+        assert_eq!(after.total_matches(), 70);
+        // The sealed block's sketch entered the cache without a scan.
+        assert_eq!(set.sketch_cache_len(), 5);
+        assert_eq!(set.sketches.sealed_epoch(), 1);
+    }
+
+    #[test]
+    fn pre_append_clone_sees_its_own_epoch_prefix() {
+        let mut set = BlockSet::from_values((0..100).map(f64::from).collect(), 4);
+        let filter = gt(89.5);
+        let snapshot = set.clone();
+        let cold = snapshot.selection_for(&filter).unwrap();
+        assert_eq!(cold.total_matches(), 10);
+
+        let block: Arc<dyn DataBlock> = Arc::new(MemBlock::new(vec![1000.0; 8]));
+        set.append_block(block).unwrap();
+        // The shared cache now covers 5 blocks, but the snapshot must
+        // keep answering for its 4: the prefix of the extended
+        // selection, which is exactly what it compiled before.
+        let again = snapshot.selection_for(&filter).unwrap();
+        assert_eq!(again.block_count(), 4);
+        assert_eq!(again.total_matches(), 10);
+        for i in 0..4 {
+            assert_eq!(
+                again.block(i).unwrap().indices(),
+                cold.block(i).unwrap().indices()
+            );
+        }
+        // The appended set sees the extension.
+        let extended = set.selection_for(&filter).unwrap();
+        assert_eq!(extended.block_count(), 5);
+        assert_eq!(extended.total_matches(), 18);
+    }
+
+    #[test]
+    fn on_demand_extension_heals_a_filter_cached_before_the_append() {
+        // A filter compiled on the 4-block set, then an append whose
+        // seal-time merge *misses* it (simulated by appending via
+        // append_epoch with hook-only derived state): the next lookup
+        // on the appended set compiles only the missing tail.
+        let mut set = BlockSet::from_values((0..100).map(f64::from).collect(), 4);
+        let filter = gt(49.5);
+        set.selection_for(&filter).unwrap();
+        let builds = set.selection_stats().builds;
+        let block: Arc<dyn DataBlock> =
+            Arc::new(MemBlock::new((100..110).map(f64::from).collect()));
+        let derived = SealedDerived::hook_only(&block);
+        set.append_epoch(vec![(block, derived)]);
+        let healed = set.selection_for(&filter).unwrap();
+        assert_eq!(healed.block_count(), 5);
+        assert_eq!(healed.total_matches(), 60);
+        assert_eq!(
+            set.selection_stats().builds,
+            builds + 1,
+            "one tail compilation"
+        );
+        // And now it is cached at full coverage.
+        let hit = set.selection_for(&filter).unwrap();
+        assert_eq!(hit.block_count(), 5);
+    }
+
+    #[test]
+    fn empty_append_batch_is_a_no_op() {
+        let mut set = BlockSet::from_values(vec![1.0, 2.0], 1);
+        set.append_epoch(Vec::new());
+        assert_eq!(set.epoch(), 0);
+        assert_eq!(set.block_count(), 1);
+    }
+
+    #[test]
+    fn seal_vs_query_race_leaves_sketches_complete_and_consistent() {
+        // Satellite: an appender sealing batches races readers forcing
+        // sketches on their own snapshots. Every reader must see a
+        // complete, consistent sketch set for *its* epoch, and the
+        // final cache must hold exactly one correct sketch per block.
+        let base = BlockSet::from_values((0..400).map(f64::from).collect(), 8);
+        let batches = 16usize;
+        let writer_set = base.clone();
+        std::thread::scope(|scope| {
+            let mut writer = writer_set;
+            let appender = scope.spawn(move || {
+                for b in 0..batches {
+                    let vals: Vec<f64> = (0..50u32).map(|i| f64::from(b as u32 * 50 + i)).collect();
+                    let block: Arc<dyn DataBlock> = Arc::new(MemBlock::new(vals));
+                    writer.append_block(block).unwrap();
+                }
+                writer
+            });
+            for _ in 0..3 {
+                let reader = base.clone();
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let sketches = reader.sketches().unwrap();
+                        assert!(sketches.is_complete());
+                        assert_eq!(sketches.len(), reader.block_count());
+                        let merged = sketches.merged().unwrap();
+                        assert_eq!(merged.rows, reader.total_len());
+                    }
+                });
+            }
+            let final_set = appender.join().unwrap();
+            assert_eq!(final_set.epoch(), batches as u64);
+            assert_eq!(final_set.sketches.sealed_epoch(), batches as u64);
+            // Every block's cached sketch matches a fresh scan of that
+            // block — no partial or misplaced merge.
+            let cached = final_set.sketches().unwrap();
+            assert!(cached.is_complete());
+            for (idx, block) in final_set.iter().enumerate() {
+                let fresh = sketch::scan_sketch(block.as_ref()).unwrap().unwrap();
+                let got = cached.block(idx).unwrap();
+                assert_eq!(got.rows, fresh.rows, "block {idx}");
+                assert_eq!(
+                    got.column(0).unwrap().sum,
+                    fresh.column(0).unwrap().sum,
+                    "block {idx}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn subrange_views_the_delta_blocks() {
+        let mut set = BlockSet::from_values((0..100).map(f64::from).collect(), 4);
+        let block: Arc<dyn DataBlock> =
+            Arc::new(MemBlock::new((100..120).map(f64::from).collect()));
+        set.append_block(block).unwrap();
+        let marks = set.epoch_marks();
+        let delta = set.subrange(marks[0].blocks..marks[1].blocks);
+        assert_eq!(delta.block_count(), 1);
+        assert_eq!(delta.total_len(), 20);
+        assert_eq!(delta.exact_mean().unwrap(), 109.5);
     }
 
     #[test]

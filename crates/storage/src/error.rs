@@ -54,6 +54,15 @@ pub enum StorageError {
         /// Declared length of the offending block.
         rows: u64,
     },
+    /// An ingested row was rejected before sealing: wrong width for the
+    /// buffer's schema, or a non-finite value (blocks store finite
+    /// `f64`s only).
+    InvalidRow {
+        /// 0-based index of the offending row within the ingest call.
+        index: usize,
+        /// Why the row was rejected.
+        detail: String,
+    },
     /// An operation required a non-empty block or block set.
     Empty,
     /// An internal invariant of the storage layer was violated — e.g. a
@@ -104,6 +113,9 @@ impl fmt::Display for StorageError {
                 f,
                 "cannot compile a selection vector over {rows} rows: u32 index space exceeded"
             ),
+            StorageError::InvalidRow { index, detail } => {
+                write!(f, "ingest row {index} rejected: {detail}")
+            }
             StorageError::Empty => write!(f, "operation requires a non-empty block"),
         }
     }

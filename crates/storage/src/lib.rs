@@ -54,6 +54,7 @@ pub mod blockset;
 pub mod error;
 pub mod filter;
 pub mod generator;
+pub mod ingest;
 pub mod kernel;
 pub mod memory;
 pub mod rows;
@@ -65,10 +66,11 @@ pub mod text_file;
 
 pub use binary_file::BinaryBlock;
 pub use block::DataBlock;
-pub use blockset::BlockSet;
+pub use blockset::{BlockSet, EpochMark, SealedDerived};
 pub use error::StorageError;
 pub use filter::{CmpOp, ColumnPredicate, RowFilter};
 pub use generator::GeneratorBlock;
+pub use ingest::{IngestBuffer, SealedRows, DEFAULT_ROWS_PER_BLOCK};
 pub use kernel::{
     scalar_fallback_set, with_row_sample_buf, with_sample_buf, RowSampleBuf, SampleBuf,
     ScalarFallbackBlock, SAMPLE_BATCH_ROWS, SCAN_CHUNK_ROWS,
@@ -83,7 +85,9 @@ pub use sampler::{
     sample_rows_proportional, Reservoir,
 };
 pub use schema::{ColumnDef, ColumnType, Schema};
-pub use selection::{SelectionCache, SelectionCacheStats, SelectionVector, SetSelection};
+pub use selection::{
+    SelectionCache, SelectionCacheStats, SelectionTail, SelectionVector, SetSelection,
+};
 pub use sketch::{
     scan_sketch, BlockSketch, ColumnMoments, SetSketches, SketchCache, SketchCacheStats,
 };

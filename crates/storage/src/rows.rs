@@ -817,7 +817,10 @@ impl DataBlock for FilteredColumnView {
 /// blocks: zero-copy where the block supports [`DataBlock::project`]
 /// (columnar and zipped blocks), a [`ColumnView`] wrapper otherwise.
 pub fn project_column(set: &BlockSet, col: usize) -> BlockSet {
-    BlockSet::new(
+    // The projection inherits the parent's epoch history: a column view
+    // has the same block/row shape per epoch, so delta folds over the
+    // projected set line up with the parent's seal boundaries.
+    BlockSet::with_marks(
         set.iter()
             .map(|b| {
                 b.project(col).unwrap_or_else(|| {
@@ -825,6 +828,7 @@ pub fn project_column(set: &BlockSet, col: usize) -> BlockSet {
                 })
             })
             .collect(),
+        set.epoch_marks().to_vec(),
     )
 }
 

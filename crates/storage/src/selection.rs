@@ -117,9 +117,10 @@ pub struct SetSelection {
     cumulative: Vec<u64>,
     total_matches: u64,
     complete: bool,
-    /// Blocks whose zone map proved the filter matchless — their empty
-    /// vectors compiled with zero scan.
-    pruned: usize,
+    /// Per-block flag: the zone map proved the filter matchless there,
+    /// so the (empty) vector compiled with zero scan. Per block rather
+    /// than a count so prefix/extension views stay exact.
+    pruned: Vec<bool>,
 }
 
 impl SetSelection {
@@ -141,46 +142,94 @@ impl SetSelection {
         filter: &RowFilter,
         sketches: Option<&SetSketches>,
     ) -> Result<Self, StorageError> {
+        Self::build_tail(blocks, filter, sketches, 0)
+    }
+
+    /// [`SetSelection::build`] over a tail slice of a larger set:
+    /// `blocks` are the blocks from absolute index `offset` on, and
+    /// sketch lookups are offset accordingly. Used to compile only the
+    /// appended blocks when extending a cached selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first block scan failure or
+    /// [`StorageError::BlockTooLarge`].
+    pub fn build_tail(
+        blocks: &[Arc<dyn DataBlock>],
+        filter: &RowFilter,
+        sketches: Option<&SetSketches>,
+        offset: usize,
+    ) -> Result<Self, StorageError> {
         let mut per_block = Vec::with_capacity(blocks.len());
+        let mut pruned = Vec::with_capacity(blocks.len());
+        for (idx, block) in blocks.iter().enumerate() {
+            let matchless = sketches
+                .and_then(|s| s.block(offset + idx))
+                .is_some_and(|sketch| proves_matchless(sketch, filter));
+            if matchless {
+                pruned.push(true);
+                per_block.push(Some(Arc::new(SelectionVector::empty())));
+                continue;
+            }
+            pruned.push(false);
+            per_block.push(SelectionVector::build(block.as_ref(), filter)?.map(Arc::new));
+        }
+        Ok(Self::from_parts(per_block, pruned))
+    }
+
+    /// Assembles a selection from per-block vectors and pruned flags,
+    /// recomputing the cumulative counts and completeness.
+    pub(crate) fn from_parts(blocks: Vec<Option<Arc<SelectionVector>>>, pruned: Vec<bool>) -> Self {
+        debug_assert_eq!(blocks.len(), pruned.len());
         let mut cumulative = Vec::with_capacity(blocks.len());
         let mut total = 0u64;
         let mut complete = true;
-        let mut pruned = 0usize;
-        for (idx, block) in blocks.iter().enumerate() {
-            let matchless = sketches
-                .and_then(|s| s.block(idx))
-                .is_some_and(|sketch| proves_matchless(sketch, filter));
-            if matchless {
-                pruned += 1;
-                per_block.push(Some(Arc::new(SelectionVector::empty())));
-                cumulative.push(total);
-                continue;
-            }
-            match SelectionVector::build(block.as_ref(), filter)? {
-                Some(sel) => {
-                    total += sel.match_count();
-                    per_block.push(Some(Arc::new(sel)));
-                }
-                None => {
-                    complete = false;
-                    per_block.push(None);
-                }
+        for entry in &blocks {
+            match entry {
+                Some(sel) => total += sel.match_count(),
+                None => complete = false,
             }
             cumulative.push(total);
         }
-        Ok(Self {
-            blocks: per_block,
+        Self {
+            blocks,
             cumulative,
             total_matches: total,
             complete,
             pruned,
-        })
+        }
+    }
+
+    /// The selection restricted to the first `block_count` blocks — the
+    /// view an epoch-older snapshot of the set must see. Because blocks
+    /// only ever append, a prefix of the extended selection is exactly
+    /// the selection the shorter set would have compiled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_count > self.block_count()`.
+    pub fn prefix(&self, block_count: usize) -> Self {
+        assert!(block_count <= self.blocks.len(), "prefix beyond selection");
+        Self::from_parts(
+            self.blocks[..block_count].to_vec(),
+            self.pruned[..block_count].to_vec(),
+        )
+    }
+
+    /// The selection extended by `tail` (the compiled selection of the
+    /// blocks appended after this one's coverage, in order).
+    pub fn concat(&self, tail: &SetSelection) -> Self {
+        let mut blocks = self.blocks.clone();
+        blocks.extend(tail.blocks.iter().cloned());
+        let mut pruned = self.pruned.clone();
+        pruned.extend_from_slice(&tail.pruned);
+        Self::from_parts(blocks, pruned)
     }
 
     /// Number of blocks whose zone map proved the filter matchless, so
     /// their (empty) vectors cost zero scan.
     pub fn pruned_blocks(&self) -> usize {
-        self.pruned
+        self.pruned.iter().filter(|&&p| p).count()
     }
 
     /// Whether every block compiled a vector — only then can a pooled
@@ -231,7 +280,7 @@ impl SetSelection {
 /// not cover, or over a column that saw non-finite values (whose
 /// min/max track finite values only, and where a `≠` can be satisfied
 /// by a NaN row), never proves anything, and the block scans as usual.
-fn proves_matchless(sketch: &BlockSketch, filter: &RowFilter) -> bool {
+pub(crate) fn proves_matchless(sketch: &BlockSketch, filter: &RowFilter) -> bool {
     if sketch.rows == 0 {
         return true;
     }
@@ -262,6 +311,11 @@ fn proves_matchless(sketch: &BlockSketch, filter: &RowFilter) -> bool {
 /// oldest-inserted entry is evicted beyond this, bounding the cache at
 /// `cap × matches × 4 B` even under endless ad-hoc predicates.
 pub const SELECTION_CACHE_CAP: usize = 64;
+
+/// A seal-time compiled selection tail for one filter: per appended
+/// block in order, the compiled vector (`None` when the block cannot be
+/// scanned) and whether the zone map proved the block matchless.
+pub type SelectionTail = Vec<(Option<Arc<SelectionVector>>, bool)>;
 
 /// The per-block-set cache of compiled selections, keyed by the
 /// filter's fingerprint *and verified against the stored filter* (a
@@ -312,6 +366,18 @@ impl SelectionCache {
     /// build compile identical selections, cache hits may freely cross
     /// sketch availability.
     ///
+    /// The cache is shared across epoch snapshots of an appendable set,
+    /// so a cached selection may cover a different number of blocks
+    /// than `blocks`:
+    ///
+    /// * same count — returned as-is (the classic hit);
+    /// * more blocks (the cache ran ahead via a seal-time merge) — the
+    ///   caller's prefix is returned, which is exactly the selection
+    ///   the shorter snapshot would have compiled;
+    /// * fewer blocks (a seal happened whose merge did not cover this
+    ///   filter) — only the missing tail is compiled, outside the lock,
+    ///   and the extended selection replaces the cached one.
+    ///
     /// # Errors
     ///
     /// Propagates compilation scan failures (nothing is cached then).
@@ -322,29 +388,63 @@ impl SelectionCache {
         sketches: Option<&SetSketches>,
     ) -> Result<Arc<SetSelection>, StorageError> {
         let key = filter.fingerprint();
-        {
+        let cached = {
             let state = self
                 .inner
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if let Some(bucket) = state.entries.get(&key) {
+            state.entries.get(&key).and_then(|bucket| {
                 // Equality check, not just the 64-bit digest: colliding
                 // filters land in the same bucket but never alias.
-                if let Some((_, sel)) = bucket.iter().find(|(f, _)| f == filter) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(sel));
-                }
+                bucket
+                    .iter()
+                    .find(|(f, _)| f == filter)
+                    .map(|(_, sel)| Arc::clone(sel))
+            })
+        };
+        let base = match cached {
+            Some(sel) if sel.block_count() == blocks.len() => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(sel);
             }
-        }
-        // Built outside the lock: compilation scans the whole set and
-        // must not serialize unrelated lookups. A racing duplicate build
-        // is idempotent.
-        let built = Arc::new(SetSelection::build(blocks, filter, sketches)?);
+            Some(sel) if sel.block_count() > blocks.len() => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::new(sel.prefix(blocks.len())));
+            }
+            other => other,
+        };
+        // Built outside the lock: compilation scans block data and must
+        // not serialize unrelated lookups. A racing duplicate build is
+        // idempotent. With a shorter cached base only the appended tail
+        // is scanned.
+        let built = match base {
+            Some(sel) => {
+                let tail = SetSelection::build_tail(
+                    &blocks[sel.block_count()..],
+                    filter,
+                    sketches,
+                    sel.block_count(),
+                )?;
+                Arc::new(sel.concat(&tail))
+            }
+            None => Arc::new(SetSelection::build(blocks, filter, sketches)?),
+        };
         self.builds.fetch_add(1, Ordering::Relaxed);
         let mut state = self
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(bucket) = state.entries.get_mut(&key) {
+            if let Some(slot) = bucket.iter_mut().find(|(f, _)| f == filter) {
+                // The filter was cached while we built (or we extended a
+                // shorter entry): keep whichever selection covers more
+                // blocks — both are correct for their coverage.
+                if slot.1.block_count() < built.block_count() {
+                    slot.1 = Arc::clone(&built);
+                }
+                return Ok(built);
+            }
+        }
         state
             .entries
             .entry(key)
@@ -373,6 +473,55 @@ impl SelectionCache {
             }
         }
         Ok(built)
+    }
+
+    /// The filters currently cached, in arbitrary order — the set a
+    /// seal-time append must compile selection vectors for so the merge
+    /// can extend every cached entry.
+    pub fn cached_filters(&self) -> Vec<RowFilter> {
+        let state = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state
+            .entries
+            .values()
+            .flat_map(|bucket| bucket.iter().map(|(f, _)| f.clone()))
+            .collect()
+    }
+
+    /// Extends cached selections with seal-time compiled tails, under a
+    /// single lock so no reader observes a partially merged batch.
+    ///
+    /// `base_count` is the block count the tails extend from; each tail
+    /// carries, per appended block in order, the compiled vector (or
+    /// `None` for an unscannable block) and its zone-prune flag. Entries
+    /// whose coverage is not exactly `base_count` are left alone —
+    /// [`SelectionCache::get_or_build`] heals them on demand — so a
+    /// racing lookup can never corrupt the merge.
+    pub fn merge_sealed(&self, base_count: usize, tails: Vec<(RowFilter, SelectionTail)>) {
+        if tails.is_empty() {
+            return;
+        }
+        let mut state = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (filter, tail) in tails {
+            let key = filter.fingerprint();
+            let Some(bucket) = state.entries.get_mut(&key) else {
+                continue;
+            };
+            let Some(slot) = bucket.iter_mut().find(|(f, _)| *f == filter) else {
+                continue;
+            };
+            if slot.1.block_count() != base_count {
+                continue;
+            }
+            let (vectors, pruned) = tail.into_iter().unzip();
+            let extension = SetSelection::from_parts(vectors, pruned);
+            slot.1 = Arc::new(slot.1.concat(&extension));
+        }
     }
 
     /// Number of compiled filters currently cached.

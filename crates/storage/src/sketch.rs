@@ -268,6 +268,10 @@ pub struct SketchCache {
     hits: std::sync::atomic::AtomicU64,
     inserted: std::sync::atomic::AtomicU64,
     raced: std::sync::atomic::AtomicU64,
+    /// Number of sealed-append merges applied ([`SketchCache::merge_sealed`]),
+    /// bumped under the entry lock so the marker and the entries it
+    /// covers always move together.
+    sealed_epoch: std::sync::atomic::AtomicU64,
 }
 
 /// Counters of a [`SketchCache`], observable by callers (serving stats,
@@ -316,6 +320,34 @@ impl SketchCache {
         };
         counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Arc::clone(entries.entry(idx).or_insert(sketch))
+    }
+
+    /// Merges a sealed batch's sketches — one lock acquisition for the
+    /// whole batch, so a concurrent reader sees either none or all of
+    /// the batch and never a partially applied seal. Seal-time sketches
+    /// are authoritative for their (brand-new) block indices: an entry a
+    /// racing scan managed to insert first is kept (the computations are
+    /// idempotent) and counted as `raced`, exactly like
+    /// [`SketchCache::insert`]. Returns the new sealed epoch.
+    pub fn merge_sealed(&self, batch: impl IntoIterator<Item = (usize, Arc<BlockSketch>)>) -> u64 {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        for (idx, sketch) in batch {
+            let counter = if entries.contains_key(&idx) {
+                &self.raced
+            } else {
+                &self.inserted
+            };
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            entries.entry(idx).or_insert(sketch);
+        }
+        self.sealed_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1
+    }
+
+    /// Number of sealed-append merges applied so far.
+    pub fn sealed_epoch(&self) -> u64 {
+        self.sealed_epoch.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Current hit/insert/race counters.
