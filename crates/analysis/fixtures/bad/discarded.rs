@@ -1,0 +1,14 @@
+//! Bad: fallible results silently dropped.
+
+pub fn drops_the_whole_result(set: &BlockSet) {
+    let _ = set.seal_pending();
+}
+
+pub fn demotes_and_drops(tx: &Sender<u64>) {
+    tx.send(7).ok();
+}
+
+pub fn reasonless_allow(set: &BlockSet) {
+    // isla-lint: allow(discarded-result)
+    let _ = set.seal_pending();
+}

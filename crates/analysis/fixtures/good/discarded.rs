@@ -1,0 +1,18 @@
+//! Good: every fallible result is propagated, consumed, or excused.
+
+pub fn propagates(set: &BlockSet) -> Result<(), StorageError> {
+    // Discarding only the success value is fine: `?` already routes
+    // the failure to the caller (the probe paths advance the RNG
+    // stream exactly this way).
+    let _ = sample_proportional(set, 16, rng)?;
+    Ok(())
+}
+
+pub fn consumes(tx: &Sender<u64>) -> bool {
+    tx.send(7).is_ok()
+}
+
+pub fn excused(tx: &Sender<u64>) {
+    // isla-lint: allow(discarded-result, reason = "receiver dropping means shutdown; nothing to do")
+    tx.send(7).ok();
+}

@@ -1,4 +1,4 @@
-//! The four repo-specific lints, plus the unsafe-code inventory.
+//! The repo-specific lints, plus the unsafe-code inventory.
 //!
 //! Each lint guards an invariant the compiler cannot check — see the
 //! "Checked invariants" section of `DESIGN.md` for why each exists.
@@ -19,6 +19,8 @@ pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const KERNEL_COVERAGE: &str = "kernel-coverage";
 /// Lint identifier: unsafe inventory and `forbid(unsafe_code)` presence.
 pub const UNSAFE_CODE: &str = "unsafe-code";
+/// Lint identifier: silently discarded fallible results.
+pub const DISCARDED_RESULT: &str = "discarded-result";
 /// Lint identifier: the escape hatch itself (malformed/reasonless/unused).
 pub const ANNOTATION: &str = "annotation";
 
@@ -29,6 +31,7 @@ pub const ALL_LINTS: &[&str] = &[
     LOCK_DISCIPLINE,
     KERNEL_COVERAGE,
     UNSAFE_CODE,
+    DISCARDED_RESULT,
 ];
 
 /// RNG construction/seeding identifiers that break pooled-vs-sequential
@@ -135,6 +138,7 @@ pub fn run(files: &[SourceFile], identity_idents: Option<&BTreeSet<String>>) -> 
             panic_freedom(idx, file, &mut run);
         }
         lock_discipline(idx, file, &mut run);
+        discarded_result(idx, file, &mut run);
     }
     kernel_coverage(files, identity_idents, &mut run);
     unsafe_inventory(files, &mut run);
@@ -299,6 +303,70 @@ fn lock_discipline(idx: usize, file: &SourceFile, run: &mut LintRun) {
                 }
             }
             j += 1;
+        }
+    }
+}
+
+/// Discarded results: `let _ = …;` and a bare `.ok();` both swallow a
+/// failure without a trace. With the fault-tolerance layer in place,
+/// storage errors carry recovery semantics ([`StorageError::is_transient`]
+/// decides whether a retry is legal), so a silently dropped `Result` is
+/// a dropped recovery decision. A statement containing `?` is exempt:
+/// the error already propagates and only the success value is dropped
+/// (the executor's stream-advancing probes rely on exactly that shape).
+fn discarded_result(idx: usize, file: &SourceFile, run: &mut LintRun) {
+    let toks = &file.scan.tokens;
+    for i in 0..toks.len() {
+        if file.scan.is_exempt(i) {
+            continue;
+        }
+        // `let _ = …;` — the whole result, error included, vanishes.
+        if toks[i].ident() == Some("let")
+            && toks.get(i + 1).and_then(Tok::ident) == Some("_")
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('='))
+        {
+            let mut handled = false;
+            let mut j = i + 3;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct(';') {
+                    break;
+                }
+                if t.is_punct('?') {
+                    handled = true;
+                }
+                j += 1;
+            }
+            if !handled && !run.suppressed(idx, file, toks[i].line, DISCARDED_RESULT) {
+                run.push(
+                    DISCARDED_RESULT,
+                    file,
+                    toks[i].line,
+                    "`let _ = …` silently discards the expression's result — \
+                     propagate the error with `?`, handle it, or allow with a \
+                     reason explaining why dropping it is sound"
+                        .to_string(),
+                );
+            }
+        }
+        // A bare `.ok();` statement — Result demoted to Option, then
+        // dropped on the floor. (`.ok()` feeding a longer chain or a
+        // binding is fine; only the terminal form is flagged.)
+        if toks[i].ident() == Some("ok")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(';'))
+            && !run.suppressed(idx, file, toks[i].line, DISCARDED_RESULT)
+        {
+            run.push(
+                DISCARDED_RESULT,
+                file,
+                toks[i].line,
+                "terminal `.ok();` swallows the error — match on it, log it \
+                 through a structured path, or allow with a reason"
+                    .to_string(),
+            );
         }
     }
 }

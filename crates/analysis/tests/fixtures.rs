@@ -186,6 +186,39 @@ fn unsafe_free_crate_without_the_gate_is_flagged_with_it_is_clean() {
 }
 
 #[test]
+fn bad_discarded_fixture_flags_both_forms_and_the_reasonless_allow() {
+    let run = run_on(fixture("bad/discarded.rs", "fx", false), &[]);
+    let errors = error_lines(&run);
+    let discarded: Vec<u32> = errors
+        .iter()
+        .filter(|(_, l)| l == "discarded-result")
+        .map(|(line, _)| *line)
+        .collect();
+    assert_eq!(discarded, vec![4, 8, 13]);
+    let annotation: Vec<u32> = errors
+        .iter()
+        .filter(|(_, l)| l == "annotation")
+        .map(|(line, _)| *line)
+        .collect();
+    assert_eq!(
+        annotation,
+        vec![12],
+        "a reasonless allow suppresses nothing"
+    );
+}
+
+#[test]
+fn good_discarded_fixture_is_clean_and_its_allow_is_used() {
+    let run = run_on(fixture("good/discarded.rs", "fx", false), &[]);
+    assert_eq!(error_lines(&run), vec![]);
+    assert!(
+        run.findings.is_empty(),
+        "no unused-allow notes either: {:?}",
+        run.findings
+    );
+}
+
+#[test]
 fn unknown_lint_names_and_unused_allows_are_reported() {
     let source = "// isla-lint: allow(speling-mistake, reason = \"oops\")\n\
                   pub fn f() {}\n\

@@ -18,12 +18,13 @@ use isla_storage::BlockSet;
 use crate::config::IslaConfig;
 use crate::error::IslaError;
 use crate::pre_estimation::{
-    finish_pilot_fold, fold_pilot_segment, pre_estimate, PilotFold, PreEstimate,
+    finish_pilot_fold, fold_pilot_segment, pre_estimate_with, PilotFold, PreEstimate,
 };
 
+use super::recovery::RecoveryPolicy;
 use super::rows::{
-    finish_row_pilot_fold, fold_row_pilot_segment, row_pre_estimate, RowPilotFold, RowPreEstimate,
-    RowSpec,
+    finish_row_pilot_fold, fold_row_pilot_segment, row_pre_estimate_with, RowPilotFold,
+    RowPreEstimate, RowSpec,
 };
 
 /// A cache key: the catalog coordinates of a column, the configuration
@@ -215,11 +216,34 @@ impl PreEstimateCache {
         config: &IslaConfig,
         rng: &mut dyn RngCore,
     ) -> Result<CacheLookup, IslaError> {
+        self.get_or_compute_with(key, data, config, &RecoveryPolicy::strict(), rng)
+    }
+
+    /// [`PreEstimateCache::get_or_compute`] under an explicit
+    /// [`RecoveryPolicy`]: a miss runs the pilots through
+    /// [`pre_estimate_with`], so best-effort sessions survive failing
+    /// blocks during pre-estimation. A best-effort entry describes the
+    /// plan's surviving data and is served to later lookups of the same
+    /// key regardless of their mode — keys are config-fingerprinted, and
+    /// sessions hold one policy for their lifetime, so entries never mix
+    /// modes within a session.
+    ///
+    /// # Errors
+    ///
+    /// Pre-estimation failures (the cache is left untouched).
+    pub fn get_or_compute_with(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        recovery: &RecoveryPolicy,
+        rng: &mut dyn RngCore,
+    ) -> Result<CacheLookup, IslaError> {
         if let Some(pre) = self.entries.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(CacheLookup { pre, hit: true });
         }
-        let pre = pre_estimate(data, config, rng)?;
+        let pre = pre_estimate_with(data, config, recovery, rng)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.entries.lock().insert(key, pre.clone());
         Ok(CacheLookup { pre, hit: false })
@@ -243,11 +267,30 @@ impl PreEstimateCache {
         spec: &RowSpec,
         rng: &mut dyn RngCore,
     ) -> Result<RowCacheLookup, IslaError> {
+        self.get_or_compute_rows_with(key, data, config, spec, &RecoveryPolicy::strict(), rng)
+    }
+
+    /// [`PreEstimateCache::get_or_compute_rows`] under an explicit
+    /// [`RecoveryPolicy`] (see
+    /// [`PreEstimateCache::get_or_compute_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Row pre-estimation failures (the cache is left untouched).
+    pub fn get_or_compute_rows_with(
+        &self,
+        key: CacheKey,
+        data: &BlockSet,
+        config: &IslaConfig,
+        spec: &RowSpec,
+        recovery: &RecoveryPolicy,
+        rng: &mut dyn RngCore,
+    ) -> Result<RowCacheLookup, IslaError> {
         if let Some(pre) = self.row_entries.lock().get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(RowCacheLookup { pre, hit: true });
         }
-        let pre = row_pre_estimate(data, config, spec, rng)?;
+        let pre = row_pre_estimate_with(data, config, spec, recovery, rng)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.row_entries.lock();
         if entries.len() >= MAX_ROW_ENTRIES {

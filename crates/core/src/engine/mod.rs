@@ -59,6 +59,7 @@
 pub mod cache;
 pub mod partial;
 pub mod plan;
+pub mod recovery;
 pub mod rows;
 pub mod scheduler;
 pub mod seed;
@@ -68,15 +69,20 @@ pub use cache::{
 };
 pub use partial::{FinalAggregate, GroupedAggregate, GroupedPartial, PartialAggregate};
 pub use plan::{QueryPlan, RateSpec};
+pub use recovery::{
+    run_block_recovering, Backoff, BlockFailure, Degradation, FailureMode, RecoveryPolicy,
+    RetryPolicy,
+};
 pub use rows::{
     execute_row_block, finish_row_pilot_fold, fold_row_pilot_segment, row_pre_estimate,
-    row_pre_estimate_capped, run_row_plan, run_rows, scan_exact_groups, GroupEstimate, GroupExact,
-    GroupPlan, GroupPre, GroupedEngineResult, RowBlockOutcome, RowGroupOutcome, RowPilotFold,
-    RowPlan, RowPreEstimate, RowSpec,
+    row_pre_estimate_capped, row_pre_estimate_capped_with, row_pre_estimate_with, run_row_plan,
+    run_row_plan_with, run_rows, scan_exact_groups, GroupEstimate, GroupExact, GroupPlan, GroupPre,
+    GroupedEngineResult, RowBlockOutcome, RowGroupOutcome, RowPilotFold, RowPlan, RowPreEstimate,
+    RowSpec,
 };
 pub use scheduler::{
-    execute_planned_block, scan_blocks, BlockExecution, BlockScheduler, DeadlineScheduler,
-    EngineRun, PooledScheduler, SequentialScheduler, WorkerStats,
+    execute_planned_block, scan_blocks, scan_blocks_recovering, BlockExecution, BlockScheduler,
+    DeadlineScheduler, EngineRun, PooledScheduler, SequentialScheduler, WorkerStats,
 };
 pub use seed::{derive_block_seeds, seeded_rng, stream_seed};
 
@@ -112,6 +118,10 @@ pub struct EngineResult {
     pub worker_stats: Vec<WorkerStats>,
     /// Whether an admission policy (deadline budget) capped the plan.
     pub time_limited: bool,
+    /// Present when a best-effort run dropped failed blocks: the
+    /// failure accounting and the honestly widened half-width. `None`
+    /// means full coverage — the answer is exactly the strict answer.
+    pub degradation: Option<Degradation>,
 }
 
 impl EngineResult {
@@ -156,6 +166,32 @@ pub fn run_plan(
     scheduler: &dyn BlockScheduler,
     rng: &mut dyn RngCore,
 ) -> Result<EngineResult, IslaError> {
+    run_plan_with(plan, data, scheduler, &RecoveryPolicy::strict(), rng)
+}
+
+/// [`run_plan`] under an explicit [`RecoveryPolicy`].
+///
+/// Under [`FailureMode::BestEffort`], blocks that exhaust their retry
+/// budget are dropped: the answer finalizes over the survivors (the
+/// size-weighted combine re-normalizes inherently) and
+/// [`EngineResult::degradation`] reports the failures, surviving
+/// coverage, and widened half-width. Seeds are derived for *every*
+/// block before execution, so surviving blocks draw the identical
+/// samples a full run would have — a degraded answer is bit-identical
+/// across schedulers, worker counts, and reruns.
+///
+/// # Errors
+///
+/// Strict mode: the first block failure. Best-effort: only
+/// [`IslaError::InsufficientData`] when *every* block failed (no
+/// surviving coverage to estimate from).
+pub fn run_plan_with(
+    plan: QueryPlan,
+    data: &BlockSet,
+    scheduler: &dyn BlockScheduler,
+    recovery: &RecoveryPolicy,
+    rng: &mut dyn RngCore,
+) -> Result<EngineResult, IslaError> {
     let (plan, time_limited) = scheduler.admit(plan, data);
     let data_size = plan.data_size();
     if plan.is_degenerate() {
@@ -170,6 +206,7 @@ pub fn run_plan(
             total_samples: 0,
             worker_stats: Vec::new(),
             time_limited: false,
+            degradation: None,
         });
     }
     let seeds = derive_block_seeds(rng, data.block_count());
@@ -177,9 +214,34 @@ pub fn run_plan(
         plan: &plan,
         data,
         seeds: &seeds,
+        recovery,
     };
     let out = scheduler.execute(&exec)?;
+    if out.failures.len() >= data.block_count() {
+        return Err(IslaError::InsufficientData(
+            "every block failed during best-effort execution; no surviving coverage".to_string(),
+        ));
+    }
     let combined = out.partial.finalize()?;
+    let degradation = if out.failures.is_empty() {
+        None
+    } else {
+        let survivors: Vec<(f64, u64)> =
+            combined.blocks.iter().map(|b| (b.answer, b.rows)).collect();
+        let lost_rows: u64 = out
+            .failures
+            .iter()
+            .map(|f| data.block(f.block_id).len())
+            .sum();
+        let cfg = plan.config();
+        Some(Degradation::assess(
+            out.failures,
+            &survivors,
+            lost_rows,
+            cfg.precision,
+            cfg.confidence,
+        ))
+    };
     Ok(EngineResult {
         estimate: combined.estimate,
         sum_estimate: combined.estimate * data_size as f64,
@@ -190,6 +252,7 @@ pub fn run_plan(
         total_samples: combined.total_samples,
         worker_stats: out.worker_stats,
         time_limited,
+        degradation,
     })
 }
 
@@ -243,6 +306,84 @@ mod tests {
         assert!(out.blocks.is_empty());
         assert!(out.worker_stats.is_empty());
         assert_eq!(out.total_samples, 0);
+    }
+
+    #[test]
+    fn best_effort_degrades_and_widens_instead_of_failing() {
+        use isla_storage::FaultPlan;
+
+        let ds = normal_dataset(100.0, 20.0, 300_000, 10, 65);
+        let cfg = config(0.5);
+        let faulty = FaultPlan::new(9).lose(0.25).arm(&ds.blocks);
+
+        // Strict mode fails outright on the same faults.
+        let mut rng = StdRng::seed_from_u64(8);
+        let plan = QueryPlan::prepare(&ds.blocks, &cfg, RateSpec::Derived, &mut rng).unwrap();
+        assert!(run_plan(
+            plan.clone(),
+            &faulty,
+            &SequentialScheduler,
+            &mut rng.clone()
+        )
+        .is_err());
+
+        // Best-effort drops the lost blocks and reports the damage.
+        let out = run_plan_with(
+            plan.clone(),
+            &faulty,
+            &SequentialScheduler,
+            &RecoveryPolicy::best_effort(RetryPolicy::attempts(2)),
+            &mut rng,
+        )
+        .unwrap();
+        let degradation = out.degradation.expect("blocks were lost");
+        assert!(!degradation.failures.is_empty());
+        assert!(degradation.coverage < 1.0 && degradation.coverage > 0.0);
+        assert!(degradation.widened_half_width > degradation.base_half_width);
+        assert_eq!(degradation.base_half_width, 0.5);
+        assert_eq!(
+            out.blocks.len() + degradation.failures.len(),
+            10,
+            "every block either survived or is accounted as failed"
+        );
+        // Survivors of an i.i.d. dataset still estimate the mean.
+        assert!((out.estimate - ds.true_mean).abs() < 2.0);
+
+        // A fault-free best-effort run reports no degradation and the
+        // bit-identical strict answer.
+        let mut rng = StdRng::seed_from_u64(8);
+        let plan2 = QueryPlan::prepare(&ds.blocks, &cfg, RateSpec::Derived, &mut rng).unwrap();
+        let mut rng_a = rng.clone();
+        let strict = run_plan(plan2.clone(), &ds.blocks, &SequentialScheduler, &mut rng_a).unwrap();
+        let best = run_plan_with(
+            plan2,
+            &ds.blocks,
+            &SequentialScheduler,
+            &RecoveryPolicy::best_effort(RetryPolicy::attempts(3)),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(best.degradation.is_none());
+        assert_eq!(strict.estimate, best.estimate);
+    }
+
+    #[test]
+    fn total_loss_is_an_error_not_a_silent_zero() {
+        use isla_storage::FaultPlan;
+
+        let ds = normal_dataset(100.0, 20.0, 60_000, 4, 66);
+        let faulty = FaultPlan::new(3).lose(1.0).arm(&ds.blocks);
+        let mut rng = StdRng::seed_from_u64(9);
+        let plan =
+            QueryPlan::prepare(&ds.blocks, &config(0.5), RateSpec::Derived, &mut rng).unwrap();
+        let r = run_plan_with(
+            plan,
+            &faulty,
+            &SequentialScheduler,
+            &RecoveryPolicy::best_effort(RetryPolicy::default()),
+            &mut rng,
+        );
+        assert!(matches!(r, Err(IslaError::InsufficientData(_))));
     }
 
     #[test]

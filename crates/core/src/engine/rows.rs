@@ -32,8 +32,8 @@ use rand::RngCore;
 
 use isla_stats::{required_sample_size, NeumaierSum, WelfordMoments};
 use isla_storage::{
-    sample_rows_proportional, with_row_sample_buf, BlockSet, DataBlock, RowFilter,
-    SAMPLE_BATCH_ROWS,
+    sample_rows_proportional, sample_rows_proportional_surviving, with_row_sample_buf, BlockSet,
+    DataBlock, RowFilter, SAMPLE_BATCH_ROWS,
 };
 
 use super::seed;
@@ -46,7 +46,8 @@ use crate::shift::compute_shift;
 
 use super::partial::GroupedPartial;
 use super::plan::RateSpec;
-use super::scheduler::{scan_blocks, BlockScheduler};
+use super::recovery::RecoveryPolicy;
+use super::scheduler::{scan_blocks_recovering, BlockScheduler};
 use super::seed::derive_block_seeds;
 
 /// What a row-model query computes: the aggregated column, the compiled
@@ -192,6 +193,26 @@ pub fn row_pre_estimate(
     row_pre_estimate_capped(data, config, spec, u64::MAX, rng)
 }
 
+/// [`row_pre_estimate`] under an explicit [`RecoveryPolicy`] — the
+/// row-model twin of [`crate::pre_estimation::pre_estimate_with`]:
+/// strict is byte-for-byte [`row_pre_estimate`]; best-effort draws the
+/// pilots through the surviving row sampler (transient retries in
+/// place, failed blocks skipped, corrupt rows dropped).
+///
+/// # Errors
+///
+/// As [`row_pre_estimate`]; total pilot loss in best-effort mode
+/// surfaces as [`IslaError::InsufficientData`].
+pub fn row_pre_estimate_with(
+    data: &BlockSet,
+    config: &IslaConfig,
+    spec: &RowSpec,
+    recovery: &RecoveryPolicy,
+    rng: &mut dyn RngCore,
+) -> Result<RowPreEstimate, IslaError> {
+    row_pre_estimate_capped_with(data, config, spec, u64::MAX, recovery, rng)
+}
+
 /// As [`row_pre_estimate`], with a hard cap on the total pilot rows —
 /// the budget-driven path (`SAMPLES n` without a precision) uses this
 /// so the pilots can never silently dwarf the caller's explicit budget.
@@ -204,6 +225,30 @@ pub fn row_pre_estimate_capped(
     config: &IslaConfig,
     spec: &RowSpec,
     max_pilot_rows: u64,
+    rng: &mut dyn RngCore,
+) -> Result<RowPreEstimate, IslaError> {
+    row_pre_estimate_capped_with(
+        data,
+        config,
+        spec,
+        max_pilot_rows,
+        &RecoveryPolicy::strict(),
+        rng,
+    )
+}
+
+/// [`row_pre_estimate_capped`] under an explicit [`RecoveryPolicy`]
+/// (see [`row_pre_estimate_with`]).
+///
+/// # Errors
+///
+/// As [`row_pre_estimate`].
+pub fn row_pre_estimate_capped_with(
+    data: &BlockSet,
+    config: &IslaConfig,
+    spec: &RowSpec,
+    max_pilot_rows: u64,
+    recovery: &RecoveryPolicy,
     rng: &mut dyn RngCore,
 ) -> Result<RowPreEstimate, IslaError> {
     let data_size = data.total_len();
@@ -222,7 +267,7 @@ pub fn row_pre_estimate_capped(
         .min(data_size)
         .min(max_pilot_rows)
         .max(2);
-    pilot_draw_rows(data, spec, pilot1, rng, &mut st)?;
+    pilot_draw_rows(data, spec, pilot1, recovery, rng, &mut st)?;
     if st.matched == 0 {
         return Err(IslaError::InsufficientData(format!(
             "predicate matched none of {} pilot rows; selectivity is effectively zero",
@@ -241,7 +286,7 @@ pub fn row_pre_estimate_capped(
         .min(max_pilot_rows)
         .saturating_sub(st.drawn);
     if pilot2 > 0 {
-        pilot_draw_rows(data, spec, pilot2, rng, &mut st)?;
+        pilot_draw_rows(data, spec, pilot2, recovery, rng, &mut st)?;
     }
 
     finish_row_pilot_state(st, data_size, config)
@@ -253,10 +298,11 @@ fn pilot_draw_rows(
     data: &BlockSet,
     spec: &RowSpec,
     n: u64,
+    recovery: &RecoveryPolicy,
     rng: &mut dyn RngCore,
     st: &mut RowPilotFold,
 ) -> Result<(), IslaError> {
-    sample_rows_proportional(data, n, rng, &mut |row| {
+    let mut fold = |row: &[f64]| {
         st.drawn += 1;
         if spec.filter.matches(row) {
             st.matched += 1;
@@ -267,8 +313,13 @@ fn pilot_draw_rows(
                 .or_insert_with(|| (f64::from_bits(key), WelfordMoments::new()));
             entry.1.update(row[spec.agg_column]);
         }
-    })
-    .map_err(IslaError::from)
+    };
+    if recovery.is_best_effort() {
+        sample_rows_proportional_surviving(data, n, recovery.retry.max_attempts, rng, &mut fold);
+        Ok(())
+    } else {
+        sample_rows_proportional(data, n, rng, &mut fold).map_err(IslaError::from)
+    }
 }
 
 /// How many *raw* pilot rows the accumulated state wants in total: the
@@ -404,7 +455,16 @@ pub fn fold_row_pilot_segment(
     let mut rng = seed::seeded_rng(seed::stream_seed(seed::stream_seed(lineage, salt), segment));
     // Pilot 1 share: the configured pilot over this segment's rows.
     let pilot1 = config.sigma_pilot_size.min(seg_rows).max(2);
-    pilot_draw_rows(&seg, spec, pilot1, &mut rng, fold)?;
+    // The fold stays strict in every mode: a partially-folded segment
+    // is not resumable, so block failures must surface as errors.
+    pilot_draw_rows(
+        &seg,
+        spec,
+        pilot1,
+        &RecoveryPolicy::strict(),
+        &mut rng,
+        fold,
+    )?;
     // Pilot 2 share: extend toward the accumulated state's raw-row
     // target, capped by the epoch's cumulative rows (the one-shot's
     // data-size cap, frozen at this segment's epoch) and by the
@@ -414,7 +474,14 @@ pub fn fold_row_pilot_segment(
         .saturating_sub(fold.drawn)
         .min(seg_rows);
     if pilot2 > 0 {
-        pilot_draw_rows(&seg, spec, pilot2, &mut rng, fold)?;
+        pilot_draw_rows(
+            &seg,
+            spec,
+            pilot2,
+            &RecoveryPolicy::strict(),
+            &mut rng,
+            fold,
+        )?;
     }
     Ok(())
 }
@@ -824,6 +891,10 @@ pub struct GroupedEngineResult {
     /// Whether the scheduler's admission policy (deadline budget)
     /// capped the plan.
     pub time_limited: bool,
+    /// Present when a best-effort run dropped failed blocks (see
+    /// [`crate::engine::EngineResult::degradation`]). `None` means
+    /// full coverage.
+    pub degradation: Option<super::recovery::Degradation>,
 }
 
 /// Prepares a row plan on `data` (running the pilots) and executes it on
@@ -866,16 +937,88 @@ pub fn run_row_plan(
     scheduler: &dyn BlockScheduler,
     rng: &mut dyn RngCore,
 ) -> Result<GroupedEngineResult, IslaError> {
+    run_row_plan_with(plan, data, scheduler, &RecoveryPolicy::strict(), rng)
+}
+
+/// [`run_row_plan`] under an explicit
+/// [`RecoveryPolicy`] — the row-model
+/// analogue of [`crate::engine::run_plan_with`]: best-effort runs drop
+/// failed blocks, finalize the per-group answers over the survivors,
+/// and report the failure accounting and widened half-width.
+///
+/// # Errors
+///
+/// Strict mode: the first block failure. Best-effort:
+/// [`IslaError::InsufficientData`] when every block failed or no group
+/// holds any weight over the survivors.
+pub fn run_row_plan_with(
+    plan: &RowPlan,
+    data: &BlockSet,
+    scheduler: &dyn BlockScheduler,
+    recovery: &RecoveryPolicy,
+    rng: &mut dyn RngCore,
+) -> Result<GroupedEngineResult, IslaError> {
     let (plan, time_limited) = scheduler.admit_rows(plan.clone(), data);
     let seeds = derive_block_seeds(rng, data.block_count());
-    let outcomes = scan_blocks(scheduler.parallelism(), data, |block_id, block| {
-        execute_row_block(&plan, block, block_id, seeds[block_id])
-    })?;
+    let (outcomes, failures) = scan_blocks_recovering(
+        scheduler.parallelism(),
+        data,
+        recovery,
+        |block_id, block| {
+            let outcome = execute_row_block(&plan, block, block_id, seeds[block_id])?;
+            if outcome.groups.iter().any(|g| !g.answer.is_finite()) {
+                return Err(IslaError::InsufficientData(format!(
+                    "block {block_id} produced a non-finite group answer (corrupt data)"
+                )));
+            }
+            Ok(outcome)
+        },
+    )?;
+    if failures.len() >= data.block_count() {
+        return Err(IslaError::InsufficientData(
+            "every block failed during best-effort execution; no surviving coverage".to_string(),
+        ));
+    }
+    // Per-block scalar answers for the degradation assessment: the
+    // block's matched-weighted mean across groups (blocks with no
+    // matched draws contribute the overall estimate, i.e. zero spread).
+    let mut survivors: Vec<(f64, u64, u64)> = Vec::new(); // (weighted sum, matched, rows)
     let mut partial = GroupedPartial::new();
-    for outcome in outcomes {
+    for outcome in outcomes.into_iter().flatten() {
+        let matched: u64 = outcome.groups.iter().map(|g| g.matched).sum();
+        let weighted: f64 = outcome
+            .groups
+            .iter()
+            .map(|g| g.answer * g.matched as f64)
+            .sum();
+        survivors.push((weighted, matched, outcome.rows));
         partial.absorb(outcome);
     }
     let agg = partial.finalize(&plan)?;
+    let degradation = if failures.is_empty() {
+        None
+    } else {
+        let survivor_answers: Vec<(f64, u64)> = survivors
+            .iter()
+            .map(|&(weighted, matched, rows)| {
+                let answer = if matched > 0 {
+                    weighted / matched as f64
+                } else {
+                    agg.estimate
+                };
+                (answer, rows)
+            })
+            .collect();
+        let lost_rows: u64 = failures.iter().map(|f| data.block(f.block_id).len()).sum();
+        let cfg = plan.config();
+        Some(super::recovery::Degradation::assess(
+            failures,
+            &survivor_answers,
+            lost_rows,
+            cfg.precision,
+            cfg.confidence,
+        ))
+    };
     Ok(GroupedEngineResult {
         groups: agg.groups,
         estimate: agg.estimate,
@@ -885,6 +1028,7 @@ pub fn run_row_plan(
         total_samples: agg.total_samples,
         pilot_samples: plan.pilot_rows(),
         time_limited,
+        degradation,
     })
 }
 

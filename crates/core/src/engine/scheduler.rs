@@ -17,6 +17,15 @@
 //! [`scan_blocks`] is the scheduler-shaped primitive for *non-ISLA*
 //! per-block work: the baseline estimators run their block scans through
 //! it, so US/STS/MV/MVB/SLEV parallelize with the same worker pool.
+//!
+//! Every per-block attempt runs under the [`super::recovery`] layer:
+//! transient storage errors retry with deterministic backoff, worker
+//! panics surface as typed [`IslaError::Internal`] errors instead of
+//! wedging the pool, and under a best-effort [`RecoveryPolicy`] failed
+//! blocks are dropped into [`EngineRun::failures`] rather than failing
+//! the run.
+
+use std::collections::HashSet;
 
 use crossbeam::channel;
 
@@ -27,6 +36,7 @@ use crate::error::IslaError;
 
 use super::partial::PartialAggregate;
 use super::plan::QueryPlan;
+use super::recovery::{run_block_recovering, BlockFailure, RecoveryPolicy};
 use super::rows::RowPlan;
 
 /// Per-worker execution statistics.
@@ -48,6 +58,8 @@ pub struct BlockExecution<'a> {
     pub data: &'a BlockSet,
     /// Per-block RNG seeds, one per block in block order.
     pub seeds: &'a [u64],
+    /// Retry and failure-mode policy governing every block attempt.
+    pub recovery: &'a RecoveryPolicy,
 }
 
 /// The product of one scheduler run.
@@ -57,6 +69,10 @@ pub struct EngineRun {
     pub partial: PartialAggregate,
     /// Per-worker statistics (one entry for sequential runs).
     pub worker_stats: Vec<WorkerStats>,
+    /// Blocks dropped under a best-effort policy, sorted by block id.
+    /// Always empty under [`super::recovery::FailureMode::Strict`] — a
+    /// strict failure returns an error instead.
+    pub failures: Vec<BlockFailure>,
 }
 
 /// A strategy for executing a plan's per-block Calculation phase.
@@ -117,6 +133,37 @@ pub fn execute_planned_block(
     )
 }
 
+/// One recovering attempt series for one block: retries transient
+/// failures under the execution's policy, converts worker panics into
+/// typed errors, and rejects non-finite block answers (corrupt data) as
+/// permanent failures so they can never poison the combined estimate.
+fn run_planned_block_recovering(
+    exec: &BlockExecution<'_>,
+    block_id: usize,
+) -> Result<BlockOutcome, (u32, IslaError)> {
+    run_block_recovering(&exec.recovery.retry, block_id, || {
+        let outcome = execute_planned_block(exec, block_id)?;
+        if !outcome.answer.is_finite() {
+            return Err(IslaError::InsufficientData(format!(
+                "block {block_id} produced a non-finite answer (corrupt data)"
+            )));
+        }
+        Ok(outcome)
+    })
+}
+
+/// Converts a strict-mode block failure into the run-level error: panics
+/// keep their [`IslaError::Internal`] typing; everything else reports as
+/// insufficient data, exactly as distributed execution always has.
+fn strict_failure(block_id: usize, error: IslaError) -> IslaError {
+    match error {
+        e @ IslaError::Internal(_) => e,
+        e => IslaError::InsufficientData(format!(
+            "block {block_id} failed during distributed execution: {e}"
+        )),
+    }
+}
+
 /// Runs blocks in order on the calling thread (the classic
 /// [`crate::IslaAggregator`] path).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,15 +181,26 @@ impl BlockScheduler for SequentialScheduler {
     fn execute(&self, exec: &BlockExecution<'_>) -> Result<EngineRun, IslaError> {
         let mut partial = PartialAggregate::new();
         let mut stats = WorkerStats::default();
+        let mut failures = Vec::new();
         for block_id in 0..exec.data.block_count() {
-            let outcome = execute_planned_block(exec, block_id)?;
-            stats.blocks_processed += 1;
-            stats.samples_drawn += outcome.samples_drawn;
-            partial.absorb(outcome);
+            match run_planned_block_recovering(exec, block_id) {
+                Ok(outcome) => {
+                    stats.blocks_processed += 1;
+                    stats.samples_drawn += outcome.samples_drawn;
+                    partial.absorb(outcome);
+                }
+                Err((_, error)) if !exec.recovery.is_best_effort() => return Err(error),
+                Err((attempts, error)) => failures.push(BlockFailure {
+                    block_id,
+                    attempts,
+                    error: error.to_string(),
+                }),
+            }
         }
         Ok(EngineRun {
             partial,
             worker_stats: vec![stats],
+            failures,
         })
     }
 }
@@ -155,7 +213,8 @@ enum PooledReply {
     },
     Failed {
         block_id: usize,
-        error: String,
+        attempts: u32,
+        error: IslaError,
     },
 }
 
@@ -216,7 +275,9 @@ impl BlockScheduler for PooledScheduler {
         drop(task_tx); // workers drain the queue, then exit
 
         let mut stats = vec![WorkerStats::default(); self.workers];
-        let mut first_failure: Option<(usize, String)> = None;
+        // Terminal failures in completion order — strict mode reports
+        // the first one, best-effort keeps them all (re-sorted below).
+        let mut failed: Vec<(usize, u32, IslaError)> = Vec::new();
         let mut outcomes: Vec<Option<BlockOutcome>> = Vec::new();
         outcomes.resize_with(block_count, || None);
 
@@ -226,17 +287,20 @@ impl BlockScheduler for PooledScheduler {
                 let reply_tx = reply_tx.clone();
                 scope.spawn(move |_| {
                     while let Ok(block_id) = task_rx.recv() {
-                        let reply = match execute_planned_block(exec, block_id) {
+                        let reply = match run_planned_block_recovering(exec, block_id) {
                             Ok(outcome) => PooledReply::Done {
                                 worker,
                                 outcome: Box::new(outcome),
                             },
-                            Err(e) => PooledReply::Failed {
+                            Err((attempts, error)) => PooledReply::Failed {
                                 block_id,
-                                error: e.to_string(),
+                                attempts,
+                                error,
                             },
                         };
-                        let _ = reply_tx.send(reply);
+                        if reply_tx.send(reply).is_err() {
+                            break; // coordinator gone; nothing left to report to
+                        }
                     }
                 });
             }
@@ -251,28 +315,46 @@ impl BlockScheduler for PooledScheduler {
                         let block_id = outcome.block_id;
                         outcomes[block_id] = Some(*outcome);
                     }
-                    PooledReply::Failed { block_id, error } => {
-                        first_failure.get_or_insert((block_id, error));
-                    }
+                    PooledReply::Failed {
+                        block_id,
+                        attempts,
+                        error,
+                    } => failed.push((block_id, attempts, error)),
                 }
             }
         })
         .map_err(|_| IslaError::Internal("a pooled worker thread panicked".to_string()))?;
 
-        if let Some((block_id, error)) = first_failure {
-            return Err(IslaError::InsufficientData(format!(
-                "block {block_id} failed during distributed execution: {error}"
-            )));
+        if !exec.recovery.is_best_effort() && !failed.is_empty() {
+            let (block_id, _, error) = failed.remove(0);
+            return Err(strict_failure(block_id, error));
         }
+        failed.sort_by_key(|&(block_id, _, _)| block_id);
+        let failures: Vec<BlockFailure> = failed
+            .into_iter()
+            .map(|(block_id, attempts, error)| BlockFailure {
+                block_id,
+                attempts,
+                error: error.to_string(),
+            })
+            .collect();
+        let dropped: HashSet<usize> = failures.iter().map(|f| f.block_id).collect();
         let mut partial = PartialAggregate::new();
         for (block_id, outcome) in outcomes.into_iter().enumerate() {
-            partial.absorb(outcome.ok_or_else(|| {
-                IslaError::Internal(format!("block {block_id} neither succeeded nor failed"))
-            })?);
+            match outcome {
+                Some(outcome) => partial.absorb(outcome),
+                None if dropped.contains(&block_id) => {}
+                None => {
+                    return Err(IslaError::Internal(format!(
+                        "block {block_id} neither succeeded nor failed"
+                    )))
+                }
+            }
         }
         Ok(EngineRun {
             partial,
             worker_stats: stats,
+            failures,
         })
     }
 }
@@ -374,52 +456,12 @@ where
     T: Send,
     F: Fn(usize, &dyn DataBlock) -> Result<T, IslaError> + Sync,
 {
-    let block_count = data.block_count();
-    if parallelism <= 1 || block_count <= 1 {
-        return (0..block_count)
-            .map(|i| job(i, data.block(i).as_ref()))
-            .collect();
-    }
-
-    let (task_tx, task_rx) = channel::unbounded::<usize>();
-    let (reply_tx, reply_rx) = channel::unbounded::<(usize, Result<T, IslaError>)>();
-    for block_id in 0..block_count {
-        task_tx
-            .send(block_id)
-            .map_err(|_| IslaError::Internal("scan task queue closed early".to_string()))?;
-    }
-    drop(task_tx);
-
-    let mut slots: Vec<Option<T>> = Vec::new();
-    slots.resize_with(block_count, || None);
-    let mut first_error: Option<IslaError> = None;
-    let job = &job;
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..parallelism.min(block_count) {
-            let task_rx = task_rx.clone();
-            let reply_tx = reply_tx.clone();
-            scope.spawn(move |_| {
-                while let Ok(block_id) = task_rx.recv() {
-                    let result = job(block_id, data.block(block_id).as_ref());
-                    let _ = reply_tx.send((block_id, result));
-                }
-            });
-        }
-        drop(reply_tx);
-        for (block_id, result) in reply_rx.iter() {
-            match result {
-                Ok(value) => slots[block_id] = Some(value),
-                Err(e) => {
-                    first_error.get_or_insert(e);
-                }
-            }
-        }
-    })
-    .map_err(|_| IslaError::Internal("a scan worker thread panicked".to_string()))?;
-
-    if let Some(e) = first_error {
-        return Err(e);
-    }
+    let (slots, failures) =
+        scan_blocks_recovering(parallelism, data, &RecoveryPolicy::strict(), job)?;
+    debug_assert!(
+        failures.is_empty(),
+        "strict scans error instead of degrading"
+    );
     slots
         .into_iter()
         .enumerate()
@@ -429,6 +471,105 @@ where
             })
         })
         .collect()
+}
+
+/// [`scan_blocks`] under an explicit [`RecoveryPolicy`]: each block's
+/// job retries transient failures per the policy, worker panics become
+/// typed errors, and under best-effort mode terminal failures leave a
+/// `None` slot plus a [`BlockFailure`] entry instead of failing the
+/// scan. The failure list is sorted by block id.
+///
+/// # Errors
+///
+/// Under strict mode, the first terminal job failure (remaining jobs
+/// still drain); under best-effort, only internal invariant violations.
+pub fn scan_blocks_recovering<T, F>(
+    parallelism: usize,
+    data: &BlockSet,
+    recovery: &RecoveryPolicy,
+    job: F,
+) -> Result<(Vec<Option<T>>, Vec<BlockFailure>), IslaError>
+where
+    T: Send,
+    F: Fn(usize, &dyn DataBlock) -> Result<T, IslaError> + Sync,
+{
+    let block_count = data.block_count();
+    let job = &job;
+    let run_one = |block_id: usize| {
+        run_block_recovering(&recovery.retry, block_id, || {
+            job(block_id, data.block(block_id).as_ref())
+        })
+    };
+
+    if parallelism <= 1 || block_count <= 1 {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(block_count);
+        let mut failures = Vec::new();
+        for block_id in 0..block_count {
+            match run_one(block_id) {
+                Ok(value) => slots.push(Some(value)),
+                Err((_, error)) if !recovery.is_best_effort() => return Err(error),
+                Err((attempts, error)) => {
+                    failures.push(BlockFailure {
+                        block_id,
+                        attempts,
+                        error: error.to_string(),
+                    });
+                    slots.push(None);
+                }
+            }
+        }
+        return Ok((slots, failures));
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (reply_tx, reply_rx) = channel::unbounded::<(usize, Result<T, (u32, IslaError)>)>();
+    for block_id in 0..block_count {
+        task_tx
+            .send(block_id)
+            .map_err(|_| IslaError::Internal("scan task queue closed early".to_string()))?;
+    }
+    drop(task_tx);
+
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(block_count, || None);
+    let mut failed: Vec<(usize, u32, IslaError)> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..parallelism.min(block_count) {
+            let task_rx = task_rx.clone();
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(block_id) = task_rx.recv() {
+                    let result = run_one(block_id);
+                    if reply_tx.send((block_id, result)).is_err() {
+                        break; // coordinator gone; nothing left to report to
+                    }
+                }
+            });
+        }
+        drop(reply_tx);
+        for (block_id, result) in reply_rx.iter() {
+            match result {
+                Ok(value) => slots[block_id] = Some(value),
+                Err((attempts, error)) => failed.push((block_id, attempts, error)),
+            }
+        }
+    })
+    .map_err(|_| IslaError::Internal("a scan worker thread panicked".to_string()))?;
+
+    if !recovery.is_best_effort() && !failed.is_empty() {
+        let (_, _, error) = failed.remove(0);
+        return Err(error);
+    }
+    failed.sort_by_key(|&(block_id, _, _)| block_id);
+    let failures = failed
+        .into_iter()
+        .map(|(block_id, attempts, error)| BlockFailure {
+            block_id,
+            attempts,
+            error: error.to_string(),
+        })
+        .collect();
+    Ok((slots, failures))
 }
 
 #[cfg(test)]
@@ -461,6 +602,7 @@ mod tests {
             plan: &plan,
             data: &ds.blocks,
             seeds: &seeds,
+            recovery: &RecoveryPolicy::strict(),
         };
         let sequential = SequentialScheduler.execute(&exec).unwrap();
         let seq = sequential.partial.finalize().unwrap();
@@ -543,6 +685,134 @@ mod tests {
     }
 
     #[test]
+    fn best_effort_drops_failed_blocks_identically_across_schedulers() {
+        use isla_storage::FaultPlan;
+
+        let ds = normal_dataset(100.0, 20.0, 240_000, 8, 95);
+        let cfg = config(0.5);
+        let (plan, seeds) = plan_and_seeds(&ds.blocks, &cfg, 21);
+        let faulty = FaultPlan::new(404).lose(0.3).arm(&ds.blocks);
+        let recovery =
+            RecoveryPolicy::best_effort(super::super::recovery::RetryPolicy::attempts(2));
+        let exec = BlockExecution {
+            plan: &plan,
+            data: &faulty,
+            seeds: &seeds,
+            recovery: &recovery,
+        };
+
+        let seq = SequentialScheduler.execute(&exec).unwrap();
+        assert!(
+            !seq.failures.is_empty(),
+            "the fault plan must actually lose blocks at 30%"
+        );
+        assert!(seq
+            .failures
+            .windows(2)
+            .all(|w| w[0].block_id < w[1].block_id));
+        let seq_answer = seq.partial.finalize().unwrap();
+
+        for workers in [1, 2, 4, 7] {
+            let pooled = PooledScheduler::new(workers)
+                .unwrap()
+                .execute(&exec)
+                .unwrap();
+            assert_eq!(pooled.failures, seq.failures, "{workers} workers");
+            let pool_answer = pooled.partial.finalize().unwrap();
+            assert_eq!(
+                seq_answer.estimate, pool_answer.estimate,
+                "{workers} workers"
+            );
+        }
+
+        // The same faults under strict mode fail the run instead.
+        let strict = BlockExecution {
+            plan: &plan,
+            data: &faulty,
+            seeds: &seeds,
+            recovery: &RecoveryPolicy::strict(),
+        };
+        assert!(SequentialScheduler.execute(&strict).is_err());
+        assert!(PooledScheduler::new(3).unwrap().execute(&strict).is_err());
+    }
+
+    #[test]
+    fn transient_faults_recover_without_degradation() {
+        use isla_storage::FaultPlan;
+
+        let ds = normal_dataset(100.0, 20.0, 120_000, 6, 95);
+        let cfg = config(0.5);
+        let (plan, seeds) = plan_and_seeds(&ds.blocks, &cfg, 22);
+        let clean_exec = BlockExecution {
+            plan: &plan,
+            data: &ds.blocks,
+            seeds: &seeds,
+            recovery: &RecoveryPolicy::strict(),
+        };
+        let clean = SequentialScheduler
+            .execute(&clean_exec)
+            .unwrap()
+            .partial
+            .finalize()
+            .unwrap();
+
+        // Every block fails twice then recovers: three attempts suffice,
+        // and the recovered answer is bit-identical to the clean run
+        // because each retry re-seeds from the same per-block seed.
+        let faulty = FaultPlan::new(77).transient(1.0, 2).arm(&ds.blocks);
+        let recovery =
+            RecoveryPolicy::best_effort(super::super::recovery::RetryPolicy::attempts(3));
+        let exec = BlockExecution {
+            plan: &plan,
+            data: &faulty,
+            seeds: &seeds,
+            recovery: &recovery,
+        };
+        let recovered = SequentialScheduler.execute(&exec).unwrap();
+        assert!(recovered.failures.is_empty(), "all blocks recovered");
+        assert_eq!(
+            recovered.partial.finalize().unwrap().estimate,
+            clean.estimate
+        );
+
+        // Two attempts are not enough: every block degrades away.
+        // Re-arm for fresh counters so the earlier attempts don't count.
+        let starved = RecoveryPolicy::best_effort(super::super::recovery::RetryPolicy::attempts(2));
+        let faulty = FaultPlan::new(77).transient(1.0, 2).arm(&ds.blocks);
+        let exec = BlockExecution {
+            plan: &plan,
+            data: &faulty,
+            seeds: &seeds,
+            recovery: &starved,
+        };
+        let run = SequentialScheduler.execute(&exec).unwrap();
+        assert_eq!(run.failures.len(), 6, "every block exhausted its budget");
+        assert!(run.failures.iter().all(|f| f.attempts == 2));
+    }
+
+    #[test]
+    fn scan_blocks_recovering_reports_failures_in_block_order() {
+        let ds = normal_dataset(100.0, 20.0, 10_000, 5, 98);
+        let recovery = RecoveryPolicy::best_effort(Default::default());
+        for parallelism in [1, 3] {
+            let (slots, failures) =
+                scan_blocks_recovering(parallelism, &ds.blocks, &recovery, |i, block| {
+                    if i % 2 == 0 {
+                        Err(IslaError::InsufficientData(format!("block {i} broke")))
+                    } else {
+                        Ok(block.len())
+                    }
+                })
+                .unwrap();
+            let failed: Vec<usize> = failures.iter().map(|f| f.block_id).collect();
+            assert_eq!(failed, vec![0, 2, 4], "parallelism {parallelism}");
+            assert!(failures.iter().all(|f| f.attempts == 1));
+            assert_eq!(slots.iter().filter(|s| s.is_some()).count(), 2);
+            assert!(slots[0].is_none() && slots[1].is_some());
+        }
+    }
+
+    #[test]
     fn pooled_rejects_zero_workers() {
         assert!(matches!(
             PooledScheduler::new(0),
@@ -562,6 +832,7 @@ mod tests {
             plan: &plan,
             data: &ds.blocks,
             seeds: &seeds,
+            recovery: &RecoveryPolicy::strict(),
         };
         let baseline = SequentialScheduler
             .execute(&exec)
@@ -574,6 +845,7 @@ mod tests {
             plan: &plan,
             data: &ds.blocks,
             seeds: &seeds,
+            recovery: &RecoveryPolicy::strict(),
         };
         let perturbed = SequentialScheduler
             .execute(&exec)

@@ -99,6 +99,6 @@ pub use extremes::{ExtremeAggregator, ExtremeKind, ExtremeResult};
 pub use leverage::{determine_q, LeverageAllocation};
 pub use modulation::{iterate, IterationStep, ModulationOutcome};
 pub use pre_estimation::{
-    finish_pilot_fold, fold_pilot_segment, pre_estimate, PilotFold, PreEstimate,
+    finish_pilot_fold, fold_pilot_segment, pre_estimate, pre_estimate_with, PilotFold, PreEstimate,
 };
 pub use summarize::combine_partials;

@@ -22,9 +22,10 @@
 use rand::RngCore;
 
 use isla_stats::{required_sample_size, sampling_rate, ConfidenceInterval, WelfordMoments};
-use isla_storage::{sample_proportional, BlockSet, DataBlock};
+use isla_storage::{sample_proportional, sample_proportional_surviving, BlockSet, DataBlock};
 
 use crate::config::IslaConfig;
+use crate::engine::recovery::RecoveryPolicy;
 use crate::engine::seed::{seeded_rng, stream_seed};
 use crate::error::IslaError;
 
@@ -60,6 +61,37 @@ pub fn pre_estimate(
     config: &IslaConfig,
     rng: &mut dyn RngCore,
 ) -> Result<PreEstimate, IslaError> {
+    pre_estimate_with(data, config, &RecoveryPolicy::strict(), rng)
+}
+
+/// [`pre_estimate`] under an explicit [`RecoveryPolicy`].
+///
+/// Strict mode is byte-for-byte [`pre_estimate`]: the first block
+/// failure fails the pilots. Best-effort mode draws the pilots through
+/// the surviving samplers
+/// ([`isla_storage::sample_proportional_surviving`]): transient block
+/// errors retry in place up to the policy's attempt budget, permanently
+/// failed blocks contribute nothing, and non-finite (corrupt) draws are
+/// filtered — so the pilot's σ̂ and `sketch0` describe the surviving
+/// data the main phase will actually sample. Because fault decorators
+/// fail before consuming RNG draws, a recovered pilot consumes the
+/// identical stream an untroubled one would, keeping cached
+/// pre-estimates deterministic under races.
+///
+/// Note the epoch-segmented fold ([`fold_pilot_segment`]) stays strict:
+/// a partial fold is not resumable, so grown sets surface pilot-phase
+/// block failures as errors in either mode.
+///
+/// # Errors
+///
+/// As [`pre_estimate`]; in best-effort mode total pilot loss surfaces
+/// as [`IslaError::InsufficientData`] rather than a storage error.
+pub fn pre_estimate_with(
+    data: &BlockSet,
+    config: &IslaConfig,
+    recovery: &RecoveryPolicy,
+    rng: &mut dyn RngCore,
+) -> Result<PreEstimate, IslaError> {
     let data_size = data.total_len();
     if data_size == 0 {
         return Err(IslaError::InsufficientData(
@@ -81,7 +113,7 @@ pub fn pre_estimate(
                         "σ pilot needs at least 2 samples, data has {data_size} rows"
                     )));
                 }
-                let pilot = sample_proportional(data, pilot_size, rng)?;
+                let pilot = draw_pilot(data, pilot_size, recovery, rng)?;
                 let moments: WelfordMoments = pilot.into_iter().collect();
                 let sigma = moments.std_dev_sample().ok_or_else(|| {
                     IslaError::InsufficientData("σ pilot produced fewer than 2 samples".to_string())
@@ -94,7 +126,9 @@ pub fn pre_estimate(
     // Degenerate data (σ = 0): one sample pins the answer exactly; the
     // caller is expected to shortcut on `sigma == 0`.
     if sigma == 0.0 {
-        let value = sample_proportional(data, 1, rng)?[0];
+        let value = *draw_pilot(data, 1, recovery, rng)?
+            .first()
+            .ok_or_else(|| IslaError::InsufficientData("pilot drew no samples".to_string()))?;
         return Ok(PreEstimate {
             sigma,
             sketch0: value,
@@ -113,7 +147,7 @@ pub fn pre_estimate(
     // Pilot 2: sketch0 at relaxed precision tₑ·e.
     let relaxed_e = config.relaxation * config.precision;
     let sketch_pilot = required_sample_size(sigma, relaxed_e, config.confidence).min(data_size);
-    let samples = sample_proportional(data, sketch_pilot, rng)?;
+    let samples = draw_pilot(data, sketch_pilot, recovery, rng)?;
     let moments: WelfordMoments = samples.into_iter().collect();
     let sketch0 = moments
         .mean()
@@ -135,6 +169,27 @@ pub fn pre_estimate(
             confidence: config.confidence,
         },
     })
+}
+
+/// One proportional pilot draw under the recovery policy: the exact
+/// historical [`sample_proportional`] in strict mode, the surviving
+/// sampler in best-effort mode.
+fn draw_pilot(
+    data: &BlockSet,
+    n: u64,
+    recovery: &RecoveryPolicy,
+    rng: &mut dyn RngCore,
+) -> Result<Vec<f64>, IslaError> {
+    if recovery.is_best_effort() {
+        Ok(sample_proportional_surviving(
+            data,
+            n,
+            recovery.retry.max_attempts,
+            rng,
+        ))
+    } else {
+        Ok(sample_proportional(data, n, rng)?)
+    }
 }
 
 /// Resumable state of the **epoch-segmented** scalar pilot fold.
@@ -550,6 +605,53 @@ mod tests {
             .unwrap();
         let pre = pre_estimate(&data, &cfg, &mut rng).unwrap();
         assert_eq!(pre.rate, 1.0);
+    }
+
+    #[test]
+    fn best_effort_pilots_recover_transients_bit_for_bit() {
+        use isla_storage::FaultPlan;
+        let data = BlockSet::from_values(normal_values(100.0, 20.0, 80_000, 17), 8);
+        let faulty = FaultPlan::new(31).transient(0.6, 2).arm(&data);
+        let policy = RecoveryPolicy::best_effort(crate::engine::RetryPolicy::attempts(3));
+        let mut rng = StdRng::seed_from_u64(18);
+        let clean = pre_estimate(&data, &config(0.5), &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(18);
+        let recovered = pre_estimate_with(&faulty, &config(0.5), &policy, &mut rng).unwrap();
+        assert_eq!(clean, recovered, "in-place retries are stream-neutral");
+    }
+
+    #[test]
+    fn best_effort_pilots_survive_lost_blocks_where_strict_fails() {
+        use isla_storage::{BlockFault, FaultPlan};
+        let data = BlockSet::from_values(normal_values(100.0, 20.0, 80_000, 19), 8);
+        // Pick the first seed whose plan loses some but not all blocks.
+        let plan = (0..64)
+            .map(|s| FaultPlan::new(s).lose(0.4))
+            .find(|p| {
+                let lost = (0..8)
+                    .filter(|&i| p.fault_for(i) == BlockFault::Lost)
+                    .count();
+                (1..=6).contains(&lost)
+            })
+            .expect("some seed under 64 must lose 1..=6 of 8 blocks");
+        let faulty = plan.arm(&data);
+        let mut rng = StdRng::seed_from_u64(20);
+        assert!(
+            matches!(
+                pre_estimate(&faulty, &config(0.5), &mut rng),
+                Err(IslaError::Storage(_))
+            ),
+            "strict pilots propagate the block loss"
+        );
+        let policy = RecoveryPolicy::best_effort(crate::engine::RetryPolicy::attempts(2));
+        let mut rng = StdRng::seed_from_u64(20);
+        let pre = pre_estimate_with(&faulty, &config(0.5), &policy, &mut rng).unwrap();
+        assert!(
+            (pre.sigma - 20.0).abs() < 3.0,
+            "σ̂ from survivors: {}",
+            pre.sigma
+        );
+        assert!((pre.sketch0 - 100.0).abs() < 3.0, "sketch0 {}", pre.sketch0);
     }
 
     #[test]

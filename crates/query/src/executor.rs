@@ -26,9 +26,9 @@ use isla_baselines::{
     StratifiedSampling, UniformSampling,
 };
 use isla_core::engine::{
-    self, CacheKey, CacheLookup, CacheStats, DeadlineScheduler, EngineResult, GroupedEngineResult,
-    PooledScheduler, PreEstimateCache, QueryPlan, RateSpec, RowCacheLookup, RowPlan, RowSpec,
-    SequentialScheduler,
+    self, CacheKey, CacheLookup, CacheStats, DeadlineScheduler, Degradation, EngineResult,
+    FailureMode, GroupedEngineResult, PooledScheduler, PreEstimateCache, QueryPlan, RateSpec,
+    RecoveryPolicy, RetryPolicy, RowCacheLookup, RowPlan, RowSpec, SequentialScheduler,
 };
 use isla_core::{IslaConfig, IslaError};
 use isla_stats::{required_sample_size, WelfordMoments};
@@ -106,6 +106,10 @@ pub struct QueryResult {
     /// Estimated (or exact) rows matching the `WHERE` predicate, when
     /// one was given.
     pub matched_rows: Option<f64>,
+    /// Present when a best-effort ISLA run dropped failed blocks: the
+    /// failure accounting, surviving coverage, and widened half-width.
+    /// `None` means the answer carries full coverage.
+    pub degradation: Option<Degradation>,
 }
 
 /// Which block scheduler a session runs the ISLA calculation phase on.
@@ -135,6 +139,7 @@ pub struct ExecPolicy {
     scheduler: SchedulerKind,
     sample_budget: Option<u64>,
     pilot_seed: Option<u64>,
+    recovery: RecoveryPolicy,
 }
 
 impl ExecPolicy {
@@ -175,9 +180,34 @@ impl ExecPolicy {
         self
     }
 
+    /// Switches the ISLA paths to best-effort failure handling: blocks
+    /// that exhaust their retry budget are dropped, the answer
+    /// finalizes over the survivors, and
+    /// [`QueryResult::degradation`] reports the damage and the widened
+    /// half-width. The default is strict — any block failure fails the
+    /// query, byte-for-byte as it always has.
+    #[must_use]
+    pub fn best_effort(mut self) -> Self {
+        self.recovery.mode = FailureMode::BestEffort;
+        self
+    }
+
+    /// Sets the per-block retry budget (attempts and deterministic
+    /// backoff) for transient storage failures on the ISLA paths.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.recovery.retry = retry;
+        self
+    }
+
     /// The configured scheduler kind.
     pub fn scheduler(&self) -> SchedulerKind {
         self.scheduler
+    }
+
+    /// The recovery policy in effect on the ISLA paths.
+    pub fn recovery(&self) -> RecoveryPolicy {
+        self.recovery
     }
 }
 
@@ -301,6 +331,7 @@ impl QuerySession {
                 time_limited: false,
                 groups: None,
                 matched_rows: None,
+                degradation: None,
             });
         }
 
@@ -329,19 +360,20 @@ impl QuerySession {
                 time_limited: false,
                 groups: None,
                 matched_rows: None,
+                degradation: None,
             });
         }
 
-        let (avg, samples_used, time_limited) = match query.method {
+        let (avg, samples_used, time_limited, degradation) = match query.method {
             Method::Exact => {
                 let mean = data.exact_mean().map_err(IslaError::from)?;
-                (mean, None, false)
+                (mean, None, false, None)
             }
             Method::Isla => self.run_isla(query, &data, confidence, rng)?,
             baseline => {
                 let budget = baseline_budget(query, &data, confidence, rng)?;
                 let value = run_baseline(baseline, query, &data, confidence, budget, rng)?;
-                (value, Some(budget), false)
+                (value, Some(budget), false, None)
             }
         };
 
@@ -367,6 +399,7 @@ impl QuerySession {
             time_limited,
             groups: None,
             matched_rows: None,
+            degradation,
         })
     }
 
@@ -407,6 +440,7 @@ impl QuerySession {
                 time_limited: false,
                 groups: None,
                 matched_rows: None,
+                degradation: None,
             });
         }
 
@@ -460,6 +494,7 @@ impl QuerySession {
                 time_limited: false,
                 groups: grouped.then_some(per_group),
                 matched_rows: filtered.then_some(matched as f64),
+                degradation: None,
             });
         }
 
@@ -524,6 +559,7 @@ impl QuerySession {
             time_limited: false,
             groups: None,
             matched_rows,
+            degradation: None,
         })
     }
 
@@ -571,9 +607,15 @@ impl QuerySession {
                     .confidence(confidence)
                     .build()
                     .map_err(QueryError::from)?;
-                let pre =
-                    engine::row_pre_estimate_capped(data, &config, &spec, (n / 2).max(2), rng)
-                        .map_err(QueryError::from)?;
+                let pre = engine::row_pre_estimate_capped_with(
+                    data,
+                    &config,
+                    &spec,
+                    (n / 2).max(2),
+                    &self.policy.recovery,
+                    rng,
+                )
+                .map_err(QueryError::from)?;
                 let pilot_cost = pre.pilot_rows;
                 let rate = (n.saturating_sub(pilot_cost) as f64 / rows as f64)
                     .clamp(f64::MIN_POSITIVE, 1.0);
@@ -636,19 +678,21 @@ impl QuerySession {
             time_limited: out.time_limited,
             groups: query.group_by.is_some().then_some(per_group),
             matched_rows: (!query.predicates.is_empty()).then_some(out.matched_rows),
+            degradation: out.degradation,
         })
     }
 
     /// Scalar ISLA execution: precision-driven, budget-driven, or
     /// time-constrained — all through the core engine, with the
     /// pre-estimation cache in front of the pilot phase.
+    #[allow(clippy::type_complexity)]
     fn run_isla(
         &self,
         query: &Query,
         data: &BlockSet,
         confidence: f64,
         rng: &mut dyn RngCore,
-    ) -> Result<(f64, Option<u64>, bool), QueryError> {
+    ) -> Result<(f64, Option<u64>, bool, Option<Degradation>), QueryError> {
         // Budget-driven (SAMPLES n, no precision): adapter path. The
         // policy's admission budget caps the explicit one (admission
         // protects the pool even from generous clients).
@@ -665,7 +709,7 @@ impl QuerySession {
             let config = IslaConfig::default();
             let estimator = IslaEstimator::new(config)?;
             let value = estimator.estimate(data, budget, rng)?;
-            return Ok((value, Some(budget), budget < requested));
+            return Ok((value, Some(budget), budget < requested, None));
         }
 
         let mut config = isla_config(query, confidence)?;
@@ -719,6 +763,7 @@ impl QuerySession {
             out.estimate,
             Some(out.total_samples + pilot_cost),
             out.time_limited,
+            out.degradation,
         ))
     }
 
@@ -742,13 +787,16 @@ impl QuerySession {
             let salt = self.policy.pilot_seed.unwrap_or(EPOCH_PILOT_SALT);
             return self.pre_cache.get_or_compute_epoch(key, data, config, salt);
         }
+        let recovery = self.policy.recovery;
         match self.policy.pilot_seed {
             Some(salt) => {
                 let mut pilot_rng = engine::seeded_rng(pilot_stream_seed(key.digest(), salt));
                 self.pre_cache
-                    .get_or_compute(key, data, config, &mut pilot_rng)
+                    .get_or_compute_with(key, data, config, &recovery, &mut pilot_rng)
             }
-            None => self.pre_cache.get_or_compute(key, data, config, rng),
+            None => self
+                .pre_cache
+                .get_or_compute_with(key, data, config, &recovery, rng),
         }
     }
 
@@ -767,15 +815,22 @@ impl QuerySession {
                 .pre_cache
                 .get_or_compute_rows_epoch(key, data, config, spec, salt);
         }
+        let recovery = self.policy.recovery;
         match self.policy.pilot_seed {
             Some(salt) => {
                 let mut pilot_rng = engine::seeded_rng(pilot_stream_seed(key.digest(), salt));
-                self.pre_cache
-                    .get_or_compute_rows(key, data, config, spec, &mut pilot_rng)
+                self.pre_cache.get_or_compute_rows_with(
+                    key,
+                    data,
+                    config,
+                    spec,
+                    &recovery,
+                    &mut pilot_rng,
+                )
             }
             None => self
                 .pre_cache
-                .get_or_compute_rows(key, data, config, spec, rng),
+                .get_or_compute_rows_with(key, data, config, spec, &recovery, rng),
         }
     }
 
@@ -798,23 +853,26 @@ impl QuerySession {
         budget: Option<u64>,
         rng: &mut dyn RngCore,
     ) -> Result<EngineResult, IslaError> {
+        let recovery = self.policy.recovery;
         match (self.policy.scheduler, budget) {
             (SchedulerKind::Sequential, None) => {
-                engine::run_plan(plan, data, &SequentialScheduler, rng)
+                engine::run_plan_with(plan, data, &SequentialScheduler, &recovery, rng)
             }
-            (SchedulerKind::Sequential, Some(b)) => engine::run_plan(
+            (SchedulerKind::Sequential, Some(b)) => engine::run_plan_with(
                 plan,
                 data,
                 &DeadlineScheduler::new(SequentialScheduler, b),
+                &recovery,
                 rng,
             ),
             (SchedulerKind::Pooled(w), None) => {
-                engine::run_plan(plan, data, &PooledScheduler::new(w)?, rng)
+                engine::run_plan_with(plan, data, &PooledScheduler::new(w)?, &recovery, rng)
             }
-            (SchedulerKind::Pooled(w), Some(b)) => engine::run_plan(
+            (SchedulerKind::Pooled(w), Some(b)) => engine::run_plan_with(
                 plan,
                 data,
                 &DeadlineScheduler::new(PooledScheduler::new(w)?, b),
+                &recovery,
                 rng,
             ),
         }
@@ -829,23 +887,26 @@ impl QuerySession {
         budget: Option<u64>,
         rng: &mut dyn RngCore,
     ) -> Result<GroupedEngineResult, IslaError> {
+        let recovery = self.policy.recovery;
         match (self.policy.scheduler, budget) {
             (SchedulerKind::Sequential, None) => {
-                engine::run_row_plan(plan, data, &SequentialScheduler, rng)
+                engine::run_row_plan_with(plan, data, &SequentialScheduler, &recovery, rng)
             }
-            (SchedulerKind::Sequential, Some(b)) => engine::run_row_plan(
+            (SchedulerKind::Sequential, Some(b)) => engine::run_row_plan_with(
                 plan,
                 data,
                 &DeadlineScheduler::new(SequentialScheduler, b),
+                &recovery,
                 rng,
             ),
             (SchedulerKind::Pooled(w), None) => {
-                engine::run_row_plan(plan, data, &PooledScheduler::new(w)?, rng)
+                engine::run_row_plan_with(plan, data, &PooledScheduler::new(w)?, &recovery, rng)
             }
-            (SchedulerKind::Pooled(w), Some(b)) => engine::run_row_plan(
+            (SchedulerKind::Pooled(w), Some(b)) => engine::run_row_plan_with(
                 plan,
                 data,
                 &DeadlineScheduler::new(PooledScheduler::new(w)?, b),
+                &recovery,
                 rng,
             ),
         }
@@ -991,6 +1052,7 @@ fn count_estimate(
                 time_limited: false,
                 groups: query.group_by.is_some().then_some(per_group),
                 matched_rows: (!query.predicates.is_empty()).then_some(matched as f64),
+                degradation: None,
             });
         }
         want = want.min(rows);
@@ -1032,6 +1094,7 @@ fn count_estimate(
         time_limited,
         groups: query.group_by.is_some().then_some(per_group),
         matched_rows: (!query.predicates.is_empty()).then_some(value),
+        degradation: None,
     })
 }
 

@@ -38,5 +38,5 @@ pub use executor::{execute, ExecPolicy, GroupRow, QueryResult, QuerySession, Sch
 pub use parser::parse;
 pub use service::{
     AdmissionGate, Permit, QueryService, ServiceClient, ServiceConfig, ServiceStats,
-    TableCacheStats,
+    TableCacheStats, TenantFailures,
 };

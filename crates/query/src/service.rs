@@ -46,7 +46,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
 
-use isla_core::engine::{self, CacheStats, EpochCacheStats, PreEstimateCache};
+use isla_core::engine::{self, CacheStats, EpochCacheStats, PreEstimateCache, RecoveryPolicy};
 use isla_storage::{
     BlockSet, IngestBuffer, SealedRows, SelectionCacheStats, SketchCacheStats,
     DEFAULT_ROWS_PER_BLOCK,
@@ -84,6 +84,14 @@ pub struct ServiceConfig {
     /// (the unit of incrementality) and merge into the table's cached
     /// sampling state.
     pub ingest_rows_per_block: usize,
+    /// How queries respond to block failures. The default is
+    /// [`RecoveryPolicy::strict`] — one attempt, any failure fails the
+    /// query, byte-for-byte the historical behaviour. A best-effort
+    /// policy retries transient faults and degrades over survivors with
+    /// a widened confidence interval
+    /// (see [`isla_core::engine::Degradation`]); such completions are
+    /// counted in [`ServiceStats::degraded`] and per tenant.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +104,7 @@ impl Default for ServiceConfig {
             sample_budget: None,
             pilot_seed: 0x151A_5EED,
             ingest_rows_per_block: DEFAULT_ROWS_PER_BLOCK,
+            recovery: RecoveryPolicy::strict(),
         }
     }
 }
@@ -111,6 +120,10 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Admitted queries that returned an execution error.
     pub failed: u64,
+    /// Completed queries that dropped at least one block and answered
+    /// best-effort over the survivors (their [`QueryResult`] carries a
+    /// `degradation` report). Always a subset of `completed`.
+    pub degraded: u64,
     /// Queries executing right now.
     pub in_flight: usize,
     /// Queries waiting for a slot right now.
@@ -148,6 +161,18 @@ impl TableCacheStats {
         self.sketch_inserted += sk.inserted;
         self.sketch_raced += sk.raced;
     }
+}
+
+/// Per-tenant failure accounting, read through
+/// [`QueryService::tenant_failures`]. Lets an operator see *whose*
+/// queries are failing or degrading without scraping logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantFailures {
+    /// Admitted queries by this tenant that returned an execution error.
+    pub failed: u64,
+    /// Queries by this tenant that completed best-effort with a
+    /// degradation report (dropped blocks, widened interval).
+    pub degraded: u64,
 }
 
 /// Book-keeping behind the [`AdmissionGate`] mutex.
@@ -322,6 +347,10 @@ struct ServiceInner {
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    degraded: AtomicU64,
+    /// Per-tenant failed/degraded counts. Touched only on the failure
+    /// and degradation paths, so the happy path never takes this lock.
+    tenant_failures: Mutex<HashMap<String, TenantFailures>>,
     ingested_rows: AtomicU64,
     ingest_batches: AtomicU64,
     sealed_blocks: AtomicU64,
@@ -353,6 +382,10 @@ impl QueryService {
         if per_query > 1 {
             policy = policy.pooled(per_query);
         }
+        policy = policy.retry(config.recovery.retry);
+        if config.recovery.is_best_effort() {
+            policy = policy.best_effort();
+        }
         if let Some(budget) = config.sample_budget {
             policy = policy.sample_budget(budget);
         }
@@ -368,6 +401,8 @@ impl QueryService {
                 rejected: AtomicU64::new(0),
                 completed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                tenant_failures: Mutex::new(HashMap::new()),
                 ingested_rows: AtomicU64::new(0),
                 ingest_batches: AtomicU64::new(0),
                 sealed_blocks: AtomicU64::new(0),
@@ -454,8 +489,17 @@ impl QueryService {
         let out = self.execute_admitted(query, &mut rng);
         drop(permit);
         match &out {
-            Ok(_) => self.inner.completed.fetch_add(1, Ordering::Relaxed),
-            Err(_) => self.inner.failed.fetch_add(1, Ordering::Relaxed),
+            Ok(result) => {
+                self.inner.completed.fetch_add(1, Ordering::Relaxed);
+                if result.degradation.is_some() {
+                    self.inner.degraded.fetch_add(1, Ordering::Relaxed);
+                    self.bump_tenant(tenant, |t| t.degraded += 1);
+                }
+            }
+            Err(_) => {
+                self.inner.failed.fetch_add(1, Ordering::Relaxed);
+                self.bump_tenant(tenant, |t| t.failed += 1);
+            }
         };
         out
     }
@@ -683,6 +727,7 @@ impl QueryService {
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
             failed: self.inner.failed.load(Ordering::Relaxed),
+            degraded: self.inner.degraded.load(Ordering::Relaxed),
             in_flight: self.inner.gate.in_flight(),
             queued: self.inner.gate.waiting(),
             ingested_rows: self.inner.ingested_rows.load(Ordering::Relaxed),
@@ -695,6 +740,27 @@ impl QueryService {
     /// that sequence enqueue order).
     pub fn gate(&self) -> &AdmissionGate {
         &self.inner.gate
+    }
+
+    /// Failure/degradation counts for one tenant (zeros when the tenant
+    /// has never failed or degraded a query).
+    pub fn tenant_failures(&self, tenant: &str) -> TenantFailures {
+        self.inner
+            .tenant_failures
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn bump_tenant(&self, tenant: &str, update: impl FnOnce(&mut TenantFailures)) {
+        let mut map = self
+            .inner
+            .tenant_failures
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        update(map.entry(tenant.to_string()).or_default());
     }
 
     /// Resolves the table inside a scope that returns a clone, so no
@@ -714,7 +780,23 @@ impl QueryService {
         rng: &mut dyn RngCore,
     ) -> Result<QueryResult, QueryError> {
         let table = self.table_snapshot(&query.table)?;
-        self.inner.session.execute_table(query, &table, rng)
+        // Last-resort panic net: scheduler workers already convert
+        // panics into typed errors, but submitting-thread phases (the
+        // pilots, planning) can still unwind — and an escaped panic
+        // here would wedge the caller without ever releasing counters.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner.session.execute_table(query, &table, rng)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(QueryError::Engine(isla_core::IslaError::Internal(format!(
+                "query execution panicked: {msg}"
+            ))))
+        })
     }
 }
 

@@ -5,13 +5,15 @@
 
 use std::sync::{Arc, Barrier, RwLock};
 
-use isla_core::engine::CacheKey;
-use isla_core::IslaConfig;
+use isla_core::engine::{CacheKey, RecoveryPolicy, RetryPolicy};
+use isla_core::{IslaConfig, IslaError};
 use isla_datagen::normal_values;
 use isla_query::{
     parse, QueryError, QueryResult, QueryService, QuerySession, ServiceConfig, Table,
 };
-use isla_storage::{BlockSet, ColumnDef, DataBlock, RowsBlock, Schema, StorageError};
+use isla_storage::{
+    BlockFault, BlockSet, ColumnDef, DataBlock, FaultPlan, RowsBlock, Schema, StorageError,
+};
 use rand::{Rng, RngCore};
 
 /// The query mix every stress/identity test runs: scalar, filtered,
@@ -469,6 +471,292 @@ fn sketch_sigma_key_derives_from_the_final_config() {
         !session.pre_cache().contains(&pilot_key),
         "nothing may be filed under the pre-toggle (pilot-σ) config"
     );
+}
+
+/// A block whose every data-plane access panics, while metadata (length,
+/// sketch) forwards to a healthy inner block — the worker-killing
+/// failure a typed error taxonomy cannot describe.
+struct PanicBlock {
+    inner: Arc<dyn DataBlock>,
+}
+
+impl DataBlock for PanicBlock {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn sample_one(&self, _rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+        panic!("injected storage panic")
+    }
+
+    fn row_at(&self, _idx: u64) -> Result<f64, StorageError> {
+        panic!("injected storage panic")
+    }
+
+    fn scan(&self, _visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+        panic!("injected storage panic")
+    }
+
+    fn sketch(&self) -> Option<Arc<isla_storage::BlockSketch>> {
+        self.inner.sketch()
+    }
+
+    fn describe(&self) -> String {
+        "panic-block".to_string()
+    }
+}
+
+/// A table whose third block panics on every data access.
+fn mined_table() -> Table {
+    let healthy = BlockSet::from_values(normal_values(50.0, 5.0, 40_000, 9), 4);
+    let blocks: Vec<Arc<dyn DataBlock>> = (0..healthy.block_count())
+        .map(|i| {
+            if i == 2 {
+                Arc::new(PanicBlock {
+                    inner: Arc::clone(healthy.block(i)),
+                }) as Arc<dyn DataBlock>
+            } else {
+                Arc::clone(healthy.block(i))
+            }
+        })
+        .collect();
+    Table::new(vec![("x", BlockSet::new(blocks))])
+}
+
+/// Regression: a panicking `DataBlock` inside the worker pool must
+/// surface on the submitting thread as a *typed*
+/// `IslaError::Internal` — not unwind through `execute`, not wedge the
+/// admission gate, not leave a permit leaked — and the service must keep
+/// serving afterwards.
+#[test]
+fn worker_panic_is_a_typed_error_and_the_gate_survives() {
+    let service = QueryService::new(ServiceConfig {
+        workers: 8,
+        max_concurrent: 2, // per-query pool of 4 workers
+        queue_depth: 8,
+        pilot_seed: 0xDECADE,
+        ..ServiceConfig::default()
+    });
+    register_tables(&service);
+    service.register_table("mined", mined_table());
+
+    let sql = "SELECT AVG(x) FROM mined WITH PRECISION 0.5";
+    for round in 0..2u64 {
+        let err = service.query("victim", sql, round).unwrap_err();
+        match &err {
+            QueryError::Engine(IslaError::Internal(msg)) => {
+                // The panic escapes during the pilot phase (on the
+                // submitting thread), so no block id is attributable —
+                // the typed error and the storm-proof gate are the
+                // contract here.
+                assert!(msg.contains("panicked"), "got: {msg}");
+            }
+            other => panic!("expected Engine(Internal), got {other}"),
+        }
+    }
+
+    // The permits came back and the accounting is exact.
+    let stats = service.stats();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.queued, 0);
+    assert_eq!(service.tenant_failures("victim").failed, 2);
+
+    // The pool still serves healthy queries — no wedged worker, no
+    // poisoned gate.
+    let ok = service.query("victim", SHAPES[0], 7).unwrap();
+    assert!((ok.value - 100.0).abs() < 2.0, "value {}", ok.value);
+    assert_eq!(service.stats().completed, 1);
+}
+
+/// Best-effort mode turns the same panic into degradation: the mined
+/// block is dropped, the answer finalizes over the survivors, and the
+/// failure report names the panic.
+#[test]
+fn best_effort_drops_a_panicking_block_and_degrades() {
+    let service = QueryService::new(ServiceConfig {
+        workers: 4,
+        max_concurrent: 1,
+        queue_depth: 8,
+        pilot_seed: 0xDECADE,
+        recovery: RecoveryPolicy::best_effort(RetryPolicy::attempts(2)),
+        ..ServiceConfig::default()
+    });
+    service.register_table("mined", mined_table());
+
+    let r = service
+        .query("optimist", "SELECT AVG(x) FROM mined WITH PRECISION 0.5", 5)
+        .unwrap();
+    let degradation = r.degradation.expect("a lost block must be reported");
+    assert_eq!(degradation.failures.len(), 1);
+    assert_eq!(degradation.failures[0].block_id, 2);
+    assert_eq!(
+        degradation.failures[0].attempts, 1,
+        "panics are permanent: no retry"
+    );
+    assert!(degradation.failures[0].error.contains("panicked"));
+    assert_eq!(degradation.lost_rows, 10_000);
+    assert!(
+        (r.value - 50.0).abs() < 1.0,
+        "survivors answer, got {}",
+        r.value
+    );
+    assert!(
+        degradation.widened_half_width > degradation.base_half_width,
+        "coverage loss must widen the interval"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.degraded, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(service.tenant_failures("optimist").degraded, 1);
+    assert_eq!(service.tenant_failures("optimist").failed, 0);
+}
+
+/// The chaos storm: many tenants hammer a table whose blocks are armed
+/// with a seeded `FaultPlan` (permanent loss + transient faults that
+/// recover inside the retry budget) through a best-effort pooled
+/// service. Every query must complete, degradation must be identical
+/// across tenants, seeds, and an independently built twin service —
+/// and the stats accounting must be exact.
+#[test]
+fn chaos_storm_degrades_deterministically_with_exact_accounting() {
+    const THREADS: usize = 6;
+    const PER_TENANT: usize = 4;
+    // Deterministically pick the first seed whose plan loses some (but
+    // well under half) of the 12 blocks.
+    let plan = (4242..4306)
+        .map(|s| FaultPlan::new(s).lose(0.25).transient(0.5, 2))
+        .find(|p| {
+            let lost = (0..12)
+                .filter(|&i| matches!(p.fault_for(i), BlockFault::Lost))
+                .count();
+            (1..=4).contains(&lost)
+        })
+        .expect("some seed in 4242..4306 must lose 1..=4 of 12 blocks");
+    let lost: Vec<usize> = (0..12)
+        .filter(|&i| matches!(plan.fault_for(i), BlockFault::Lost))
+        .collect();
+
+    let build = || {
+        let service = QueryService::new(ServiceConfig {
+            workers: THREADS * 2, // per-query pool of 2 workers
+            max_concurrent: THREADS,
+            queue_depth: 64,
+            pilot_seed: 0xDECADE,
+            recovery: RecoveryPolicy::best_effort(RetryPolicy::attempts(3)),
+            ..ServiceConfig::default()
+        });
+        let clean = BlockSet::from_values(normal_values(100.0, 20.0, 240_000, 1), 12);
+        service.register_table("trips", Table::new(vec![("distance", plan.arm(&clean))]));
+        service
+    };
+    let storm = |service: &QueryService| -> Vec<QueryResult> {
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let client = service.client(format!("tenant-{t}"));
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        (0..PER_TENANT)
+                            .map(|q| {
+                                let sql = if q % 2 == 0 {
+                                    "SELECT AVG(distance) FROM trips WITH PRECISION 0.5"
+                                } else {
+                                    "SELECT SUM(distance) FROM trips WITH PRECISION 0.5"
+                                };
+                                client.query(sql, (t * 10 + q) as u64).unwrap()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    };
+
+    let first = build();
+    let first_results = storm(&first);
+    let twin = build();
+    let twin_results = storm(&twin);
+
+    // Every query completed best-effort, and the degradation report is
+    // the same everywhere: exactly the plan's lost blocks, in block
+    // order, with no retry spent on permanent loss.
+    for r in &first_results {
+        let d = r.degradation.as_ref().expect("lost blocks must degrade");
+        let ids: Vec<usize> = d.failures.iter().map(|f| f.block_id).collect();
+        assert_eq!(ids, lost, "failures must be the plan's lost blocks, sorted");
+        assert!(d.failures.iter().all(|f| f.attempts == 1));
+        assert!(d.coverage > 0.0 && d.coverage < 1.0);
+        assert!(d.widened_half_width > d.base_half_width);
+    }
+    // Deterministic across an independently built, independently
+    // stormed twin: bit-identical answers and identical reports.
+    for (a, b) in first_results.iter().zip(&twin_results) {
+        assert_identical(a, b, "chaos twin");
+        assert_eq!(a.degradation, b.degradation, "degradation reports differ");
+    }
+
+    // Exact accounting: every query admitted, completed, and degraded;
+    // none failed, none rejected.
+    let total = (THREADS * PER_TENANT) as u64;
+    for service in [&first, &twin] {
+        let stats = service.stats();
+        assert_eq!(stats.admitted, total);
+        assert_eq!(stats.completed, total);
+        assert_eq!(stats.degraded, total);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.in_flight, 0);
+        for t in 0..THREADS {
+            let per_tenant = service.tenant_failures(&format!("tenant-{t}"));
+            assert_eq!(per_tenant.degraded, PER_TENANT as u64);
+            assert_eq!(per_tenant.failed, 0);
+        }
+    }
+
+    // Strict mode is byte-for-byte today's behavior: on the same armed
+    // data a default service fails the query with the historical typed
+    // error; on clean data wrapped in a disarmed plan it answers
+    // bit-identically to the bare blocks.
+    let strict = QueryService::new(config(2, 8));
+    let clean = BlockSet::from_values(normal_values(100.0, 20.0, 240_000, 1), 12);
+    strict.register_table("trips", Table::new(vec![("distance", plan.arm(&clean))]));
+    let err = strict
+        .query(
+            "pessimist",
+            "SELECT AVG(distance) FROM trips WITH PRECISION 0.5",
+            3,
+        )
+        .unwrap_err();
+    match &err {
+        // Strict mode fails in the pilot phase, before the scheduler
+        // ever runs: the first faulty block's storage error (transient
+        // or lost, whichever the pilot touches first) propagates as-is.
+        QueryError::Engine(IslaError::Storage(_)) => {}
+        other => panic!("expected Engine(Storage), got {other}"),
+    }
+    assert_eq!(strict.stats().failed, 1);
+
+    let bare = QueryService::new(config(2, 8));
+    bare.register_table("trips", Table::new(vec![("distance", clean.clone())]));
+    let hooked = QueryService::new(config(2, 8));
+    hooked.register_table(
+        "trips",
+        Table::new(vec![("distance", FaultPlan::new(4242).arm(&clean))]),
+    );
+    let sql = "SELECT AVG(distance) FROM trips WITH PRECISION 0.5";
+    let a = bare.query("t", sql, 11).unwrap();
+    let b = hooked.query("t", sql, 11).unwrap();
+    assert_identical(&a, &b, "disarmed hooks must not drift the answer");
+    assert!(a.degradation.is_none() && b.degradation.is_none());
 }
 
 /// Acceptance: two distinct tenants, same query shape — the second hits

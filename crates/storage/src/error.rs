@@ -65,10 +65,44 @@ pub enum StorageError {
     },
     /// An operation required a non-empty block or block set.
     Empty,
+    /// A block is temporarily unreachable — the canonical *transient*
+    /// failure (flaky disk, network partition, injected chaos). The
+    /// operation may succeed if retried.
+    Unavailable {
+        /// Which access attempt failed (1-based, counted per block).
+        attempt: u32,
+        /// Why the block was unreachable.
+        detail: String,
+    },
+    /// A block is permanently gone (device loss, injected chaos). No
+    /// retry can recover it; a degradation-aware scheduler drops the
+    /// block and widens the answer's confidence interval instead.
+    BlockLost {
+        /// Why the block is unrecoverable.
+        detail: String,
+    },
     /// An internal invariant of the storage layer was violated — e.g. a
     /// selection vector claimed completeness but skipped a block. Always
     /// a bug, never bad input.
     Internal(String),
+}
+
+impl StorageError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient classes — [`StorageError::Unavailable`] and raw
+    /// [`StorageError::Io`] — model conditions that clear on their own
+    /// (a stalled disk, a dropped connection). Everything else is
+    /// deterministic about the data or the request: parse errors,
+    /// corruption, lost blocks, and invariant violations reproduce on
+    /// every retry, so schedulers must treat them as fatal for the
+    /// block and degrade instead of spinning.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Unavailable { .. } | StorageError::Io { .. }
+        )
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -117,6 +151,12 @@ impl fmt::Display for StorageError {
                 write!(f, "ingest row {index} rejected: {detail}")
             }
             StorageError::Empty => write!(f, "operation requires a non-empty block"),
+            StorageError::Unavailable { attempt, detail } => {
+                write!(f, "block unavailable (attempt {attempt}): {detail}")
+            }
+            StorageError::BlockLost { detail } => {
+                write!(f, "block permanently lost: {detail}")
+            }
         }
     }
 }
@@ -173,6 +213,26 @@ mod tests {
             detail: "bad magic".into(),
         };
         assert!(corrupt.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let transient = StorageError::Unavailable {
+            attempt: 3,
+            detail: "injected".into(),
+        };
+        assert!(transient.is_transient());
+        assert!(transient.to_string().contains("attempt 3"));
+        let io: StorageError = std::io::Error::other("flaky").into();
+        assert!(io.is_transient());
+        let lost = StorageError::BlockLost {
+            detail: "device gone".into(),
+        };
+        assert!(!lost.is_transient());
+        assert!(lost.to_string().contains("permanently lost"));
+        assert!(!StorageError::Empty.is_transient());
+        assert!(!StorageError::Internal("bug".into()).is_transient());
+        assert!(!StorageError::SelectivityTooLow { attempts: 1 }.is_transient());
     }
 
     #[test]

@@ -70,6 +70,12 @@ impl SampleBuf {
         &self.values
     }
 
+    /// Overwrites every gathered value with NaN — the batched arm of
+    /// [`crate::fault::FaultyBlock`]'s corruption injection.
+    pub fn corrupt_values(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = f64::NAN);
+    }
+
     /// Draws `n` uniform indices in `0..len` from `rng`, one
     /// `random_range` call per draw — the identical RNG consumption of
     /// `n` scalar [`DataBlock::sample_one`] calls.
@@ -202,6 +208,12 @@ impl RowSampleBuf {
     /// The gathered rows of the last batch, row-major in draw order.
     pub fn rows(&self) -> &[f64] {
         &self.rows
+    }
+
+    /// Overwrites every gathered row value with NaN — the batched arm
+    /// of [`crate::fault::FaultyBlock`]'s corruption injection.
+    pub fn corrupt_values(&mut self) {
+        self.rows.iter_mut().for_each(|v| *v = f64::NAN);
     }
 
     /// Iterates the gathered rows as `width`-sized tuples, in draw

@@ -37,6 +37,13 @@
 //! proportional allocation across blocks, and reservoir sampling for
 //! streams.
 //!
+//! For chaos testing, [`fault`] provides seeded deterministic fault
+//! injection: a [`FaultPlan`] assigns transient unavailability,
+//! permanent loss, stalls, or value corruption per block, and
+//! [`FaultyBlock`] injects the assigned fault at every data-plane
+//! access while metadata passes through — the substrate for the
+//! engine's retry and graceful-degradation layers.
+//!
 //! The hot paths run through **batch kernels** ([`kernel`]):
 //! [`DataBlock::sample_batch`] / [`DataBlock::sample_rows_batch`] draw
 //! whole batches with a sorted, cache-friendly gather (bit-identical to
@@ -52,6 +59,7 @@ pub mod binary_file;
 pub mod block;
 pub mod blockset;
 pub mod error;
+pub mod fault;
 pub mod filter;
 pub mod generator;
 pub mod ingest;
@@ -68,6 +76,7 @@ pub use binary_file::BinaryBlock;
 pub use block::DataBlock;
 pub use blockset::{BlockSet, EpochMark, SealedDerived};
 pub use error::StorageError;
+pub use fault::{BlockFault, FaultPlan, FaultyBlock};
 pub use filter::{CmpOp, ColumnPredicate, RowFilter};
 pub use generator::GeneratorBlock;
 pub use ingest::{IngestBuffer, SealedRows, DEFAULT_ROWS_PER_BLOCK};
@@ -81,8 +90,9 @@ pub use rows::{
     PooledFilteredColumn, RowsBlock, SharedColumn, ZipBlock,
 };
 pub use sampler::{
-    proportional_allocation, sample_from_block, sample_proportional, sample_rows_from_block,
-    sample_rows_proportional, Reservoir,
+    proportional_allocation, sample_from_block, sample_proportional, sample_proportional_surviving,
+    sample_rows_from_block, sample_rows_proportional, sample_rows_proportional_surviving,
+    Reservoir,
 };
 pub use schema::{ColumnDef, ColumnType, Schema};
 pub use selection::{

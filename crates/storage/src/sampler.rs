@@ -7,6 +7,8 @@
 //! remainder method so the sizes sum to the requested total), and
 //! [`sample_proportional`] executes it.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rand::Rng;
 use rand::RngCore;
 
@@ -168,6 +170,102 @@ pub fn sample_proportional(
     Ok(out)
 }
 
+/// Best-effort variant of [`sample_proportional`]: draws the same
+/// proportional allocation, but survives failing blocks instead of
+/// propagating their errors.
+///
+/// Per batch, transient errors ([`StorageError::is_transient`]) are
+/// retried in place up to `max_attempts` total tries; permanent errors,
+/// exhausted budgets, and worker panics skip the *rest of that block*
+/// and move on. Non-finite values (corruption) are filtered out.
+///
+/// **Determinism.** Fault decorators fail *before* touching the RNG, so
+/// a failed access consumes zero draws: an in-place retry reproduces the
+/// exact draw stream an untroubled access would have produced, and a
+/// skipped block leaves the stream where the next block expects it.
+/// Under a fixed fault plan the returned sample is therefore a pure
+/// function of `(set, m, rng seed)` — racing cold-cache pilot
+/// computations stay idempotent.
+///
+/// Total loss returns an empty vector; callers keep their existing
+/// too-few-samples error paths.
+pub fn sample_proportional_surviving(
+    set: &BlockSet,
+    m: u64,
+    max_attempts: u32,
+    rng: &mut dyn RngCore,
+) -> Vec<f64> {
+    let allocation = proportional_allocation(set, m);
+    let mut out = Vec::with_capacity(m as usize);
+    for (block, &take) in set.iter().zip(&allocation) {
+        with_sample_buf(|buf| {
+            let mut left = take;
+            'block: while left > 0 {
+                let chunk = left.min(SAMPLE_BATCH_ROWS);
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        block.sample_batch(chunk, &mut *rng, buf)
+                    })) {
+                        Ok(Ok(())) => break,
+                        Ok(Err(e)) if e.is_transient() && attempt < max_attempts.max(1) => continue,
+                        // Permanent loss, exhausted retries, or a panic:
+                        // skip the rest of this block.
+                        Ok(Err(_)) | Err(_) => break 'block,
+                    }
+                }
+                for &v in buf.values() {
+                    if v.is_finite() {
+                        out.push(v);
+                    }
+                }
+                left -= chunk;
+            }
+        });
+    }
+    out
+}
+
+/// Row-model twin of [`sample_proportional_surviving`]: best-effort
+/// proportional row sampling that retries transient failures in place,
+/// skips permanently failing blocks, converts panics into skips, and
+/// drops rows containing non-finite values. Same determinism argument.
+pub fn sample_rows_proportional_surviving(
+    set: &BlockSet,
+    m: u64,
+    max_attempts: u32,
+    rng: &mut dyn RngCore,
+    visit: &mut dyn FnMut(&[f64]),
+) {
+    let allocation = proportional_allocation(set, m);
+    for (block, &take) in set.iter().zip(&allocation) {
+        with_row_sample_buf(|buf| {
+            let mut left = take;
+            'block: while left > 0 {
+                let chunk = left.min(SAMPLE_BATCH_ROWS);
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        block.sample_rows_batch(chunk, &mut *rng, buf)
+                    })) {
+                        Ok(Ok(())) => break,
+                        Ok(Err(e)) if e.is_transient() && attempt < max_attempts.max(1) => continue,
+                        Ok(Err(_)) | Err(_) => break 'block,
+                    }
+                }
+                for row in buf.iter_rows() {
+                    if row.iter().all(|v| v.is_finite()) {
+                        visit(row);
+                    }
+                }
+                left -= chunk;
+            }
+        });
+    }
+}
+
 /// Reservoir sampler: maintains a uniform without-replacement sample of
 /// size `k` over a stream of unknown length (Vitter's Algorithm R).
 ///
@@ -313,6 +411,126 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let r = sample_from_block(&empty, 3, &mut rng, &mut |_| {});
         assert!(matches!(r, Err(StorageError::Empty)));
+    }
+
+    #[test]
+    fn surviving_sampler_recovers_transients_without_perturbing_the_stream() {
+        use crate::fault::{BlockFault, FaultyBlock};
+        let clean = three_block_set();
+        let faulty = BlockSet::new(
+            clean
+                .iter()
+                .map(|b| {
+                    Arc::new(FaultyBlock::new(
+                        Arc::clone(b),
+                        BlockFault::Transient { failures: 2 },
+                        None,
+                    )) as Arc<dyn DataBlock>
+                })
+                .collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(21);
+        let baseline = sample_proportional(&clean, 500, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let recovered = sample_proportional_surviving(&faulty, 500, 3, &mut rng);
+        assert_eq!(baseline, recovered, "in-place retries are stream-neutral");
+    }
+
+    #[test]
+    fn surviving_sampler_skips_lost_and_panicking_blocks() {
+        use crate::fault::{BlockFault, FaultyBlock};
+        struct PanicBlock;
+        impl DataBlock for PanicBlock {
+            fn len(&self) -> u64 {
+                300
+            }
+            fn sample_one(&self, _rng: &mut dyn RngCore) -> Result<f64, StorageError> {
+                panic!("injected storage panic")
+            }
+            fn row_at(&self, _idx: u64) -> Result<f64, StorageError> {
+                panic!("injected storage panic")
+            }
+            fn scan(&self, _visit: &mut dyn FnMut(f64)) -> Result<(), StorageError> {
+                panic!("injected storage panic")
+            }
+            fn describe(&self) -> String {
+                "panic-block".to_string()
+            }
+        }
+        let set = BlockSet::new(vec![
+            Arc::new(MemBlock::new(vec![1.0; 600])) as Arc<dyn DataBlock>,
+            Arc::new(FaultyBlock::new(
+                Arc::new(MemBlock::new(vec![2.0; 300])),
+                BlockFault::Lost,
+                None,
+            )),
+            Arc::new(PanicBlock),
+            Arc::new(MemBlock::new(vec![3.0; 100])),
+        ]);
+        let mut rng = StdRng::seed_from_u64(22);
+        let sample = sample_proportional_surviving(&set, 1300, 2, &mut rng);
+        assert!(
+            sample.iter().all(|&v| v == 1.0 || v == 3.0),
+            "lost and panicking blocks contribute nothing"
+        );
+        assert_eq!(
+            sample.iter().filter(|&&v| v == 1.0).count(),
+            600,
+            "surviving blocks keep their full proportional share"
+        );
+        assert_eq!(sample.iter().filter(|&&v| v == 3.0).count(), 100);
+    }
+
+    #[test]
+    fn surviving_sampler_filters_corrupt_values() {
+        use crate::fault::{BlockFault, FaultyBlock};
+        let set = BlockSet::new(vec![
+            Arc::new(MemBlock::new(vec![1.0; 500])) as Arc<dyn DataBlock>,
+            Arc::new(FaultyBlock::new(
+                Arc::new(MemBlock::new(vec![2.0; 500])),
+                BlockFault::Corrupt,
+                None,
+            )),
+        ]);
+        let mut rng = StdRng::seed_from_u64(23);
+        let sample = sample_proportional_surviving(&set, 400, 1, &mut rng);
+        assert_eq!(sample.len(), 200, "NaN-corrupted draws are filtered");
+        assert!(sample.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn surviving_row_sampler_drops_corrupt_rows_and_lost_blocks() {
+        use crate::fault::{BlockFault, FaultyBlock};
+        use crate::rows::RowsBlock;
+        let rows = RowsBlock::split(
+            vec![
+                (0..1200).map(f64::from).collect(),
+                (0..1200).map(|i| f64::from(i) * 2.0).collect(),
+            ],
+            3,
+        );
+        let faulty = BlockSet::new(
+            rows.iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    let fault = match i {
+                        0 => BlockFault::None,
+                        1 => BlockFault::Lost,
+                        _ => BlockFault::Corrupt,
+                    };
+                    Arc::new(FaultyBlock::new(Arc::clone(b), fault, None)) as Arc<dyn DataBlock>
+                })
+                .collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut n = 0u64;
+        sample_rows_proportional_surviving(&faulty, 300, 1, &mut rng, &mut |row| {
+            assert_eq!(row.len(), 2);
+            assert_eq!(row[1], row[0] * 2.0, "surviving tuples stay aligned");
+            assert!(row[0] < 400.0, "only block 0 survives intact");
+            n += 1;
+        });
+        assert_eq!(n, 100, "exactly block 0's proportional share survives");
     }
 
     #[test]

@@ -14,10 +14,10 @@ use isla::baselines::{Estimator, Slev};
 use isla::core::engine::{self, PooledScheduler, RateSpec, RowSpec, SequentialScheduler};
 use isla::core::IslaConfig;
 use isla::storage::{
-    pool_filtered_column, scalar_fallback_set, scan_sketch, BinaryBlock, BlockSet, CmpOp,
-    ColumnPredicate, ColumnView, DataBlock, FilteredColumnView, MemBlock, PooledFilteredColumn,
-    RowFilter, RowSampleBuf, RowsBlock, SampleBuf, ScalarFallbackBlock, SelectionVector,
-    SharedColumn, StorageError, TextBlock, ZipBlock,
+    pool_filtered_column, scalar_fallback_set, scan_sketch, BinaryBlock, BlockFault, BlockSet,
+    CmpOp, ColumnPredicate, ColumnView, DataBlock, FaultPlan, FaultyBlock, FilteredColumnView,
+    MemBlock, PooledFilteredColumn, RowFilter, RowSampleBuf, RowsBlock, SampleBuf,
+    ScalarFallbackBlock, SelectionVector, SharedColumn, StorageError, TextBlock, ZipBlock,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -421,6 +421,23 @@ fn filtered_column_view_kernels_match_scalar() {
     }]);
     let block = FilteredColumnView::new(inner, 0, Arc::new(filter));
     assert_kernel_identity(Arc::new(block), "FilteredColumnView");
+}
+
+#[test]
+fn faulty_block_disarmed_kernels_match_scalar() {
+    // A FaultyBlock with no fault assigned must be a pure pass-through:
+    // its forwarded batch kernels bit-identical to the scalar defaults,
+    // its sketch hook intact. This is what makes disarmed fault hooks
+    // free of answer drift in production paths.
+    let values = columns(8_000, 1, 67)[0].clone();
+    let inner: Arc<dyn DataBlock> = Arc::new(MemBlock::new(values));
+    let block = FaultyBlock::new(inner, BlockFault::None, None);
+    assert_kernel_identity(Arc::new(block), "FaultyBlock");
+
+    // And a whole set armed with a fault-free plan composes the same
+    // way through the sketch-backed SLEV path.
+    let armed = FaultPlan::new(9).arm(&native_set(6_000, 1, 4, 67));
+    assert_sketched_slev_identity(&armed, "FaultyBlock(disarmed plan)");
 }
 
 #[test]
